@@ -1,0 +1,1 @@
+bench/common.ml: List Parqo Printf String Unix

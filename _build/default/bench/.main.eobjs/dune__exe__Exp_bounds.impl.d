@@ -1,0 +1,1 @@
+bench/exp_bounds.ml: Common Float List Parqo Printf

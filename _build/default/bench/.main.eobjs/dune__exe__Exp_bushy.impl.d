@@ -1,0 +1,1 @@
+bench/exp_bushy.ml: Common List Parqo Printf

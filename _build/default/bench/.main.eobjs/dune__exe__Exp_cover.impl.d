@@ -1,0 +1,1 @@
+bench/exp_cover.ml: Common List Parqo

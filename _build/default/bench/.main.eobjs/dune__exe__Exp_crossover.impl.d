@@ -1,0 +1,1 @@
+bench/exp_crossover.ml: Common Float List Parqo

@@ -1,0 +1,1 @@
+bench/exp_desiderata.ml: Common List Parqo

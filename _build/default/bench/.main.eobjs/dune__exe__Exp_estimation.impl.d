@@ -1,0 +1,1 @@
+bench/exp_estimation.ml: Common Float List Parqo

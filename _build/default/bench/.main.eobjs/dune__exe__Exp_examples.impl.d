@@ -1,0 +1,1 @@
+bench/exp_examples.ml: Common List Parqo Printf

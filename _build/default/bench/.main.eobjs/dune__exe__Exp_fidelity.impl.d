@@ -1,0 +1,1 @@
+bench/exp_fidelity.ml: Common Float Helpers_bench List Parqo

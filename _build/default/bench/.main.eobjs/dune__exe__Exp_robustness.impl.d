@@ -1,0 +1,1 @@
+bench/exp_robustness.ml: Array Common Float List Parqo Parqo_catalog

@@ -1,0 +1,1 @@
+bench/exp_scale.ml: Common Float List Parqo

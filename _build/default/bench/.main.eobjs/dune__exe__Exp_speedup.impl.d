@@ -1,0 +1,1 @@
+bench/exp_speedup.ml: Common List Parqo

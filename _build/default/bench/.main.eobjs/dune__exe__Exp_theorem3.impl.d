@@ -1,0 +1,1 @@
+bench/exp_theorem3.ml: Array Common List Parqo

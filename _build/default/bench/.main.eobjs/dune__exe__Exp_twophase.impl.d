@@ -1,0 +1,1 @@
+bench/exp_twophase.ml: Common List Parqo

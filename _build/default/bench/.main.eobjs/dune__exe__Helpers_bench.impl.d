@@ -1,0 +1,1 @@
+bench/helpers_bench.ml: Parqo

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bechamel_notty Benchmark Common Hashtbl Instance List Measure Notty_unix Parqo Staged Test Time Toolkit Unix

@@ -1,0 +1,29 @@
+(* Shared helpers for the experiment harness. *)
+
+let cell = Parqo.Tableau.cell_float
+let celli = Parqo.Tableau.cell_int
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let env_for ?(nodes = 4) ?machine catalog query =
+  let machine =
+    match machine with
+    | Some m -> m
+    | None -> Parqo.Machine.shared_nothing ~nodes ()
+  in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let shape_env ?nodes shape n =
+  let catalog, query =
+    Parqo.Query_gen.generate (Parqo.Query_gen.default_spec shape n)
+  in
+  env_for ?nodes catalog query
+
+let header title lines =
+  Printf.printf "%s\n" (String.make 78 '=');
+  Printf.printf "%s\n" title;
+  List.iter (fun l -> Printf.printf "  %s\n" l) lines;
+  Printf.printf "%s\n\n" (String.make 78 '=')

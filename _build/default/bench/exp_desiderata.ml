@@ -1,0 +1,81 @@
+(* E5 — the §5 cost-model desiderata:
+   1. IPE degrades to SE with resource contention;
+   2. DPE spans [IPE, worse-than-SE] depending on contention and delta;
+   3. CPE tracks IPE of the clones. *)
+
+module T = Parqo.Tableau
+module D = Parqo.Descriptor
+module R = Parqo.Rvec
+module V = Parqo.Vecf
+
+let two_ops overlap =
+  (* two 10-unit operators; [overlap] of the second op's work shares the
+     first op's resource *)
+  let a = R.make ~time:10. ~work:(V.of_array [| 10.; 0. |]) in
+  let b =
+    R.make ~time:10. ~work:(V.of_array [| 10. *. overlap; 10. *. (1. -. overlap) |])
+  in
+  (a, b)
+
+let run () =
+  Common.header "E5 — cost-model desiderata (§5)"
+    [
+      "two 10-unit operators; 'overlap' = fraction of shared resource.";
+      "IPE = independent parallel, SE = sequential, DPE = pipelined with";
+      "delta(k) penalty (k = 0.5).";
+    ];
+  let tbl =
+    T.create ~title:"D5. IPE / DPE / SE response times vs contention"
+      ~columns:
+        [
+          ("overlap", T.Right);
+          ("IPE", T.Right);
+          ("SE", T.Right);
+          ("DPE (k=0.5)", T.Right);
+          ("regime", T.Left);
+        ]
+  in
+  let params = D.params 0.5 in
+  List.iter
+    (fun overlap ->
+      let a, b = two_ops overlap in
+      let ipe = R.response_time (R.par a b) in
+      let se = R.response_time (R.seq a b) in
+      let dpe =
+        D.response_time (D.pipe params (D.atomic a) (D.atomic b))
+      in
+      let regime =
+        if dpe <= ipe +. 1e-9 then "DPE = IPE (free parallelism)"
+        else if dpe <= se +. 1e-9 then "IPE < DPE <= SE"
+        else "DPE worse than SE (penalty)"
+      in
+      T.add_row tbl
+        [
+          Common.cell overlap;
+          Common.cell ipe;
+          Common.cell se;
+          Common.cell dpe;
+          regime;
+        ])
+    [ 0.; 0.25; 0.5; 0.75; 1.0 ];
+  T.print tbl;
+  (* desideratum 3: cloning *)
+  let tbl2 =
+    T.create ~title:"D5b. CPE: a 16-unit operator cloned k ways (overhead 2%)"
+      ~columns:[ ("k", T.Right); ("RT(CPE)", T.Right); ("ideal 16/k", T.Right) ]
+  in
+  List.iter
+    (fun k ->
+      let r =
+        R.of_demands 16
+          (List.init k (fun i -> (i, 16. /. float_of_int k)))
+          ~lanes:k ~overhead:0.02
+      in
+      T.add_row tbl2
+        [
+          Common.celli k;
+          Common.cell (R.response_time r);
+          Common.cell (16. /. float_of_int k);
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  T.print tbl2

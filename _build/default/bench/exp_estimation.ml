@@ -1,0 +1,95 @@
+(* E14 — the estimator substrate: selectivity estimation error by
+   histogram type and data skew, plus FK-join cardinality accuracy
+   against materialized data.  The cost model is only as judicious as the
+   cardinalities feeding it. *)
+
+module T = Parqo.Tableau
+module S = Parqo.Stats
+
+let selection_error () =
+  let rng = Parqo.Rng.create 404 in
+  let n = 4000 in
+  let datasets =
+    [
+      ("uniform", List.init n (fun _ -> Parqo.Rng.float rng 1000.));
+      ( "zipf 1.0",
+        List.init n (fun _ -> float_of_int (Parqo.Rng.zipf rng ~n:1000 ~theta:1.0)) );
+      ( "zipf 1.3",
+        List.init n (fun _ -> float_of_int (Parqo.Rng.zipf rng ~n:1000 ~theta:1.3)) );
+    ]
+  in
+  let tbl =
+    T.create
+      ~title:"N14. mean |estimated - true| selectivity of range predicates"
+      ~columns:
+        [
+          ("data", T.Left);
+          ("no histogram", T.Right);
+          ("equi-width (16)", T.Right);
+          ("equi-depth (16)", T.Right);
+        ]
+  in
+  List.iter
+    (fun (label, values) ->
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let truth v =
+        float_of_int (List.length (List.filter (fun x -> x <= v) values))
+        /. float_of_int n
+      in
+      let probes =
+        List.init 40 (fun _ -> lo +. Parqo.Rng.float rng (hi -. lo))
+      in
+      let error column =
+        List.fold_left
+          (fun acc v -> acc +. Float.abs (S.le_fraction column v -. truth v))
+          0. probes
+        /. float_of_int (List.length probes)
+      in
+      let flat =
+        let c = S.of_values values in
+        S.column ~distinct:c.S.distinct ~min_v:c.S.min_v ~max_v:c.S.max_v ()
+      in
+      T.add_row tbl
+        [
+          label;
+          Common.cell ~decimals:4 (error flat);
+          Common.cell ~decimals:4 (error (S.of_values ~buckets:16 values));
+          Common.cell ~decimals:4 (error (S.of_values_equidepth ~buckets:16 values));
+        ])
+    datasets;
+  T.print tbl
+
+let join_cardinality () =
+  let tbl =
+    T.create ~title:"N14b. FK-join cardinality: estimated vs actual"
+      ~columns:
+        [
+          ("chain length", T.Right);
+          ("estimated", T.Right);
+          ("actual", T.Right);
+          ("ratio", T.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      let db, query = Parqo.Workloads.chain_db ~n ~rows:400 ~seed:77 () in
+      let est = Parqo.Estimator.create db.Parqo.Datagen.catalog query in
+      let predicted = Parqo.Estimator.card est (Parqo.Bitset.full n) in
+      let actual =
+        float_of_int (Parqo.Batch.n_rows (Parqo.Executor.reference db query))
+      in
+      T.add_row tbl
+        [
+          Common.celli n;
+          Common.cell predicted;
+          Common.cell actual;
+          Common.cell ~decimals:3 (predicted /. actual);
+        ])
+    [ 2; 3; 4; 5 ];
+  T.print tbl
+
+let run () =
+  Common.header "E14 — cardinality estimation quality (substrate check)" [];
+  selection_error ();
+  join_cardinality ()

@@ -1,0 +1,67 @@
+(* E9 — cost-model fidelity: the optimizer's predicted response times vs
+   the discrete-event simulator's makespans over random plans.  The
+   optimizer only needs correct *ranking* (it compares plans), so rank
+   correlation is the headline number. *)
+
+module T = Parqo.Tableau
+module Cm = Parqo.Costmodel
+module Sim = Parqo.Simulator
+
+let run () =
+  Common.header "E9 — cost model vs execution simulator"
+    [
+      "random annotated plans over random queries; prediction = cost-model";
+      "RT, observation = simulated makespan under processor sharing.";
+    ];
+  let rng = Parqo.Rng.create 314 in
+  let tbl =
+    T.create ~title:"S9. predicted vs simulated response time"
+      ~columns:
+        [
+          ("machine", T.Left);
+          ("plans", T.Right);
+          ("spearman", T.Right);
+          ("pearson", T.Right);
+          ("median pred/sim", T.Right);
+          ("work exact", T.Left);
+        ]
+  in
+  List.iter
+    (fun (label, machine) ->
+      let predictions = ref [] and observations = ref [] in
+      let work_exact = ref true in
+      let samples = 120 in
+      for _ = 1 to samples do
+        let n = 2 + Parqo.Rng.int rng 3 in
+        let catalog, query = Parqo.Query_gen.random rng ~n () in
+        let env = Parqo.Env.create ~machine ~catalog ~query () in
+        let tree = Helpers_bench.random_tree rng env in
+        let e = Cm.evaluate env tree in
+        let sim = Sim.simulate_plan env tree in
+        predictions := e.Cm.response_time :: !predictions;
+        observations := sim.Sim.makespan :: !observations;
+        if
+          not
+            (Float.abs (e.Cm.work -. sim.Sim.total_work)
+            <= 1e-6 *. Float.max 1. e.Cm.work)
+        then work_exact := false
+      done;
+      let ratios =
+        List.map2 (fun p o -> p /. o) !predictions !observations
+      in
+      T.add_row tbl
+        [
+          label;
+          Common.celli samples;
+          Common.cell ~decimals:3 (Parqo.Statsu.spearman !predictions !observations);
+          Common.cell ~decimals:3 (Parqo.Statsu.pearson !predictions !observations);
+          Common.cell ~decimals:3 (Parqo.Statsu.quantile 0.5 ratios);
+          (if !work_exact then "yes" else "NO");
+        ])
+    [
+      ("shared-nothing x4", Parqo.Machine.shared_nothing ~nodes:4 ());
+      ("shared-nothing x8", Parqo.Machine.shared_nothing ~nodes:8 ());
+      ("shared-memory 4c/2d", Parqo.Machine.shared_memory ~cpus:4 ~disks:2 ());
+      ("sequential", Parqo.Machine.sequential ());
+    ];
+  T.print tbl

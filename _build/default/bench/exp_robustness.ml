@@ -1,0 +1,90 @@
+(* E15 — robustness to cardinality misestimation: distort the statistics
+   the optimizer sees (distinct-value counts scaled by a factor, which
+   scales every join selectivity), optimize under the lie, then price the
+   chosen plan under the true statistics.  Regret = chosen RT / best RT,
+   both measured under the truth. *)
+
+module T = Parqo.Tableau
+module Cm = Parqo.Costmodel
+module C = Parqo_catalog
+
+let distort_catalog factor catalog =
+  let tables =
+    List.map
+      (fun (t : C.Table.t) ->
+        let columns =
+          Array.to_list t.C.Table.columns
+          |> List.map (fun (name, (s : C.Stats.column)) ->
+                 ( name,
+                   C.Stats.column
+                     ~distinct:(Float.max 1. (s.C.Stats.distinct *. factor))
+                     ~min_v:s.C.Stats.min_v ~max_v:s.C.Stats.max_v () ))
+        in
+        C.Table.create ~name:t.C.Table.name ~columns
+          ~cardinality:t.C.Table.cardinality ~disks:t.C.Table.disks ())
+      (C.Catalog.tables catalog)
+  in
+  C.Catalog.create ~tables ~indexes:(C.Catalog.indexes catalog)
+
+let run () =
+  Common.header "E15 — plan robustness under misestimated statistics"
+    [
+      "distinct counts scaled by f (selectivities scaled by 1/f); plans";
+      "chosen under the distorted catalog, priced under the true one.";
+      "regret = chosen RT / true-optimal RT.";
+    ];
+  let tbl =
+    T.create ~title:"R15. optimizer regret vs distortion factor"
+      ~columns:
+        [
+          ("query", T.Left);
+          ("f", T.Right);
+          ("chosen RT (true)", T.Right);
+          ("best RT (true)", T.Right);
+          ("regret", T.Right);
+        ]
+  in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  let config =
+    { (Parqo.Space.parallel_config machine) with Parqo.Space.clone_degrees = [ 1; 2; 4 ] }
+  in
+  List.iter
+    (fun (label, shape) ->
+      let catalog, query =
+        Parqo.Query_gen.generate (Parqo.Query_gen.default_spec shape 4)
+      in
+      let true_env = Parqo.Env.create ~machine ~catalog ~query () in
+      let metric = Parqo.Optimizer.default_metric true_env in
+      let true_best =
+        match (Parqo.Podp.optimize ~config ~metric true_env).Parqo.Podp.best with
+        | Some b -> b
+        | None -> failwith "no plan"
+      in
+      List.iter
+        (fun f ->
+          let lying_env =
+            Parqo.Env.create ~machine ~catalog:(distort_catalog f catalog)
+              ~query ()
+          in
+          let chosen =
+            match
+              (Parqo.Podp.optimize ~config ~metric lying_env).Parqo.Podp.best
+            with
+            | Some b -> b
+            | None -> failwith "no plan"
+          in
+          (* re-price the chosen tree under the truth *)
+          let repriced = Cm.evaluate true_env chosen.Cm.tree in
+          T.add_row tbl
+            [
+              label;
+              Common.cell ~decimals:3 f;
+              Common.cell repriced.Cm.response_time;
+              Common.cell true_best.Cm.response_time;
+              Common.cell ~decimals:3
+                (repriced.Cm.response_time /. true_best.Cm.response_time);
+            ])
+        [ 0.125; 0.5; 1.0; 2.0; 8.0 ];
+      T.add_rule tbl)
+    [ ("chain-4", Parqo.Query_gen.Chain); ("star-4", Parqo.Query_gen.Star) ];
+  T.print tbl

@@ -1,0 +1,61 @@
+(* E10 — the motivation experiment (§1): throwing processors at a
+   decision-support query.  Cloning degree sweeps on a 16-node machine:
+   predicted and simulated response time, speedup and efficiency, plus
+   the extra work the parallel plan costs. *)
+
+module T = Parqo.Tableau
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module Cm = Parqo.Costmodel
+module Sim = Parqo.Simulator
+
+let plan clone =
+  J.join ~clone M.Hash_join
+    ~outer:(J.join ~clone M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
+    ~inner:(J.access 2)
+
+let run () =
+  Common.header "E10 — speedup from intra-operator parallelism (cloning)"
+    [
+      "chain query, 3 relations, hash-join plan cloned k ways on a 16-node";
+      "shared-nothing machine; baseline k = 1.";
+    ];
+  let catalog, query =
+    Parqo.Query_gen.generate
+      { (Parqo.Query_gen.default_spec Parqo.Query_gen.Chain 3) with
+        Parqo.Query_gen.base_card = 20_000.; n_disks = 16 }
+  in
+  let machine = Parqo.Machine.shared_nothing ~nodes:16 () in
+  let env = Parqo.Env.create ~machine ~catalog ~query () in
+  let base = Cm.evaluate env (plan 1) in
+  let base_sim = Sim.simulate_plan env (plan 1) in
+  let tbl =
+    T.create ~title:"P10. response time vs cloning degree"
+      ~columns:
+        [
+          ("k", T.Right);
+          ("RT predicted", T.Right);
+          ("speedup", T.Right);
+          ("efficiency", T.Right);
+          ("RT simulated", T.Right);
+          ("sim speedup", T.Right);
+          ("work / W(k=1)", T.Right);
+        ]
+  in
+  List.iter
+    (fun k ->
+      let e = Cm.evaluate env (plan k) in
+      let sim = Sim.simulate_plan env (plan k) in
+      let speedup = base.Cm.response_time /. e.Cm.response_time in
+      T.add_row tbl
+        [
+          Common.celli k;
+          Common.cell e.Cm.response_time;
+          Common.cell ~decimals:2 speedup;
+          Common.cell ~decimals:2 (speedup /. float_of_int k);
+          Common.cell sim.Sim.makespan;
+          Common.cell ~decimals:2 (base_sim.Sim.makespan /. sim.Sim.makespan);
+          Common.cell ~decimals:3 (e.Cm.work /. base.Cm.work);
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  T.print tbl

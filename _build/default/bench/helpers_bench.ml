@@ -1,0 +1,11 @@
+(* Random annotated join trees for fidelity sampling: drawn from the
+   library's own generator over the machine's parallel space. *)
+
+let random_tree rng (env : Parqo.Env.t) =
+  let config =
+    {
+      (Parqo.Space.parallel_config env.Parqo.Env.machine) with
+      Parqo.Space.materialize_choices = true;
+    }
+  in
+  Parqo.Random_plans.random_tree rng env config

@@ -1,0 +1,279 @@
+(* parqo — command-line front end to the parallel query optimizer.
+
+   Subcommands:
+     optimize   optimize a SQL query over a generated workload
+     explain    print the operator tree and descriptor of the chosen plan
+     simulate   run the chosen plan through the execution simulator
+     sweep      response time vs work-budget table
+     gen        show a generated catalog and query
+*)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* common arguments                                                    *)
+
+let setup_logs =
+  let init style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const init $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let shape_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "chain" -> Ok Parqo.Query_gen.Chain
+    | "star" -> Ok Parqo.Query_gen.Star
+    | "cycle" -> Ok Parqo.Query_gen.Cycle
+    | "clique" -> Ok Parqo.Query_gen.Clique
+    | _ -> Error (`Msg "expected chain|star|cycle|clique")
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Parqo.Query_gen.shape_to_string s))
+
+let shape =
+  Arg.(value & opt shape_conv Parqo.Query_gen.Chain
+       & info [ "shape" ] ~docv:"SHAPE" ~doc:"Join graph shape: chain, star, cycle or clique.")
+
+let n_relations =
+  Arg.(value & opt int 4
+       & info [ "n"; "relations" ] ~docv:"N" ~doc:"Number of relations in the generated query.")
+
+let nodes =
+  Arg.(value & opt int 4
+       & info [ "nodes" ] ~docv:"NODES" ~doc:"Shared-nothing machine size (sites).")
+
+let budget =
+  Arg.(value & opt (some float) None
+       & info [ "k"; "budget" ] ~docv:"K"
+           ~doc:"Throughput-degradation bound: admitted plans may use at most K times the optimal work.")
+
+let bushy =
+  Arg.(value & flag & info [ "bushy" ] ~doc:"Search bushy trees instead of left-deep.")
+
+let sql =
+  Arg.(value & opt (some string) None
+       & info [ "sql" ] ~docv:"SQL" ~doc:"Optimize this SQL query against the generated catalog instead of the generated join query.")
+
+let plan_text =
+  Arg.(value & opt (some string) None
+       & info [ "plan" ] ~docv:"PLAN"
+           ~doc:"Use this plan (Plan_io syntax, e.g. 'HJ/4!(scan(r0), scan(r1))') instead of optimizing.")
+
+let setup shape n nodes sql =
+  let catalog, query =
+    Parqo.Query_gen.generate (Parqo.Query_gen.default_spec shape n)
+  in
+  let query =
+    match sql with
+    | None -> query
+    | Some text -> Parqo.Sql.parse_exn ~catalog text
+  in
+  let machine = Parqo.Machine.shared_nothing ~nodes () in
+  (Parqo.Env.create ~machine ~catalog ~query (), query, machine)
+
+let optimize_env env machine budget bushy =
+  let config = Parqo.Space.parallel_config machine in
+  let bound =
+    match budget with
+    | None -> Parqo.Bounds.Unbounded
+    | Some k -> Parqo.Bounds.Throughput_degradation k
+  in
+  let shape_opt =
+    if bushy then Parqo.Optimizer.Bushy else Parqo.Optimizer.Left_deep
+  in
+  Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound env
+
+let report_outcome query (o : Parqo.Optimizer.outcome) =
+  Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
+  (match o.Parqo.Optimizer.work_optimal with
+  | Some w ->
+    Printf.printf "work-optimal   : rt=%.2f work=%.2f  %s\n"
+      w.Parqo.Costmodel.response_time w.Parqo.Costmodel.work
+      (Parqo.Join_tree.to_string w.Parqo.Costmodel.tree)
+  | None -> ());
+  match o.Parqo.Optimizer.best with
+  | Some b ->
+    Printf.printf "response-time  : rt=%.2f work=%.2f  %s\n"
+      b.Parqo.Costmodel.response_time b.Parqo.Costmodel.work
+      (Parqo.Join_tree.to_string b.Parqo.Costmodel.tree);
+    `Ok ()
+  | None -> `Error (false, "no plan found")
+
+(* ------------------------------------------------------------------ *)
+(* subcommands                                                         *)
+
+let optimize_cmd =
+  let run () shape n nodes sql budget bushy =
+    let env, query, machine = setup shape n nodes sql in
+    report_outcome query (optimize_env env machine budget bushy)
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Minimize response time subject to a work bound.")
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy))
+
+(* either the optimizer's choice or an explicitly supplied plan *)
+let chosen_plan env query machine budget bushy plan_text =
+  match plan_text with
+  | Some text -> (
+    match
+      Parqo.Plan_io.of_string ~catalog:(Parqo.Env.catalog env) ~query text
+    with
+    | Ok tree -> Ok (Parqo.Costmodel.evaluate env tree)
+    | Error e -> Error ("bad plan: " ^ e))
+  | None -> (
+    match (optimize_env env machine budget bushy).Parqo.Optimizer.best with
+    | Some b -> Ok b
+    | None -> Error "no plan found")
+
+let explain_cmd =
+  let run () shape n nodes sql budget bushy plan_text =
+    let env, query, machine = setup shape n nodes sql in
+    match chosen_plan env query machine budget bushy plan_text with
+    | Error e -> `Error (false, e)
+    | Ok b ->
+      Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
+      print_endline (Parqo.Explain.explain_plan env b.Parqo.Costmodel.tree);
+      Format.printf "@.descriptor: %a@." Parqo.Descriptor.pp
+        b.Parqo.Costmodel.descriptor;
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Show the chosen plan's operator tree and cost descriptor.")
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text))
+
+let simulate_cmd =
+  let run () shape n nodes sql budget bushy plan_text =
+    let env, query, machine = setup shape n nodes sql in
+    match chosen_plan env query machine budget bushy plan_text with
+    | Error e -> `Error (false, e)
+    | Ok b ->
+      Printf.printf "query: %s\nplan : %s\n\n" (Parqo.Query.to_sql query)
+        (Parqo.Join_tree.to_string b.Parqo.Costmodel.tree);
+      let sim = Parqo.Simulator.simulate_plan env b.Parqo.Costmodel.tree in
+      List.iter
+        (fun (e : Parqo.Simulator.event) ->
+          Printf.printf "  t=%10.2f  %s\n" e.Parqo.Simulator.at
+            e.Parqo.Simulator.what)
+        sim.Parqo.Simulator.trace;
+      Printf.printf "\n%s" (Parqo.Simulator.timeline sim);
+      Printf.printf
+        "\npredicted rt %.2f | simulated makespan %.2f | utilization %.0f%%\n"
+        b.Parqo.Costmodel.response_time sim.Parqo.Simulator.makespan
+        (100. *. Parqo.Simulator.utilization sim);
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate the chosen plan's parallel execution.")
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text))
+
+let sweep_cmd =
+  let run () shape n nodes sql bushy =
+    let env, query, machine = setup shape n nodes sql in
+    Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
+    let tbl =
+      Parqo.Tableau.create ~title:"response time vs work budget"
+        ~columns:
+          [
+            ("k", Parqo.Tableau.Right);
+            ("rt", Parqo.Tableau.Right);
+            ("work", Parqo.Tableau.Right);
+            ("plan", Parqo.Tableau.Left);
+          ]
+    in
+    List.iter
+      (fun k ->
+        let o = optimize_env env machine (Some k) bushy in
+        match o.Parqo.Optimizer.best with
+        | Some b ->
+          Parqo.Tableau.add_row tbl
+            [
+              Parqo.Tableau.cell_float k;
+              Parqo.Tableau.cell_float b.Parqo.Costmodel.response_time;
+              Parqo.Tableau.cell_float b.Parqo.Costmodel.work;
+              Parqo.Join_tree.to_string b.Parqo.Costmodel.tree;
+            ]
+        | None -> ())
+      [ 1.0; 1.25; 1.5; 2.0; 3.0; 5.0 ];
+    Parqo.Tableau.print tbl;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Sweep the work budget and print the tradeoff table.")
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ bushy))
+
+let gen_cmd =
+  let run () shape n =
+    let catalog, query =
+      Parqo.Query_gen.generate (Parqo.Query_gen.default_spec shape n)
+    in
+    Format.printf "%a@.@." Parqo.Catalog.pp catalog;
+    Printf.printf "query: %s\n" (Parqo.Query.to_sql query)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Print the generated catalog and query.")
+    Term.(const run $ setup_logs $ shape $ n_relations)
+
+(* execute a query end-to-end on a canned materialized workload *)
+let run_cmd =
+  let workload =
+    Arg.(value & opt string "tpch:q3"
+         & info [ "workload" ] ~docv:"W"
+             ~doc:"One of tpch:q3, tpch:q5, tpch:q10, portfolio, university, chain.")
+  in
+  let limit =
+    Arg.(value & opt int 10
+         & info [ "limit" ] ~docv:"N" ~doc:"Rows to display.")
+  in
+  let run () workload limit nodes budget =
+    let pick = function
+      | "tpch:q3" -> let w = Parqo.Workloads.tpch ~seed:7 () in Ok (w.Parqo.Workloads.db, w.Parqo.Workloads.q3)
+      | "tpch:q5" -> let w = Parqo.Workloads.tpch ~seed:7 () in Ok (w.Parqo.Workloads.db, w.Parqo.Workloads.q5)
+      | "tpch:q10" -> let w = Parqo.Workloads.tpch ~seed:7 () in Ok (w.Parqo.Workloads.db, w.Parqo.Workloads.q10)
+      | "portfolio" -> Ok (Parqo.Workloads.portfolio ~seed:7 ())
+      | "university" -> Ok (Parqo.Workloads.university ~seed:7 ())
+      | "chain" -> Ok (Parqo.Workloads.chain_db ~seed:7 ())
+      | w -> Error ("unknown workload " ^ w)
+    in
+    match pick workload with
+    | Error e -> `Error (false, e)
+    | Ok (db, query) -> (
+      let machine = Parqo.Machine.shared_nothing ~nodes () in
+      let env =
+        Parqo.Env.create ~machine ~catalog:db.Parqo.Datagen.catalog ~query ()
+      in
+      let o = optimize_env env machine budget false in
+      match o.Parqo.Optimizer.best with
+      | None -> `Error (false, "no plan found")
+      | Some b ->
+        Printf.printf "query: %s\nplan : %s  (rt %.1f, work %.1f)\n\n"
+          (Parqo.Query.to_sql query)
+          (Parqo.Join_tree.to_string b.Parqo.Costmodel.tree)
+          b.Parqo.Costmodel.response_time b.Parqo.Costmodel.work;
+        let result =
+          Parqo.Parallel_exec.run_query db query b.Parqo.Costmodel.optree
+        in
+        let check =
+          Parqo.Batch.equal_bags result
+            (Parqo.Executor.run_query db query b.Parqo.Costmodel.tree)
+        in
+        Printf.printf "%d rows (parallel execution; agrees with sequential: %b)\n"
+          (Parqo.Batch.n_rows result) check;
+        List.iteri
+          (fun i row ->
+            if i < limit then
+              Printf.printf "  (%s)\n"
+                (String.concat ", "
+                   (Array.to_list (Array.map Parqo.Value.to_string row))))
+          result.Parqo.Batch.rows;
+        if Parqo.Batch.n_rows result > limit then
+          Printf.printf "  ... and %d more\n" (Parqo.Batch.n_rows result - limit);
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Optimize and execute a query on a canned materialized workload.")
+    Term.(ret (const run $ setup_logs $ workload $ limit $ nodes $ budget))
+
+let main =
+  let doc = "parallel query optimizer (SIGMOD 1992 reproduction)" in
+  Cmd.group (Cmd.info "parqo" ~doc)
+    [ optimize_cmd; explain_cmd; simulate_cmd; sweep_cmd; gen_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

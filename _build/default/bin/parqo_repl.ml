@@ -1,0 +1,95 @@
+(* An interactive SQL shell over Parqo.Session.
+
+   dune exec bin/parqo_repl.exe [-- WORKLOAD]
+
+   Meta commands:
+     \workload NAME    switch database (tpch, portfolio, university, chain)
+     \tables           list tables
+     \budget K         set the throughput-degradation budget
+     \explain SQL      show the plan without executing
+     \help             this text
+     \q                quit
+   Anything else is parsed as SQL. *)
+
+let print_batch ?(limit = 20) (b : Parqo.Batch.t) =
+  List.iteri
+    (fun i row ->
+      if i < limit then
+        print_endline
+          ("  ("
+          ^ String.concat ", "
+              (Array.to_list (Array.map Parqo.Value.to_string row))
+          ^ ")"))
+    b.Parqo.Batch.rows;
+  if Parqo.Batch.n_rows b > limit then
+    Printf.printf "  ... and %d more rows\n" (Parqo.Batch.n_rows b - limit)
+
+let help () =
+  print_endline
+    "meta commands: \\workload NAME | \\tables | \\budget K | \\explain SQL \
+     | \\help | \\q;\nanything else is SQL (SELECT ... FROM ... WHERE ... \
+     [ORDER BY ...])"
+
+let answer_line (a : Parqo.Session.answer) =
+  let speedup =
+    match a.Parqo.Session.work_optimal with
+    | Some w ->
+      Printf.sprintf ", %.1fx vs work-optimal plan"
+        (w.Parqo.Costmodel.response_time
+        /. a.Parqo.Session.plan.Parqo.Costmodel.response_time)
+    | None -> ""
+  in
+  Printf.printf
+    "%d rows in %.3fs (plan rt %.1f%s; parallel run verified: %b)\n"
+    (Parqo.Batch.n_rows a.Parqo.Session.batch)
+    a.Parqo.Session.elapsed
+    a.Parqo.Session.plan.Parqo.Costmodel.response_time speedup
+    a.Parqo.Session.verified
+
+let () =
+  let initial = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tpch" in
+  let session =
+    match Parqo.Session.of_workload initial with
+    | Ok s -> ref s
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Printf.printf "parqo repl — workload %s; \\help for help\n" initial;
+  (try
+     while true do
+       print_string "parqo> ";
+       let line = String.trim (input_line stdin) in
+       if line = "" then ()
+       else if line = "\\q" || line = "\\quit" then raise Exit
+       else if line = "\\help" then help ()
+       else if line = "\\tables" then
+         print_endline (String.concat ", " (Parqo.Session.tables !session))
+       else if String.length line > 9 && String.sub line 0 9 = "\\workload" then (
+         let name = String.trim (String.sub line 9 (String.length line - 9)) in
+         match Parqo.Session.of_workload name with
+         | Ok s ->
+           session := s;
+           Printf.printf "switched to %s\n" name
+         | Error e -> print_endline e)
+       else if String.length line > 7 && String.sub line 0 7 = "\\budget" then (
+         let k = String.trim (String.sub line 7 (String.length line - 7)) in
+         match float_of_string_opt k with
+         | Some k when k >= 1. ->
+           Parqo.Session.set_bound !session
+             (Parqo.Bounds.Throughput_degradation k);
+           Printf.printf "budget set to %.2fx optimal work\n" k
+         | _ -> print_endline "usage: \\budget K   (K >= 1)")
+       else if String.length line > 8 && String.sub line 0 8 = "\\explain" then (
+         let sql = String.trim (String.sub line 8 (String.length line - 8)) in
+         match Parqo.Session.explain !session sql with
+         | Ok text -> print_endline text
+         | Error e -> print_endline ("error: " ^ e))
+       else
+         match Parqo.Session.sql !session line with
+         | Ok a ->
+           print_batch a.Parqo.Session.batch;
+           answer_line a
+         | Error e -> print_endline ("error: " ^ e)
+     done
+   with Exit | End_of_file -> print_endline "bye")

@@ -1,0 +1,1 @@
+examples/contention.ml: List Parqo Printf

@@ -1,0 +1,1 @@
+examples/contention.mli:

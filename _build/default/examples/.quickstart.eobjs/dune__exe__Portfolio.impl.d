@@ -1,0 +1,1 @@
+examples/portfolio.ml: List Parqo Printf

@@ -1,0 +1,1 @@
+examples/simulate.ml: Array Format List Parqo Printf String

@@ -1,0 +1,1 @@
+examples/tpch.ml: Parqo Printf

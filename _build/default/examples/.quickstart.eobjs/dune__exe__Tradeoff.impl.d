@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Float List Parqo

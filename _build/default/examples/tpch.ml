@@ -1,0 +1,46 @@
+(* Decision support on a TPC-H-like database: optimize three analyst
+   queries for response time, execute the chosen plans (in parallel, with
+   real exchanges) and check them against the sequential executor.
+
+   Run with: dune exec examples/tpch.exe *)
+
+module Cm = Parqo.Costmodel
+module W = Parqo.Workloads
+
+let run_query name db query =
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  let env =
+    Parqo.Env.create ~machine ~catalog:db.Parqo.Datagen.catalog ~query ()
+  in
+  Printf.printf "%s: %s\n" name (Parqo.Query.to_sql query);
+  let config =
+    { (Parqo.Space.parallel_config machine) with Parqo.Space.clone_degrees = [ 1; 2; 4 ] }
+  in
+  let outcome =
+    Parqo.Optimizer.minimize_response_time ~config
+      ~bound:(Parqo.Bounds.Throughput_degradation 2.0) env
+  in
+  match (outcome.Parqo.Optimizer.work_optimal, outcome.Parqo.Optimizer.best) with
+  | Some wopt, Some best ->
+    Printf.printf "  work-optimal : rt=%8.1f  work=%8.1f  %s\n"
+      wopt.Cm.response_time wopt.Cm.work (Parqo.Join_tree.to_string wopt.Cm.tree);
+    Printf.printf "  rt-optimal   : rt=%8.1f  work=%8.1f  %s\n"
+      best.Cm.response_time best.Cm.work (Parqo.Join_tree.to_string best.Cm.tree);
+    (* execute the parallel plan with its exchanges, data and all *)
+    let optree = best.Cm.optree in
+    let parallel = Parqo.Parallel_exec.run_query db query optree in
+    let sequential = Parqo.Executor.run_query db query best.Cm.tree in
+    Printf.printf "  executed     : %d rows; parallel = sequential: %b\n"
+      (Parqo.Batch.n_rows parallel)
+      (Parqo.Batch.equal_bags parallel sequential);
+    let sim = Parqo.Simulator.simulate_plan env best.Cm.tree in
+    Printf.printf "  simulated    : makespan %.1f (predicted %.1f), %.0f%% util\n\n"
+      sim.Parqo.Simulator.makespan best.Cm.response_time
+      (100. *. Parqo.Simulator.utilization sim)
+  | _ -> print_endline "  no plan found\n"
+
+let () =
+  let { W.db; q3; q5; q10 } = W.tpch ~seed:7 () in
+  run_query "Q3 (shipping priority)" db q3;
+  run_query "Q5 (local supplier volume)" db q5;
+  run_query "Q10 (returned items)" db q10

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Format Index List Printf String Table

@@ -1,0 +1,1 @@
+lib/catalog/datagen.ml: Array Catalog List Parqo_util Printf Stats Table Value

@@ -1,0 +1,1 @@
+lib/catalog/datagen.mli: Catalog Index Parqo_util Value

@@ -1,0 +1,1 @@
+lib/catalog/index.ml: Format List String

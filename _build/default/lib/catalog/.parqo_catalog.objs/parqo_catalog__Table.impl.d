@@ -1,0 +1,1 @@
+lib/catalog/table.ml: Array Format List Stats String

@@ -1,0 +1,1 @@
+lib/catalog/table.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/catalog/value.ml: Float Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/catalog/value.mli: Format

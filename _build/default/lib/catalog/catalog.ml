@@ -1,0 +1,77 @@
+type t = { tables : Table.t list; indexes : Index.t list }
+
+let empty = { tables = []; indexes = [] }
+
+let check_unique what names =
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg ("Catalog: duplicate " ^ what)
+
+let create ~tables ~indexes =
+  check_unique "table" (List.map (fun (t : Table.t) -> t.name) tables);
+  check_unique "index" (List.map (fun (i : Index.t) -> i.name) indexes);
+  { tables; indexes }
+
+let add_table c table =
+  create ~tables:(c.tables @ [ table ]) ~indexes:c.indexes
+
+let add_index c index =
+  create ~tables:c.tables ~indexes:(c.indexes @ [ index ])
+
+let tables c = c.tables
+let indexes c = c.indexes
+
+let find_table c name =
+  List.find_opt (fun (t : Table.t) -> t.name = name) c.tables
+
+let table c name =
+  match find_table c name with Some t -> t | None -> raise Not_found
+
+let indexes_of c name =
+  List.filter (fun (i : Index.t) -> i.table = name) c.indexes
+
+let column_stats c ~table:tname ~column =
+  Table.column_stats (table c tname) column
+
+let validate ?n_disks c =
+  let check_disk what d =
+    match n_disks with
+    | Some n when d < 0 || d >= n ->
+      Error (Printf.sprintf "%s references disk %d outside [0,%d)" what d n)
+    | _ -> Ok ()
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | check :: rest -> ( match check () with Ok () -> check_all rest | e -> e)
+  in
+  let table_checks =
+    List.map
+      (fun (t : Table.t) () ->
+        check_all
+          (List.map (fun d () -> check_disk ("table " ^ t.name) d) t.disks))
+      c.tables
+  in
+  let index_checks =
+    List.map
+      (fun (i : Index.t) () ->
+        match find_table c i.table with
+        | None ->
+          Error (Printf.sprintf "index %s references missing table %s" i.name i.table)
+        | Some t -> (
+          match
+            List.find_opt (fun col -> not (Table.has_column t col)) i.columns
+          with
+          | Some col ->
+            Error
+              (Printf.sprintf "index %s references missing column %s.%s"
+                 i.name i.table col)
+          | None -> check_disk ("index " ^ i.name) i.disk))
+      c.indexes
+  in
+  check_all (table_checks @ index_checks)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>catalog:@,%a@,%a@]"
+    (Format.pp_print_list Table.pp)
+    c.tables
+    (Format.pp_print_list Index.pp)
+    c.indexes

@@ -1,0 +1,38 @@
+(** The database catalog: tables plus indexes, with lookup and validation.
+
+    Catalogs are immutable; [add_table] / [add_index] return extended
+    catalogs.  [validate] checks referential consistency (index targets,
+    key columns, disk indexes) against an optional disk count. *)
+
+type t
+
+val empty : t
+
+val create : tables:Table.t list -> indexes:Index.t list -> t
+(** Raises [Invalid_argument] on duplicate table or index names. *)
+
+val add_table : t -> Table.t -> t
+
+val add_index : t -> Index.t -> t
+
+val tables : t -> Table.t list
+
+val indexes : t -> Index.t list
+
+val find_table : t -> string -> Table.t option
+
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val indexes_of : t -> string -> Index.t list
+(** All indexes whose target is the given table. *)
+
+val column_stats : t -> table:string -> column:string -> Stats.column
+(** Raises [Not_found] if the table or column does not exist. *)
+
+val validate : ?n_disks:int -> t -> (unit, string) result
+(** Checks: every index references an existing table and existing columns;
+    every placement disk index is within [0 .. n_disks-1] when [n_disks]
+    is given. Returns the first violation found. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  table : string;
+  columns : string list;
+  clustered : bool;
+  disk : int;
+}
+
+let create ~name ~table ~columns ?(clustered = false) ?(disk = 0) () =
+  if columns = [] then invalid_arg "Index.create: no columns";
+  { name; table; columns; clustered; disk }
+
+let covers t cols = List.for_all (fun c -> List.mem c t.columns) cols
+
+let pp ppf t =
+  Format.fprintf ppf "%s on %s(%s)%s disk=%d" t.name t.table
+    (String.concat "," t.columns)
+    (if t.clustered then " clustered" else "")
+    t.disk

@@ -1,0 +1,29 @@
+(** Secondary access paths.  An index is an annotation source for access
+    plans: it offers an ordering on its key columns, lives on a specific
+    disk (which matters for resource contention — the crux of the paper's
+    Example 3), and is clustered or not. *)
+
+type t = {
+  name : string;
+  table : string;
+  columns : string list;  (** key columns, significant order *)
+  clustered : bool;
+  disk : int;  (** abstract disk index, as in {!Table.t} *)
+}
+
+val create :
+  name:string ->
+  table:string ->
+  columns:string list ->
+  ?clustered:bool ->
+  ?disk:int ->
+  unit ->
+  t
+(** [clustered] defaults to false, [disk] to 0. Raises [Invalid_argument]
+    on an empty column list. *)
+
+val covers : t -> string list -> bool
+(** [covers idx cols]: every requested column is a key column, i.e. the
+    index alone can answer a scan of [cols] (an index-only scan). *)
+
+val pp : Format.formatter -> t -> unit

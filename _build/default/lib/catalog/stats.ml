@@ -1,0 +1,133 @@
+type histogram = { bounds : float array; counts : float array }
+
+type column = {
+  distinct : float;
+  min_v : float;
+  max_v : float;
+  hist : histogram option;
+}
+
+let column ?hist ~distinct ~min_v ~max_v () =
+  if distinct < 1. then invalid_arg "Stats.column: distinct < 1";
+  if min_v > max_v then invalid_arg "Stats.column: min > max";
+  { distinct; min_v; max_v; hist }
+
+let base_stats values =
+  match values with
+  | [] -> invalid_arg "Stats.of_values: empty"
+  | _ ->
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    let distinct =
+      List.sort_uniq Float.compare values |> List.length |> float_of_int
+    in
+    (lo, hi, distinct)
+
+let fill_counts bounds values =
+  let buckets = Array.length bounds - 1 in
+  let counts = Array.make buckets 0. in
+  let bucket_of v =
+    (* rightmost bucket whose lower bound is <= v, capped *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if bounds.(mid) <= v then search mid hi else search lo (mid - 1)
+    in
+    min (buckets - 1) (search 0 (buckets - 1))
+  in
+  List.iter (fun v -> counts.(bucket_of v) <- counts.(bucket_of v) +. 1.) values;
+  counts
+
+let of_values ?(buckets = 16) values =
+  let lo, hi, distinct = base_stats values in
+  let hist =
+    if hi > lo then begin
+      let width = (hi -. lo) /. float_of_int buckets in
+      let bounds =
+        Array.init (buckets + 1) (fun i ->
+            if i = buckets then hi else lo +. (float_of_int i *. width))
+      in
+      Some { bounds; counts = fill_counts bounds values }
+    end
+    else None
+  in
+  { distinct; min_v = lo; max_v = hi; hist }
+
+let of_values_equidepth ?(buckets = 16) values =
+  let lo, hi, distinct = base_stats values in
+  let hist =
+    if hi > lo then begin
+      let sorted = Array.of_list (List.sort Float.compare values) in
+      let n = Array.length sorted in
+      let bounds =
+        Array.init (buckets + 1) (fun i ->
+            if i = 0 then lo
+            else if i = buckets then hi
+            else sorted.(i * n / buckets))
+      in
+      (* merge duplicate boundaries are fine: empty buckets count 0 *)
+      Some { bounds; counts = fill_counts bounds values }
+    end
+    else None
+  in
+  { distinct; min_v = lo; max_v = hi; hist }
+
+let total_count h = Array.fold_left ( +. ) 0. h.counts
+
+let bucket_of h v =
+  let buckets = Array.length h.counts in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if h.bounds.(mid) <= v then search mid hi else search lo (mid - 1)
+  in
+  min (buckets - 1) (max 0 (search 0 (buckets - 1)))
+
+let eq_fraction c v =
+  if v < c.min_v || v > c.max_v then 0.
+  else
+    match c.hist with
+    | None -> 1. /. c.distinct
+    | Some h ->
+      let total = total_count h in
+      if total <= 0. then 1. /. c.distinct
+      else begin
+        let buckets = float_of_int (Array.length h.counts) in
+        (* distinct values assumed evenly spread over buckets *)
+        let per_bucket_distinct = Float.max 1. (c.distinct /. buckets) in
+        h.counts.(bucket_of h v) /. total /. per_bucket_distinct
+      end
+
+let le_fraction c v =
+  if v < c.min_v then 0.
+  else if v >= c.max_v then 1.
+  else
+    match c.hist with
+    | None ->
+      if c.max_v = c.min_v then 1.
+      else (v -. c.min_v) /. (c.max_v -. c.min_v)
+    | Some h ->
+      let total = total_count h in
+      if total <= 0. then 0.
+      else begin
+        let b = bucket_of h v in
+        let below = ref 0. in
+        for i = 0 to b - 1 do
+          below := !below +. h.counts.(i)
+        done;
+        let b_lo = h.bounds.(b) and b_hi = h.bounds.(b + 1) in
+        let frac_in_bucket =
+          if b_hi > b_lo then (v -. b_lo) /. (b_hi -. b_lo) else 1.
+        in
+        (!below +. (h.counts.(b) *. frac_in_bucket)) /. total
+      end
+
+let join_selectivity a b = 1. /. Float.max a.distinct b.distinct
+
+let pp_column ppf c =
+  Format.fprintf ppf "distinct=%.0f range=[%g,%g]%s" c.distinct c.min_v c.max_v
+    (match c.hist with
+    | None -> ""
+    | Some h -> Printf.sprintf " hist(%d)" (Array.length h.counts))

@@ -1,0 +1,41 @@
+type t = {
+  name : string;
+  columns : (string * Stats.column) array;
+  cardinality : float;
+  disks : int list;
+}
+
+let create ~name ~columns ~cardinality ?(disks = [ 0 ]) () =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  if cardinality < 0. then invalid_arg "Table.create: negative cardinality";
+  if disks = [] then invalid_arg "Table.create: no disks";
+  let names = List.map fst columns in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Table.create: duplicate column";
+  { name; columns = Array.of_list columns; cardinality; disks }
+
+let column_names t = Array.to_list t.columns |> List.map fst
+
+let column_stats t name =
+  let found =
+    Array.to_list t.columns |> List.find_opt (fun (n, _) -> n = name)
+  in
+  match found with Some (_, s) -> s | None -> raise Not_found
+
+let has_column t name = Array.exists (fun (n, _) -> n = name) t.columns
+
+let column_index t name =
+  let rec find i =
+    if i >= Array.length t.columns then raise Not_found
+    else if fst t.columns.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let arity t = Array.length t.columns
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s) card=%.0f disks=[%s]" t.name
+    (String.concat ", " (column_names t))
+    t.cardinality
+    (String.concat ";" (List.map string_of_int t.disks))

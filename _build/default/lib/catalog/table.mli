@@ -1,0 +1,39 @@
+(** Base-table metadata: schema, cardinality, column statistics, and
+    physical placement on disks.
+
+    Placement uses abstract disk indexes [0, 1, ...] that the cost model
+    resolves against the machine's disk list; a table declustered over
+    several disks is read by naturally cloned scans (§4.1, intra-operator
+    parallelism). *)
+
+type t = {
+  name : string;
+  columns : (string * Stats.column) array;  (** in schema order *)
+  cardinality : float;  (** number of rows, >= 0 *)
+  disks : int list;  (** disk indexes holding the data; singleton = unpartitioned *)
+}
+
+val create :
+  name:string ->
+  columns:(string * Stats.column) list ->
+  cardinality:float ->
+  ?disks:int list ->
+  unit ->
+  t
+(** [disks] defaults to [[0]]. Raises [Invalid_argument] on duplicate
+    column names, empty column list, empty [disks] or negative
+    cardinality. *)
+
+val column_names : t -> string list
+
+val column_stats : t -> string -> Stats.column
+(** Raises [Not_found]. *)
+
+val has_column : t -> string -> bool
+
+val column_index : t -> string -> int
+(** Position of the column in schema order. Raises [Not_found]. *)
+
+val arity : t -> int
+
+val pp : Format.formatter -> t -> unit

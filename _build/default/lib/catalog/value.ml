@@ -1,0 +1,27 @@
+type t = Int of int | Flt of float | Str of string
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Flt f -> f
+  | Str s -> float_of_int (Hashtbl.hash s)
+
+let compare a b =
+  match (a, b) with
+  | Str x, Str y -> String.compare x y
+  | Str _, (Int _ | Flt _) -> 1
+  | (Int _ | Flt _), Str _ -> -1
+  | (Int _ | Flt _), (Int _ | Flt _) -> Float.compare (to_float a) (to_float b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash i
+  | Flt f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Flt f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

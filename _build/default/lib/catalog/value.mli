@@ -1,0 +1,19 @@
+(** Runtime values stored in tuples.  The tuple-level executor operates on
+    these; the statistics module summarizes them through [to_float]. *)
+
+type t = Int of int | Flt of float | Str of string
+
+val compare : t -> t -> int
+(** Total order: numeric values compare numerically across [Int]/[Flt];
+    strings compare lexicographically and sort after numbers. *)
+
+val equal : t -> t -> bool
+
+val to_float : t -> float
+(** Numeric image used for statistics; strings hash to a stable float. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

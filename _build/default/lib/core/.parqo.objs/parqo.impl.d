@@ -1,0 +1,1 @@
+lib/core/parqo.ml: Parqo_catalog Parqo_cost Parqo_exec Parqo_machine Parqo_optree Parqo_plan Parqo_query Parqo_search Parqo_sim Parqo_util Scenarios Session Workloads

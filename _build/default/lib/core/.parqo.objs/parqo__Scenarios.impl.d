@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Parqo_catalog Parqo_cost Parqo_machine Parqo_optree Parqo_plan Parqo_query Parqo_util

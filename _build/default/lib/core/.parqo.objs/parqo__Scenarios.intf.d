@@ -1,0 +1,1 @@
+lib/core/scenarios.mli: Parqo_catalog Parqo_cost Parqo_machine Parqo_optree Parqo_query

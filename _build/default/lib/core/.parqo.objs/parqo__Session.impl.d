@@ -1,0 +1,1 @@
+lib/core/session.ml: List Parqo_catalog Parqo_cost Parqo_exec Parqo_machine Parqo_query Parqo_search Printf String Unix Workloads

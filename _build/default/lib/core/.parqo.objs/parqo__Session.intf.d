@@ -1,0 +1,1 @@
+lib/core/session.mli: Parqo_catalog Parqo_cost Parqo_exec Parqo_machine Parqo_query Parqo_search

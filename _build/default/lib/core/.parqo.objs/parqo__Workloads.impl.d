@@ -1,0 +1,1 @@
+lib/core/workloads.ml: List Parqo_catalog Parqo_query Parqo_util Printf

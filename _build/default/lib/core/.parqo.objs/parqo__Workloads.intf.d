@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Parqo_catalog Parqo_query

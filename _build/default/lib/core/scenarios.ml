@@ -1,0 +1,117 @@
+module Tdesc = Parqo_cost.Tdesc
+module Rvec = Parqo_cost.Rvec
+module Descriptor = Parqo_cost.Descriptor
+module C = Parqo_catalog
+module Q = Parqo_query.Query
+module M = Parqo_machine.Machine
+
+let example1 () =
+  let catalog, query =
+    Parqo_query.Query_gen.generate
+      (Parqo_query.Query_gen.default_spec Parqo_query.Query_gen.Chain 3)
+  in
+  let machine = M.shared_nothing ~nodes:4 () in
+  let env = Parqo_cost.Env.create ~machine ~catalog ~query () in
+  let tree =
+    Parqo_plan.Join_tree.join Parqo_plan.Join_method.Nested_loops
+      ~outer:
+        (Parqo_plan.Join_tree.join Parqo_plan.Join_method.Sort_merge
+           ~outer:(Parqo_plan.Join_tree.access 0)
+           ~inner:(Parqo_plan.Join_tree.access 1))
+      ~inner:(Parqo_plan.Join_tree.access 2)
+  in
+  (env, Parqo_optree.Expand.expand env.Parqo_cost.Env.estimator tree)
+
+type example2_row = {
+  operator : string;
+  base : Tdesc.t;
+  computed : Tdesc.t;
+}
+
+let example2 () =
+  let d tf tl = Tdesc.make ~tf ~tl in
+  let scan_r1 = d 0. 1. in
+  let scan_r2 = d 0. 3. in
+  let scan_r3 = d 0. 2. in
+  let sort1_base = d 5. 5. in
+  let sort2_base = d 10. 10. in
+  let merge_base = d 0. 2. in
+  let nloops_base = d 0. 2. in
+  let sort1 = Tdesc.sync (Tdesc.pipe scan_r1 sort1_base) in
+  let sort2 = Tdesc.sync (Tdesc.pipe scan_r2 sort2_base) in
+  let merge = Tdesc.tree sort1 sort2 merge_base in
+  let nloops = Tdesc.tree merge scan_r3 nloops_base in
+  [
+    { operator = "scan R1"; base = scan_r1; computed = scan_r1 };
+    { operator = "scan R2"; base = scan_r2; computed = scan_r2 };
+    { operator = "scan R3"; base = scan_r3; computed = scan_r3 };
+    { operator = "sort1"; base = sort1_base; computed = sort1 };
+    { operator = "sort2"; base = sort2_base; computed = sort2 };
+    { operator = "merge"; base = merge_base; computed = merge };
+    { operator = "n.loops"; base = nloops_base; computed = nloops };
+  ]
+
+type example3 = {
+  rt_p1 : float;
+  rt_p2 : float;
+  rt_join_p1 : float;
+  rt_join_p2 : float;
+}
+
+let example3 () =
+  (* two resources: disk1 (coord 0) and disk2 (coord 1); delta disabled to
+     follow the paper's arithmetic exactly *)
+  let params = Descriptor.params 0. in
+  let vec t w1 w2 = Rvec.make ~time:t ~work:(Parqo_util.Vecf.of_array [| w1; w2 |]) in
+  let p1 = Descriptor.atomic (vec 20. 20. 0.) in
+  let p2 = Descriptor.atomic (vec 25. 0. 25.) in
+  let join = Descriptor.atomic (vec 40. 40. 0.) in
+  let nl p = Descriptor.pipe params p join in
+  {
+    rt_p1 = Descriptor.response_time p1;
+    rt_p2 = Descriptor.response_time p2;
+    rt_join_p1 = Descriptor.response_time (nl p1);
+    rt_join_p2 = Descriptor.response_time (nl p2);
+  }
+
+let example3_violates_po () =
+  let e = example3 () in
+  e.rt_p1 < e.rt_p2 && e.rt_join_p1 > e.rt_join_p2
+
+let ctr_ci () =
+  let col distinct lo hi = C.Stats.column ~distinct ~min_v:lo ~max_v:hi () in
+  let ctr =
+    C.Table.create ~name:"ctr"
+      ~columns:
+        [ ("course", col 500. 0. 499.); ("time", col 40. 0. 39.); ("room", col 60. 0. 59.) ]
+      ~cardinality:2000. ~disks:[ 0 ] ()
+  in
+  let ci =
+    C.Table.create ~name:"ci"
+      ~columns:[ ("course", col 500. 0. 499.); ("instructor", col 300. 0. 299.) ]
+      ~cardinality:1000. ~disks:[ 0 ] ()
+  in
+  let indexes =
+    [
+      C.Index.create ~name:"i_ct" ~table:"ctr" ~columns:[ "course"; "time" ]
+        ~clustered:true ~disk:0 ();
+      C.Index.create ~name:"i_cr" ~table:"ctr" ~columns:[ "course"; "room" ]
+        ~clustered:false ~disk:1 ();
+      C.Index.create ~name:"i_c" ~table:"ci" ~columns:[ "course" ] ~disk:0 ();
+    ]
+  in
+  let catalog = C.Catalog.create ~tables:[ ctr; ci ] ~indexes in
+  let query =
+    Q.create
+      ~relations:[ ("ctr", "ctr"); ("ci", "ci") ]
+      ~joins:
+        [
+          {
+            Q.left = { Q.rel = 0; column = "course" };
+            right = { Q.rel = 1; column = "course" };
+          };
+        ]
+      ~projection:[ { Q.rel = 0; column = "course" } ]
+      ()
+  in
+  (catalog, query, M.two_disks ())

@@ -1,0 +1,49 @@
+(** The paper's worked examples, reproduced executably.
+
+    Example 2 exercises the contention-free time-descriptor calculus on
+    the paper's hypothetical numbers; Example 3 exhibits the violation of
+    the principle of optimality by response time, both on the paper's raw
+    resource vectors and end-to-end through the full cost model on the
+    CTR/CI database. *)
+
+val example1 : unit -> Parqo_cost.Env.t * Parqo_optree.Op.node
+(** Example 1: the join tree [nested-loops(sort-merge(R1, R2), R3)] macro-
+    expanded to its operator tree
+    [nested-loops(merge(sort1(scan R1), sort2(scan R2)), scan R3)] over a
+    three-relation catalog — with the paper's annotations: scans and merge
+    pipelined, sorts materialized.  Returns the environment and the
+    expanded tree for inspection. *)
+
+(** One row of Example 2's table: the operator, its standalone descriptor,
+    and the computed subtree descriptor. *)
+type example2_row = {
+  operator : string;
+  base : Parqo_cost.Tdesc.t;
+  computed : Parqo_cost.Tdesc.t;
+}
+
+val example2 : unit -> example2_row list
+(** Recomputes the whole table of Example 2 with the §5.1 calculus.
+    Expected: sort1 (6,6), sort2 (13,13), merge (13,15), n.loops (13,15). *)
+
+(** Example 3's four response times, computed with the resource-vector
+    calculus on the paper's numbers over the two-disk machine. *)
+type example3 = {
+  rt_p1 : float;  (** 20: index scan of I_CT alone *)
+  rt_p2 : float;  (** 25: index scan of I_CR alone *)
+  rt_join_p1 : float;  (** 60: NL(p1, indexScan(I_C)) — contention on disk 1 *)
+  rt_join_p2 : float;  (** 40: NL(p2, indexScan(I_C)) — disks overlap *)
+}
+
+val example3 : unit -> example3
+
+val example3_violates_po : unit -> bool
+(** [rt_p1 < rt_p2] yet [rt_join_p1 > rt_join_p2] — the violation. *)
+
+val ctr_ci : unit ->
+  Parqo_catalog.Catalog.t * Parqo_query.Query.t * Parqo_machine.Machine.t
+(** The CTR/CI database of Example 3 as a real catalog: CTR(course, time,
+    room) with clustered index I_CT on disk 0 and unclustered I_CR on disk
+    1, CI(course, instructor) with index I_C on disk 0; query
+    [SELECT ctr.course FROM ctr, ci WHERE ctr.course = ci.course]; a
+    machine with two disks as the significant resources. *)

@@ -1,0 +1,85 @@
+module D = Parqo_catalog.Datagen
+module Cm = Parqo_cost.Costmodel
+
+type t = {
+  db : D.database;
+  machine : Parqo_machine.Machine.t;
+  mutable bound : Parqo_search.Bounds.t;
+}
+
+type answer = {
+  query : Parqo_query.Query.t;
+  plan : Cm.eval;
+  work_optimal : Cm.eval option;
+  batch : Parqo_exec.Batch.t;
+  verified : bool;
+  elapsed : float;
+}
+
+let create ?machine ?(bound = Parqo_search.Bounds.Throughput_degradation 2.0)
+    ~db () =
+  let machine =
+    match machine with
+    | Some m -> m
+    | None -> Parqo_machine.Machine.shared_nothing ~nodes:4 ()
+  in
+  { db; machine; bound }
+
+let of_workload ?(seed = 7) name =
+  match String.lowercase_ascii name with
+  | "tpch" -> Ok (create ~db:(Workloads.tpch ~seed ()).Workloads.db ())
+  | "portfolio" -> Ok (create ~db:(fst (Workloads.portfolio ~seed ())) ())
+  | "university" -> Ok (create ~db:(fst (Workloads.university ~seed ())) ())
+  | "chain" -> Ok (create ~db:(fst (Workloads.chain_db ~seed ())) ())
+  | other -> Error (Printf.sprintf "unknown workload %S (try tpch, portfolio, university, chain)" other)
+
+let set_bound t bound = t.bound <- bound
+let bound t = t.bound
+let machine t = t.machine
+let catalog t = t.db.D.catalog
+
+let tables t =
+  List.map (fun (tb : Parqo_catalog.Table.t) -> tb.Parqo_catalog.Table.name)
+    (Parqo_catalog.Catalog.tables (catalog t))
+
+let optimize t text =
+  match Parqo_query.Parser.parse ~catalog:(catalog t) text with
+  | Error e -> Error e
+  | Ok query -> (
+    let env =
+      Parqo_cost.Env.create ~machine:t.machine ~catalog:(catalog t) ~query ()
+    in
+    let config = Parqo_search.Space.parallel_config t.machine in
+    let outcome =
+      Parqo_search.Optimizer.minimize_response_time ~config ~bound:t.bound env
+    in
+    match outcome.Parqo_search.Optimizer.best with
+    | None -> Error "no plan found"
+    | Some plan ->
+      Ok (env, query, plan, outcome.Parqo_search.Optimizer.work_optimal))
+
+let sql t text =
+  let t0 = Unix.gettimeofday () in
+  match optimize t text with
+  | Error e -> Error e
+  | Ok (_env, query, plan, work_optimal) ->
+    let batch = Parqo_exec.Parallel_exec.run_query t.db query plan.Cm.optree in
+    let verified =
+      Parqo_exec.Batch.equal_bags batch
+        (Parqo_exec.Executor.run_query t.db query plan.Cm.tree)
+    in
+    Ok
+      {
+        query;
+        plan;
+        work_optimal;
+        batch;
+        verified;
+        elapsed = Unix.gettimeofday () -. t0;
+      }
+
+let explain t text =
+  match optimize t text with
+  | Error e -> Error e
+  | Ok (env, _query, plan, _) ->
+    Ok (Parqo_cost.Explain.explain_plan env plan.Cm.tree)

@@ -1,0 +1,47 @@
+(** A database session: a materialized database plus optimizer settings,
+    accepting SQL strings end to end — parse, optimize for response time
+    under the session's work budget, execute in parallel, verify against
+    the sequential executor.  This is the "downstream user" surface; the
+    REPL ([bin/parqo_repl.ml]) is a thin shell over it. *)
+
+type t
+
+type answer = {
+  query : Parqo_query.Query.t;
+  plan : Parqo_cost.Costmodel.eval;  (** the chosen plan, fully costed *)
+  work_optimal : Parqo_cost.Costmodel.eval option;
+      (** the traditional optimizer's plan, for comparison *)
+  batch : Parqo_exec.Batch.t;  (** the result rows *)
+  verified : bool;  (** parallel execution matched the sequential one *)
+  elapsed : float;  (** wall-clock seconds spent end to end *)
+}
+
+val create :
+  ?machine:Parqo_machine.Machine.t ->
+  ?bound:Parqo_search.Bounds.t ->
+  db:Parqo_catalog.Datagen.database ->
+  unit ->
+  t
+(** [machine] defaults to a 4-node shared-nothing configuration; [bound]
+    to a 2x throughput-degradation budget. *)
+
+val of_workload : ?seed:int -> string -> (t, string) result
+(** ["tpch"], ["portfolio"], ["university"] or ["chain"]; [seed]
+    defaults to 7. *)
+
+val set_bound : t -> Parqo_search.Bounds.t -> unit
+
+val bound : t -> Parqo_search.Bounds.t
+
+val machine : t -> Parqo_machine.Machine.t
+
+val catalog : t -> Parqo_catalog.Catalog.t
+
+val tables : t -> string list
+
+val sql : t -> string -> (answer, string) result
+(** The full pipeline on one SQL string. Errors are parse/validation
+    messages. *)
+
+val explain : t -> string -> (string, string) result
+(** Parse and optimize only; the rendered operator-tree table. *)

@@ -1,0 +1,290 @@
+module C = Parqo_catalog
+module D = C.Datagen
+module Q = Parqo_query.Query
+module Rng = Parqo_util.Rng
+
+let portfolio ?(scale = 1) ~seed () =
+  let rng = Rng.create seed in
+  let specs =
+    [
+      D.spec ~name:"category" ~rows:12
+        ~columns:[ ("cat_id", D.Serial); ("risk", D.Uniform_int (1, 5)) ]
+        ~disks:[ 0 ] ();
+      D.spec ~name:"stock" ~rows:(100 * scale)
+        ~columns:
+          [
+            ("stock_id", D.Serial);
+            ("cat_id", D.Fk "category");
+            ("listed", D.Uniform_int (1980, 2020));
+          ]
+        ~disks:[ 1 ] ();
+      D.spec ~name:"calendar" ~rows:250
+        ~columns:[ ("day_id", D.Serial); ("month", D.Uniform_int (1, 12)) ]
+        ~disks:[ 2 ] ();
+      D.spec ~name:"trade" ~rows:(1000 * scale)
+        ~columns:
+          [
+            ("trade_id", D.Serial);
+            ("stock_id", D.Fk "stock");
+            ("day_id", D.Fk "calendar");
+            ("qty", D.Zipf_int (100, 1.1));
+            ("price", D.Uniform_float (1., 500.));
+          ]
+        ~disks:[ 3 ] ();
+    ]
+  in
+  let indexes =
+    [
+      C.Index.create ~name:"idx_stock_pk" ~table:"stock" ~columns:[ "stock_id" ]
+        ~clustered:true ~disk:1 ();
+      C.Index.create ~name:"idx_trade_stock" ~table:"trade"
+        ~columns:[ "stock_id" ] ~disk:3 ();
+      C.Index.create ~name:"idx_cat_pk" ~table:"category" ~columns:[ "cat_id" ]
+        ~clustered:true ~disk:0 ();
+      C.Index.create ~name:"idx_cal_pk" ~table:"calendar" ~columns:[ "day_id" ]
+        ~clustered:true ~disk:2 ();
+    ]
+  in
+  let db = D.materialize ~indexes rng specs in
+  let query =
+    Q.create
+      ~relations:
+        [ ("t", "trade"); ("s", "stock"); ("c", "category"); ("d", "calendar") ]
+      ~joins:
+        [
+          {
+            Q.left = { Q.rel = 0; column = "stock_id" };
+            right = { Q.rel = 1; column = "stock_id" };
+          };
+          {
+            Q.left = { Q.rel = 1; column = "cat_id" };
+            right = { Q.rel = 2; column = "cat_id" };
+          };
+          {
+            Q.left = { Q.rel = 0; column = "day_id" };
+            right = { Q.rel = 3; column = "day_id" };
+          };
+        ]
+      ~selections:
+        [
+          {
+            Q.on = { Q.rel = 3; column = "month" };
+            cmp = Q.Le;
+            value = C.Value.Int 3;
+          };
+        ]
+      ~projection:
+        [
+          { Q.rel = 1; column = "stock_id" };
+          { Q.rel = 2; column = "risk" };
+          { Q.rel = 0; column = "price" };
+        ]
+      ()
+  in
+  (db, query)
+
+let university ~seed () =
+  let rng = Rng.create seed in
+  let specs =
+    [
+      D.spec ~name:"ctr" ~rows:600
+        ~columns:
+          [
+            ("course", D.Uniform_int (0, 199));
+            ("time", D.Uniform_int (8, 18));
+            ("room", D.Uniform_int (100, 160));
+          ]
+        ~disks:[ 0 ] ();
+      D.spec ~name:"ci" ~rows:300
+        ~columns:
+          [ ("course", D.Uniform_int (0, 199)); ("instructor", D.Uniform_int (0, 99)) ]
+        ~disks:[ 0 ] ();
+    ]
+  in
+  let indexes =
+    [
+      C.Index.create ~name:"i_ct" ~table:"ctr" ~columns:[ "course"; "time" ]
+        ~clustered:true ~disk:0 ();
+      C.Index.create ~name:"i_cr" ~table:"ctr" ~columns:[ "course"; "room" ]
+        ~disk:1 ();
+      C.Index.create ~name:"i_c" ~table:"ci" ~columns:[ "course" ] ~disk:0 ();
+    ]
+  in
+  let db = D.materialize ~indexes rng specs in
+  let query =
+    Q.create
+      ~relations:[ ("ctr", "ctr"); ("ci", "ci") ]
+      ~joins:
+        [
+          {
+            Q.left = { Q.rel = 0; column = "course" };
+            right = { Q.rel = 1; column = "course" };
+          };
+        ]
+      ~projection:[ { Q.rel = 0; column = "course" } ]
+      ()
+  in
+  (db, query)
+
+type tpch = {
+  db : D.database;
+  q3 : Q.t;
+  q5 : Q.t;
+  q10 : Q.t;
+}
+
+let tpch ?(scale = 1) ~seed () =
+  let rng = Rng.create seed in
+  let s n = n * scale in
+  let specs =
+    [
+      D.spec ~name:"region" ~rows:5
+        ~columns:[ ("r_key", D.Serial); ("r_name", D.String_pool 5) ]
+        ~disks:[ 0 ] ();
+      D.spec ~name:"nation" ~rows:25
+        ~columns:
+          [ ("n_key", D.Serial); ("r_key", D.Fk "region"); ("n_name", D.String_pool 25) ]
+        ~disks:[ 0 ] ();
+      D.spec ~name:"supplier" ~rows:(s 100)
+        ~columns:
+          [ ("s_key", D.Serial); ("n_key", D.Fk "nation"); ("s_acctbal", D.Uniform_float (0., 10_000.)) ]
+        ~disks:[ 1 ] ();
+      D.spec ~name:"customer" ~rows:(s 300)
+        ~columns:
+          [
+            ("c_key", D.Serial);
+            ("n_key", D.Fk "nation");
+            ("c_segment", D.Uniform_int (1, 5));
+            ("c_acctbal", D.Uniform_float (0., 10_000.));
+          ]
+        ~disks:[ 1 ] ();
+      D.spec ~name:"part" ~rows:(s 200)
+        ~columns:
+          [ ("p_key", D.Serial); ("p_brand", D.Uniform_int (1, 25)); ("p_size", D.Uniform_int (1, 50)) ]
+        ~disks:[ 2 ] ();
+      D.spec ~name:"orders" ~rows:(s 1500)
+        ~columns:
+          [
+            ("o_key", D.Serial);
+            ("c_key", D.Fk "customer");
+            ("o_day", D.Uniform_int (1, 365));
+            ("o_total", D.Uniform_float (10., 10_000.));
+          ]
+        ~disks:[ 2 ] ();
+      D.spec ~name:"lineitem" ~rows:(s 6000)
+        ~columns:
+          [
+            ("l_key", D.Serial);
+            ("o_key", D.Fk "orders");
+            ("p_key", D.Fk "part");
+            ("s_key", D.Fk "supplier");
+            ("l_qty", D.Zipf_int (50, 1.0));
+            ("l_price", D.Uniform_float (1., 1_000.));
+          ]
+        ~disks:[ 3 ] ();
+    ]
+  in
+  let key_index ?(clustered = true) table column disk =
+    C.Index.create
+      ~name:(Printf.sprintf "idx_%s_%s" table column)
+      ~table ~columns:[ column ] ~clustered ~disk ()
+  in
+  let indexes =
+    [
+      key_index "nation" "n_key" 0;
+      key_index "supplier" "s_key" 1;
+      key_index "customer" "c_key" 1;
+      key_index "part" "p_key" 2;
+      key_index "orders" "o_key" 2;
+      key_index ~clustered:false "orders" "c_key" 2;
+      key_index ~clustered:false "lineitem" "o_key" 3;
+    ]
+  in
+  let db = D.materialize ~indexes rng specs in
+  let r rel column = { Q.rel; column } in
+  let q3 =
+    (* SELECT ... FROM customer c, orders o, lineitem l
+       WHERE c.c_key = o.c_key AND o.o_key = l.o_key
+         AND c.c_segment = 1 AND o.o_day <= 90 ORDER BY o.o_day *)
+    Q.create
+      ~relations:[ ("c", "customer"); ("o", "orders"); ("l", "lineitem") ]
+      ~joins:
+        [
+          { Q.left = r 0 "c_key"; right = r 1 "c_key" };
+          { Q.left = r 1 "o_key"; right = r 2 "o_key" };
+        ]
+      ~selections:
+        [
+          { Q.on = r 0 "c_segment"; cmp = Q.Eq; value = C.Value.Int 1 };
+          { Q.on = r 1 "o_day"; cmp = Q.Le; value = C.Value.Int 90 };
+        ]
+      ~projection:[ r 1 "o_key"; r 1 "o_day"; r 2 "l_price" ]
+      ~order_by:[ r 1 "o_day" ]
+      ()
+  in
+  let q5 =
+    (* region ⋈ nation ⋈ customer ⋈ orders ⋈ lineitem ⋈ supplier, with the
+       local-supplier condition s.n_key = c.n_key via the shared nation *)
+    Q.create
+      ~relations:
+        [
+          ("r", "region"); ("n", "nation"); ("c", "customer");
+          ("o", "orders"); ("l", "lineitem"); ("s", "supplier");
+        ]
+      ~joins:
+        [
+          { Q.left = r 0 "r_key"; right = r 1 "r_key" };
+          { Q.left = r 1 "n_key"; right = r 2 "n_key" };
+          { Q.left = r 2 "c_key"; right = r 3 "c_key" };
+          { Q.left = r 3 "o_key"; right = r 4 "o_key" };
+          { Q.left = r 4 "s_key"; right = r 5 "s_key" };
+          { Q.left = r 5 "n_key"; right = r 1 "n_key" };
+        ]
+      ~selections:[ { Q.on = r 3 "o_day"; cmp = Q.Le; value = C.Value.Int 180 } ]
+      ~projection:[ r 1 "n_name"; r 4 "l_price" ]
+      ()
+  in
+  let q10 =
+    Q.create
+      ~relations:
+        [ ("c", "customer"); ("o", "orders"); ("l", "lineitem"); ("n", "nation") ]
+      ~joins:
+        [
+          { Q.left = r 0 "c_key"; right = r 1 "c_key" };
+          { Q.left = r 1 "o_key"; right = r 2 "o_key" };
+          { Q.left = r 0 "n_key"; right = r 3 "n_key" };
+        ]
+      ~selections:[ { Q.on = r 2 "l_qty"; cmp = Q.Ge; value = C.Value.Int 40 } ]
+      ~projection:[ r 0 "c_key"; r 3 "n_name"; r 2 "l_price" ]
+      ()
+  in
+  { db; q3; q5; q10 }
+
+let chain_db ?(n = 4) ?(rows = 300) ~seed () =
+  if n < 1 then invalid_arg "Workloads.chain_db: n < 1";
+  let rng = Rng.create seed in
+  let specs =
+    List.init n (fun i ->
+        let fk =
+          if i = 0 then [] else [ (Printf.sprintf "fk%d" (i - 1), D.Fk (Printf.sprintf "c%d" (i - 1))) ]
+        in
+        D.spec
+          ~name:(Printf.sprintf "c%d" i)
+          ~rows
+          ~columns:
+            ((("pk", D.Serial) :: fk) @ [ ("payload", D.Uniform_int (0, 9)) ])
+          ~disks:[ i mod 4 ] ())
+  in
+  let db = D.materialize rng specs in
+  let query =
+    Q.create
+      ~relations:(List.init n (fun i -> (Printf.sprintf "c%d" i, Printf.sprintf "c%d" i)))
+      ~joins:
+        (List.init (n - 1) (fun i ->
+             {
+               Q.left = { Q.rel = i; column = "pk" };
+               right = { Q.rel = i + 1; column = Printf.sprintf "fk%d" i };
+             }))
+      ()
+  in
+  (db, query)

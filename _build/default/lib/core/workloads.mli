@@ -1,0 +1,55 @@
+(** Canned databases with materialized rows, used by the examples, the
+    integration tests and the benchmarks.
+
+    Each workload returns a {!Parqo_catalog.Datagen.database} (catalog
+    with statistics derived from the generated rows, plus the rows
+    themselves) and one or more queries against it. *)
+
+val portfolio :
+  ?scale:int ->
+  seed:int ->
+  unit ->
+  Parqo_catalog.Datagen.database * Parqo_query.Query.t
+(** The decision-support scenario of the paper's introduction: a stock-
+    portfolio star schema — [trade] (fact, [scale × 1000] rows) joining
+    [stock], [category] and [calendar] dimensions — and the analyst query
+    joining all four with a selection on the trading day.
+    [scale] defaults to 1. *)
+
+val university :
+  seed:int -> unit -> Parqo_catalog.Datagen.database * Parqo_query.Query.t
+(** The CTR/CI schema of Example 3 with generated rows: courses meeting
+    at times in rooms, taught by instructors; the query projects course
+    ids of the join. *)
+
+val chain_db :
+  ?n:int ->
+  ?rows:int ->
+  seed:int ->
+  unit ->
+  Parqo_catalog.Datagen.database * Parqo_query.Query.t
+(** A chain of [n] (default 4) tables of [rows] (default 300) rows where
+    table [i+1] holds a foreign key into table [i]; the query joins the
+    whole chain.  Used for plan-equivalence checking at executable size. *)
+
+(** A scaled-down TPC-H-like decision-support database (the workload
+    class the paper's introduction motivates) and three SPJ analyst
+    queries over it, named after their TPC-H inspirations. *)
+type tpch = {
+  db : Parqo_catalog.Datagen.database;
+  q3 : Parqo_query.Query.t;
+      (** shipping priority: customer ⋈ orders ⋈ lineitem, selections on
+          market segment and order day, ordered by day *)
+  q5 : Parqo_query.Query.t;
+      (** local supplier volume: the six-way snowflake region ⋈ nation ⋈
+          customer ⋈ orders ⋈ lineitem ⋈ supplier, where both customer
+          and supplier must sit in the same nation *)
+  q10 : Parqo_query.Query.t;
+      (** returned items: customer ⋈ orders ⋈ lineitem ⋈ nation with a
+          quantity selection *)
+}
+
+val tpch : ?scale:int -> seed:int -> unit -> tpch
+(** [scale = 1] (default) materializes ~8k rows total (lineitem 6000,
+    orders 1500, customer 300, part 200, supplier 100, nation 25,
+    region 5), placed across four disks with clustered key indexes. *)

@@ -1,0 +1,1 @@
+lib/cost/costmodel.ml: Descriptor Env Format List Opcost Parqo_optree Parqo_plan Parqo_query

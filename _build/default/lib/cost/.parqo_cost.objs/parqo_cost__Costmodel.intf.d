@@ -1,0 +1,1 @@
+lib/cost/costmodel.mli: Descriptor Env Format Parqo_optree Parqo_plan

@@ -1,0 +1,1 @@
+lib/cost/descriptor.ml: Float Format Parqo_machine Parqo_util Rvec

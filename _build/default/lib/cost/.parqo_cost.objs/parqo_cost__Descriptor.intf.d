@@ -1,0 +1,1 @@
+lib/cost/descriptor.mli: Format Parqo_machine Parqo_util Rvec

@@ -1,0 +1,1 @@
+lib/cost/env.ml: Descriptor Parqo_machine Parqo_optree Parqo_plan Parqo_query

@@ -1,0 +1,1 @@
+lib/cost/env.mli: Descriptor Parqo_catalog Parqo_machine Parqo_optree Parqo_plan Parqo_query

@@ -1,0 +1,1 @@
+lib/cost/explain.ml: Costmodel Descriptor Env List Opcost Parqo_optree Parqo_plan Parqo_util Printf String

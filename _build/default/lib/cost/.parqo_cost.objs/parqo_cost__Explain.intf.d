@@ -1,0 +1,1 @@
+lib/cost/explain.mli: Env Parqo_optree Parqo_plan Parqo_util

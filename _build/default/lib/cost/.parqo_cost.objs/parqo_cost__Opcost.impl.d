@@ -1,0 +1,1 @@
+lib/cost/opcost.ml: Descriptor Float List Parqo_catalog Parqo_machine Parqo_optree Parqo_plan Placement Printf Rvec

@@ -1,0 +1,1 @@
+lib/cost/opcost.mli: Descriptor Parqo_machine Parqo_optree Parqo_plan

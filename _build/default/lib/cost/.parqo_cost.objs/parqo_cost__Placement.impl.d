@@ -1,0 +1,1 @@
+lib/cost/placement.ml: List Option Parqo_catalog Parqo_machine

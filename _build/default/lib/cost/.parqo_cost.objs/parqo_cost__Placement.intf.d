@@ -1,0 +1,1 @@
+lib/cost/placement.mli: Parqo_catalog Parqo_machine

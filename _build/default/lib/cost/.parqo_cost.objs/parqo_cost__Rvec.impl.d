@@ -1,0 +1,1 @@
+lib/cost/rvec.ml: Array Float Format List Parqo_util

@@ -1,0 +1,1 @@
+lib/cost/rvec.mli: Format Parqo_util

@@ -1,0 +1,1 @@
+lib/cost/tdesc.ml: Float Format

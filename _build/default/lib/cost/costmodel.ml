@@ -1,0 +1,100 @@
+module Op = Parqo_optree.Op
+module P = Parqo_plan
+
+type eval = {
+  tree : P.Join_tree.t;
+  optree : Op.node;
+  descriptor : Descriptor.t;
+  response_time : float;
+  work : float;
+  ordering : P.Ordering.t;
+}
+
+let of_optree (env : Env.t) root =
+  let p = env.dparams in
+  let rec descr (node : Op.node) =
+    let base = Opcost.base env.machine env.estimator node in
+    let combined =
+      match node.Op.children with
+      | [] -> base
+      | [ c ] -> Descriptor.pipe p (descr c) base
+      | [ l; r ] ->
+        if Opcost.nl_inner_is_free node then
+          (* the inner index is probed, not scanned: only the outer feeds
+             the pipeline, probing cost is in [base] *)
+          Descriptor.pipe p (descr l) base
+        else Descriptor.tree p (descr l) (descr r) base
+      | _ -> invalid_arg "Costmodel: operator with more than two children"
+    in
+    match node.Op.composition with
+    | Op.Materialized -> Descriptor.sync combined
+    | Op.Pipelined -> combined
+  in
+  descr root
+
+let required_order (env : Env.t) =
+  List.map
+    (fun (c : Parqo_query.Query.column_ref) ->
+      { P.Ordering.rel = c.Parqo_query.Query.rel; column = c.Parqo_query.Query.column })
+    (Env.query env).Parqo_query.Query.order_by
+
+(* wrap the expanded plan in a final sort (after collapsing partitioned
+   streams to one) so ORDER BY cost is part of the same calculus *)
+let add_final_sort (root : Op.node) key =
+  let max_id = Op.fold (fun acc n -> max acc n.Op.id) 0 root in
+  let merged =
+    if root.Op.clone > 1 then
+      {
+        Op.id = max_id + 1;
+        kind = Op.Exchange { mode = Op.Merge_streams };
+        children = [ root ];
+        composition = Op.Pipelined;
+        clone = 1;
+        partition = None;
+        out_card = root.Op.out_card;
+        out_width = root.Op.out_width;
+      }
+    else root
+  in
+  {
+    Op.id = max_id + 2;
+    kind = Op.Sort { key };
+    children = [ merged ];
+    composition = Op.Pipelined;
+    clone = 1;
+    partition = None;
+    out_card = merged.Op.out_card;
+    out_width = merged.Op.out_width;
+  }
+
+let evaluate ?(required_order = P.Ordering.none) (env : Env.t) tree =
+  let optree =
+    Parqo_optree.Expand.expand ~config:env.expand_config env.estimator tree
+  in
+  let ordering = P.Props.ordering (Env.query env) tree in
+  let optree =
+    if
+      required_order <> P.Ordering.none
+      && not (P.Ordering.satisfies ordering required_order)
+    then add_final_sort optree required_order
+    else optree
+  in
+  let descriptor = of_optree env optree in
+  {
+    tree;
+    optree;
+    descriptor;
+    response_time = Descriptor.response_time descriptor;
+    work = Descriptor.work descriptor;
+    ordering;
+  }
+
+let response_time env tree = (evaluate env tree).response_time
+let work env tree = (evaluate env tree).work
+
+let pp_eval ppf e =
+  Format.fprintf ppf "@[<v>plan: %s@,rt=%.3f work=%.3f order=%s@,%a@]"
+    (P.Join_tree.to_string e.tree)
+    e.response_time e.work
+    (P.Ordering.to_string e.ordering)
+    Op.pp e.optree

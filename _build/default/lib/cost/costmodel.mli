@@ -1,0 +1,42 @@
+(** Recursive cost evaluation of operator trees and annotated join trees
+    (§5): descriptors are combined bottom-up with [pipe], [tree] and
+    [sync] exactly as the calculus prescribes. *)
+
+type eval = {
+  tree : Parqo_plan.Join_tree.t;
+  optree : Parqo_optree.Op.node;
+  descriptor : Descriptor.t;
+  response_time : float;
+  work : float;
+  ordering : Parqo_plan.Ordering.t;
+}
+(** A fully-costed plan: the join tree, its unique operator-tree
+    expansion, the resource descriptor, and the derived response time,
+    total work and output ordering. *)
+
+val of_optree : Env.t -> Parqo_optree.Op.node -> Descriptor.t
+(** Cost of an operator tree: leaves get their base descriptors; a unary
+    node pipes its child into itself; a binary node combines its children
+    with [tree]; a [Materialized] composition applies [sync].  A nested-
+    loops join over a bare index scan absorbs the probing cost (see
+    {!Opcost.nl_inner_is_free}). *)
+
+val evaluate :
+  ?required_order:Parqo_plan.Ordering.t -> Env.t -> Parqo_plan.Join_tree.t -> eval
+(** Expand then cost. Raises [Invalid_argument] on ill-formed trees.
+
+    When [required_order] is given (an ORDER BY) and the plan's output
+    ordering does not subsume it, the operator tree is extended with a
+    final sort (merging partitioned streams first when the root is
+    cloned) and the descriptor reflects that extra cost — so plans that
+    deliver the order through an interesting order win exactly as §6.1.2
+    describes. *)
+
+val required_order : Env.t -> Parqo_plan.Ordering.t
+(** The query's ORDER BY as an ordering (empty when absent). *)
+
+val response_time : Env.t -> Parqo_plan.Join_tree.t -> float
+
+val work : Env.t -> Parqo_plan.Join_tree.t -> float
+
+val pp_eval : Format.formatter -> eval -> unit

@@ -1,0 +1,71 @@
+type t = { rf : Rvec.t; rl : Rvec.t }
+
+type delta_mode = Stretch_time | Scale_all
+
+type params = { delta_k : float; delta_mode : delta_mode }
+
+let params ?(delta_mode = Stretch_time) delta_k =
+  if delta_k < 0. then invalid_arg "Descriptor.params: delta_k < 0";
+  { delta_k; delta_mode }
+
+let of_machine (m : Parqo_machine.Machine.t) =
+  params
+    ~delta_mode:
+      (if m.params.delta_scales_work then Scale_all else Stretch_time)
+    m.params.pipeline_delta_k
+
+let make ~rf ~rl =
+  if rf.Rvec.time > rl.Rvec.time +. 1e-9 then
+    invalid_arg "Descriptor.make: first tuple after last";
+  { rf; rl }
+
+let zero dim = { rf = Rvec.zero dim; rl = Rvec.zero dim }
+
+let atomic usage =
+  { rf = Rvec.zero (Parqo_util.Vecf.dim usage.Rvec.work); rl = usage }
+
+let blocking usage = { rf = usage; rl = usage }
+let sync d = { rf = d.rl; rl = d.rl }
+
+let delta p r1 r2 =
+  let t1 = r1.Rvec.time and t2 = r2.Rvec.time in
+  let hi = t1 +. t2 and lo = Float.max t1 t2 in
+  if hi -. lo <= 1e-12 then 1.
+  else begin
+    let t' = (Rvec.par r1 r2).Rvec.time in
+    let factor = 1. +. (p.delta_k *. (t' -. lo) /. (hi -. lo)) in
+    Float.min (1. +. p.delta_k) (Float.max 1. factor)
+  end
+
+let apply_delta p factor r =
+  match p.delta_mode with
+  | Stretch_time -> Rvec.stretch factor r
+  | Scale_all -> Rvec.scale_all factor r
+
+let pipe p producer consumer =
+  let rf = Rvec.seq producer.rf consumer.rf in
+  let residual_p = Rvec.residual producer.rl producer.rf in
+  let residual_c = Rvec.residual consumer.rl consumer.rf in
+  let overlap = Rvec.par residual_p residual_c in
+  let penalized = apply_delta p (delta p residual_p residual_c) overlap in
+  { rf; rl = Rvec.seq rf penalized }
+
+let dseq a b = { rf = Rvec.seq a.rf b.rf; rl = Rvec.seq a.rl b.rl }
+
+let tree p l r root =
+  let dim = Parqo_util.Vecf.dim l.rf.Rvec.work in
+  let front = Rvec.par l.rf r.rf in
+  let t1 = { rf = front; rl = front } in
+  let residual d = { rf = Rvec.zero dim; rl = Rvec.residual d.rl d.rf } in
+  let t2 = dseq t1 (pipe p (residual l) (residual r)) in
+  pipe p t2 root
+
+let response_time d = d.rl.Rvec.time
+let first_tuple_time d = d.rf.Rvec.time
+let work d = Rvec.total_work d.rl
+let work_vector d = d.rl.Rvec.work
+
+let equal ?eps a b = Rvec.equal ?eps a.rf b.rf && Rvec.equal ?eps a.rl b.rl
+
+let pp ppf d =
+  Format.fprintf ppf "{first=%a; last=%a}" Rvec.pp d.rf Rvec.pp d.rl

@@ -1,0 +1,19 @@
+type t = {
+  machine : Parqo_machine.Machine.t;
+  estimator : Parqo_plan.Estimator.t;
+  expand_config : Parqo_optree.Expand.config;
+  dparams : Descriptor.params;
+}
+
+let create ?(expand_config = Parqo_optree.Expand.default_config) ~machine
+    ~catalog ~query () =
+  {
+    machine;
+    estimator = Parqo_plan.Estimator.create catalog query;
+    expand_config;
+    dparams = Descriptor.of_machine machine;
+  }
+
+let query t = Parqo_plan.Estimator.query t.estimator
+let catalog t = Parqo_plan.Estimator.catalog t.estimator
+let n_relations t = Parqo_query.Query.n_relations (query t)

@@ -1,0 +1,27 @@
+(** The optimization context: machine, catalog, query, estimator and
+    expansion configuration, bundled once and threaded through cost
+    evaluation and search. *)
+
+type t = {
+  machine : Parqo_machine.Machine.t;
+  estimator : Parqo_plan.Estimator.t;
+  expand_config : Parqo_optree.Expand.config;
+  dparams : Descriptor.params;
+}
+
+val create :
+  ?expand_config:Parqo_optree.Expand.config ->
+  machine:Parqo_machine.Machine.t ->
+  catalog:Parqo_catalog.Catalog.t ->
+  query:Parqo_query.Query.t ->
+  unit ->
+  t
+(** Builds the estimator and derives descriptor parameters from the
+    machine.  Raises [Invalid_argument] if the query does not validate
+    against the catalog. *)
+
+val query : t -> Parqo_query.Query.t
+
+val catalog : t -> Parqo_catalog.Catalog.t
+
+val n_relations : t -> int

@@ -1,0 +1,83 @@
+module Op = Parqo_optree.Op
+module T = Parqo_util.Tableau
+
+type row = {
+  depth : int;
+  operator : string;
+  cloning : int;
+  composition : string;
+  redistributes : bool;
+  cardinality : float;
+  own_work : float;
+  subtree_rt : float;
+  subtree_first : float;
+}
+
+let rows (env : Env.t) root =
+  let acc = ref [] in
+  let rec go depth (node : Op.node) =
+    (* cumulative descriptor of the subtree: reuse the cost recursion *)
+    let subtree = Costmodel.of_optree env node in
+    let base = Opcost.base env.Env.machine env.Env.estimator node in
+    acc :=
+      {
+        depth;
+        operator = Op.kind_name node.Op.kind;
+        cloning = node.Op.clone;
+        composition =
+          (match node.Op.composition with
+          | Op.Pipelined -> "pipelined"
+          | Op.Materialized -> "materialized");
+        redistributes =
+          (match node.Op.kind with Op.Exchange _ -> true | _ -> false);
+        cardinality = node.Op.out_card;
+        own_work = Descriptor.work base;
+        subtree_rt = Descriptor.response_time subtree;
+        subtree_first = Descriptor.first_tuple_time subtree;
+      }
+      :: !acc;
+    List.iter (go (depth + 1)) node.Op.children
+  in
+  go 0 root;
+  List.rev !acc
+
+let table env root =
+  let tbl =
+    T.create ~title:"operator tree"
+      ~columns:
+        [
+          ("operator", T.Left);
+          ("cloning", T.Right);
+          ("comp. method", T.Left);
+          ("redistr.", T.Left);
+          ("card", T.Right);
+          ("own work", T.Right);
+          ("subtree (tf,tl)", T.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      T.add_row tbl
+        [
+          String.make (2 * r.depth) ' ' ^ r.operator;
+          (if r.cloning > 1 then string_of_int r.cloning else "-");
+          r.composition;
+          (if r.redistributes then "yes" else "no");
+          T.cell_float r.cardinality;
+          T.cell_float r.own_work;
+          Printf.sprintf "(%s, %s)"
+            (T.cell_float r.subtree_first)
+            (T.cell_float r.subtree_rt);
+        ])
+    (rows env root);
+  tbl
+
+let render env root = T.render (table env root)
+
+let explain_plan env tree =
+  let e = Costmodel.evaluate env tree in
+  Printf.sprintf "plan: %s\nresponse time %.3f | work %.3f | order %s\n%s"
+    (Parqo_plan.Join_tree.to_string e.Costmodel.tree)
+    e.Costmodel.response_time e.Costmodel.work
+    (Parqo_plan.Ordering.to_string e.Costmodel.ordering)
+    (render env e.Costmodel.optree)

@@ -1,0 +1,30 @@
+(** Plan explanation: the paper's Example-1-style annotation table plus
+    per-node cost descriptors — an EXPLAIN ANALYZE for operator trees.
+
+    Each row describes one operator: its annotations (cloning degree,
+    composition method, whether an exchange redistributes its input — the
+    three annotations of §4.2), the estimated cardinality, its own base
+    descriptor cost and the cumulative descriptor of its subtree. *)
+
+type row = {
+  depth : int;  (** nesting level, for indented rendering *)
+  operator : string;
+  cloning : int;
+  composition : string;  (** "pipelined" or "materialized" *)
+  redistributes : bool;  (** the node is an exchange *)
+  cardinality : float;
+  own_work : float;  (** work of this operator's base descriptor *)
+  subtree_rt : float;  (** response time of the subtree rooted here *)
+  subtree_first : float;  (** first-tuple time of the subtree *)
+}
+
+val rows : Env.t -> Parqo_optree.Op.node -> row list
+(** Preorder. *)
+
+val table : Env.t -> Parqo_optree.Op.node -> Parqo_util.Tableau.t
+(** The rows as a printable table. *)
+
+val render : Env.t -> Parqo_optree.Op.node -> string
+
+val explain_plan : Env.t -> Parqo_plan.Join_tree.t -> string
+(** Expand and render, with a cost summary line. *)

@@ -1,0 +1,142 @@
+module M = Parqo_machine.Machine
+module Op = Parqo_optree.Op
+module Est = Parqo_plan.Estimator
+
+let spread ids w =
+  match ids with
+  | [] -> []
+  | _ ->
+    let share = w /. float_of_int (List.length ids) in
+    List.map (fun id -> (id, share)) ids
+
+let log2 x = log x /. log 2.
+
+let child n i =
+  match List.nth_opt n.Op.children i with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Opcost: %s lacks child %d" (Op.kind_name n.Op.kind) i)
+
+let nl_inner_is_free node =
+  match node.Op.kind with
+  | Op.Nl_join -> (
+    match (child node 1).Op.kind with Op.Index_scan _ -> true | _ -> false)
+  | _ -> false
+
+let base machine est node =
+  let p = machine.M.params in
+  let dim = M.n_resources machine in
+  let lanes = Placement.effective_clone machine node.Op.clone in
+  let cpus = Placement.cpus_for machine ~clone:node.Op.clone in
+  let pages card = card /. p.tuples_per_page in
+  let usage ?(lanes = lanes) demands =
+    Rvec.of_demands dim demands ~lanes ~overhead:p.clone_overhead
+  in
+  match node.Op.kind with
+  | Op.Seq_scan { rel } ->
+    let raw = Est.raw_card est rel in
+    let disks = Placement.disks_for_table machine (Est.table_of est rel) in
+    let io = spread disks (pages raw *. p.io_page_cost) in
+    let cpu = spread cpus (raw *. p.cpu_tuple_cost) in
+    let lanes =
+      if cpus = [] then max 1 (min node.Op.clone (List.length disks)) else lanes
+    in
+    Descriptor.atomic (usage ~lanes (io @ cpu))
+  | Op.Index_scan { rel; index } ->
+    let raw = Est.raw_card est rel in
+    let penalty =
+      if index.Parqo_catalog.Index.clustered then 1. else p.unclustered_penalty
+    in
+    let io_work = pages raw *. p.index_page_factor *. penalty *. p.io_page_cost in
+    let io =
+      match Placement.disk_for_index machine index with
+      | Some d -> [ (d, io_work) ]
+      | None -> []
+    in
+    let cpu = spread cpus (raw *. p.cpu_tuple_cost) in
+    Descriptor.atomic (usage (io @ cpu))
+  | Op.Sort _ ->
+    let n = (child node 0).Op.out_card in
+    let per_lane = Float.max 1. (n /. float_of_int lanes) in
+    let cpu_work = n *. log2 (Float.max 2. per_lane) *. p.cpu_compare_cost in
+    let io =
+      if per_lane > p.sort_memory_tuples then
+        spread
+          (Placement.spill_disks machine ~cpus)
+          (2. *. pages n *. p.io_page_cost)
+      else []
+    in
+    Descriptor.blocking (usage (spread cpus cpu_work @ io))
+  | Op.Merge_join ->
+    let outer = (child node 0).Op.out_card and inner = (child node 1).Op.out_card in
+    let cpu_work =
+      ((outer +. inner) *. p.cpu_compare_cost)
+      +. (node.Op.out_card *. p.cpu_tuple_cost)
+    in
+    Descriptor.atomic (usage (spread cpus cpu_work))
+  | Op.Hash_build ->
+    let n = (child node 0).Op.out_card in
+    let per_lane = n /. float_of_int lanes in
+    (* a build larger than per-clone memory Grace-partitions to disk:
+       one write and one read pass over the build input *)
+    let io =
+      if per_lane > p.hash_memory_tuples then
+        spread (Placement.spill_disks machine ~cpus) (2. *. pages n *. p.io_page_cost)
+      else []
+    in
+    Descriptor.blocking (usage (spread cpus (n *. p.cpu_hash_cost) @ io))
+  | Op.Hash_probe ->
+    let outer = (child node 0).Op.out_card in
+    let build_per_lane = (child node 1).Op.out_card /. float_of_int lanes in
+    let cpu_work =
+      (outer *. p.cpu_hash_cost) +. (node.Op.out_card *. p.cpu_tuple_cost)
+    in
+    (* when the build spilled, the probe input is partitioned too *)
+    let io =
+      if build_per_lane > p.hash_memory_tuples then
+        spread (Placement.spill_disks machine ~cpus)
+          (2. *. pages outer *. p.io_page_cost)
+      else []
+    in
+    Descriptor.atomic (usage (spread cpus cpu_work @ io))
+  | Op.Nl_join ->
+    let outer = (child node 0).Op.out_card in
+    let inner = child node 1 in
+    let result_cpu = node.Op.out_card *. p.cpu_tuple_cost in
+    let demands =
+      match inner.Op.kind with
+      | Op.Index_scan { index; _ } ->
+        (* index nested loops: probe the index once per outer tuple *)
+        let io_work = outer *. p.nl_index_probe_io *. p.io_page_cost in
+        let io =
+          match Placement.disk_for_index machine index with
+          | Some d -> [ (d, io_work) ]
+          | None -> []
+        in
+        io @ spread cpus ((outer *. p.cpu_hash_cost) +. result_cpu)
+      | Op.Create_index _ ->
+        (* probe the temporary index, in memory *)
+        spread cpus ((outer *. p.cpu_hash_cost) +. result_cpu)
+      | _ ->
+        (* pure nested loops over a once-computed, memory-resident inner *)
+        spread cpus
+          ((outer *. inner.Op.out_card *. p.cpu_compare_cost) +. result_cpu)
+    in
+    Descriptor.atomic (usage demands)
+  | Op.Create_index _ ->
+    let n = (child node 0).Op.out_card in
+    let cpu_work =
+      (n *. log2 (Float.max 2. n) *. p.cpu_compare_cost)
+      +. (n *. p.cpu_hash_cost)
+    in
+    Descriptor.blocking (usage (spread cpus cpu_work))
+  | Op.Exchange _ ->
+    let n = node.Op.out_card in
+    let cpu = spread cpus (2. *. n *. p.cpu_tuple_cost) in
+    let net =
+      match Placement.network machine with
+      | Some r -> [ (r, n *. p.net_tuple_cost) ]
+      | None -> []
+    in
+    Descriptor.atomic (usage (cpu @ net))

@@ -1,0 +1,24 @@
+(** Base resource descriptors of atomic operators.
+
+    [base] prices exactly one operator-tree node (not its children): the
+    work it induces per resource given the machine's placement policy and
+    cost constants, shaped into a descriptor — [atomic] (first tuple
+    immediately) for streaming operators, [blocking] for sort, hash build
+    and create-index.  These are the "descriptors of the leaves … derived
+    in the traditional manner" of §5.1, where the standalone response
+    time is the total work of the operation (scaled by cloning). *)
+
+val base :
+  Parqo_machine.Machine.t ->
+  Parqo_plan.Estimator.t ->
+  Parqo_optree.Op.node ->
+  Descriptor.t
+(** Raises [Invalid_argument] on an arity violation (e.g. a [Sort] without
+    a child). *)
+
+val nl_inner_is_free : Parqo_optree.Op.node -> bool
+(** True when the node is a nested-loops join whose inner child is a bare
+    index scan: the index is then probed per outer tuple rather than
+    scanned, so the inner child must not be costed separately.  The
+    probing I/O is part of the join's own base descriptor and lands on
+    the index's disk — the resource-contention mechanism of Example 3. *)

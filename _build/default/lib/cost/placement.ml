@@ -1,0 +1,50 @@
+module M = Parqo_machine.Machine
+module R = Parqo_machine.Resource
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let cpus_for m ~clone =
+  if clone < 1 then invalid_arg "Placement.cpus_for: clone < 1";
+  take clone (M.cpu_ids m)
+
+let effective_clone m clone =
+  let n = List.length (M.cpu_ids m) in
+  if n = 0 then 1 else min clone n
+
+let disks_for_table m (t : Parqo_catalog.Table.t) =
+  let disks = M.disk_ids m in
+  match disks with
+  | [] -> []
+  | _ ->
+    let n = List.length disks in
+    List.map (fun d -> List.nth disks (d mod n)) t.Parqo_catalog.Table.disks
+    |> List.sort_uniq compare
+
+let disk_for_index m (i : Parqo_catalog.Index.t) =
+  let disks = M.disk_ids m in
+  match disks with
+  | [] -> None
+  | _ -> Some (List.nth disks (i.Parqo_catalog.Index.disk mod List.length disks))
+
+let spill_disks m ~cpus =
+  let disks = M.disk_ids m in
+  match disks with
+  | [] -> []
+  | _ ->
+    let n = List.length disks in
+    List.mapi
+      (fun i cpu_id ->
+        let cpu = M.resource m cpu_id in
+        match M.node_disk m cpu.R.node with
+        | d -> d.R.id
+        | exception Not_found -> List.nth disks (i mod n))
+      cpus
+    |> List.sort_uniq compare
+
+let network m = Option.map (fun r -> r.R.id) (M.network m)

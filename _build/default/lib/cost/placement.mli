@@ -1,0 +1,30 @@
+(** Deterministic mapping from operators to machine resources.
+
+    The paper's cloning annotation names an explicit resource set; the
+    optimizer needs a policy to pick those sets.  This one is the simplest
+    judicious choice: the first [k] CPUs host a degree-[k] clone, sorts
+    spill to each CPU's site-local disk, and abstract catalog disk indexes
+    map round-robin onto the machine's disks. *)
+
+val cpus_for : Parqo_machine.Machine.t -> clone:int -> int list
+(** Resource ids of the CPUs executing a degree-[clone] operator: the
+    [min clone n_cpus] lowest-id CPUs; [[]] on a machine without CPUs
+    (CPU work is then not modeled, as in the paper's Example 3). *)
+
+val effective_clone : Parqo_machine.Machine.t -> int -> int
+(** Clone degree clamped to the number of CPUs (at least 1). *)
+
+val disks_for_table :
+  Parqo_machine.Machine.t -> Parqo_catalog.Table.t -> int list
+(** Resource ids of the disks holding the table's partitions. *)
+
+val disk_for_index :
+  Parqo_machine.Machine.t -> Parqo_catalog.Index.t -> int option
+(** Resource id of the index's disk; [None] on a diskless machine. *)
+
+val spill_disks : Parqo_machine.Machine.t -> cpus:int list -> int list
+(** One disk per executing CPU for sort spills: the CPU's site-local disk
+    when it exists, else disks round-robin; [[]] without disks. *)
+
+val network : Parqo_machine.Machine.t -> int option
+(** Resource id of the interconnect, if any. *)

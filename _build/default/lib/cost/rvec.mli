@@ -1,0 +1,58 @@
+(** Resource vectors (§5.2.1).
+
+    A resource vector [(t, w⃗)] abstracts the usage of the machine's
+    resources by a set of operations: [t] is the time after which all
+    resources are freed (the response time of the set) and [w⃗] is the
+    effective work per resource.  The model assumes usage is uniform over
+    [t] and resources are preemptable, which yields the "property of
+    stretching": [(t, w⃗)] can be scheduled as [(m·t, w⃗)] for any [m > 1]. *)
+
+type t = { time : float; work : Parqo_util.Vecf.t }
+
+val zero : int -> t
+(** Zero usage over a machine with the given number of resources. *)
+
+val make : time:float -> work:Parqo_util.Vecf.t -> t
+(** Raises [Invalid_argument] if [time] is less than the largest work
+    coordinate (a resource cannot do [w] work in less than [w] time). *)
+
+val of_demands : int -> (int * float) list -> lanes:int -> overhead:float -> t
+(** [of_demands dim demands ~lanes ~overhead] builds the vector of an
+    atomic operator: [demands] accumulates work per resource id; the
+    standalone response time is the traditional "total work" estimate,
+    divided by [lanes] (degree of cloning) and penalized by
+    [1 + overhead*(lanes-1)], but never below the largest single-resource
+    demand. *)
+
+val seq : t -> t -> t
+(** The [;] operator: sequential execution — times and works add. *)
+
+val par : t -> t -> t
+(** The [||] operator under contention (§5.2.2):
+    [t = max(t1, t2, max_i(w1_i + w2_i))], [w = w1 + w2]. *)
+
+val residual : t -> t -> t
+(** [residual whole front] is the [⊖] of §5.2.2 realized as coordinate
+    subtraction of work and time, clamped at zero; the residual time is
+    floored at the busiest remaining resource's work so the vector stays
+    well-formed. *)
+
+val stretch : float -> t -> t
+(** Scales time only, leaving work unchanged (property of stretching);
+    factor must be [>= 1]. *)
+
+val scale_all : float -> t -> t
+(** Scales time and work (the literal [delta(k) ×] reading). *)
+
+val response_time : t -> float
+
+val total_work : t -> float
+
+val is_zero : t -> bool
+
+val add_work : t -> int -> float -> t
+(** Adds work on one resource, raising the time floor if needed. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = { tf : float; tl : float }
+
+let make ~tf ~tl =
+  if tf < 0. || tl < tf then invalid_arg "Tdesc.make: need 0 <= tf <= tl";
+  { tf; tl }
+
+let zero = { tf = 0.; tl = 0. }
+let par t1 t2 = Float.max t1 t2
+let seq t1 t2 = t1 +. t2
+let residual t1 t2 = Float.max 0. (t1 -. t2)
+let sync d = { tf = d.tl; tl = d.tl }
+
+let pipe p c =
+  let tf = seq p.tf c.tf in
+  let tl = seq tf (par (residual p.tl p.tf) (residual c.tl c.tf)) in
+  { tf; tl }
+
+let dseq a b = { tf = seq a.tf b.tf; tl = seq a.tl b.tl }
+
+let tree l r root =
+  let front = par l.tf r.tf in
+  let t1 = { tf = front; tl = front } in
+  let residual_l = { tf = 0.; tl = residual l.tl l.tf } in
+  let residual_r = { tf = 0.; tl = residual r.tl r.tf } in
+  let t2 = dseq t1 (pipe residual_l residual_r) in
+  pipe t2 root
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.tf -. b.tf) <= eps && Float.abs (a.tl -. b.tl) <= eps
+
+let pp ppf d = Format.fprintf ppf "(%g, %g)" d.tf d.tl

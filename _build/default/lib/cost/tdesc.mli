@@ -1,0 +1,43 @@
+(** Time descriptors and the contention-free calculus of §5.1.
+
+    A time descriptor [(tf, tl)] gives the times at which the first and
+    last tuple of a plan are produced.  This module implements the paper's
+    scalar calculus exactly — [||] is max, [;] is plus, [⊖] is minus — and
+    reproduces Example 2 literally; the resource-descriptor calculus of
+    {!Descriptor} generalizes it with contention. *)
+
+type t = { tf : float; tl : float }
+(** Invariant: [0 <= tf <= tl]. *)
+
+val make : tf:float -> tl:float -> t
+(** Raises [Invalid_argument] if the invariant is violated. *)
+
+val zero : t
+
+val par : float -> float -> float
+(** [t1 || t2 = max t1 t2] — independent parallel execution. *)
+
+val seq : float -> float -> float
+(** [t1 ; t2 = t1 + t2] — sequential execution. *)
+
+val residual : float -> float -> float
+(** [t1 ⊖ t2 ~ t1 - t2] — the residual after the materialized front. *)
+
+val sync : t -> t
+(** Materialized execution: [sync (tf, tl) = (tl, tl)]. *)
+
+val pipe : t -> t -> t
+(** [pipe p c] is the paper's [p | c]:
+    [tf = pf ; cf] and [tl = pf ; cf ; ((pl ⊖ pf) || (cl ⊖ cf))]. *)
+
+val dseq : t -> t -> t
+(** Sequential composition of descriptors, component-wise. *)
+
+val tree : t -> t -> t -> t
+(** [tree l r root]: materialized fronts of [l] and [r] in parallel, then
+    their residuals pipelined together, then piped into [root] — the
+    [tree(L, R, root)] operator of §5.1. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/exec/batch.ml: Array Format List Parqo_catalog Printf String

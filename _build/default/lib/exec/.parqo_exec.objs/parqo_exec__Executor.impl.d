@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Batch Hashtbl List Parqo_catalog Parqo_plan Parqo_query Parqo_util

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Batch Parqo_catalog Parqo_plan Parqo_query

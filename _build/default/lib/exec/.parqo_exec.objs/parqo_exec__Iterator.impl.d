@@ -1,0 +1,1 @@
+lib/exec/iterator.ml: Array Batch Executor Hashtbl Lazy List Parqo_catalog Parqo_plan Parqo_query Parqo_util

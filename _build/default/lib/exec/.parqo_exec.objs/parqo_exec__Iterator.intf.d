@@ -1,0 +1,1 @@
+lib/exec/iterator.mli: Batch Parqo_catalog Parqo_plan Parqo_query

@@ -1,0 +1,1 @@
+lib/exec/parallel_exec.ml: Array Batch Executor List Parqo_catalog Parqo_optree Parqo_plan Parqo_query Printf

@@ -1,0 +1,1 @@
+lib/exec/parallel_exec.mli: Batch Parqo_catalog Parqo_optree Parqo_query

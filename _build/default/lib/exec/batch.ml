@@ -1,0 +1,75 @@
+module Value = Parqo_catalog.Value
+
+type layout = (int * int) list
+type t = { layout : layout; rows : Value.t array list }
+
+let total layout = List.fold_left (fun acc (_, a) -> acc + a) 0 layout
+
+let create ~layout ~rows =
+  let w = total layout in
+  if List.exists (fun r -> Array.length r <> w) rows then
+    invalid_arg "Batch.create: row width mismatch";
+  { layout; rows }
+
+let n_rows b = List.length b.rows
+let width b = total b.layout
+
+let offset layout rel =
+  let rec go acc = function
+    | [] -> raise Not_found
+    | (r, a) :: rest -> if r = rel then acc else go (acc + a) rest
+  in
+  go 0 layout
+
+let column b ~rel ~index row = row.(offset b.layout rel + index)
+
+let concat_layouts a b =
+  let rels l = List.map fst l in
+  if List.exists (fun r -> List.mem r (rels b)) (rels a) then
+    invalid_arg "Batch.concat_layouts: overlapping relations";
+  a @ b
+
+let compare_rows (a : Value.t array) (b : Value.t array) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let canonical b =
+  let sorted_layout = List.sort compare b.layout in
+  let moves =
+    (* for each target position, the source position *)
+    List.concat_map
+      (fun (rel, arity) ->
+        let src = offset b.layout rel in
+        List.init arity (fun i -> src + i))
+      sorted_layout
+  in
+  let moves = Array.of_list moves in
+  let remap row = Array.map (fun src -> row.(src)) moves in
+  let rows = List.map remap b.rows |> List.sort compare_rows in
+  { layout = sorted_layout; rows }
+
+let equal_bags a b =
+  let ca = canonical a and cb = canonical b in
+  ca.layout = cb.layout
+  && List.length ca.rows = List.length cb.rows
+  && List.for_all2 (fun x y -> compare_rows x y = 0) ca.rows cb.rows
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v>batch %d rows, layout=[%s]@,"
+    (n_rows b)
+    (String.concat "; "
+       (List.map (fun (r, a) -> Printf.sprintf "r%d:%d" r a) b.layout));
+  List.iteri
+    (fun i row ->
+      if i < 5 then
+        Format.fprintf ppf "  (%s)@,"
+          (String.concat ", "
+             (Array.to_list (Array.map Value.to_string row))))
+    b.rows;
+  Format.fprintf ppf "@]"

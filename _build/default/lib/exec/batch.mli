@@ -1,0 +1,41 @@
+(** Intermediate results of the tuple-level executor.
+
+    A batch is a bag of rows plus a layout describing which relation's
+    columns occupy which positions — join results concatenate their
+    operands' layouts, so equivalent plans produce column orders that
+    differ only by relation permutation.  [canonical] normalizes that,
+    letting the tests assert that every plan for a query returns the same
+    bag. *)
+
+type layout = (int * int) list
+(** [(relation id, arity)] segments, in row order. A projected batch uses
+    the pseudo-relation [-1]. *)
+
+type t = { layout : layout; rows : Parqo_catalog.Value.t array list }
+
+val create : layout:layout -> rows:Parqo_catalog.Value.t array list -> t
+(** Raises [Invalid_argument] if some row's width differs from the layout
+    total. *)
+
+val n_rows : t -> int
+
+val width : t -> int
+
+val offset : layout -> int -> int
+(** Start position of a relation's columns. Raises [Not_found]. *)
+
+val column :
+  t -> rel:int -> index:int -> Parqo_catalog.Value.t array -> Parqo_catalog.Value.t
+(** Value of the [index]-th column of [rel] within one row. *)
+
+val concat_layouts : layout -> layout -> layout
+(** Raises [Invalid_argument] when a relation appears on both sides. *)
+
+val canonical : t -> t
+(** Columns regrouped by ascending relation id; rows sorted.  Two batches
+    are the same bag iff their canonical forms are equal. *)
+
+val equal_bags : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Layout plus the first few rows. *)

@@ -1,0 +1,207 @@
+module C = Parqo_catalog
+module Q = Parqo_query.Query
+module P = Parqo_plan
+module Bitset = Parqo_util.Bitset
+module Value = C.Value
+
+let table_of db query rel =
+  C.Catalog.table db.C.Datagen.catalog (Q.table_name query rel)
+
+let column_pos db query layout (r : Q.column_ref) =
+  let table = table_of db query r.Q.rel in
+  Batch.offset layout r.Q.rel + C.Table.column_index table r.Q.column
+
+let cmp_holds cmp c =
+  match cmp with
+  | Q.Eq -> c = 0
+  | Q.Ne -> c <> 0
+  | Q.Lt -> c < 0
+  | Q.Le -> c <= 0
+  | Q.Gt -> c > 0
+  | Q.Ge -> c >= 0
+
+let scan db query ~rel =
+  let table = table_of db query rel in
+  let layout = [ (rel, C.Table.arity table) ] in
+  let selections = Q.selections_on query rel in
+  let keep row =
+    List.for_all
+      (fun (s : Q.selection) ->
+        let v = row.(C.Table.column_index table s.Q.on.Q.column) in
+        cmp_holds s.Q.cmp (Value.compare v s.Q.value))
+      selections
+  in
+  let rows =
+    C.Datagen.rows_of db table.C.Table.name
+    |> Array.to_list
+    |> List.filter keep
+  in
+  Batch.create ~layout ~rows
+
+(* key extractors: positions of each join predicate's columns on the
+   outer and inner sides *)
+let key_positions db query ~(outer : Batch.t) ~(inner : Batch.t) =
+  let outer_rels = Bitset.of_list (List.map fst outer.Batch.layout) in
+  let inner_rels = Bitset.of_list (List.map fst inner.Batch.layout) in
+  let preds = Q.joins_between query outer_rels inner_rels in
+  List.map
+    (fun (p : Q.join_pred) ->
+      if Bitset.mem p.Q.left.Q.rel outer_rels then
+        ( column_pos db query outer.Batch.layout p.Q.left,
+          column_pos db query inner.Batch.layout p.Q.right )
+      else
+        ( column_pos db query outer.Batch.layout p.Q.right,
+          column_pos db query inner.Batch.layout p.Q.left ))
+    preds
+
+let key_of positions row = List.map (fun pos -> row.(pos)) positions
+
+let combine_row a b = Array.append a b
+
+let nested_loops keys outer_rows inner_rows =
+  let opos = List.map fst keys and ipos = List.map snd keys in
+  List.concat_map
+    (fun orow ->
+      let okey = key_of opos orow in
+      List.filter_map
+        (fun irow ->
+          if List.for_all2 (fun a b -> Value.compare a b = 0) okey (key_of ipos irow)
+          then Some (combine_row orow irow)
+          else None)
+        inner_rows)
+    outer_rows
+
+let hash_join keys outer_rows inner_rows =
+  let opos = List.map fst keys and ipos = List.map snd keys in
+  let table = Hashtbl.create (List.length inner_rows) in
+  List.iter
+    (fun irow -> Hashtbl.add table (key_of ipos irow) irow)
+    inner_rows;
+  List.concat_map
+    (fun orow ->
+      Hashtbl.find_all table (key_of opos orow)
+      |> List.rev_map (fun irow -> combine_row orow irow))
+    outer_rows
+
+let compare_keys a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c <> 0 then c else go xs ys
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+  in
+  go a b
+
+let sort_merge keys outer_rows inner_rows =
+  let opos = List.map fst keys and ipos = List.map snd keys in
+  let outer =
+    List.sort (fun a b -> compare_keys (key_of opos a) (key_of opos b)) outer_rows
+  in
+  let inner =
+    List.sort (fun a b -> compare_keys (key_of ipos a) (key_of ipos b)) inner_rows
+  in
+  (* group inner rows by key, then merge *)
+  let rec groups = function
+    | [] -> []
+    | row :: _ as rows ->
+      let key = key_of ipos row in
+      let same, rest =
+        List.partition (fun r -> compare_keys (key_of ipos r) key = 0) rows
+      in
+      (key, same) :: groups rest
+  in
+  let inner_groups = groups inner in
+  let rec merge outer groups acc =
+    match (outer, groups) with
+    | [], _ | _, [] -> acc
+    | orow :: orest, (key, same) :: grest -> (
+      let c = compare_keys (key_of opos orow) key in
+      if c < 0 then merge orest groups acc
+      else if c > 0 then merge outer grest acc
+      else
+        merge orest groups
+          (List.fold_left (fun acc irow -> combine_row orow irow :: acc) acc same))
+  in
+  List.rev (merge outer inner_groups [])
+
+let join db query ~method_ ~(outer : Batch.t) ~(inner : Batch.t) =
+  let keys = key_positions db query ~outer ~inner in
+  let rows =
+    match (keys, method_) with
+    | [], _ ->
+      (* cartesian product *)
+      List.concat_map
+        (fun orow -> List.map (combine_row orow) inner.Batch.rows)
+        outer.Batch.rows
+    | _, P.Join_method.Nested_loops ->
+      nested_loops keys outer.Batch.rows inner.Batch.rows
+    | _, P.Join_method.Hash_join ->
+      hash_join keys outer.Batch.rows inner.Batch.rows
+    | _, P.Join_method.Sort_merge ->
+      sort_merge keys outer.Batch.rows inner.Batch.rows
+  in
+  Batch.create
+    ~layout:(Batch.concat_layouts outer.Batch.layout inner.Batch.layout)
+    ~rows
+
+let run db query tree =
+  (match
+     P.Join_tree.well_formed ~n_relations:(Q.n_relations query) tree
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
+  let rec go = function
+    | P.Join_tree.Access a -> scan db query ~rel:a.P.Join_tree.rel
+    | P.Join_tree.Join j ->
+      let outer = go j.P.Join_tree.outer and inner = go j.P.Join_tree.inner in
+      join db query ~method_:j.P.Join_tree.method_ ~outer ~inner
+  in
+  go tree
+
+let project db query (b : Batch.t) =
+  match query.Q.projection with
+  | [] -> b
+  | cols ->
+    let positions = List.map (column_pos db query b.Batch.layout) cols in
+    let rows =
+      List.map
+        (fun row -> Array.of_list (List.map (fun p -> row.(p)) positions))
+        b.Batch.rows
+    in
+    Batch.create ~layout:[ (-1, List.length positions) ] ~rows
+
+let order_rows db query (b : Batch.t) =
+  match query.Q.order_by with
+  | [] -> b
+  | cols ->
+    let positions = List.map (column_pos db query b.Batch.layout) cols in
+    let compare_rows a b =
+      let rec go = function
+        | [] -> 0
+        | p :: rest ->
+          let c = Value.compare a.(p) b.(p) in
+          if c <> 0 then c else go rest
+      in
+      go positions
+    in
+    Batch.create ~layout:b.Batch.layout
+      ~rows:(List.stable_sort compare_rows b.Batch.rows)
+
+let finalize db query b = project db query (order_rows db query b)
+
+let run_query db query tree = finalize db query (run db query tree)
+
+let reference db query =
+  let n = Q.n_relations query in
+  let tree =
+    List.fold_left
+      (fun acc rel ->
+        P.Join_tree.join P.Join_method.Nested_loops ~outer:acc
+          ~inner:(P.Join_tree.access rel))
+      (P.Join_tree.access 0)
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  run_query db query tree

@@ -1,0 +1,53 @@
+(** A single-threaded, tuple-at-a-time reference executor.
+
+    It executes annotated join trees over materialized synthetic data
+    using the join method each node is annotated with (nested loops,
+    sort-merge or hash).  Its purpose is semantic ground truth: every
+    legal plan for a query must return the same bag of tuples, so any
+    plan the optimizer emits can be checked end-to-end.  Parallel
+    annotations (cloning, composition) do not affect results and are
+    ignored here; timing is the {!Parqo_sim} simulator's job. *)
+
+val scan :
+  Parqo_catalog.Datagen.database -> Parqo_query.Query.t -> rel:int -> Batch.t
+(** Base rows of a relation with the query's selections applied. *)
+
+val join :
+  Parqo_catalog.Datagen.database ->
+  Parqo_query.Query.t ->
+  method_:Parqo_plan.Join_method.t ->
+  outer:Batch.t ->
+  inner:Batch.t ->
+  Batch.t
+(** Joins two batches on every query predicate that crosses them
+    (cartesian product when none does). All three methods produce
+    identical bags. *)
+
+val run :
+  Parqo_catalog.Datagen.database ->
+  Parqo_query.Query.t ->
+  Parqo_plan.Join_tree.t ->
+  Batch.t
+(** Executes a join tree bottom-up. Raises [Invalid_argument] on a tree
+    that is not well-formed for the query. *)
+
+val project :
+  Parqo_catalog.Datagen.database -> Parqo_query.Query.t -> Batch.t -> Batch.t
+(** Applies the query's projection list (identity when empty). *)
+
+val finalize :
+  Parqo_catalog.Datagen.database -> Parqo_query.Query.t -> Batch.t -> Batch.t
+(** ORDER BY (stable sort on the requested columns) followed by the
+    projection — the query's output contract, shared by every executor. *)
+
+val run_query :
+  Parqo_catalog.Datagen.database ->
+  Parqo_query.Query.t ->
+  Parqo_plan.Join_tree.t ->
+  Batch.t
+(** [run] followed by [finalize]. *)
+
+val reference :
+  Parqo_catalog.Datagen.database -> Parqo_query.Query.t -> Batch.t
+(** Ground truth computed by a fixed canonical plan (left-deep in
+    relation order, nested loops), with projection. *)

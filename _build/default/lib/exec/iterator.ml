@@ -1,0 +1,263 @@
+module C = Parqo_catalog
+module Q = Parqo_query.Query
+module P = Parqo_plan
+module Value = C.Value
+
+type t = {
+  layout : Batch.layout;
+  mutable pull : unit -> Value.t array option;
+  mutable closed : bool;
+  counter : int ref;  (* base rows fetched, shared along the pipeline *)
+}
+
+let layout it = it.layout
+
+let next it =
+  if it.closed then invalid_arg "Iterator.next: closed";
+  it.pull ()
+
+let close it =
+  it.closed <- true;
+  it.pull <- (fun () -> None)
+
+let rows_until_first it = it.counter
+
+let table_of db query rel =
+  C.Catalog.table db.C.Datagen.catalog (Q.table_name query rel)
+
+let col_pos db query layout (r : Q.column_ref) =
+  Batch.offset layout r.Q.rel
+  + C.Table.column_index (table_of db query r.Q.rel) r.Q.column
+
+(* positions of each cross predicate's columns on the two sides *)
+let key_positions db query ~outer_layout ~inner_layout =
+  let module B = Parqo_util.Bitset in
+  let outer_rels = B.of_list (List.map fst outer_layout) in
+  let inner_rels = B.of_list (List.map fst inner_layout) in
+  Q.joins_between query outer_rels inner_rels
+  |> List.map (fun (p : Q.join_pred) ->
+         if B.mem p.Q.left.Q.rel outer_rels then
+           (col_pos db query outer_layout p.Q.left,
+            col_pos db query inner_layout p.Q.right)
+         else
+           (col_pos db query outer_layout p.Q.right,
+            col_pos db query inner_layout p.Q.left))
+
+let key_of positions row = List.map (fun p -> row.(p)) positions
+
+let compare_keys a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c <> 0 then c else go xs ys
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+  in
+  go a b
+
+(* drain another iterator completely (used by blocking operators) *)
+let drain it =
+  let rec go acc =
+    match next it with None -> List.rev acc | Some row -> go (row :: acc)
+  in
+  let rows = go [] in
+  close it;
+  rows
+
+let scan counter db query rel =
+  let b = Executor.scan db query ~rel in
+  let remaining = ref b.Batch.rows in
+  {
+    layout = b.Batch.layout;
+    closed = false;
+    counter;
+    pull =
+      (fun () ->
+        match !remaining with
+        | [] -> None
+        | row :: rest ->
+          remaining := rest;
+          incr counter;
+          Some row);
+  }
+
+let index_scan counter db query rel (index : C.Index.t) =
+  let b = Executor.scan db query ~rel in
+  let positions =
+    List.map
+      (fun column -> col_pos db query b.Batch.layout { Q.rel; column })
+      index.C.Index.columns
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare_keys (key_of positions a) (key_of positions b))
+      b.Batch.rows
+  in
+  let remaining = ref sorted in
+  {
+    layout = b.Batch.layout;
+    closed = false;
+    counter;
+    pull =
+      (fun () ->
+        match !remaining with
+        | [] -> None
+        | row :: rest ->
+          remaining := rest;
+          incr counter;
+          Some row);
+  }
+
+let combined_layout outer inner = Batch.concat_layouts outer.layout inner.layout
+
+(* nested loops: stream the outer, memoize the inner on first use *)
+let nl_join db query outer inner =
+  let layout = combined_layout outer inner in
+  let keys =
+    key_positions db query ~outer_layout:outer.layout ~inner_layout:inner.layout
+  in
+  let opos = List.map fst keys and ipos = List.map snd keys in
+  let inner_rows = lazy (drain inner) in
+  let current = ref None (* (outer_row, remaining inner matches) *) in
+  let rec pull () =
+    match !current with
+    | Some (orow, irow :: rest) ->
+      current := Some (orow, rest);
+      Some (Array.append orow irow)
+    | Some (_, []) ->
+      current := None;
+      pull ()
+    | None -> (
+      match next outer with
+      | None -> None
+      | Some orow ->
+        let okey = key_of opos orow in
+        let matches =
+          List.filter
+            (fun irow -> compare_keys okey (key_of ipos irow) = 0)
+            (Lazy.force inner_rows)
+        in
+        let matches =
+          if keys = [] then Lazy.force inner_rows (* cartesian *) else matches
+        in
+        current := Some (orow, matches);
+        pull ())
+  in
+  { layout; closed = false; counter = outer.counter; pull }
+
+(* hash join: blocking build on the inner, streaming probe of the outer *)
+let hash_join db query outer inner =
+  let layout = combined_layout outer inner in
+  let keys =
+    key_positions db query ~outer_layout:outer.layout ~inner_layout:inner.layout
+  in
+  let opos = List.map fst keys and ipos = List.map snd keys in
+  let table =
+    lazy
+      (let tbl = Hashtbl.create 64 in
+       List.iter
+         (fun irow -> Hashtbl.add tbl (key_of ipos irow) irow)
+         (drain inner);
+       tbl)
+  in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | row :: rest ->
+      pending := rest;
+      Some row
+    | [] -> (
+      match next outer with
+      | None -> None
+      | Some orow ->
+        let matches = Hashtbl.find_all (Lazy.force table) (key_of opos orow) in
+        pending := List.rev_map (fun irow -> Array.append orow irow) matches;
+        pull ())
+  in
+  { layout; closed = false; counter = outer.counter; pull }
+
+(* sort-merge: blocking sorts, streaming merge with group cross products *)
+let merge_join db query outer inner =
+  let layout = combined_layout outer inner in
+  let keys =
+    key_positions db query ~outer_layout:outer.layout ~inner_layout:inner.layout
+  in
+  let opos = List.map fst keys and ipos = List.map snd keys in
+  let state =
+    lazy
+      (let sort pos rows =
+         List.stable_sort
+           (fun a b -> compare_keys (key_of pos a) (key_of pos b))
+           rows
+       in
+       (ref (sort opos (drain outer)), ref (sort ipos (drain inner))))
+  in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | row :: rest ->
+      pending := rest;
+      Some row
+    | [] -> (
+      let orows, irows = Lazy.force state in
+      match (!orows, !irows) with
+      | [], _ | _, [] -> None
+      | orow :: orest, irow :: _ ->
+        let c = compare_keys (key_of opos orow) (key_of ipos irow) in
+        if c < 0 then begin
+          orows := orest;
+          pull ()
+        end
+        else if c > 0 then begin
+          irows := List.tl !irows;
+          pull ()
+        end
+        else begin
+          (* emit the cross product of orow with the inner group *)
+          let okey = key_of opos orow in
+          let group =
+            let rec take = function
+              | r :: rest when compare_keys (key_of ipos r) okey = 0 ->
+                r :: take rest
+              | _ -> []
+            in
+            take !irows
+          in
+          orows := orest;
+          pending := List.map (fun irow -> Array.append orow irow) group;
+          pull ()
+        end)
+  in
+  { layout; closed = false; counter = outer.counter; pull }
+
+let of_plan db query tree =
+  (match
+     P.Join_tree.well_formed ~n_relations:(Q.n_relations query) tree
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Iterator.of_plan: " ^ msg));
+  let counter = ref 0 in
+  let rec build = function
+    | P.Join_tree.Access a -> (
+      match a.P.Join_tree.path with
+      | P.Access_path.Seq_scan -> scan counter db query a.P.Join_tree.rel
+      | P.Access_path.Index_scan index ->
+        index_scan counter db query a.P.Join_tree.rel index)
+    | P.Join_tree.Join j ->
+      let outer = build j.P.Join_tree.outer in
+      let inner = build j.P.Join_tree.inner in
+      (match j.P.Join_tree.method_ with
+      | P.Join_method.Nested_loops -> nl_join db query outer inner
+      | P.Join_method.Hash_join -> hash_join db query outer inner
+      | P.Join_method.Sort_merge -> merge_join db query outer inner)
+  in
+  build tree
+
+let to_batch it =
+  let rows = drain it in
+  Batch.create ~layout:it.layout ~rows
+
+let run_query db query tree =
+  Executor.finalize db query (to_batch (of_plan db query tree))

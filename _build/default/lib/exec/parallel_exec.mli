@@ -1,0 +1,44 @@
+(** A data-level executor for *operator trees*: runs the macro-expanded,
+    annotated form of a plan with its parallel semantics made concrete.
+
+    Each operator runs as [clone] instances, each owning one partition of
+    its input; exchange operators physically move rows — [Repartition]
+    routes each row by the hash of its partitioning attribute,
+    [Broadcast] replicates the input to every instance, [Merge_streams]
+    collapses to one.  Joins execute per instance with the annotated
+    method.
+
+    Purpose: semantic validation of the §4 expansion.  If {!Parqo_optree.Expand}
+    ever placed an exchange wrongly (or omitted one), co-partitioned joins
+    would miss matches and the result would diverge from the sequential
+    executor — the test suite checks exactly that equivalence over random
+    annotated plans.  (Timing is the simulator's job; this module is about
+    where the tuples go.) *)
+
+val run :
+  Parqo_catalog.Datagen.database ->
+  Parqo_query.Query.t ->
+  Parqo_optree.Op.node ->
+  Batch.t
+(** Executes an operator tree bottom-up, merging the root's partitions.
+    ORDER BY and projection are not applied (compare with
+    {!Executor.run}); use {!run_query} for the full pipeline.  Raises
+    [Invalid_argument] on trees whose partitioning attributes cannot be
+    resolved against the query. *)
+
+val run_query :
+  Parqo_catalog.Datagen.database ->
+  Parqo_query.Query.t ->
+  Parqo_optree.Op.node ->
+  Batch.t
+(** [run] followed by the query's ORDER BY and projection. *)
+
+val partition_skew :
+  Parqo_catalog.Datagen.database ->
+  Parqo_query.Query.t ->
+  Parqo_optree.Op.node ->
+  (string * int * float) list
+(** Diagnostic: for every cloned operator in the tree, the label, its
+    degree and the ratio of its largest partition to the mean — the
+    data-skew the uniform cost model abstracts away (§5's "we lose some
+    ability to model hot spots"). *)

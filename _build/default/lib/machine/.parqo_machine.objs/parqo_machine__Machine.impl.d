@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Format List Printf Resource

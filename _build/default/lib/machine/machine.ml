@@ -1,0 +1,129 @@
+type params = {
+  io_page_cost : float;
+  cpu_tuple_cost : float;
+  cpu_compare_cost : float;
+  cpu_hash_cost : float;
+  net_tuple_cost : float;
+  pipeline_delta_k : float;
+  delta_scales_work : bool;
+  clone_overhead : float;
+  tuples_per_page : float;
+  sort_memory_tuples : float;
+  index_page_factor : float;
+  unclustered_penalty : float;
+  nl_index_probe_io : float;
+  hash_memory_tuples : float;
+}
+
+type t = { resources : Resource.t array; nodes : int; params : params }
+
+let default_params =
+  {
+    io_page_cost = 1.0;
+    cpu_tuple_cost = 0.01;
+    cpu_compare_cost = 0.002;
+    cpu_hash_cost = 0.005;
+    net_tuple_cost = 0.004;
+    pipeline_delta_k = 0.1;
+    delta_scales_work = false;
+    clone_overhead = 0.02;
+    tuples_per_page = 50.;
+    sort_memory_tuples = 10_000.;
+    index_page_factor = 0.5;
+    unclustered_penalty = 3.0;
+    nl_index_probe_io = 0.5;
+    hash_memory_tuples = 50_000.;
+  }
+
+let n_resources m = Array.length m.resources
+let resource m id = m.resources.(id)
+
+let by_kind m kind =
+  Array.to_list m.resources |> List.filter (fun r -> r.Resource.kind = kind)
+
+let cpus m = by_kind m Resource.Cpu
+let disks m = by_kind m Resource.Disk
+
+let network m =
+  match by_kind m Resource.Network with [] -> None | r :: _ -> Some r
+
+let cpu_ids m = List.map (fun r -> r.Resource.id) (cpus m)
+let disk_ids m = List.map (fun r -> r.Resource.id) (disks m)
+
+let build ?(params = default_params) ~nodes specs =
+  let resources =
+    List.mapi
+      (fun id (kind, name, node) -> { Resource.id; kind; name; node })
+      specs
+  in
+  { resources = Array.of_list resources; nodes; params }
+
+let shared_nothing ?params ~nodes () =
+  if nodes < 1 then invalid_arg "Machine.shared_nothing";
+  let specs =
+    List.concat
+      (List.init nodes (fun i ->
+           [
+             (Resource.Cpu, Printf.sprintf "cpu%d" i, i);
+             (Resource.Disk, Printf.sprintf "disk%d" i, i);
+           ]))
+    @ (if nodes > 1 then [ (Resource.Network, "net", -1) ] else [])
+  in
+  build ?params ~nodes specs
+
+let shared_memory ?params ~cpus ~disks () =
+  if cpus < 1 || disks < 1 then invalid_arg "Machine.shared_memory";
+  let specs =
+    List.init cpus (fun i -> (Resource.Cpu, Printf.sprintf "cpu%d" i, 0))
+    @ List.init disks (fun i -> (Resource.Disk, Printf.sprintf "disk%d" i, 0))
+  in
+  build ?params ~nodes:1 specs
+
+let sequential ?params () = shared_memory ?params ~cpus:1 ~disks:1 ()
+
+let two_disks () =
+  build ~nodes:1 [ (Resource.Disk, "disk1", 0); (Resource.Disk, "disk2", 0) ]
+
+let node_resource m node kind =
+  let found =
+    Array.to_list m.resources
+    |> List.find_opt (fun r -> r.Resource.node = node && r.Resource.kind = kind)
+  in
+  match found with Some r -> r | None -> raise Not_found
+
+let node_cpu m node = node_resource m node Resource.Cpu
+let node_disk m node = node_resource m node Resource.Disk
+let disk_of_node m node = (node_disk m node).Resource.id
+
+type aggregation = Per_resource | By_kind | By_node | Single
+
+let aggregate m = function
+  | Per_resource -> (n_resources m, fun id -> id)
+  | Single -> (1, fun _ -> 0)
+  | By_kind ->
+    (* dimensions in a fixed kind order, but only for kinds present *)
+    let kinds =
+      List.filter
+        (fun k -> by_kind m k <> [])
+        [ Resource.Cpu; Resource.Disk; Resource.Network ]
+    in
+    let dim_of_kind k =
+      let rec idx i = function
+        | [] -> invalid_arg "Machine.aggregate"
+        | k' :: rest -> if k = k' then i else idx (i + 1) rest
+      in
+      idx 0 kinds
+    in
+    (List.length kinds, fun id -> dim_of_kind m.resources.(id).Resource.kind)
+  | By_node ->
+    ( m.nodes,
+      fun id ->
+        let node = m.resources.(id).Resource.node in
+        if node < 0 then 0 else node )
+
+let pp ppf m =
+  Format.fprintf ppf "machine(%d nodes: %a)" m.nodes
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Resource.pp)
+    (Array.to_list m.resources)

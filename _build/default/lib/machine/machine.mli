@@ -1,0 +1,101 @@
+(** The abstract parallel machine that executes operator trees.
+
+    A machine is a set of preemptable resources plus the cost constants of
+    the cost model.  The paper's solution is architecture-independent
+    ("differences across architectures appear as variations in the precise
+    details of the cost model", §1); the constructors below provide the
+    standard configurations used in the experiments. *)
+
+type params = {
+  io_page_cost : float;  (** time units to read or write one page *)
+  cpu_tuple_cost : float;  (** CPU time to produce/consume one tuple *)
+  cpu_compare_cost : float;  (** per comparison during sorting/merging *)
+  cpu_hash_cost : float;  (** per tuple hashed (build or probe) *)
+  net_tuple_cost : float;  (** network time to ship one tuple *)
+  pipeline_delta_k : float;
+      (** the adjustable [k] in the pipeline penalty [delta(k)] of §5.2.2 *)
+  delta_scales_work : bool;
+      (** if true, [delta(k)] scales work coordinates too (the literal
+          reading of the paper); if false only the time coordinate is
+          penalized.  See DESIGN.md "Modeling decisions". *)
+  clone_overhead : float;
+      (** fractional startup overhead charged per additional clone: a
+          degree-[k] clone runs in [t/k * (1 + clone_overhead*(k-1))] *)
+  tuples_per_page : float;  (** pages = tuples / tuples_per_page *)
+  sort_memory_tuples : float;
+      (** in-memory sort threshold; larger inputs pay an external-merge
+          I/O pass per factor of [sort_memory_tuples] *)
+  index_page_factor : float;
+      (** index pages as a fraction of table pages (covering scans) *)
+  unclustered_penalty : float;
+      (** I/O multiplier for fully scanning an unclustered index *)
+  nl_index_probe_io : float;
+      (** pages fetched per index-nested-loops probe *)
+  hash_memory_tuples : float;
+      (** per-clone hash-table capacity; larger builds Grace-partition to
+          disk, charging an extra write+read pass on both join inputs.
+          Memory itself is non-preemptable and deliberately outside the
+          resource vectors (§5.2.1, §7) — this threshold is how its
+          effect on I/O shows up. *)
+}
+
+type t = {
+  resources : Resource.t array;  (** indexed by [Resource.id] *)
+  nodes : int;  (** number of sites *)
+  params : params;
+}
+
+val default_params : params
+
+val n_resources : t -> int
+
+val resource : t -> int -> Resource.t
+
+val cpus : t -> Resource.t list
+
+val disks : t -> Resource.t list
+
+val network : t -> Resource.t option
+(** The (single, aggregated) interconnect, if the machine has one. *)
+
+val cpu_ids : t -> int list
+
+val disk_ids : t -> int list
+
+val shared_nothing : ?params:params -> nodes:int -> unit -> t
+(** [nodes] sites, each with one CPU and one disk, joined by a single
+    shared interconnect resource (the Gamma-style architecture). *)
+
+val shared_memory : ?params:params -> cpus:int -> disks:int -> unit -> t
+(** One site with [cpus] CPUs and [disks] disks and no network. *)
+
+val sequential : ?params:params -> unit -> t
+(** One CPU, one disk: the machine on which every plan degenerates to
+    sequential execution — the baseline for the desiderata experiments. *)
+
+val two_disks : unit -> t
+(** The machine of the paper's Example 3: exactly two disks are "the only
+    significant resources". *)
+
+val node_cpu : t -> int -> Resource.t
+(** CPU of a given site (shared-nothing machines). Raises [Not_found]. *)
+
+val node_disk : t -> int -> Resource.t
+
+val disk_of_node : t -> int -> int
+(** Resource id of a site's disk. *)
+
+(** Aggregation of physical resources into pruning-metric dimensions
+    (§6.3: "if two resources closely track each other, they should be
+    aggregated and modeled as a single resource"). *)
+type aggregation =
+  | Per_resource  (** one dimension per resource *)
+  | By_kind  (** all CPUs one dimension, all disks another, network a third *)
+  | By_node  (** one dimension per site (network folded into site 0) *)
+  | Single  (** total work only — collapses to the work metric *)
+
+val aggregate : t -> aggregation -> int * (int -> int)
+(** [aggregate m agg] is [(l, group)] where [l] is the number of pruning
+    dimensions and [group id] maps a resource id to its dimension. *)
+
+val pp : Format.formatter -> t -> unit

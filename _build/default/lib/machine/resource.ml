@@ -1,0 +1,13 @@
+type kind = Cpu | Disk | Network
+
+type t = { id : int; kind : kind; name : string; node : int }
+
+let kind_to_string = function
+  | Cpu -> "cpu"
+  | Disk -> "disk"
+  | Network -> "network"
+
+let pp ppf r =
+  Format.fprintf ppf "%s(id=%d,node=%d)" r.name r.id r.node
+
+let equal a b = a.id = b.id

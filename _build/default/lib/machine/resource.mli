@@ -1,0 +1,21 @@
+(** A preemptable (time-sliceable) resource of the parallel machine.
+
+    The paper's cost model (§5.2.1) abstracts resource usage as pairs
+    [(t, w)] under a uniformity assumption and requires resources to be
+    preemptable — CPUs, disks and network links qualify; memory does not
+    and is deliberately out of scope, as in the paper. *)
+
+type kind = Cpu | Disk | Network
+
+type t = {
+  id : int;  (** dense index; doubles as the resource-vector coordinate *)
+  kind : kind;
+  name : string;  (** e.g. ["cpu0"], ["disk1"], ["net"] *)
+  node : int;  (** site that hosts the resource; network links use [-1] *)
+}
+
+val kind_to_string : kind -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

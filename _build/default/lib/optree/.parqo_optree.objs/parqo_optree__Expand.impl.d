@@ -1,0 +1,1 @@
+lib/optree/expand.ml: List Op Parqo_catalog Parqo_plan Parqo_query

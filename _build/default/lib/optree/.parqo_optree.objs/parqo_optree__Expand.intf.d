@@ -1,0 +1,1 @@
+lib/optree/expand.mli: Op Parqo_plan

@@ -1,0 +1,1 @@
+lib/optree/op.ml: Format Hashtbl List Parqo_catalog Parqo_plan Printf String

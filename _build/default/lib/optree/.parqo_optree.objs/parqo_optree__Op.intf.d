@@ -1,0 +1,1 @@
+lib/optree/op.mli: Format Parqo_catalog Parqo_plan

@@ -1,0 +1,30 @@
+(** Macro-expansion of annotated join trees into operator trees (§4.2).
+
+    Each join node expands by method:
+    - sort-merge   → [merge(sort(outer), sort(inner))], sorts materialized;
+      a sort is elided when its input already delivers the key ordering
+      (the paper: "if R2 is already sorted then only one sort operation
+      needs to be stated");
+    - hash-join    → [probe(outer, build(inner))], build materialized;
+    - nested-loops → [nested-loops(outer, inner)], optionally with the
+      create-index inflection on the inner.
+
+    Cloning (annotation 2) propagates partitioning requirements downward;
+    exchange operators are inserted exactly where the producer's
+    partitioning does not satisfy the consumer's (annotation 3, data
+    redistribution).  The expansion of a given annotated join tree is
+    unique, as the paper requires. *)
+
+type config = {
+  create_index_for_nl : bool;
+      (** expand NL over an unindexed inner into
+          [nested-loops(outer, create-index(inner))] *)
+}
+
+val default_config : config
+(** [create_index_for_nl = false]. *)
+
+val expand :
+  ?config:config -> Parqo_plan.Estimator.t -> Parqo_plan.Join_tree.t -> Op.node
+(** Raises [Invalid_argument] if the join tree is not well-formed for the
+    estimator's query. *)

@@ -1,0 +1,121 @@
+type exchange_mode = Repartition | Merge_streams | Broadcast
+
+type kind =
+  | Seq_scan of { rel : int }
+  | Index_scan of { rel : int; index : Parqo_catalog.Index.t }
+  | Sort of { key : Parqo_plan.Ordering.t }
+  | Merge_join
+  | Hash_build
+  | Hash_probe
+  | Nl_join
+  | Create_index of { rel : int }
+  | Exchange of { mode : exchange_mode }
+
+type composition = Pipelined | Materialized
+
+type node = {
+  id : int;
+  kind : kind;
+  children : node list;
+  composition : composition;
+  clone : int;
+  partition : Parqo_plan.Ordering.col option;
+  out_card : float;
+  out_width : float;
+}
+
+let kind_name = function
+  | Seq_scan { rel } -> Printf.sprintf "scan(r%d)" rel
+  | Index_scan { rel; index } ->
+    Printf.sprintf "idx-scan(r%d:%s)" rel index.Parqo_catalog.Index.name
+  | Sort { key } -> Printf.sprintf "sort[%s]" (Parqo_plan.Ordering.to_string key)
+  | Merge_join -> "merge"
+  | Hash_build -> "build"
+  | Hash_probe -> "probe"
+  | Nl_join -> "nested-loops"
+  | Create_index { rel } -> Printf.sprintf "create-index(r%d)" rel
+  | Exchange { mode } -> (
+    match mode with
+    | Repartition -> "xchg-repart"
+    | Merge_streams -> "xchg-merge"
+    | Broadcast -> "xchg-bcast")
+
+let arity = function
+  | Seq_scan _ | Index_scan _ -> 0
+  | Sort _ | Create_index _ | Exchange _ -> 1
+  | Merge_join | Hash_probe | Nl_join -> 2
+  | Hash_build -> 1
+
+let rec iter f node =
+  f node;
+  List.iter (iter f) node.children
+
+let rec fold f acc node =
+  List.fold_left (fold f) (f acc node) node.children
+
+let size node = fold (fun n _ -> n + 1) 0 node
+
+let find p node =
+  let result = ref None in
+  (try
+     iter
+       (fun n -> if !result = None && p n then (result := Some n; raise Exit))
+       node
+   with Exit -> ());
+  !result
+
+let materialized_front root =
+  (* maximal materialized subtrees below the root *)
+  let rec collect ~is_root node acc =
+    if (not is_root) && node.composition = Materialized then node :: acc
+    else
+      List.fold_left (fun acc c -> collect ~is_root:false c acc) acc node.children
+  in
+  List.rev (collect ~is_root:true root [])
+
+let validate root =
+  let seen = Hashtbl.create 16 in
+  let error = ref None in
+  let set_error msg = if !error = None then error := Some msg in
+  iter
+    (fun n ->
+      if Hashtbl.mem seen n.id then
+        set_error (Printf.sprintf "duplicate node id %d" n.id)
+      else Hashtbl.replace seen n.id ();
+      if List.length n.children <> arity n.kind then
+        set_error
+          (Printf.sprintf "%s has %d children, expected %d" (kind_name n.kind)
+             (List.length n.children) (arity n.kind));
+      if n.clone < 1 then
+        set_error (Printf.sprintf "%s has clone degree %d" (kind_name n.kind) n.clone);
+      if n.out_card < 0. then
+        set_error (Printf.sprintf "%s has negative cardinality" (kind_name n.kind)))
+    root;
+  match !error with None -> Ok () | Some msg -> Error msg
+
+let rec to_string n =
+  let children =
+    match n.children with
+    | [] -> ""
+    | cs -> "(" ^ String.concat ", " (List.map to_string cs) ^ ")"
+  in
+  let clone = if n.clone > 1 then Printf.sprintf "/%d" n.clone else "" in
+  let comp = match n.composition with Materialized -> "!" | Pipelined -> "" in
+  kind_name n.kind ^ clone ^ comp ^ children
+
+let pp ppf root =
+  let rec go indent n =
+    Format.fprintf ppf "%s%s  [clone=%d %s card=%.0f%s]@," indent
+      (kind_name n.kind) n.clone
+      (match n.composition with
+      | Pipelined -> "pipelined"
+      | Materialized -> "materialized")
+      n.out_card
+      (match n.partition with
+      | None -> ""
+      | Some c -> Printf.sprintf " part=r%d.%s" c.Parqo_plan.Ordering.rel c.column);
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  Format.fprintf ppf "@[<v>";
+  go "" root;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** Operator trees (§4.2): the macro-expanded, atomic-operator form of an
+    annotated join tree.  "Atomic" means the run-time scheduler cannot
+    subdivide a node further, except by partitioning its input for
+    cloning. *)
+
+type exchange_mode =
+  | Repartition  (** hash-repartition on an attribute *)
+  | Merge_streams  (** collapse a partitioned stream to one consumer *)
+  | Broadcast  (** replicate to every clone (fragment-and-replicate NL) *)
+
+type kind =
+  | Seq_scan of { rel : int }
+  | Index_scan of { rel : int; index : Parqo_catalog.Index.t }
+  | Sort of { key : Parqo_plan.Ordering.t }
+  | Merge_join  (** merge phase of sort-merge *)
+  | Hash_build
+  | Hash_probe
+  | Nl_join  (** pure-nested-loops *)
+  | Create_index of { rel : int }  (** nested-loops "inflection" *)
+  | Exchange of { mode : exchange_mode }
+
+type composition = Pipelined | Materialized
+(** Composition method between a node and its parent, annotated on the
+    child (§4.2, annotation 1). *)
+
+type node = {
+  id : int;  (** unique within a tree, preorder *)
+  kind : kind;
+  children : node list;
+  composition : composition;
+  clone : int;  (** degree of cloning, >= 1 (annotation 2) *)
+  partition : Parqo_plan.Ordering.col option;
+      (** attribute partitioning of the output stream, when cloned *)
+  out_card : float;  (** estimated output tuples *)
+  out_width : float;  (** estimated output width in columns *)
+}
+
+val kind_name : kind -> string
+
+val arity : kind -> int
+(** Number of children the kind requires; [Hash_probe] is 2 (probe input
+    first, build second), [Merge_join] and [Nl_join] are 2, scans and
+    [Create_index] are 0 or 1 as built, [Sort] and [Exchange] are 1. *)
+
+val iter : (node -> unit) -> node -> unit
+(** Preorder. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Preorder. *)
+
+val size : node -> int
+
+val find : (node -> bool) -> node -> node option
+
+val materialized_front : node -> node list
+(** The "materialized front" of §5: the maximal subtrees whose roots carry
+    the [Materialized] annotation — everything that must finish before the
+    tree emits its first tuple.  The root itself is never included. *)
+
+val validate : node -> (unit, string) result
+(** Checks arities, positive clone degrees, unique ids, and that
+    cardinalities are non-negative. *)
+
+val pp : Format.formatter -> node -> unit
+(** Indented tree rendering with annotations, in the style of the paper's
+    Example 1 table. *)
+
+val to_string : node -> string
+(** One-line functional rendering, e.g.
+    [probe(scan(r0), build(scan(r1)))]. *)

@@ -1,0 +1,1 @@
+lib/plan/access_path.ml: Format List Ordering Parqo_catalog Printf String

@@ -1,0 +1,1 @@
+lib/plan/access_path.mli: Format Ordering Parqo_catalog

@@ -1,0 +1,1 @@
+lib/plan/estimator.ml: Array Float Hashtbl List Parqo_catalog Parqo_query Parqo_util

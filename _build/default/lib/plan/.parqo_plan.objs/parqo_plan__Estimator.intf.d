@@ -1,0 +1,1 @@
+lib/plan/estimator.mli: Parqo_catalog Parqo_query Parqo_util

@@ -1,0 +1,1 @@
+lib/plan/join_method.ml: Format

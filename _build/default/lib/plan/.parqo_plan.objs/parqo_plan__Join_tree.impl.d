@@ -1,0 +1,1 @@
+lib/plan/join_tree.ml: Access_path Format Join_method List Parqo_catalog Parqo_util Printf

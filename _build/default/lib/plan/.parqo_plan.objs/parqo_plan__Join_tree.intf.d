@@ -1,0 +1,1 @@
+lib/plan/join_tree.mli: Access_path Format Join_method Parqo_util

@@ -1,0 +1,1 @@
+lib/plan/ordering.ml: Format List Parqo_query Printf String

@@ -1,0 +1,1 @@
+lib/plan/ordering.mli: Format Parqo_query

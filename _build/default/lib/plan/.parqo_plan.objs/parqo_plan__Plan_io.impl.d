@@ -1,0 +1,1 @@
+lib/plan/plan_io.ml: Access_path Join_method Join_tree List Parqo_catalog Parqo_query Printf String

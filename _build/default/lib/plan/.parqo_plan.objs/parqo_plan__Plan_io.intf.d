@@ -1,0 +1,1 @@
+lib/plan/plan_io.mli: Join_tree Parqo_catalog Parqo_query

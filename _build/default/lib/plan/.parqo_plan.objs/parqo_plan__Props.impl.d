@@ -1,0 +1,1 @@
+lib/plan/props.ml: Access_path Join_method Join_tree List Ordering Parqo_query Parqo_util

@@ -1,0 +1,1 @@
+lib/plan/props.mli: Join_tree Ordering Parqo_query

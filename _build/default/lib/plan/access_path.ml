@@ -1,0 +1,23 @@
+type t = Seq_scan | Index_scan of Parqo_catalog.Index.t
+
+let to_string = function
+  | Seq_scan -> "seq-scan"
+  | Index_scan i -> Printf.sprintf "index-scan(%s)" i.Parqo_catalog.Index.name
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let ordering ~rel = function
+  | Seq_scan -> Ordering.none
+  | Index_scan i ->
+    List.map (fun column -> { Ordering.rel; column }) i.Parqo_catalog.Index.columns
+
+let disk (table : Parqo_catalog.Table.t) = function
+  | Seq_scan -> table.Parqo_catalog.Table.disks
+  | Index_scan i -> [ i.Parqo_catalog.Index.disk ]
+
+let equal a b =
+  match (a, b) with
+  | Seq_scan, Seq_scan -> true
+  | Index_scan x, Index_scan y ->
+    String.equal x.Parqo_catalog.Index.name y.Parqo_catalog.Index.name
+  | Seq_scan, Index_scan _ | Index_scan _, Seq_scan -> false

@@ -1,0 +1,22 @@
+(** Access paths for base relations. *)
+
+type t =
+  | Seq_scan
+  | Index_scan of Parqo_catalog.Index.t
+      (** full scan through the index; clustered indexes deliver the
+          index ordering at sequential cost, unclustered ones pay extra
+          random I/O but still deliver the ordering *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val ordering : rel:int -> t -> Ordering.t
+(** Output ordering of the path: the index key columns for an index scan,
+    none for a sequential scan. *)
+
+val disk : Parqo_catalog.Table.t -> t -> int list
+(** Abstract disk indexes read by the path: the index's disk for an index
+    scan, the table's placement otherwise. *)
+
+val equal : t -> t -> bool

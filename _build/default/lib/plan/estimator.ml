@@ -1,0 +1,82 @@
+module C = Parqo_catalog
+module Q = Parqo_query.Query
+module Bitset = Parqo_util.Bitset
+
+type t = {
+  catalog : C.Catalog.t;
+  query : Q.t;
+  tables : C.Table.t array;  (** by relation id *)
+  base_cards : float array;  (** after selections *)
+  card_memo : (int, float) Hashtbl.t;
+}
+
+let stats_of t (r : Q.column_ref) =
+  C.Table.column_stats t.tables.(r.rel) r.column
+
+let selection_selectivity_of tables (s : Q.selection) =
+  let stats = C.Table.column_stats tables.(s.on.Q.rel) s.on.Q.column in
+  let v = C.Value.to_float s.value in
+  let sel =
+    match s.cmp with
+    | Q.Eq -> C.Stats.eq_fraction stats v
+    | Q.Ne -> 1. -. C.Stats.eq_fraction stats v
+    | Q.Le -> C.Stats.le_fraction stats v
+    | Q.Lt -> C.Stats.le_fraction stats v -. C.Stats.eq_fraction stats v
+    | Q.Gt -> 1. -. C.Stats.le_fraction stats v
+    | Q.Ge -> 1. -. C.Stats.le_fraction stats v +. C.Stats.eq_fraction stats v
+  in
+  Float.min 1. (Float.max 0. sel)
+
+let create catalog query =
+  (match Q.validate catalog query with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Estimator.create: " ^ msg));
+  let n = Q.n_relations query in
+  let tables =
+    Array.init n (fun i -> C.Catalog.table catalog (Q.table_name query i))
+  in
+  let base_cards =
+    Array.init n (fun i ->
+        let raw = tables.(i).C.Table.cardinality in
+        let sel =
+          List.fold_left
+            (fun acc s -> acc *. selection_selectivity_of tables s)
+            1.
+            (Q.selections_on query i)
+        in
+        raw *. sel)
+  in
+  { catalog; query; tables; base_cards; card_memo = Hashtbl.create 64 }
+
+let catalog t = t.catalog
+let query t = t.query
+let raw_card t rel = t.tables.(rel).C.Table.cardinality
+let base_card t rel = t.base_cards.(rel)
+let table_of t rel = t.tables.(rel)
+let selection_selectivity t s = selection_selectivity_of t.tables s
+
+let join_selectivity t (j : Q.join_pred) =
+  C.Stats.join_selectivity (stats_of t j.left) (stats_of t j.right)
+
+let card t set =
+  let key = Bitset.to_int set in
+  match Hashtbl.find_opt t.card_memo key with
+  | Some c -> c
+  | None ->
+    let base =
+      Bitset.fold (fun rel acc -> acc *. t.base_cards.(rel)) set 1.
+    in
+    let sel =
+      List.fold_left
+        (fun acc j -> acc *. join_selectivity t j)
+        1.
+        (Q.joins_within t.query set)
+    in
+    let c = base *. sel in
+    Hashtbl.replace t.card_memo key c;
+    c
+
+let width t set =
+  Bitset.fold
+    (fun rel acc -> acc +. float_of_int (C.Table.arity t.tables.(rel)))
+    set 0.

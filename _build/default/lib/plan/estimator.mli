@@ -1,0 +1,40 @@
+(** System-R-style cardinality estimation.
+
+    Estimates depend only on the *logical* subquery (the set of relations),
+    never on the physical plan — this is exactly the "physical
+    transparency" property of Theorem 1, and the tests rely on it. *)
+
+type t
+
+val create : Parqo_catalog.Catalog.t -> Parqo_query.Query.t -> t
+(** Raises [Invalid_argument] when the query does not validate against the
+    catalog. *)
+
+val catalog : t -> Parqo_catalog.Catalog.t
+
+val query : t -> Parqo_query.Query.t
+
+val raw_card : t -> int -> float
+(** Base-table cardinality of a relation (before selections). *)
+
+val base_card : t -> int -> float
+(** Cardinality after applying the query's selections on the relation. *)
+
+val selection_selectivity : t -> Parqo_query.Query.selection -> float
+(** In [0, 1]: histogram-based when statistics carry histograms, the
+    classical uniform defaults otherwise. *)
+
+val join_selectivity : t -> Parqo_query.Query.join_pred -> float
+(** [1 / max(distinct left, distinct right)]. *)
+
+val card : t -> Parqo_util.Bitset.t -> float
+(** Output cardinality of joining the relation set: product of base
+    cardinalities times the selectivities of all join predicates inside
+    the set (memoized). The empty set has cardinality 1. *)
+
+val width : t -> Parqo_util.Bitset.t -> float
+(** Output tuple width in columns — a proxy for bytes per tuple used by
+    the cost model's transfer and materialization terms. *)
+
+val table_of : t -> int -> Parqo_catalog.Table.t
+(** Catalog table backing a relation id. *)

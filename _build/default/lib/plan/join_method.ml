@@ -1,0 +1,17 @@
+type t = Nested_loops | Sort_merge | Hash_join
+
+let all = [ Nested_loops; Sort_merge; Hash_join ]
+
+let to_string = function
+  | Nested_loops -> "nested-loops"
+  | Sort_merge -> "sort-merge"
+  | Hash_join -> "hash-join"
+
+let of_string = function
+  | "nested-loops" | "nl" -> Some Nested_loops
+  | "sort-merge" | "sm" -> Some Sort_merge
+  | "hash-join" | "hash" | "hj" -> Some Hash_join
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b

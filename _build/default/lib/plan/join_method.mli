@@ -1,0 +1,19 @@
+(** The three join methods of the execution space (§4.2): each one
+    macro-expands to a different operator subtree with different
+    composition (pipelined / materialized) behavior. *)
+
+type t =
+  | Nested_loops  (** pipelined on the outer; optionally builds a
+                      temporary index on the inner (an "inflection") *)
+  | Sort_merge  (** explicit sorts (materialized) feeding a pipelined merge *)
+  | Hash_join  (** materialized build on the inner, pipelined probe *)
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

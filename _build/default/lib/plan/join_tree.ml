@@ -1,0 +1,96 @@
+module Bitset = Parqo_util.Bitset
+
+type access = { rel : int; path : Access_path.t; clone : int }
+
+type join = {
+  method_ : Join_method.t;
+  outer : t;
+  inner : t;
+  clone : int;
+  materialize : bool;
+}
+
+and t = Access of access | Join of join
+
+let access ?(path = Access_path.Seq_scan) ?(clone = 1) rel =
+  if clone < 1 then invalid_arg "Join_tree.access: clone < 1";
+  Access { rel; path; clone }
+
+let join ?(clone = 1) ?(materialize = false) method_ ~outer ~inner =
+  if clone < 1 then invalid_arg "Join_tree.join: clone < 1";
+  Join { method_; outer; inner; clone; materialize }
+
+let rec relations = function
+  | Access a -> Bitset.singleton a.rel
+  | Join j -> Bitset.union (relations j.outer) (relations j.inner)
+
+let rec n_leaves = function
+  | Access _ -> 1
+  | Join j -> n_leaves j.outer + n_leaves j.inner
+
+let rec n_joins = function
+  | Access _ -> 0
+  | Join j -> 1 + n_joins j.outer + n_joins j.inner
+
+let rec is_left_deep = function
+  | Access _ -> true
+  | Join j -> (match j.inner with Access _ -> is_left_deep j.outer | Join _ -> false)
+
+let rec leaves = function
+  | Access a -> [ a ]
+  | Join j -> leaves j.outer @ leaves j.inner
+
+let rec joins = function
+  | Access _ -> []
+  | Join j -> joins j.outer @ joins j.inner @ [ j ]
+
+let rec fold ~access ~join = function
+  | Access a -> access a
+  | Join j -> join j (fold ~access ~join j.outer) (fold ~access ~join j.inner)
+
+let rec equal a b =
+  match (a, b) with
+  | Access x, Access y ->
+    x.rel = y.rel && Access_path.equal x.path y.path && x.clone = y.clone
+  | Join x, Join y ->
+    Join_method.equal x.method_ y.method_
+    && x.clone = y.clone
+    && x.materialize = y.materialize
+    && equal x.outer y.outer && equal x.inner y.inner
+  | Access _, Join _ | Join _, Access _ -> false
+
+let well_formed ~n_relations t =
+  let ls = leaves t in
+  let ids = List.map (fun a -> a.rel) ls in
+  let sorted = List.sort_uniq compare ids in
+  if List.exists (fun r -> r < 0 || r >= n_relations) ids then
+    Error "relation id out of range"
+  else if List.length sorted <> List.length ids then
+    Error "relation used more than once"
+  else if
+    List.exists (fun (a : access) -> a.clone < 1) ls
+    || List.exists (fun (j : join) -> j.clone < 1) (joins t)
+  then Error "clone degree < 1"
+  else Ok ()
+
+let method_abbrev = function
+  | Join_method.Nested_loops -> "NL"
+  | Join_method.Sort_merge -> "SM"
+  | Join_method.Hash_join -> "HJ"
+
+let rec to_string = function
+  | Access a ->
+    let base =
+      match a.path with
+      | Access_path.Seq_scan -> Printf.sprintf "scan(r%d)" a.rel
+      | Access_path.Index_scan i ->
+        Printf.sprintf "idx(r%d:%s)" a.rel i.Parqo_catalog.Index.name
+    in
+    if a.clone > 1 then Printf.sprintf "%s/%d" base a.clone else base
+  | Join j ->
+    Printf.sprintf "%s%s%s(%s, %s)" (method_abbrev j.method_)
+      (if j.clone > 1 then Printf.sprintf "/%d" j.clone else "")
+      (if j.materialize then "!" else "")
+      (to_string j.outer) (to_string j.inner)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,61 @@
+(** Annotated join trees — the syntactic representation of executions
+    (§3), extended with the parallel annotations of §4: cloning degree and
+    output composition.
+
+    A tree is legal for a query when its leaves are exactly the query's
+    relations, each occurring once (the paper's "each tuple computed
+    exactly once" constraint rules out the redundant bushy shapes). *)
+
+type access = {
+  rel : int;  (** relation id in the query *)
+  path : Access_path.t;
+  clone : int;  (** degree of intra-operator parallelism, >= 1 *)
+}
+
+type join = {
+  method_ : Join_method.t;
+  outer : t;
+  inner : t;
+  clone : int;
+  materialize : bool;
+      (** force the join's output to be materialized instead of pipelined
+          into its parent — trades pipeline parallelism for freedom from
+          the synchronization penalty delta(k) *)
+}
+
+and t = Access of access | Join of join
+
+val access : ?path:Access_path.t -> ?clone:int -> int -> t
+(** [path] defaults to [Seq_scan], [clone] to 1. *)
+
+val join :
+  ?clone:int -> ?materialize:bool -> Join_method.t -> outer:t -> inner:t -> t
+
+val relations : t -> Parqo_util.Bitset.t
+(** Set of relation ids at the leaves. *)
+
+val n_leaves : t -> int
+
+val n_joins : t -> int
+
+val is_left_deep : t -> bool
+(** Every join's inner operand is a base-relation access. *)
+
+val leaves : t -> access list
+(** Left-to-right order. *)
+
+val joins : t -> join list
+(** Post-order. *)
+
+val fold : access:(access -> 'a) -> join:(join -> 'a -> 'a -> 'a) -> t -> 'a
+
+val equal : t -> t -> bool
+
+val well_formed : n_relations:int -> t -> (unit, string) result
+(** Each relation id in range and used exactly once; clone degrees >= 1. *)
+
+val to_string : t -> string
+(** Compact functional rendering, e.g.
+    [HJ(SM(scan(t0), idx(t1)/2), scan(t2))]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type col = { rel : int; column : string }
+type t = col list
+
+let none = []
+
+let of_join_pred_side (r : Parqo_query.Query.column_ref) =
+  { rel = r.Parqo_query.Query.rel; column = r.Parqo_query.Query.column }
+
+let equal_col a b = a.rel = b.rel && String.equal a.column b.column
+
+let equal a b = List.length a = List.length b && List.for_all2 equal_col a b
+
+let rec subsumes strong weak =
+  match (strong, weak) with
+  | _, [] -> true
+  | [], _ -> false
+  | s :: srest, w :: wrest ->
+    if equal_col s w then subsumes srest wrest else false
+
+let satisfies have want = subsumes have want
+
+let to_string t =
+  match t with
+  | [] -> "-"
+  | _ ->
+    String.concat ","
+      (List.map (fun c -> Printf.sprintf "r%d.%s" c.rel c.column) t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Interesting orders — the physical property that makes the System R
+    work metric violate the principle of optimality (§6.1.2), and one of
+    the extra dimensions of a partial-order pruning metric (§6.3).
+
+    An ordering is the sequence of columns by which a stream is sorted,
+    most significant first.  The paper's [<=ordering] relation is
+    "subsequence of": an ordering subsumes another if the latter is a
+    prefix-compatible subsequence of the former. *)
+
+type col = { rel : int; column : string }
+
+type t = col list
+(** [[]] means "no known order". *)
+
+val none : t
+
+val of_join_pred_side : Parqo_query.Query.column_ref -> col
+
+val equal : t -> t -> bool
+
+val subsumes : t -> t -> bool
+(** [subsumes strong weak]: [weak] is a prefix of [strong], i.e. any
+    consumer content with [weak] is content with [strong].  Every ordering
+    subsumes [none]. *)
+
+val satisfies : t -> t -> bool
+(** [satisfies have want] = [subsumes have want]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

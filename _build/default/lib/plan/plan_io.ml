@@ -1,0 +1,130 @@
+module C = Parqo_catalog
+module Q = Parqo_query.Query
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let to_string = Join_tree.to_string
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_spaces st =
+  while peek st = Some ' ' do
+    advance st
+  done
+
+let expect st c =
+  skip_spaces st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected %C at offset %d, found %C" c st.pos c'
+  | None -> fail "expected %C at end of input" c
+
+let literal st s =
+  skip_spaces st;
+  let n = String.length s in
+  if st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+  then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let ident st =
+  skip_spaces st;
+  let start = st.pos in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while
+    match peek st with Some c when is_ident c -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail "expected identifier at offset %d" start;
+  String.sub st.input start (st.pos - start)
+
+let int_lit st =
+  let s = ident st in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "expected integer, found %S" s
+
+(* [/k] and [!] suffixes *)
+let annots st =
+  let clone = if literal st "/" then int_lit st else 1 in
+  let materialize = literal st "!" in
+  (clone, materialize)
+
+let rel_number st =
+  expect st 'r';
+  int_lit st
+
+let parse ~catalog ~query input =
+  let st = { input; pos = 0 } in
+  let find_index name table_name =
+    match
+      List.find_opt
+        (fun (i : C.Index.t) -> i.C.Index.name = name)
+        (C.Catalog.indexes_of catalog table_name)
+    with
+    | Some i -> i
+    | None -> fail "no index %s on table %s" name table_name
+  in
+  let rec plan () =
+    skip_spaces st;
+    if literal st "scan(" then begin
+      let rel = rel_number st in
+      expect st ')';
+      let clone, _ = annots st in
+      Join_tree.access ~clone rel
+    end
+    else if literal st "idx(" then begin
+      let rel = rel_number st in
+      expect st ':';
+      let name = ident st in
+      expect st ')';
+      let clone, _ = annots st in
+      if rel < 0 || rel >= Q.n_relations query then
+        fail "relation r%d out of range" rel;
+      let index = find_index name (Q.table_name query rel) in
+      Join_tree.access ~path:(Access_path.Index_scan index) ~clone rel
+    end
+    else begin
+      let method_ =
+        if literal st "NL" then Join_method.Nested_loops
+        else if literal st "SM" then Join_method.Sort_merge
+        else if literal st "HJ" then Join_method.Hash_join
+        else fail "expected NL, SM, HJ, scan( or idx( at offset %d" st.pos
+      in
+      let clone, materialize = annots st in
+      expect st '(';
+      let outer = plan () in
+      expect st ',';
+      let inner = plan () in
+      expect st ')';
+      Join_tree.join ~clone ~materialize method_ ~outer ~inner
+    end
+  in
+  let tree = plan () in
+  skip_spaces st;
+  if st.pos <> String.length input then fail "trailing input at offset %d" st.pos;
+  (match Join_tree.well_formed ~n_relations:(Q.n_relations query) tree with
+  | Ok () -> ()
+  | Error e -> fail "%s" e);
+  tree
+
+let of_string ~catalog ~query input =
+  match parse ~catalog ~query input with
+  | tree -> Ok tree
+  | exception Error msg -> Error msg
+
+let of_string_exn ~catalog ~query input =
+  match of_string ~catalog ~query input with
+  | Ok tree -> tree
+  | Error msg -> invalid_arg ("Plan_io.of_string: " ^ msg)

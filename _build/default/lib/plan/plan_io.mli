@@ -1,0 +1,30 @@
+(** Textual round-tripping of annotated join trees.
+
+    The format is exactly {!Join_tree.to_string}'s compact rendering:
+    {v
+    plan   := join | access
+    join   := ("NL"|"SM"|"HJ") annots "(" plan ", " plan ")"
+    access := "scan(rN)" annots | "idx(rN:index_name)" annots
+    annots := ["/" degree] ["!"]        -- cloning, materialized output
+    v}
+    e.g. [HJ/4!(SM(scan(r0), idx(r1:t1_pk)), scan(r2))].  Index names are
+    resolved against the catalog; relation numbers against the query. *)
+
+val to_string : Join_tree.t -> string
+(** Alias of {!Join_tree.to_string}. *)
+
+val of_string :
+  catalog:Parqo_catalog.Catalog.t ->
+  query:Parqo_query.Query.t ->
+  string ->
+  (Join_tree.t, string) result
+(** Parses the format above and validates well-formedness against the
+    query (every relation exactly once, indexes exist and target the
+    right tables). *)
+
+val of_string_exn :
+  catalog:Parqo_catalog.Catalog.t ->
+  query:Parqo_query.Query.t ->
+  string ->
+  Join_tree.t
+(** Raises [Invalid_argument] with the parse error. *)

@@ -1,0 +1,38 @@
+module Q = Parqo_query.Query
+module Bitset = Parqo_util.Bitset
+
+let join_preds query (j : Join_tree.join) =
+  Q.joins_between query
+    (Join_tree.relations j.outer)
+    (Join_tree.relations j.inner)
+
+(* For a predicate, the column reference on the side inside [set]. *)
+let side_in set (p : Q.join_pred) =
+  if Bitset.mem p.left.Q.rel set then p.left else p.right
+
+let sort_key_outer query (j : Join_tree.join) =
+  let outer = Join_tree.relations j.outer in
+  List.map (fun p -> Ordering.of_join_pred_side (side_in outer p)) (join_preds query j)
+
+let sort_key_inner query (j : Join_tree.join) =
+  let inner = Join_tree.relations j.inner in
+  List.map (fun p -> Ordering.of_join_pred_side (side_in inner p)) (join_preds query j)
+
+let rec ordering query = function
+  | Join_tree.Access a ->
+    if a.clone > 1 then Ordering.none else Access_path.ordering ~rel:a.rel a.path
+  | Join_tree.Join j ->
+    if j.clone > 1 then Ordering.none
+    else (
+      match j.method_ with
+      | Join_method.Sort_merge -> sort_key_outer query j
+      | Join_method.Hash_join | Join_method.Nested_loops -> ordering query j.outer)
+
+let partition_column query = function
+  | Join_tree.Access _ -> None
+  | Join_tree.Join j ->
+    if j.clone <= 1 then None
+    else (
+      match sort_key_outer query j with
+      | [] -> None
+      | col :: _ -> Some col)

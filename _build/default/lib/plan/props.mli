@@ -1,0 +1,28 @@
+(** Physical properties of join-tree outputs.
+
+    These are the plan-dependent properties whose existence breaks the
+    principle of optimality for the work metric (interesting orders,
+    §6.1.2) and for response time (resource placement, §6.1.3); the
+    partial-order pruning metrics expose them as extra dimensions. *)
+
+val join_preds :
+  Parqo_query.Query.t -> Join_tree.join -> Parqo_query.Query.join_pred list
+(** The query's equi-join predicates connecting the join's two subtrees
+    (possibly empty: a cartesian product). *)
+
+val sort_key_outer : Parqo_query.Query.t -> Join_tree.join -> Ordering.t
+(** Sort key required on the outer side for a sort-merge join: the outer
+    columns of every connecting predicate. *)
+
+val sort_key_inner : Parqo_query.Query.t -> Join_tree.join -> Ordering.t
+
+val ordering : Parqo_query.Query.t -> Join_tree.t -> Ordering.t
+(** Output ordering: access paths yield their index order; sort-merge
+    yields the outer sort key; hash and nested-loops joins preserve the
+    outer ordering. Any operator cloned beyond degree 1 destroys global
+    order (its output is a union of partitioned streams). *)
+
+val partition_column :
+  Parqo_query.Query.t -> Join_tree.t -> Ordering.col option
+(** Attribute on which the output is hash-partitioned, when the top
+    operator is cloned on a join attribute. *)

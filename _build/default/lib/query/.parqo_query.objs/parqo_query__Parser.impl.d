@@ -1,0 +1,1 @@
+lib/query/parser.ml: List Parqo_catalog Printf Query String

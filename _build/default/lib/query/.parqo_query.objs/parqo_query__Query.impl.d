@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Buffer Format List Parqo_catalog Parqo_util Printf String

@@ -1,0 +1,1 @@
+lib/query/query_gen.ml: Array Float List Parqo_catalog Parqo_util Printf Query

@@ -1,0 +1,1 @@
+lib/query/query_gen.mli: Parqo_catalog Parqo_util Query

@@ -1,0 +1,300 @@
+module C = Parqo_catalog
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Comma
+  | Dot
+  | Star
+  | Op of string
+  | Kw of string  (* SELECT FROM WHERE AND *)
+  | Eof
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let keywords = [ "select"; "from"; "where"; "and"; "order"; "by" ]
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ',' then (emit Comma; incr i)
+    else if c = '.' && not (!i + 1 < n && is_digit input.[!i + 1]) then (emit Dot; incr i)
+    else if c = '*' then (emit Star; incr i)
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      while !j < n && input.[!j] <> '\'' do incr j done;
+      if !j >= n then fail "unterminated string literal at offset %d" !i;
+      emit (Str_lit (String.sub input (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1]) then begin
+      let j = ref (!i + 1) in
+      let seen_dot = ref false in
+      while
+        !j < n
+        && (is_digit input.[!j] || (input.[!j] = '.' && not !seen_dot))
+      do
+        if input.[!j] = '.' then seen_dot := true;
+        incr j
+      done;
+      let text = String.sub input !i (!j - !i) in
+      if !seen_dot then emit (Float_lit (float_of_string text))
+      else emit (Int_lit (int_of_string text));
+      i := !j
+    end
+    else if c = '=' then (emit (Op "="); incr i)
+    else if c = '<' || c = '>' || c = '!' then begin
+      let two =
+        if !i + 1 < n then String.sub input !i 2 else String.make 1 c
+      in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" -> (emit (Op two); i := !i + 2)
+      | _ ->
+        if c = '!' then fail "unexpected '!' at offset %d" !i;
+        emit (Op (String.make 1 c));
+        incr i
+    end
+    else if is_ident_char c && not (is_digit c) then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do incr j done;
+      let word = String.sub input !i (!j - !i) in
+      let lower = String.lowercase_ascii word in
+      if List.mem lower keywords then emit (Kw lower) else emit (Ident word);
+      i := !j
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  emit Eof;
+  List.rev !tokens
+
+type operand =
+  | Col of string option * string  (* qualifier, column *)
+  | Lit of C.Value.t
+
+type raw_pred = { lhs : operand; op : string; rhs : operand }
+
+(* recursive-descent parser over the token list *)
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_kw st kw =
+  match peek st with
+  | Kw k when k = kw -> advance st
+  | t ->
+    fail "expected %s, got %s" (String.uppercase_ascii kw)
+      (match t with
+      | Ident s -> s
+      | Kw s -> String.uppercase_ascii s
+      | Eof -> "end of input"
+      | _ -> "punctuation")
+
+let parse_ident st =
+  match peek st with
+  | Ident s -> advance st; s
+  | _ -> fail "expected identifier"
+
+let parse_colref st =
+  let first = parse_ident st in
+  match peek st with
+  | Dot ->
+    advance st;
+    let column = parse_ident st in
+    Col (Some first, column)
+  | _ -> Col (None, first)
+
+let parse_operand st =
+  match peek st with
+  | Int_lit v -> advance st; Lit (C.Value.Int v)
+  | Float_lit v -> advance st; Lit (C.Value.Flt v)
+  | Str_lit v -> advance st; Lit (C.Value.Str v)
+  | Ident _ -> parse_colref st
+  | _ -> fail "expected column or literal"
+
+let parse_pred st =
+  let lhs = parse_operand st in
+  let op =
+    match peek st with
+    | Op o -> advance st; o
+    | _ -> fail "expected comparison operator"
+  in
+  let rhs = parse_operand st in
+  { lhs; op; rhs }
+
+let parse_projection st =
+  match peek st with
+  | Star -> advance st; []
+  | _ ->
+    let rec items acc =
+      let c = parse_colref st in
+      match peek st with
+      | Comma -> advance st; items (c :: acc)
+      | _ -> List.rev (c :: acc)
+    in
+    items []
+
+let parse_relations st =
+  let rec rels acc =
+    let table = parse_ident st in
+    let alias = match peek st with Ident a -> advance st; a | _ -> table in
+    let acc = (alias, table) :: acc in
+    match peek st with Comma -> advance st; rels acc | _ -> List.rev acc
+  in
+  rels []
+
+let parse_preds st =
+  let rec preds acc =
+    let p = parse_pred st in
+    match peek st with
+    | Kw "and" -> advance st; preds (p :: acc)
+    | _ -> List.rev (p :: acc)
+  in
+  preds []
+
+let cmp_of_op = function
+  | "=" -> Query.Eq
+  | "<>" | "!=" -> Query.Ne
+  | "<" -> Query.Lt
+  | "<=" -> Query.Le
+  | ">" -> Query.Gt
+  | ">=" -> Query.Ge
+  | o -> fail "unknown operator %s" o
+
+let flip = function
+  | Query.Eq -> Query.Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+(* Resolution: bind qualifiers to aliases, find unique owners of
+   unqualified columns, classify predicates as joins or selections. *)
+let resolve catalog relations projection preds order_by =
+  let n = List.length relations in
+  List.iter
+    (fun (_, table) ->
+      if C.Catalog.find_table catalog table = None then
+        fail "unknown table %s" table)
+    relations;
+  let alias_id a =
+    let rec find i = function
+      | [] -> fail "unknown alias %s" a
+      | (alias, _) :: rest -> if alias = a then i else find (i + 1) rest
+    in
+    find 0 relations
+  in
+  let table_of i = snd (List.nth relations i) in
+  let resolve_col qualifier column =
+    match qualifier with
+    | Some a ->
+      let rel = alias_id a in
+      (match C.Catalog.find_table catalog (table_of rel) with
+      | None -> fail "unknown table %s" (table_of rel)
+      | Some t ->
+        if not (C.Table.has_column t column) then
+          fail "no column %s in table %s" column (table_of rel));
+      { Query.rel; column }
+    | None ->
+      let owners =
+        List.filteri (fun _ _ -> true) (List.init n (fun i -> i))
+        |> List.filter (fun i ->
+               match C.Catalog.find_table catalog (table_of i) with
+               | None -> false
+               | Some t -> C.Table.has_column t column)
+      in
+      (match owners with
+      | [ rel ] -> { Query.rel; column }
+      | [] -> fail "no relation has column %s" column
+      | _ -> fail "ambiguous column %s" column)
+  in
+  let joins = ref [] and selections = ref [] in
+  List.iter
+    (fun { lhs; op; rhs } ->
+      let cmp = cmp_of_op op in
+      match (lhs, rhs) with
+      | Col (q1, c1), Col (q2, c2) ->
+        if cmp <> Query.Eq then fail "join predicates must be equalities";
+        let left = resolve_col q1 c1 and right = resolve_col q2 c2 in
+        if left.Query.rel = right.Query.rel then
+          fail "predicate %s.%s = %s.%s relates a relation to itself" c1 c1 c2 c2;
+        joins := { Query.left; right } :: !joins
+      | Col (q, c), Lit v ->
+        selections := { Query.on = resolve_col q c; cmp; value = v } :: !selections
+      | Lit v, Col (q, c) ->
+        selections :=
+          { Query.on = resolve_col q c; cmp = flip cmp; value = v } :: !selections
+      | Lit _, Lit _ -> fail "predicate between two literals")
+    preds;
+  let resolve_cols what cols =
+    List.map
+      (fun op ->
+        match op with
+        | Col (q, c) -> resolve_col q c
+        | Lit _ -> fail "literal in %s" what)
+      (List.map (fun (q, c) -> Col (q, c)) cols)
+  in
+  let projection = resolve_cols "projection" projection in
+  let order_by = resolve_cols "order by" order_by in
+  Query.create ~relations ~joins:(List.rev !joins)
+    ~selections:(List.rev !selections) ~projection ~order_by ()
+
+let parse ~catalog input =
+  try
+    let st = { toks = lex input } in
+    expect_kw st "select";
+    let projection = parse_projection st in
+    expect_kw st "from";
+    let relations = parse_relations st in
+    let preds =
+      match peek st with
+      | Kw "where" -> advance st; parse_preds st
+      | _ -> []
+    in
+    let order_by =
+      match peek st with
+      | Kw "order" ->
+        advance st;
+        expect_kw st "by";
+        let rec cols acc =
+          let c = parse_colref st in
+          match peek st with
+          | Comma -> advance st; cols (c :: acc)
+          | _ -> List.rev (c :: acc)
+        in
+        cols []
+      | _ -> []
+    in
+    (match peek st with
+    | Eof -> ()
+    | _ -> fail "trailing input after query");
+    let as_pair = function Col (q, c) -> (q, c) | Lit _ -> assert false in
+    Ok
+      (resolve catalog relations
+         (List.map as_pair projection)
+         preds
+         (List.map as_pair order_by))
+  with
+  | Parse_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_exn ~catalog input =
+  match parse ~catalog input with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Parser.parse: " ^ msg)

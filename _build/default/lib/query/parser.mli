@@ -1,0 +1,24 @@
+(** A small SQL-ish front-end for SPJ queries.
+
+    Grammar (case-insensitive keywords, {e braces} denote repetition and
+    brackets optionality):
+    {v
+    query   ::= SELECT cols FROM rel {"," rel}
+                [WHERE pred {AND pred}] [ORDER BY colref {"," colref}]
+    cols    ::= "*" | colref {"," colref}
+    rel     ::= ident [ident]             -- table with optional alias
+    pred    ::= operand cmp operand
+    operand ::= colref | int | float | 'string'
+    colref  ::= ident "." ident | ident   -- unqualified resolved via catalog
+    cmp     ::= "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+    v}
+
+    A predicate relating two column references must be an equality (equi-
+    join); one relating a column to a literal becomes a selection. *)
+
+val parse : catalog:Parqo_catalog.Catalog.t -> string -> (Query.t, string) result
+(** Parses and resolves a query against the catalog.  Errors carry a
+    human-readable message with the offending position or name. *)
+
+val parse_exn : catalog:Parqo_catalog.Catalog.t -> string -> Query.t
+(** Raises [Invalid_argument] with the error message. *)

@@ -1,0 +1,173 @@
+module Bitset = Parqo_util.Bitset
+
+type column_ref = { rel : int; column : string }
+type join_pred = { left : column_ref; right : column_ref }
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type selection = { on : column_ref; cmp : cmp; value : Parqo_catalog.Value.t }
+
+type t = {
+  relations : (string * string) array;
+  joins : join_pred list;
+  selections : selection list;
+  projection : column_ref list;
+  order_by : column_ref list;
+}
+
+let create ~relations ~joins ?(selections = []) ?(projection = [])
+    ?(order_by = []) () =
+  let aliases = List.map fst relations in
+  if List.length (List.sort_uniq String.compare aliases) <> List.length aliases
+  then invalid_arg "Query.create: duplicate alias";
+  let n = List.length relations in
+  let check_ref what (r : column_ref) =
+    if r.rel < 0 || r.rel >= n then
+      invalid_arg ("Query.create: " ^ what ^ " references invalid relation")
+  in
+  List.iter
+    (fun (j : join_pred) ->
+      check_ref "join" j.left;
+      check_ref "join" j.right;
+      if j.left.rel = j.right.rel then
+        invalid_arg "Query.create: join predicate within one relation")
+    joins;
+  List.iter (fun (s : selection) -> check_ref "selection" s.on) selections;
+  List.iter (fun c -> check_ref "projection" c) projection;
+  List.iter (fun c -> check_ref "order by" c) order_by;
+  { relations = Array.of_list relations; joins; selections; projection; order_by }
+
+let n_relations q = Array.length q.relations
+let alias q i = fst q.relations.(i)
+let table_name q i = snd q.relations.(i)
+
+let relation_id q a =
+  let rec find i =
+    if i >= Array.length q.relations then raise Not_found
+    else if fst q.relations.(i) = a then i
+    else find (i + 1)
+  in
+  find 0
+
+let joins_between q s1 s2 =
+  List.filter
+    (fun (j : join_pred) ->
+      (Bitset.mem j.left.rel s1 && Bitset.mem j.right.rel s2)
+      || (Bitset.mem j.left.rel s2 && Bitset.mem j.right.rel s1))
+    q.joins
+
+let joins_within q s =
+  List.filter
+    (fun (j : join_pred) -> Bitset.mem j.left.rel s && Bitset.mem j.right.rel s)
+    q.joins
+
+let selections_on q rel =
+  List.filter (fun (s : selection) -> s.on.rel = rel) q.selections
+
+let neighbors q rel =
+  List.fold_left
+    (fun acc (j : join_pred) ->
+      if j.left.rel = rel then Bitset.add j.right.rel acc
+      else if j.right.rel = rel then Bitset.add j.left.rel acc
+      else acc)
+    Bitset.empty q.joins
+
+let connected q s =
+  if Bitset.cardinal s <= 1 then true
+  else begin
+    let start = Bitset.choose s in
+    let rec grow frontier visited =
+      if Bitset.is_empty frontier then visited
+      else begin
+        let next =
+          Bitset.fold
+            (fun r acc -> Bitset.union acc (Bitset.inter (neighbors q r) s))
+            frontier Bitset.empty
+        in
+        let fresh = Bitset.diff next visited in
+        grow fresh (Bitset.union visited fresh)
+      end
+    in
+    let reached = grow (Bitset.singleton start) (Bitset.singleton start) in
+    Bitset.equal reached s
+  end
+
+let validate catalog q =
+  let module C = Parqo_catalog in
+  let check_ref (r : column_ref) =
+    let tname = table_name q r.rel in
+    match C.Catalog.find_table catalog tname with
+    | None -> Error (Printf.sprintf "unknown table %s" tname)
+    | Some t ->
+      if C.Table.has_column t r.column then Ok ()
+      else Error (Printf.sprintf "unknown column %s.%s" tname r.column)
+  in
+  let refs =
+    List.concat_map (fun (j : join_pred) -> [ j.left; j.right ]) q.joins
+    @ List.map (fun (s : selection) -> s.on) q.selections
+    @ q.projection
+    @ q.order_by
+    @ List.init (n_relations q) (fun _ -> { rel = 0; column = "" })
+  in
+  (* relation aliases themselves must resolve even with no predicates *)
+  let rec check_tables i =
+    if i >= n_relations q then Ok ()
+    else
+      match C.Catalog.find_table catalog (table_name q i) with
+      | None -> Error (Printf.sprintf "unknown table %s" (table_name q i))
+      | Some _ -> check_tables (i + 1)
+  in
+  match check_tables 0 with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec check = function
+      | [] -> Ok ()
+      | r :: rest when r.column = "" -> check rest
+      | r :: rest -> ( match check_ref r with Ok () -> check rest | e -> e)
+    in
+    check refs
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_column_ref q ppf (r : column_ref) =
+  Format.fprintf ppf "%s.%s" (alias q r.rel) r.column
+
+let to_sql q =
+  let buf = Buffer.create 128 in
+  let col (r : column_ref) = Printf.sprintf "%s.%s" (alias q r.rel) r.column in
+  Buffer.add_string buf "SELECT ";
+  (match q.projection with
+  | [] -> Buffer.add_string buf "*"
+  | cols -> Buffer.add_string buf (String.concat ", " (List.map col cols)));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (Array.to_list q.relations
+       |> List.map (fun (a, t) -> if a = t then t else t ^ " " ^ a)));
+  let preds =
+    List.map
+      (fun (j : join_pred) -> Printf.sprintf "%s = %s" (col j.left) (col j.right))
+      q.joins
+    @ List.map
+        (fun (s : selection) ->
+          Printf.sprintf "%s %s %s" (col s.on) (cmp_to_string s.cmp)
+            (match s.value with
+            | Parqo_catalog.Value.Str str -> "'" ^ str ^ "'"
+            | v -> Parqo_catalog.Value.to_string v))
+        q.selections
+  in
+  if preds <> [] then begin
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (String.concat " AND " preds)
+  end;
+  if q.order_by <> [] then begin
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf (String.concat ", " (List.map col q.order_by))
+  end;
+  Buffer.contents buf
+
+let pp ppf q = Format.pp_print_string ppf (to_sql q)

@@ -1,0 +1,74 @@
+(** Select-Project-Join queries — the query class of the paper.
+
+    A query binds aliases to catalog tables, conjoins equi-join predicates
+    and single-column selections, and optionally projects.  Relations are
+    identified by their dense index in [relations] ("relation ids"), which
+    is what plans, bitsets and the estimator speak. *)
+
+type column_ref = { rel : int; column : string }
+(** [rel] is a relation id. *)
+
+type join_pred = { left : column_ref; right : column_ref }
+(** Equality predicate [left = right] with [left.rel <> right.rel]. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type selection = { on : column_ref; cmp : cmp; value : Parqo_catalog.Value.t }
+
+type t = private {
+  relations : (string * string) array;  (** (alias, table name) *)
+  joins : join_pred list;
+  selections : selection list;
+  projection : column_ref list;  (** empty means "all columns" *)
+  order_by : column_ref list;
+      (** requested output ordering, most significant first; plans whose
+          interesting order already satisfies it avoid a final sort *)
+}
+
+val create :
+  relations:(string * string) list ->
+  joins:join_pred list ->
+  ?selections:selection list ->
+  ?projection:column_ref list ->
+  ?order_by:column_ref list ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on duplicate aliases, out-of-range relation
+    ids, or a join predicate relating a relation to itself. *)
+
+val n_relations : t -> int
+
+val alias : t -> int -> string
+
+val table_name : t -> int -> string
+
+val relation_id : t -> string -> int
+(** Id of an alias. Raises [Not_found]. *)
+
+val joins_between : t -> Parqo_util.Bitset.t -> Parqo_util.Bitset.t -> join_pred list
+(** Join predicates with one side in each (disjoint) set. *)
+
+val joins_within : t -> Parqo_util.Bitset.t -> join_pred list
+(** Join predicates with both sides inside the set. *)
+
+val selections_on : t -> int -> selection list
+
+val neighbors : t -> int -> Parqo_util.Bitset.t
+(** Relations connected to the given relation by some join predicate. *)
+
+val connected : t -> Parqo_util.Bitset.t -> bool
+(** Whether the join graph restricted to the set is connected (true for
+    empty and singleton sets). *)
+
+val validate : Parqo_catalog.Catalog.t -> t -> (unit, string) result
+(** Every alias resolves to a catalog table and every referenced column
+    exists. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_sql : t -> string
+(** A parseable SQL-ish rendering (inverse of {!Parser.parse}). *)
+
+val pp_column_ref : t -> Format.formatter -> column_ref -> unit
+
+val cmp_to_string : cmp -> string

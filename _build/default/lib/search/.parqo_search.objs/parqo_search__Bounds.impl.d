@@ -1,0 +1,1 @@
+lib/search/bounds.ml: Float Parqo_cost Printf

@@ -1,0 +1,1 @@
+lib/search/bounds.mli: Parqo_cost

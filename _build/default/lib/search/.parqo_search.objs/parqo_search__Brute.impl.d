@@ -1,0 +1,1 @@
+lib/search/brute.ml: List Parqo_cost Parqo_util Search_stats Space

@@ -1,0 +1,1 @@
+lib/search/brute.mli: Parqo_cost Search_stats Space

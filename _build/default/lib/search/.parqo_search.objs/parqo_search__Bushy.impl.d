@@ -1,0 +1,1 @@
+lib/search/bushy.ml: Array Cover List Metric Option Parqo_cost Parqo_util Search_stats Space

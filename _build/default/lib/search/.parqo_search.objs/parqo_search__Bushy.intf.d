@@ -1,0 +1,1 @@
+lib/search/bushy.mli: Metric Parqo_cost Search_stats Space

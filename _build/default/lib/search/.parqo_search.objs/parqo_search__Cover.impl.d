@@ -1,0 +1,1 @@
+lib/search/cover.ml: Float List

@@ -1,0 +1,1 @@
+lib/search/dp.ml: Array List Parqo_cost Parqo_plan Parqo_util Search_stats Space

@@ -1,0 +1,1 @@
+lib/search/dp.mli: Parqo_cost Search_stats Space

@@ -1,0 +1,1 @@
+lib/search/greedy.ml: Array List Parqo_cost Parqo_plan Random_plans Space

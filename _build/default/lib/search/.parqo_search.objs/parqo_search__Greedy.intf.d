@@ -1,0 +1,1 @@
+lib/search/greedy.mli: Parqo_cost Parqo_util Space

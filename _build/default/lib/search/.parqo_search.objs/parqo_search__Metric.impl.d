@@ -1,0 +1,1 @@
+lib/search/metric.ml: Array Format Parqo_cost Parqo_machine Parqo_optree Parqo_plan Parqo_util Printf

@@ -1,0 +1,1 @@
+lib/search/metric.mli: Format Parqo_cost Parqo_machine

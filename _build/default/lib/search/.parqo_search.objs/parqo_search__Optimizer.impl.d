@@ -1,0 +1,1 @@
+lib/search/optimizer.ml: Bounds Bushy Dp List Logs Metric Option Parqo_cost Parqo_machine Parqo_plan Podp Search_stats Space

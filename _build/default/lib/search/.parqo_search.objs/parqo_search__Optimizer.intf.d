@@ -1,0 +1,1 @@
+lib/search/optimizer.mli: Bounds Metric Parqo_cost Search_stats Space

@@ -1,0 +1,1 @@
+lib/search/podp.ml: Array Cover List Metric Parqo_cost Parqo_util Search_stats Space

@@ -1,0 +1,1 @@
+lib/search/podp.mli: Metric Parqo_cost Search_stats Space

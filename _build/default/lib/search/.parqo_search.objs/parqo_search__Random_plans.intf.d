@@ -1,0 +1,1 @@
+lib/search/random_plans.mli: Parqo_cost Parqo_plan Parqo_util Space

@@ -1,0 +1,1 @@
+lib/search/search_stats.ml: Format

@@ -1,0 +1,1 @@
+lib/search/space.ml: List Parqo_catalog Parqo_cost Parqo_machine Parqo_plan Parqo_query Parqo_util

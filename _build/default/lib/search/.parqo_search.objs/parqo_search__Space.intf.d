@@ -1,0 +1,1 @@
+lib/search/space.mli: Parqo_cost Parqo_machine Parqo_plan Parqo_util

@@ -1,0 +1,1 @@
+lib/search/twophase.ml: Dp List Parqo_cost Parqo_plan Search_stats Space

@@ -1,0 +1,1 @@
+lib/search/twophase.mli: Parqo_cost Search_stats Space

@@ -1,0 +1,25 @@
+module Cm = Parqo_cost.Costmodel
+
+type t =
+  | Unbounded
+  | Throughput_degradation of float
+  | Cost_benefit of float
+
+let partial_work_cap t ~work_opt ~rt_opt =
+  match t with
+  | Unbounded -> None
+  | Throughput_degradation k -> Some (k *. work_opt)
+  | Cost_benefit k -> Some (work_opt +. (k *. rt_opt))
+
+let admits t ~work_opt ~rt_opt (e : Cm.eval) =
+  match t with
+  | Unbounded -> true
+  | Throughput_degradation k -> e.Cm.work <= (k *. work_opt) +. 1e-9
+  | Cost_benefit k ->
+    e.Cm.work <= work_opt +. 1e-9
+    || e.Cm.work -. work_opt <= (k *. Float.max 0. (rt_opt -. e.Cm.response_time)) +. 1e-9
+
+let to_string = function
+  | Unbounded -> "unbounded"
+  | Throughput_degradation k -> Printf.sprintf "throughput-degradation(%.2f)" k
+  | Cost_benefit k -> Printf.sprintf "cost-benefit(%.2f)" k

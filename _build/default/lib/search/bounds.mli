@@ -1,0 +1,29 @@
+(** Work bounds (§2): the two ways a system administrator limits the
+    extra work traded for response time, implemented as search pruning
+    (§6.4) plus a final feasibility check.
+
+    Both bounds are expressed relative to the work-optimal plan's work
+    [W_o] and response time [T_o]:
+    - [Throughput_degradation k]: admit plans with [W_p <= k * W_o];
+    - [Cost_benefit k]: every unit of response-time improvement may buy
+      at most [k] units of extra work, [W_p - W_o <= k * (T_o - T_p)].
+      (The paper prints the inequality inverted; see DESIGN.md.)
+
+    Because total work only grows when a partial plan is extended, each
+    bound yields an admissible work cap on partial plans; the cost–benefit
+    bound additionally needs an exact check on complete plans. *)
+
+type t =
+  | Unbounded
+  | Throughput_degradation of float  (** factor [k >= 1] *)
+  | Cost_benefit of float  (** ratio [k >= 0] *)
+
+val partial_work_cap : t -> work_opt:float -> rt_opt:float -> float option
+(** Largest total work any (partial or complete) admissible plan may
+    have: [k * W_o] resp. [W_o + k * T_o]; [None] when unbounded. *)
+
+val admits : t -> work_opt:float -> rt_opt:float -> Parqo_cost.Costmodel.eval -> bool
+(** Exact feasibility of a complete plan. The work-optimal plan itself is
+    always admissible. *)
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(** Exhaustive enumeration — the "brute force" rows of Table 1 and the
+    ground truth the DP variants are verified against in the tests.
+
+    Enumeration covers every join order in the requested tree shape and
+    every annotation combination the space config generates; use
+    {!Space.minimal_config} to count pure join orders (n! left-deep,
+    (2(n-1))!/(n-1)! bushy). *)
+
+type result = {
+  best : Parqo_cost.Costmodel.eval option;
+  n_plans : int;  (** complete plans enumerated *)
+  stats : Search_stats.t;
+}
+
+val leftdeep :
+  ?config:Space.config ->
+  ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  ?on_plan:(Parqo_cost.Costmodel.eval -> unit) ->
+  Parqo_cost.Env.t ->
+  result
+(** Enumerates all left-deep plans (cartesian joins included, so counts
+    are shape-independent). [objective] defaults to response time.
+    Exponential: intended for n <= 8 with the minimal config. *)
+
+val bushy :
+  ?config:Space.config ->
+  ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  ?on_plan:(Parqo_cost.Costmodel.eval -> unit) ->
+  Parqo_cost.Env.t ->
+  result
+(** Enumerates all bushy plans. Intended for n <= 5. *)

@@ -1,0 +1,33 @@
+(** Dynamic programming over bushy join trees (§6.4, [GHK92]).
+
+    Bushy trees expose more independent parallelism — two composite
+    subtrees can execute concurrently — at an O(3^n) search cost.  Both
+    the scalar-objective variant (the bushy analogue of Figure 1) and the
+    partial-order variant (of Figure 2) enumerate, for every relation
+    subset, every ordered split into two non-empty disjoint parts. *)
+
+type result = {
+  best : Parqo_cost.Costmodel.eval option;
+  cover : Parqo_cost.Costmodel.eval list;  (** singleton for the scalar variant *)
+  stats : Search_stats.t;
+  level_sizes : int array;
+}
+
+val optimize_scalar :
+  ?config:Space.config ->
+  ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  Parqo_cost.Env.t ->
+  result
+(** Bushy DP with a totally-ordered objective (default: work). *)
+
+val optimize_po :
+  ?config:Space.config ->
+  ?rank:(Parqo_cost.Costmodel.eval -> float) ->
+  ?work_cap:float ->
+  ?final_filter:(Parqo_cost.Costmodel.eval -> bool) ->
+  ?max_cover:int ->
+  metric:Metric.t ->
+  Parqo_cost.Env.t ->
+  result
+(** Bushy partial-order DP (default rank: response time); [max_cover]
+    beam-bounds cover sets as in {!Podp.optimize}. *)

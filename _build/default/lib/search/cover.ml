@@ -1,0 +1,31 @@
+type 'a t = { dominates : 'a -> 'a -> bool; mutable elements : 'a list }
+
+let create ~dominates = { dominates; elements = [] }
+
+let is_covered t x = List.exists (fun e -> t.dominates e x) t.elements
+
+let add t x =
+  if is_covered t x then false
+  else begin
+    t.elements <- x :: List.filter (fun e -> not (t.dominates x e)) t.elements;
+    true
+  end
+
+let elements t = t.elements
+let size t = List.length t.elements
+
+let trim t ~keep ~rank =
+  if keep < 1 then invalid_arg "Cover.trim: keep < 1";
+  if List.length t.elements > keep then begin
+    let sorted =
+      List.sort (fun a b -> Float.compare (rank a) (rank b)) t.elements
+    in
+    t.elements <- List.filteri (fun i _ -> i < keep) sorted
+  end
+
+let of_list ~dominates xs =
+  let t = create ~dominates in
+  List.iter (fun x -> ignore (add t x)) xs;
+  t
+
+let pareto ~dominates xs = elements (of_list ~dominates xs)

@@ -1,0 +1,35 @@
+(** Cover sets (§6.2): the set of pairwise-incomparable minimal elements
+    kept per relation subset by the partial-order DP.
+
+    [add] maintains the invariant incrementally: a new element enters only
+    if no current element dominates it, and evicts the elements it
+    dominates.  The module is generic in the dominance relation so the
+    Theorem 3 Monte-Carlo experiment can reuse it on raw points. *)
+
+type 'a t
+
+val create : dominates:('a -> 'a -> bool) -> 'a t
+(** [dominates a b] must be a partial preorder ("a is at least as good as
+    b in every dimension"). *)
+
+val add : 'a t -> 'a -> bool
+(** Returns [true] if the element was inserted (possibly evicting
+    dominated ones), [false] if it was covered by an existing element. *)
+
+val elements : 'a t -> 'a list
+(** Current cover, in unspecified order. *)
+
+val size : 'a t -> int
+
+val is_covered : 'a t -> 'a -> bool
+
+val trim : 'a t -> keep:int -> rank:('a -> float) -> unit
+(** Beam bound: if the cover exceeds [keep] elements, retain the [keep]
+    best (smallest) by [rank].  This deliberately breaks the exact-cover
+    guarantee — Figure 2 with a practical size cap — and is only applied
+    when the caller opts in. *)
+
+val of_list : dominates:('a -> 'a -> bool) -> 'a list -> 'a t
+
+val pareto : dominates:('a -> 'a -> bool) -> 'a list -> 'a list
+(** One-shot cover of a list. *)

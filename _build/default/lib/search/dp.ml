@@ -1,0 +1,80 @@
+module Cm = Parqo_cost.Costmodel
+module Bitset = Parqo_util.Bitset
+module Env = Parqo_cost.Env
+module P = Parqo_plan
+
+type result = {
+  best : Cm.eval option;
+  stats : Search_stats.t;
+  level_sizes : int array;
+}
+
+let best_of objective candidates current =
+  List.fold_left
+    (fun acc cand ->
+      match acc with
+      | None -> Some cand
+      | Some b -> if objective cand < objective b then Some cand else Some b)
+    current candidates
+
+let optimize ?(config = Space.default_config)
+    ?(objective = fun (e : Cm.eval) -> e.Cm.work) (env : Env.t) =
+  let n = Env.n_relations env in
+  let stats = Search_stats.create () in
+  let memo : Cm.eval option array = Array.make (1 lsl n) None in
+  let level_sizes = Array.make (n + 1) 0 in
+  let eval_all trees =
+    Search_stats.generated stats (List.length trees);
+    List.map (Cm.evaluate env) trees
+  in
+  (* accessPlan *)
+  for rel = 0 to n - 1 do
+    Search_stats.considered stats 1;
+    let candidates = eval_all (Space.access_plans env config rel) in
+    memo.(Bitset.to_int (Bitset.singleton rel)) <- best_of objective candidates None
+  done;
+  level_sizes.(1) <- n;
+  (* increasingly larger subsets *)
+  for size = 2 to n do
+    let subsets = Bitset.subsets_of_size n ~size in
+    List.iter
+      (fun s ->
+        let extend ~require_connection best =
+          Bitset.fold
+            (fun j best ->
+              let s_j = Bitset.remove j s in
+              match memo.(Bitset.to_int s_j) with
+              | None -> best
+              | Some p ->
+                if
+                  require_connection
+                  && not (Space.connects env s_j (Bitset.singleton j))
+                then best
+                else begin
+                  Search_stats.considered stats 1;
+                  let candidates =
+                    eval_all
+                      (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j)
+                  in
+                  best_of objective candidates best
+                end)
+            s best
+        in
+        let best =
+          match extend ~require_connection:true None with
+          | Some _ as b -> b
+          | None -> extend ~require_connection:false None
+        in
+        (match best with
+        | Some _ -> level_sizes.(size) <- level_sizes.(size) + 1
+        | None -> ());
+        memo.(Bitset.to_int s) <- best)
+      subsets;
+    Search_stats.observe_stored stats level_sizes.(size)
+  done;
+  Search_stats.observe_stored stats level_sizes.(1);
+  {
+    best = (if n = 0 then None else memo.(Bitset.to_int (Bitset.full n)));
+    stats;
+    level_sizes;
+  }

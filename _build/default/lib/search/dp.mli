@@ -1,0 +1,25 @@
+(** Figure 1: the System R dynamic-programming algorithm over left-deep
+    join trees, with a scalar (totally ordered) objective.
+
+    With the default [objective = work] this is the traditional work
+    optimizer.  Passing [objective = response time] demonstrates the
+    paper's point (§6.1.3): the algorithm runs, but its single-plan
+    memoization is unsound for response time, and the experiments compare
+    its output against the partial-order DP and exhaustive search. *)
+
+type result = {
+  best : Parqo_cost.Costmodel.eval option;
+      (** [None] only for the empty query *)
+  stats : Search_stats.t;
+  level_sizes : int array;
+      (** plans stored per subset cardinality (index 0 unused) *)
+}
+
+val optimize :
+  ?config:Space.config ->
+  ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  Parqo_cost.Env.t ->
+  result
+(** [config] defaults to {!Space.default_config}, [objective] to total
+    work.  Cartesian products are considered only for subsets that have
+    no connected extension. *)

@@ -1,0 +1,108 @@
+module Cm = Parqo_cost.Costmodel
+module Env = Parqo_cost.Env
+module J = Parqo_plan.Join_tree
+
+type result = { best : Cm.eval option; evaluated : int }
+
+let greedy ?(config = Space.default_config)
+    ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) (env : Env.t) =
+  let n = Env.n_relations env in
+  let evaluated = ref 0 in
+  let eval tree =
+    incr evaluated;
+    Cm.evaluate env tree
+  in
+  let best_of trees =
+    List.fold_left
+      (fun acc t ->
+        let e = eval t in
+        match acc with
+        | None -> Some e
+        | Some b -> if objective e < objective b then Some e else acc)
+      None trees
+  in
+  if n = 0 then { best = None; evaluated = 0 }
+  else begin
+    (* forest of best access plans *)
+    let forest =
+      ref
+        (List.init n (fun rel ->
+             match best_of (Space.access_plans env config rel) with
+             | Some e -> e
+             | None -> assert false))
+    in
+    while List.length !forest > 1 do
+      (* cheapest join over all ordered pairs; prefer connected pairs *)
+      let plans = Array.of_list !forest in
+      let best_pair = ref None in
+      let consider ~require_connection =
+        Array.iteri
+          (fun i pi ->
+            Array.iteri
+              (fun k pk ->
+                if i <> k then begin
+                  let joined =
+                    Space.connects env (J.relations pi.Cm.tree)
+                      (J.relations pk.Cm.tree)
+                  in
+                  if joined || not require_connection then
+                    match
+                      best_of
+                        (Space.combine_candidates env config ~outer:pi.Cm.tree
+                           ~inner:pk.Cm.tree)
+                    with
+                    | None -> ()
+                    | Some e -> (
+                      match !best_pair with
+                      | None -> best_pair := Some (i, k, e)
+                      | Some (_, _, b) ->
+                        if objective e < objective b then
+                          best_pair := Some (i, k, e))
+                end)
+              plans)
+          plans
+      in
+      consider ~require_connection:true;
+      if !best_pair = None then consider ~require_connection:false;
+      match !best_pair with
+      | None -> assert false
+      | Some (i, k, joined) ->
+        forest :=
+          joined
+          :: List.filteri (fun idx _ -> idx <> i && idx <> k) !forest
+    done;
+    { best = (match !forest with [ e ] -> Some e | _ -> None);
+      evaluated = !evaluated }
+  end
+
+let iterative_improvement ?(config = Space.default_config)
+    ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) ?(restarts = 8)
+    ?(patience = 64) ~rng (env : Env.t) =
+  let evaluated = ref 0 in
+  let eval tree =
+    incr evaluated;
+    Cm.evaluate env tree
+  in
+  let best = ref None in
+  let keep e =
+    match !best with
+    | None -> best := Some e
+    | Some b -> if objective e < objective b then best := Some e
+  in
+  for _ = 1 to restarts do
+    let current = ref (eval (Random_plans.random_tree rng env config)) in
+    keep !current;
+    let stale = ref 0 in
+    while !stale < patience do
+      let candidate =
+        eval (Random_plans.random_move rng env config !current.Cm.tree)
+      in
+      if objective candidate < objective !current then begin
+        current := candidate;
+        keep candidate;
+        stale := 0
+      end
+      else incr stale
+    done
+  done;
+  { best = !best; evaluated = !evaluated }

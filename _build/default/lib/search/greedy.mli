@@ -1,0 +1,34 @@
+(** Non-exhaustive search (§7: for bushy spaces "even for ten relations
+    … use of non-exhaustive search algorithms may be imperative").
+
+    Two classic baselines over the same candidate space as the exact
+    algorithms:
+    - {!greedy}: keep a forest of subplans, repeatedly combine the pair
+      whose best join candidate minimizes the objective (greedy operator
+      ordering);
+    - {!iterative_improvement}: repeated hill-climbing from random bushy
+      plans using the moves of {!Random_plans} (leaf swap, re-annotation,
+      rotation). *)
+
+type result = {
+  best : Parqo_cost.Costmodel.eval option;
+  evaluated : int;  (** plans costed — the search effort *)
+}
+
+val greedy :
+  ?config:Space.config ->
+  ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  Parqo_cost.Env.t ->
+  result
+(** O(n^3) joins costed. [objective] defaults to response time. *)
+
+val iterative_improvement :
+  ?config:Space.config ->
+  ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  ?restarts:int ->
+  ?patience:int ->
+  rng:Parqo_util.Rng.t ->
+  Parqo_cost.Env.t ->
+  result
+(** [restarts] random starting plans (default 8), each hill-climbed until
+    [patience] consecutive non-improving moves (default 64). *)

@@ -1,0 +1,84 @@
+module Cm = Parqo_cost.Costmodel
+module M = Parqo_machine.Machine
+module Vecf = Parqo_util.Vecf
+
+type t = {
+  name : string;
+  dims : Cm.eval -> float array;
+  refines : (Cm.eval -> Cm.eval -> bool) option;
+}
+
+let dominates m a b =
+  let da = m.dims a and db = m.dims b in
+  Vecf.dominates (Vecf.of_array da) (Vecf.of_array db)
+  && match m.refines with None -> true | Some r -> r a b
+
+let n_dims m e = Array.length (m.dims e)
+
+let work = { name = "work"; dims = (fun e -> [| e.Cm.work |]); refines = None }
+
+let response_time =
+  { name = "response-time"; dims = (fun e -> [| e.Cm.response_time |]); refines = None }
+
+let aggregate_work machine agg (w : Vecf.t) =
+  let groups, group_of = M.aggregate machine agg in
+  let out = Array.make groups 0. in
+  for i = 0 to Vecf.dim w - 1 do
+    out.(group_of i) <- out.(group_of i) +. Vecf.get w i
+  done;
+  out
+
+let resource_vector machine agg =
+  {
+    name = Printf.sprintf "resource-vector/%d" (fst (M.aggregate machine agg));
+    dims =
+      (fun e ->
+        let d = e.Cm.descriptor in
+        Array.append
+          [| Parqo_cost.Descriptor.response_time d |]
+          (aggregate_work machine agg (Parqo_cost.Descriptor.work_vector d)));
+    refines = None;
+  }
+
+let descriptor machine agg =
+  {
+    name = Printf.sprintf "descriptor/%d" (fst (M.aggregate machine agg));
+    dims =
+      (fun e ->
+        let d = e.Cm.descriptor in
+        let rf = d.Parqo_cost.Descriptor.rf and rl = d.Parqo_cost.Descriptor.rl in
+        let residual = Parqo_cost.Rvec.residual rl rf in
+        Array.concat
+          [
+            [| rf.Parqo_cost.Rvec.time; residual.Parqo_cost.Rvec.time |];
+            aggregate_work machine agg rf.Parqo_cost.Rvec.work;
+            aggregate_work machine agg residual.Parqo_cost.Rvec.work;
+          ]);
+    refines = None;
+  }
+
+let with_partitioning m =
+  let key (e : Cm.eval) =
+    let root = e.Cm.optree in
+    (root.Parqo_optree.Op.partition, root.Parqo_optree.Op.clone)
+  in
+  let same a b = key a = key b in
+  let refines =
+    match m.refines with
+    | None -> same
+    | Some r -> fun a b -> r a b && same a b
+  in
+  { m with name = m.name ^ "+partitioning"; refines = Some refines }
+
+let with_ordering m =
+  let subsumes a b =
+    Parqo_plan.Ordering.subsumes a.Cm.ordering b.Cm.ordering
+  in
+  let refines =
+    match m.refines with
+    | None -> subsumes
+    | Some r -> fun a b -> r a b && subsumes a b
+  in
+  { m with name = m.name ^ "+ordering"; refines = Some refines }
+
+let pp ppf m = Format.pp_print_string ppf m.name

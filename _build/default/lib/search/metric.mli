@@ -1,0 +1,60 @@
+(** Pruning metrics (§6.3).
+
+    A pruning metric maps a costed plan to a point in l-dimensional space;
+    plans are compared by the component-wise partial order [<=_l] of §6.2,
+    optionally refined by non-numeric dimensions (interesting orders).
+    Theorem 2 says no *total-order* metric can both predict response time
+    and satisfy the principle of optimality, so the partial-order DP
+    parameterizes over these instead.
+
+    Design notes (see DESIGN.md): the [descriptor] metric uses the first-
+    tuple vector and the residual vector, under which the calculus
+    operators are monotone when the pipeline penalty [delta] is disabled —
+    the principle of optimality then holds by construction.  With
+    [delta_k > 0] it is a (measurably excellent) heuristic, exactly as
+    System R's interesting-order retention is for work. *)
+
+type t = {
+  name : string;
+  dims : Parqo_cost.Costmodel.eval -> float array;
+      (** numeric coordinates; smaller is better *)
+  refines : (Parqo_cost.Costmodel.eval -> Parqo_cost.Costmodel.eval -> bool) option;
+      (** extra dominance requirement, e.g. ordering subsumption *)
+}
+
+val dominates : t -> Parqo_cost.Costmodel.eval -> Parqo_cost.Costmodel.eval -> bool
+(** [dominates m a b]: [a] is at least as good as [b] in every dimension. *)
+
+val n_dims : t -> Parqo_cost.Costmodel.eval -> int
+(** [l], the dimensionality on a given plan (constant per machine). *)
+
+val work : t
+(** Scalar total work — the traditional metric; totally ordered. *)
+
+val response_time : t
+(** Scalar response time — totally ordered but violates the principle of
+    optimality (Example 3); provided to demonstrate the failure. *)
+
+val resource_vector :
+  Parqo_machine.Machine.t -> Parqo_machine.Machine.aggregation -> t
+(** §6.3's proposal: the resource vector itself, aggregated to [l]
+    dimensions; dims are response time plus per-group total work. *)
+
+val descriptor :
+  Parqo_machine.Machine.t -> Parqo_machine.Machine.aggregation -> t
+(** The default: first-tuple time and work-vector plus residual time and
+    work-vector, each aggregated per group ([l = 2 + 2*groups]). *)
+
+val with_ordering : t -> t
+(** Adds interesting orders: [a] must also subsume [b]'s output ordering
+    (§6.3, "tuple ordering may be incorporated as an additional
+    dimension"). *)
+
+val with_partitioning : t -> t
+(** Adds data partitioning, "incorporated in a manner similar to
+    ordering" (§6.3): [a] may dominate [b] only when their outputs carry
+    the same partitioning (attribute and degree) — conservative, so
+    partition-diverse plans survive for cloned consumers that could reuse
+    them without an exchange. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+module Cm = Parqo_cost.Costmodel
+module Env = Parqo_cost.Env
+
+let src = Logs.Src.create "parqo.optimizer" ~doc:"Top-level optimizer phases"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type tree_shape = Left_deep | Bushy
+
+type outcome = {
+  best : Cm.eval option;
+  work_optimal : Cm.eval option;
+  cover : Cm.eval list;
+  stats : Search_stats.t;
+  work_stats : Search_stats.t option;
+}
+
+(* §6.3: keep the number of dimensions small.  The Single aggregation
+   (first-tuple/residual time and total work, l = 4) plus interesting
+   orders finds the same plans as finer aggregations on our workloads at a
+   fraction of the cover-set size. *)
+let default_metric (env : Env.t) =
+  Metric.with_ordering
+    (Metric.descriptor env.Env.machine Parqo_machine.Machine.Single)
+
+let minimize_work ?(config = Space.default_config) ?(shape = Left_deep)
+    (env : Env.t) =
+  match shape with
+  | Left_deep ->
+    let r = Dp.optimize ~config env in
+    {
+      best = r.Dp.best;
+      work_optimal = r.Dp.best;
+      cover = Option.to_list r.Dp.best;
+      stats = r.Dp.stats;
+      work_stats = None;
+    }
+  | Bushy ->
+    let r = Bushy.optimize_scalar ~config env in
+    {
+      best = r.Bushy.best;
+      work_optimal = r.Bushy.best;
+      cover = r.Bushy.cover;
+      stats = r.Bushy.stats;
+      work_stats = None;
+    }
+
+let minimize_work_with_orders ?(config = Space.default_config)
+    ?(shape = Left_deep) (env : Env.t) =
+  let metric = Metric.with_ordering Metric.work in
+  let rank (e : Cm.eval) = e.Cm.work in
+  match shape with
+  | Left_deep ->
+    let r = Podp.optimize ~config ~metric ~rank env in
+    {
+      best = r.Podp.best;
+      work_optimal = r.Podp.best;
+      cover = r.Podp.cover;
+      stats = r.Podp.stats;
+      work_stats = None;
+    }
+  | Bushy ->
+    let r = Bushy.optimize_po ~config ~metric ~rank env in
+    {
+      best = r.Bushy.best;
+      work_optimal = r.Bushy.best;
+      cover = r.Bushy.cover;
+      stats = r.Bushy.stats;
+      work_stats = None;
+    }
+
+let minimize_response_time ?(config = Space.default_config)
+    ?(shape = Left_deep) ?metric ?(bound = Bounds.Unbounded) (env : Env.t) =
+  let metric = match metric with Some m -> m | None -> default_metric env in
+  let work_phase = minimize_work ~config ~shape env in
+  let work_optimal = work_phase.work_optimal in
+  (match work_optimal with
+  | Some w ->
+    Log.debug (fun m ->
+        m "work phase: W_o=%.3f T_o=%.3f plan=%s (%s)" w.Cm.work
+          w.Cm.response_time
+          (Parqo_plan.Join_tree.to_string w.Cm.tree)
+          (Bounds.to_string bound))
+  | None -> Log.warn (fun m -> m "work phase found no plan"));
+  let work_cap, final_filter =
+    match (bound, work_optimal) with
+    | Bounds.Unbounded, _ | _, None -> (None, fun _ -> true)
+    | _, Some wo ->
+      let work_opt = wo.Cm.work and rt_opt = wo.Cm.response_time in
+      ( Bounds.partial_work_cap bound ~work_opt ~rt_opt,
+        Bounds.admits bound ~work_opt ~rt_opt )
+  in
+  let best, cover, stats =
+    match shape with
+    | Left_deep ->
+      let r = Podp.optimize ~config ?work_cap ~final_filter ~metric env in
+      (r.Podp.best, r.Podp.cover, r.Podp.stats)
+    | Bushy ->
+      let r = Bushy.optimize_po ~config ?work_cap ~final_filter ~metric env in
+      (r.Bushy.best, r.Bushy.cover, r.Bushy.stats)
+  in
+  (* The work-optimal plan is always admissible: fall back to it if the
+     bounded search somehow lost every candidate, and prefer it when it
+     already has the best response time. *)
+  let best =
+    match (best, work_optimal) with
+    | None, wo -> wo
+    | Some b, Some wo when wo.Cm.response_time < b.Cm.response_time -> Some wo
+    | b, _ -> b
+  in
+  (* ORDER BY: re-price the final candidates with the required output
+     ordering (adding the final sort where an interesting order does not
+     already deliver it) and re-select under the adjusted bound *)
+  (match best with
+  | Some b ->
+    Log.debug (fun m ->
+        m "response-time phase: RT=%.3f work=%.3f cover=%d plan=%s"
+          b.Cm.response_time b.Cm.work (List.length cover)
+          (Parqo_plan.Join_tree.to_string b.Cm.tree))
+  | None -> Log.warn (fun m -> m "response-time phase found no plan"));
+  let required = Cm.required_order env in
+  if required = Parqo_plan.Ordering.none then
+    { best; work_optimal; cover; stats; work_stats = Some work_phase.stats }
+  else begin
+    let adjust (e : Cm.eval) = Cm.evaluate ~required_order:required env e.Cm.tree in
+    let work_optimal = Option.map adjust work_optimal in
+    let cover = List.map adjust cover in
+    let admits =
+      match (bound, work_optimal) with
+      | Bounds.Unbounded, _ | _, None -> fun _ -> true
+      | _, Some wo ->
+        Bounds.admits bound ~work_opt:wo.Cm.work ~rt_opt:wo.Cm.response_time
+    in
+    let best =
+      List.filter admits cover
+      |> List.fold_left
+           (fun acc e ->
+             match acc with
+             | None -> Some e
+             | Some b ->
+               if e.Cm.response_time < b.Cm.response_time then Some e else acc)
+           None
+    in
+    let best = (match best with None -> work_optimal | b -> b) in
+    { best; work_optimal; cover; stats; work_stats = Some work_phase.stats }
+  end

@@ -1,0 +1,48 @@
+(** The top-level optimizer: minimize response time subject to a work
+    bound — the paper's problem statement — or minimize work (the
+    traditional problem), over left-deep or bushy trees.
+
+    [minimize_response_time] composes the pieces the way §6.4 prescribes:
+    run the work optimizer first to obtain [W_o] and [T_o], derive the
+    work cap from the bound, then run the partial-order DP with the cap
+    folded into the pruning order. *)
+
+type tree_shape = Left_deep | Bushy
+
+type outcome = {
+  best : Parqo_cost.Costmodel.eval option;
+      (** the chosen plan; [None] only when the bound excludes everything,
+          which cannot happen for the bounds of {!Bounds.t} *)
+  work_optimal : Parqo_cost.Costmodel.eval option;
+      (** the traditional optimizer's plan (the baseline) *)
+  cover : Parqo_cost.Costmodel.eval list;
+      (** final cover set of the partial-order phase *)
+  stats : Search_stats.t;  (** of the response-time phase *)
+  work_stats : Search_stats.t option;  (** of the work phase, if run *)
+}
+
+val minimize_work :
+  ?config:Space.config -> ?shape:tree_shape -> Parqo_cost.Env.t -> outcome
+(** Figure 1 (or its bushy analogue). [shape] defaults to [Left_deep]. *)
+
+val minimize_work_with_orders :
+  ?config:Space.config -> ?shape:tree_shape -> Parqo_cost.Env.t -> outcome
+(** The System R remedy for the interesting-order violation (§6.1.2):
+    work as the ranking objective under the partial order "less work AND
+    subsuming output ordering" — i.e. Figure 2 instantiated with
+    [Metric.with_ordering Metric.work].  Never returns a plan with more
+    work than {!minimize_work}; strictly less when a retained ordering
+    saves a later sort. *)
+
+val minimize_response_time :
+  ?config:Space.config ->
+  ?shape:tree_shape ->
+  ?metric:Metric.t ->
+  ?bound:Bounds.t ->
+  Parqo_cost.Env.t ->
+  outcome
+(** [metric] defaults to the descriptor metric with single-group
+    aggregation plus interesting orders (§6.3 advises few dimensions);
+    [bound] to [Unbounded]. *)
+
+val default_metric : Parqo_cost.Env.t -> Metric.t

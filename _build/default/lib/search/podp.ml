@@ -1,0 +1,94 @@
+module Cm = Parqo_cost.Costmodel
+module Bitset = Parqo_util.Bitset
+module Env = Parqo_cost.Env
+
+type result = {
+  best : Cm.eval option;
+  cover : Cm.eval list;
+  stats : Search_stats.t;
+  level_sizes : int array;
+}
+
+let optimize ?(config = Space.default_config)
+    ?(rank = fun (e : Cm.eval) -> e.Cm.response_time) ?work_cap
+    ?(final_filter = fun _ -> true) ?max_cover ~metric (env : Env.t) =
+  let apply_beam cover =
+    match max_cover with
+    | None -> ()
+    | Some keep -> Cover.trim cover ~keep ~rank
+  in
+  let n = Env.n_relations env in
+  let stats = Search_stats.create () in
+  let dominates = Metric.dominates metric in
+  let memo : Cm.eval list array = Array.make (1 lsl n) [] in
+  let level_sizes = Array.make (n + 1) 0 in
+  let admissible e =
+    match work_cap with None -> true | Some cap -> e.Cm.work <= cap +. 1e-9
+  in
+  let cover_of candidates =
+    let cover = Cover.create ~dominates in
+    List.iter
+      (fun tree ->
+        Search_stats.generated stats 1;
+        let e = Cm.evaluate env tree in
+        if admissible e then ignore (Cover.add cover e))
+      candidates;
+    apply_beam cover;
+    cover
+  in
+  (* accessPlans *)
+  for rel = 0 to n - 1 do
+    Search_stats.considered stats 1;
+    let cover = cover_of (Space.access_plans env config rel) in
+    Search_stats.observe_cover stats (Cover.size cover);
+    memo.(Bitset.to_int (Bitset.singleton rel)) <- Cover.elements cover
+  done;
+  level_sizes.(1) <-
+    List.fold_left ( + ) 0
+      (List.init n (fun r -> List.length memo.(Bitset.to_int (Bitset.singleton r))));
+  for size = 2 to n do
+    let subsets = Bitset.subsets_of_size n ~size in
+    List.iter
+      (fun s ->
+        let best_plans = Cover.create ~dominates in
+        let extend ~require_connection =
+          Bitset.iter
+            (fun j ->
+              let s_j = Bitset.remove j s in
+              if
+                (not require_connection)
+                || Space.connects env s_j (Bitset.singleton j)
+              then
+                List.iter
+                  (fun p ->
+                    Search_stats.considered stats 1;
+                    List.iter
+                      (fun tree ->
+                        Search_stats.generated stats 1;
+                        let e = Cm.evaluate env tree in
+                        if admissible e then ignore (Cover.add best_plans e))
+                      (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j))
+                  memo.(Bitset.to_int s_j))
+            s
+        in
+        extend ~require_connection:true;
+        if Cover.size best_plans = 0 then extend ~require_connection:false;
+        Search_stats.observe_cover stats (Cover.size best_plans);
+        apply_beam best_plans;
+        level_sizes.(size) <- level_sizes.(size) + Cover.size best_plans;
+        memo.(Bitset.to_int s) <- Cover.elements best_plans)
+      subsets;
+    Search_stats.observe_stored stats level_sizes.(size)
+  done;
+  Search_stats.observe_stored stats level_sizes.(1);
+  let cover = if n = 0 then [] else memo.(Bitset.to_int (Bitset.full n)) in
+  let best =
+    List.filter final_filter cover
+    |> List.fold_left
+         (fun acc e ->
+           match acc with
+           | None -> Some e
+           | Some b -> if rank e < rank b then Some e else Some b)
+         None
+  in
+  { best; cover; stats; level_sizes }

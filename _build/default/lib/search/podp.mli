@@ -1,0 +1,32 @@
+(** Figure 2: partial-order dynamic programming over left-deep join trees.
+
+    Instead of one optimal plan per relation subset, a cover set of
+    incomparable plans (under the pruning metric's partial order) is kept;
+    the final answer is the best-ranked member of the cover for the full
+    set.  An optional work cap (from {!Bounds}) prunes partial plans —
+    work only grows along extensions, so the cap is admissible, and "in
+    fact cut[s] down the search space" (§6.4). *)
+
+type result = {
+  best : Parqo_cost.Costmodel.eval option;
+  cover : Parqo_cost.Costmodel.eval list;
+      (** final cover set for the full relation set *)
+  stats : Search_stats.t;
+  level_sizes : int array;  (** total plans stored per cardinality *)
+}
+
+val optimize :
+  ?config:Space.config ->
+  ?rank:(Parqo_cost.Costmodel.eval -> float) ->
+  ?work_cap:float ->
+  ?final_filter:(Parqo_cost.Costmodel.eval -> bool) ->
+  ?max_cover:int ->
+  metric:Metric.t ->
+  Parqo_cost.Env.t ->
+  result
+(** [rank] (default response time) selects among the final cover;
+    [final_filter] (default accept-all) implements exact bound checks
+    that are valid only on complete plans (cost–benefit ratio);
+    [max_cover] (default unbounded) beam-bounds each cover set by [rank],
+    trading the exactness of Figure 2 for scalability on metrics with
+    many dimensions. *)

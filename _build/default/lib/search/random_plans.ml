@@ -1,0 +1,133 @@
+module J = Parqo_plan.Join_tree
+module Rng = Parqo_util.Rng
+module Env = Parqo_cost.Env
+
+let pick_access rng (env : Env.t) (config : Space.config) rel =
+  Rng.pick_list rng (Space.access_plans env config rel)
+
+let pick_join rng (config : Space.config) ~outer ~inner ~joined =
+  let methods =
+    List.filter
+      (fun m -> joined || m = Parqo_plan.Join_method.Nested_loops)
+      config.Space.methods
+  in
+  let methods =
+    match methods with [] -> [ Parqo_plan.Join_method.Nested_loops ] | ms -> ms
+  in
+  J.join
+    ~clone:(Rng.pick_list rng config.Space.clone_degrees)
+    ~materialize:(config.Space.materialize_choices && Rng.bool rng)
+    (Rng.pick_list rng methods)
+    ~outer ~inner
+
+let connects env a b =
+  Space.connects env (J.relations a) (J.relations b)
+
+let random_tree ?(bushy = true) rng (env : Env.t) config =
+  let n = Env.n_relations env in
+  let rels = Array.init n (fun i -> i) in
+  Rng.shuffle rng rels;
+  let rec build rels =
+    match rels with
+    | [ r ] -> pick_access rng env config r
+    | _ ->
+      let len = List.length rels in
+      let k = if bushy then 1 + Rng.int rng (len - 1) else len - 1 in
+      let rec split i = function
+        | [] -> ([], [])
+        | x :: rest ->
+          let a, b = split (i + 1) rest in
+          if i < k then (x :: a, b) else (a, x :: b)
+      in
+      let left, right = split 0 rels in
+      let outer = build left and inner = build right in
+      pick_join rng config ~outer ~inner ~joined:(connects env outer inner)
+  in
+  build (Array.to_list rels)
+
+let leaf_count = J.n_leaves
+
+(* replace the [idx]-th leaf (left-to-right) via [f] *)
+let map_leaf idx f tree =
+  let counter = ref (-1) in
+  let rec go = function
+    | J.Access a ->
+      incr counter;
+      if !counter = idx then f a else J.Access a
+    | J.Join j ->
+      (* evaluation order matters: the counter must walk left-to-right *)
+      let outer = go j.J.outer in
+      let inner = go j.J.inner in
+      J.Join { j with J.outer = outer; inner }
+  in
+  go tree
+
+(* replace the [idx]-th join (post-order) via [f] *)
+let map_join idx f tree =
+  let counter = ref (-1) in
+  let rec go = function
+    | J.Access a -> J.Access a
+    | J.Join j ->
+      let outer = go j.J.outer in
+      let inner = go j.J.inner in
+      incr counter;
+      let j = { j with J.outer; inner } in
+      if !counter = idx then f j else J.Join j
+  in
+  go tree
+
+let swap_leaves rng env config tree =
+  let n = leaf_count tree in
+  if n < 2 then tree
+  else begin
+    let i = Rng.int rng n in
+    let k = 1 + Rng.int rng (n - 1) in
+    let j = (i + k) mod n in
+    let leaves = Array.of_list (J.leaves tree) in
+    let rel_i = leaves.(i).J.rel and rel_j = leaves.(j).J.rel in
+    (* swapped leaves get freshly drawn access plans: index availability
+       is relation-specific *)
+    let tree = map_leaf i (fun _ -> pick_access rng env config rel_j) tree in
+    map_leaf j (fun _ -> pick_access rng env config rel_i) tree
+  end
+
+let reannotate rng env config tree =
+  let n = J.n_joins tree in
+  if n = 0 then tree
+  else
+    map_join (Rng.int rng n)
+      (fun j ->
+        pick_join rng config ~outer:j.J.outer ~inner:j.J.inner
+          ~joined:(connects env j.J.outer j.J.inner))
+      tree
+
+(* join(join(a,b), c) -> join(a, join(b,c)) and the mirror *)
+let rotate rng env config tree =
+  let n = J.n_joins tree in
+  if n = 0 then tree
+  else
+    map_join (Rng.int rng n)
+      (fun j ->
+        match (j.J.outer, j.J.inner) with
+        | J.Join o, _ ->
+          let bc =
+            pick_join rng config ~outer:o.J.inner ~inner:j.J.inner
+              ~joined:(connects env o.J.inner j.J.inner)
+          in
+          pick_join rng config ~outer:o.J.outer ~inner:bc
+            ~joined:(connects env o.J.outer bc)
+        | _, J.Join i ->
+          let ab =
+            pick_join rng config ~outer:j.J.outer ~inner:i.J.outer
+              ~joined:(connects env j.J.outer i.J.outer)
+          in
+          pick_join rng config ~outer:ab ~inner:i.J.inner
+            ~joined:(connects env ab i.J.inner)
+        | J.Access _, J.Access _ -> J.Join j)
+      tree
+
+let random_move rng env config tree =
+  match Rng.int rng 3 with
+  | 0 -> swap_leaves rng env config tree
+  | 1 -> reannotate rng env config tree
+  | _ -> rotate rng env config tree

@@ -1,0 +1,32 @@
+(** Random plan generation and local transformations.
+
+    These power the non-exhaustive search algorithms of {!Greedy} (the
+    paper's §7 notes that for bushy spaces at ten-plus relations
+    "non-exhaustive search algorithms may be imperative") and the
+    randomized fixtures of the test suite. All transformations preserve
+    well-formedness: the relation set of the tree never changes. *)
+
+val random_tree :
+  ?bushy:bool ->
+  Parqo_util.Rng.t ->
+  Parqo_cost.Env.t ->
+  Space.config ->
+  Parqo_plan.Join_tree.t
+(** A uniformly-shaped random join tree over all the query's relations
+    with annotations drawn from the config (methods, access paths, clone
+    degrees, materialization). [bushy] defaults to true; false forces a
+    left-deep shape. *)
+
+val random_move :
+  Parqo_util.Rng.t ->
+  Parqo_cost.Env.t ->
+  Space.config ->
+  Parqo_plan.Join_tree.t ->
+  Parqo_plan.Join_tree.t
+(** One random neighbor: either swap the relations of two leaves (access
+    paths are re-drawn), re-annotate a random join (method, clone degree,
+    materialization), or apply an associativity rotation at a random
+    internal node.  Returns a well-formed tree; may return the input when
+    no move applies (single-relation trees). *)
+
+val leaf_count : Parqo_plan.Join_tree.t -> int

@@ -1,0 +1,16 @@
+type t = {
+  mutable considered : int;
+  mutable generated : int;
+  mutable stored_peak : int;
+  mutable cover_max : int;
+}
+
+let create () = { considered = 0; generated = 0; stored_peak = 0; cover_max = 0 }
+let considered t n = t.considered <- t.considered + n
+let generated t n = t.generated <- t.generated + n
+let observe_stored t n = if n > t.stored_peak then t.stored_peak <- n
+let observe_cover t n = if n > t.cover_max then t.cover_max <- n
+
+let pp ppf t =
+  Format.fprintf ppf "considered=%d generated=%d stored-peak=%d cover-max=%d"
+    t.considered t.generated t.stored_peak t.cover_max

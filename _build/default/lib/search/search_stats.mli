@@ -1,0 +1,31 @@
+(** Instrumentation of the search algorithms, measured in the units of the
+    paper's Table 1: "time complexity" is the number of plans considered
+    (accessPlan/joinPlan invocations), "space complexity" the maximum
+    number of plans stored. *)
+
+type t = {
+  mutable considered : int;
+      (** accessPlan / joinPlan invocations (Table 1 time unit) *)
+  mutable generated : int;
+      (** candidate plans actually costed (our joinPlan returns a
+          candidate set; this is the constant-factor-finer count) *)
+  mutable stored_peak : int;
+      (** maximum plans simultaneously retained across the memo table *)
+  mutable cover_max : int;
+      (** largest cover set encountered (the paper's [k], bounded by
+          [2^l] under Theorem 3) *)
+}
+
+val create : unit -> t
+
+val considered : t -> int -> unit
+(** Add to the considered counter. *)
+
+val generated : t -> int -> unit
+
+val observe_stored : t -> int -> unit
+(** Record a current storage level; keeps the peak. *)
+
+val observe_cover : t -> int -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+module Cm = Parqo_cost.Costmodel
+module Env = Parqo_cost.Env
+module J = Parqo_plan.Join_tree
+
+type result = {
+  best : Cm.eval option;
+  sequential : Cm.eval option;
+  stats : Search_stats.t;
+  evaluated : int;
+}
+
+let max_exhaustive_joins = 5
+
+(* rewrite the [idx]-th join's (post-order) parallel annotations *)
+let set_join idx ~clone ~materialize tree =
+  let counter = ref (-1) in
+  let rec go = function
+    | J.Access a -> J.Access a
+    | J.Join j ->
+      let outer = go j.J.outer in
+      let inner = go j.J.inner in
+      incr counter;
+      if !counter = idx then
+        J.join ~clone ~materialize j.J.method_ ~outer ~inner
+      else J.Join { j with J.outer; inner }
+  in
+  go tree
+
+(* rewrite the [idx]-th leaf's (left-to-right) cloning degree *)
+let set_leaf idx ~clone tree =
+  let counter = ref (-1) in
+  let rec go = function
+    | J.Access a ->
+      incr counter;
+      if !counter = idx then J.access ~path:a.J.path ~clone a.J.rel
+      else J.Access a
+    | J.Join j ->
+      let outer = go j.J.outer in
+      let inner = go j.J.inner in
+      J.Join { j with J.outer; inner }
+  in
+  go tree
+
+let optimize ?(config = Space.default_config)
+    ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) (env : Env.t) =
+  let sequential_config =
+    { config with Space.clone_degrees = [ 1 ]; materialize_choices = false }
+  in
+  let phase1 = Dp.optimize ~config:sequential_config env in
+  match phase1.Dp.best with
+  | None -> { best = None; sequential = None; stats = phase1.Dp.stats; evaluated = 0 }
+  | Some sequential ->
+    let evaluated = ref 0 in
+    let eval tree =
+      incr evaluated;
+      Cm.evaluate env tree
+    in
+    let tree = sequential.Cm.tree in
+    let n_joins = J.n_joins tree in
+    let n_leaves = J.n_leaves tree in
+    let degrees = config.Space.clone_degrees in
+    let mats = if config.Space.materialize_choices then [ false; true ] else [ false ] in
+    let join_choices =
+      List.concat_map (fun c -> List.map (fun m -> (c, m)) mats) degrees
+    in
+    let best = ref (eval tree) in
+    let keep e = if objective e < objective !best then best := e in
+    if n_joins <= max_exhaustive_joins then begin
+      (* exhaustive cross product over joins, then coordinate pass on
+         leaves (leaf degrees interact weakly with each other) *)
+      let rec assign_joins idx tree =
+        if idx >= n_joins then keep (eval tree)
+        else
+          List.iter
+            (fun (clone, materialize) ->
+              assign_joins (idx + 1) (set_join idx ~clone ~materialize tree))
+            join_choices
+      in
+      assign_joins 0 tree;
+      let refined = ref !best in
+      for leaf = 0 to n_leaves - 1 do
+        List.iter
+          (fun clone ->
+            let e = eval (set_leaf leaf ~clone !refined.Cm.tree) in
+            if objective e < objective !refined then refined := e)
+          degrees
+      done;
+      keep !refined
+    end
+    else begin
+      (* coordinate descent over all annotation slots to a fixed point *)
+      let improved = ref true in
+      let rounds = ref 0 in
+      while !improved && !rounds < 5 do
+        improved := false;
+        incr rounds;
+        for idx = 0 to n_joins - 1 do
+          List.iter
+            (fun (clone, materialize) ->
+              let e = eval (set_join idx ~clone ~materialize !best.Cm.tree) in
+              if objective e < objective !best then begin
+                best := e;
+                improved := true
+              end)
+            join_choices
+        done;
+        for leaf = 0 to n_leaves - 1 do
+          List.iter
+            (fun clone ->
+              let e = eval (set_leaf leaf ~clone !best.Cm.tree) in
+              if objective e < objective !best then begin
+                best := e;
+                improved := true
+              end)
+            degrees
+        done
+      done
+    end;
+    {
+      best = Some !best;
+      sequential = Some sequential;
+      stats = phase1.Dp.stats;
+      evaluated = !evaluated;
+    }

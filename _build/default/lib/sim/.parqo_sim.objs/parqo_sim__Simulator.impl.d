@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Buffer Float List Parqo_cost Parqo_optree Printf String Task_graph

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Parqo_cost Parqo_plan Task_graph

@@ -1,0 +1,1 @@
+lib/sim/task_graph.ml: Array Hashtbl List Parqo_cost Parqo_machine Parqo_optree Parqo_util

@@ -1,0 +1,1 @@
+lib/sim/task_graph.mli: Parqo_cost Parqo_optree

@@ -1,0 +1,249 @@
+type mode = Concurrent | Serialized
+
+type event = { at : float; what : string }
+
+type outcome = {
+  makespan : float;
+  busy : float array;
+  total_work : float;
+  stage_start : (int * float) list;
+  stage_finish : (int * float) list;
+  trace : event list;
+}
+
+type stage_status = Pending | Running | Done
+
+let eps = 1e-9
+
+let run ?(mode = Concurrent) (g : Task_graph.t) =
+  (match Task_graph.validate g with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Simulator.run: " ^ msg));
+  let n_stages = Array.length g.Task_graph.stages in
+  let nr = g.Task_graph.n_resources in
+  match mode with
+  | Serialized ->
+    (* topological order, then run every task to completion alone *)
+    let status = Array.make n_stages false in
+    let order = ref [] in
+    let rec visit id =
+      if not status.(id) then begin
+        status.(id) <- true;
+        List.iter visit g.Task_graph.stages.(id).Task_graph.deps;
+        order := id :: !order
+      end
+    in
+    for id = 0 to n_stages - 1 do
+      visit id
+    done;
+    let order = List.rev !order in
+    let busy = Array.make nr 0. in
+    let time = ref 0. in
+    let trace = ref [] in
+    let stage_finish = ref [] in
+    let stage_start = ref [] in
+    List.iter
+      (fun id ->
+        let stage = g.Task_graph.stages.(id) in
+        stage_start := (id, !time) :: !stage_start;
+        List.iter
+          (fun (t : Task_graph.task) ->
+            let w = Array.fold_left ( +. ) 0. t.Task_graph.demands in
+            Array.iteri
+              (fun r d -> busy.(r) <- busy.(r) +. d)
+              t.Task_graph.demands;
+            time := !time +. w;
+            trace :=
+              { at = !time; what = Printf.sprintf "task %s done" t.Task_graph.label }
+              :: !trace)
+          stage.Task_graph.tasks;
+        stage_finish := (id, !time) :: !stage_finish)
+      order;
+    {
+      makespan = !time;
+      busy;
+      total_work = Task_graph.total_work g;
+      stage_start = List.rev !stage_start;
+      stage_finish = List.rev !stage_finish;
+      trace = List.rev !trace;
+    }
+  | Concurrent ->
+    let status = Array.make n_stages Pending in
+    let remaining_deps =
+      Array.map (fun s -> ref (List.length s.Task_graph.deps)) g.Task_graph.stages
+    in
+    let dependents = Array.make n_stages [] in
+    Array.iter
+      (fun (s : Task_graph.stage) ->
+        List.iter
+          (fun d ->
+            dependents.(d) <- s.Task_graph.stage_id :: dependents.(d))
+          s.Task_graph.deps)
+      g.Task_graph.stages;
+    (* remaining work per task, keyed by (stage, index) *)
+    let remaining =
+      Array.map
+        (fun (s : Task_graph.stage) ->
+          Array.of_list
+            (List.map
+               (fun (t : Task_graph.task) -> Array.copy t.Task_graph.demands)
+               s.Task_graph.tasks))
+        g.Task_graph.stages
+    in
+    let labels =
+      Array.map
+        (fun (s : Task_graph.stage) ->
+          Array.of_list
+            (List.map (fun (t : Task_graph.task) -> t.Task_graph.label) s.Task_graph.tasks))
+        g.Task_graph.stages
+    in
+    let busy = Array.make nr 0. in
+    let time = ref 0. in
+    let trace = ref [] in
+    let stage_start = ref [] in
+    let stage_finish = ref [] in
+    let emit what = trace := { at = !time; what } :: !trace in
+    let stage_done id =
+      Array.for_all
+        (fun demands -> Array.for_all (fun d -> d <= eps) demands)
+        remaining.(id)
+    in
+    let rec start_ready () =
+      Array.iteri
+        (fun id s ->
+          if status.(id) = Pending && !(remaining_deps.(id)) = 0 then begin
+            status.(id) <- Running;
+            stage_start := (id, !time) :: !stage_start;
+            emit (Printf.sprintf "stage %d start" id);
+            (* a stage with no work completes immediately *)
+            if stage_done id then complete id
+          end;
+          ignore s)
+        g.Task_graph.stages
+    and complete id =
+      status.(id) <- Done;
+      stage_finish := (id, !time) :: !stage_finish;
+      emit (Printf.sprintf "stage %d done" id);
+      List.iter
+        (fun dep -> decr remaining_deps.(dep))
+        dependents.(id);
+      start_ready ()
+    in
+    start_ready ();
+    let all_done () = Array.for_all (fun s -> s = Done) status in
+    let guard = ref 0 in
+    let max_events = 1000 * (1 + n_stages) * (1 + nr) in
+    while (not (all_done ())) && !guard < max_events do
+      incr guard;
+      (* demand counts per resource over running tasks *)
+      let count = Array.make nr 0 in
+      for id = 0 to n_stages - 1 do
+        if status.(id) = Running then
+          Array.iter
+            (fun demands ->
+              Array.iteri
+                (fun r d -> if d > eps then count.(r) <- count.(r) + 1)
+                demands)
+            remaining.(id)
+      done;
+      (* time to next demand exhaustion *)
+      let dt = ref infinity in
+      for id = 0 to n_stages - 1 do
+        if status.(id) = Running then
+          Array.iter
+            (fun demands ->
+              Array.iteri
+                (fun r d ->
+                  if d > eps then
+                    dt := Float.min !dt (d *. float_of_int count.(r)))
+                demands)
+            remaining.(id)
+      done;
+      if !dt = infinity then
+        (* running stages but no demand: finish them *)
+        Array.iteri
+          (fun id s ->
+            ignore s;
+            if status.(id) = Running && stage_done id then complete id)
+          g.Task_graph.stages
+      else begin
+        let dt = !dt in
+        time := !time +. dt;
+        for r = 0 to nr - 1 do
+          if count.(r) > 0 then busy.(r) <- busy.(r) +. dt
+        done;
+        (* advance all running demands *)
+        for id = 0 to n_stages - 1 do
+          if status.(id) = Running then
+            Array.iteri
+              (fun ti demands ->
+                Array.iteri
+                  (fun r d ->
+                    if d > eps then begin
+                      let d' = d -. (dt /. float_of_int count.(r)) in
+                      demands.(r) <- (if d' <= eps then 0. else d');
+                      if d' <= eps && Array.for_all (fun x -> x <= eps) demands
+                      then
+                        emit
+                          (Printf.sprintf "task %s done" labels.(id).(ti))
+                    end)
+                  demands)
+              remaining.(id)
+        done;
+        (* completions *)
+        Array.iteri
+          (fun id s ->
+            ignore s;
+            if status.(id) = Running && stage_done id then complete id)
+          g.Task_graph.stages
+      end
+    done;
+    if not (all_done ()) then failwith "Simulator.run: did not converge";
+    {
+      makespan = !time;
+      busy;
+      total_work = Task_graph.total_work g;
+      stage_start = List.rev !stage_start;
+      stage_finish = List.rev !stage_finish;
+      trace = List.rev !trace;
+    }
+
+let simulate_plan ?mode (env : Parqo_cost.Env.t) tree =
+  let optree =
+    Parqo_optree.Expand.expand ~config:env.Parqo_cost.Env.expand_config
+      env.Parqo_cost.Env.estimator tree
+  in
+  run ?mode (Task_graph.of_optree env optree)
+
+let utilization o =
+  if o.makespan <= 0. then 1.
+  else o.total_work /. (o.makespan *. float_of_int (Array.length o.busy))
+
+let timeline ?(width = 50) o =
+  let span = Float.max 1e-9 o.makespan in
+  let col t = int_of_float (float_of_int width *. t /. span) in
+  let rows =
+    List.filter_map
+      (fun (id, start) ->
+        match List.assoc_opt id o.stage_finish with
+        | None -> None
+        | Some finish -> Some (id, start, finish))
+      o.stage_start
+    |> List.sort (fun (_, s1, _) (_, s2, _) -> Float.compare s1 s2)
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (id, start, finish) ->
+      let s = col start and f = max (col start + 1) (col finish) in
+      let bar =
+        String.concat ""
+          [
+            String.make s ' ';
+            String.make (min (width - s) (f - s)) '=';
+            String.make (max 0 (width - f)) ' ';
+          ]
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "stage %-3d |%s| %.1f .. %.1f\n" id bar start finish))
+    rows;
+  Buffer.contents buf

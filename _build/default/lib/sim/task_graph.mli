@@ -1,0 +1,39 @@
+(** Operator trees lowered to a stage DAG for execution simulation.
+
+    A {e stage} is a maximal pipeline: a connected set of operators linked
+    by [Pipelined] composition edges, which execute concurrently at run
+    time.  A [Materialized] edge becomes a stage dependency — the producer
+    stage must finish before the consumer stage starts.  This mirrors how
+    the cost calculus treats fronts and residuals, but the simulator
+    re-derives timing from first principles (processor sharing), so it is
+    an independent check on the model. *)
+
+type task = {
+  task_id : int;  (** the operator-tree node id *)
+  label : string;
+  demands : float array;  (** work per machine resource *)
+}
+
+type stage = {
+  stage_id : int;
+  tasks : task list;
+  deps : int list;  (** stage ids that must complete first *)
+}
+
+type t = {
+  stages : stage array;  (** indexed by [stage_id] *)
+  n_resources : int;
+  root_stage : int;  (** the stage containing the tree root *)
+}
+
+val of_optree : Parqo_cost.Env.t -> Parqo_optree.Op.node -> t
+(** Tasks get their demand vectors from the cost model's base operator
+    descriptors ({!Parqo_cost.Opcost.base}); the inner index of an
+    index-nested-loops join yields no task (it is probed, not scanned —
+    same convention as the cost model). *)
+
+val total_work : t -> float
+
+val validate : t -> (unit, string) result
+(** Dependency ids in range and acyclic (it is a DAG by construction;
+    this guards future editing). *)

@@ -1,0 +1,1 @@
+lib/util/statsu.ml: Array Float List

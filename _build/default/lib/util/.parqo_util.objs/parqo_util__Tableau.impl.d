@@ -1,0 +1,1 @@
+lib/util/tableau.ml: Buffer Char Filename Float List Printf String Sys

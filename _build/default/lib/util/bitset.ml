@@ -1,0 +1,78 @@
+type t = int
+
+let max_element = 61
+
+let empty = 0
+
+let full n =
+  if n < 0 || n > max_element + 1 then invalid_arg "Bitset.full";
+  if n = 0 then 0 else (-1) lsr (62 - n) land ((1 lsl n) - 1)
+
+let singleton i =
+  if i < 0 || i > max_element then invalid_arg "Bitset.singleton";
+  1 lsl i
+
+let mem i s = s land (1 lsl i) <> 0
+let add i s = s lor singleton i
+let remove i s = s land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let is_empty s = s = 0
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+let subset a b = a land lnot b = 0
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec count acc s = if s = 0 then acc else count (acc + 1) (s land (s - 1)) in
+  count 0 s
+
+let choose s =
+  if s = 0 then raise Not_found;
+  (* index of least significant set bit *)
+  let rec find i = if s land (1 lsl i) <> 0 then i else find (i + 1) in
+  find 0
+
+let iter f s =
+  let rec loop i s =
+    if s <> 0 then begin
+      if s land 1 <> 0 then f i;
+      loop (i + 1) (s lsr 1)
+    end
+  in
+  loop 0 s
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let for_all p s = fold (fun i ok -> ok && p i) s true
+let exists p s = fold (fun i found -> found || p i) s false
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let subsets_of_size n ~size =
+  let all = full n in
+  let result = ref [] in
+  for mask = all downto 0 do
+    if subset mask all && cardinal mask = size then result := mask :: !result
+  done;
+  !result
+
+let proper_nonempty_subsets s =
+  (* Enumerate submasks of [s] with the standard (sub - 1) land s trick,
+     then keep proper non-empty ones in increasing order. *)
+  let rec loop sub acc =
+    let acc = if sub <> 0 && sub <> s then sub :: acc else acc in
+    if sub = 0 then acc else loop ((sub - 1) land s) acc
+  in
+  loop s []
+
+let to_int s = s
+let of_int_unsafe m = m
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (to_list s)))

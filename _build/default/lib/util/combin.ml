@@ -1,0 +1,48 @@
+let factorial n =
+  let rec loop acc i = if i > n then acc else loop (acc *. float_of_int i) (i + 1) in
+  if n < 0 then invalid_arg "Combin.factorial" else loop 1. 2
+
+let binomial n k =
+  if k < 0 || k > n then 0.
+  else begin
+    (* multiplicative formula keeps intermediate values small *)
+    let k = min k (n - k) in
+    let acc = ref 1. in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    Float.round !acc
+  end
+
+let powi x n =
+  if n < 0 then invalid_arg "Combin.powi";
+  let rec loop acc base n =
+    if n = 0 then acc
+    else loop (if n land 1 = 1 then acc *. base else acc) (base *. base) (n lsr 1)
+  in
+  loop 1. x n
+
+let leftdeep_space n = factorial n
+let bushy_space n = factorial (2 * (n - 1)) /. factorial (n - 1)
+let dp_leftdeep_time n = float_of_int n *. powi 2. (n - 1)
+let dp_leftdeep_space n = binomial n ((n + 1) / 2)
+let podp_leftdeep_time n ~l = dp_leftdeep_time n *. powi 2. l
+let podp_leftdeep_space n ~l = dp_leftdeep_space n *. powi 2. l
+
+let dp_bushy_time n ~b =
+  powi 2. b *. (powi 3. n -. powi 2. (n + 1) +. float_of_int n +. 1.)
+
+let dp_bushy_space n ~b = powi 2. b *. powi 2. n
+let podp_bushy_time n ~b ~l = powi 2. l *. dp_bushy_time n ~b
+let podp_bushy_space n ~b ~l = powi 2. l *. dp_bushy_space n ~b
+
+let theorem3_bound ~l ~m =
+  let p = powi 2. l in
+  p *. (1. -. powi (1. -. (1. /. p)) m)
+
+let harmonic n =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. float_of_int i)
+  done;
+  !acc

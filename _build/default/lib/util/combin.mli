@@ -1,0 +1,49 @@
+(** Combinatorics used by Table 1 of the paper (analytic sizes of plan
+    spaces and complexity of the search algorithms) and by Theorem 3. *)
+
+val factorial : int -> float
+(** [n!] as a float (exact for n <= 18). *)
+
+val binomial : int -> int -> float
+(** [binomial n k] = C(n, k); [0.] when [k < 0] or [k > n]. *)
+
+val powi : float -> int -> float
+(** [powi x n] is [x^n] for [n >= 0] by repeated squaring. *)
+
+val leftdeep_space : int -> float
+(** Number of left-deep join trees over [n] relations: [n!]. *)
+
+val bushy_space : int -> float
+(** Number of bushy join trees over [n] relations, counting both shape and
+    leaf order: [(2(n-1))! / (n-1)!] as in Table 1. *)
+
+val dp_leftdeep_time : int -> float
+(** Plans considered by the System R DP of Figure 1 on a clique query:
+    [n * 2^(n-1)] (Table 1). *)
+
+val dp_leftdeep_space : int -> float
+(** Maximum plans stored by Figure 1: [C(n, ceil n/2)] (Table 1). *)
+
+val podp_leftdeep_time : int -> l:int -> float
+(** Table 1 row "p.o. DP for left-deep": [n * 2^(n-1) * 2^l]. *)
+
+val podp_leftdeep_space : int -> l:int -> float
+(** Table 1: [2^l * C(n, ceil n/2)]. *)
+
+val dp_bushy_time : int -> b:int -> float
+(** Table 1 row "DP for bushy": [2^b * (3^n - 2^(n+1) + n + 1)]. *)
+
+val dp_bushy_space : int -> b:int -> float
+(** Table 1: [2^b * 2^n]. *)
+
+val podp_bushy_time : int -> b:int -> l:int -> float
+
+val podp_bushy_space : int -> b:int -> l:int -> float
+
+val theorem3_bound : l:int -> m:int -> float
+(** Theorem 3: expected cover-set size of [m] independent random points in
+    [l]-dimensional space is at most [2^l * (1 - (1 - 2^-l)^m)]. *)
+
+val harmonic : int -> float
+(** [H_n], the n-th harmonic number — the exact expected cover (Pareto) set
+    size for [l = 2] dimensions, used to cross-check the Monte Carlo. *)

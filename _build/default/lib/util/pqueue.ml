@@ -1,0 +1,39 @@
+type 'a t =
+  | Leaf
+  | Node of { rank : int; prio : float; value : 'a; left : 'a t; right : 'a t; count : int }
+
+let empty = Leaf
+let is_empty = function Leaf -> true | Node _ -> false
+let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+let size = function Leaf -> 0 | Node { count; _ } -> count
+
+let node prio value a b =
+  let left, right = if rank a >= rank b then (a, b) else (b, a) in
+  Node { rank = rank right + 1; prio; value; left; right; count = size a + size b + 1 }
+
+let rec merge a b =
+  match (a, b) with
+  | Leaf, t | t, Leaf -> t
+  | Node na, Node nb ->
+    if na.prio <= nb.prio then node na.prio na.value na.left (merge na.right b)
+    else node nb.prio nb.value nb.left (merge a nb.right)
+
+let insert prio value q = merge (Node { rank = 1; prio; value; left = Leaf; right = Leaf; count = 1 }) q
+
+let min = function
+  | Leaf -> None
+  | Node { prio; value; _ } -> Some (prio, value)
+
+let pop = function
+  | Leaf -> None
+  | Node { prio; value; left; right; _ } -> Some (prio, value, merge left right)
+
+let of_list l = List.fold_left (fun q (p, v) -> insert p v q) empty l
+
+let to_sorted_list q =
+  let rec loop q acc =
+    match pop q with
+    | None -> List.rev acc
+    | Some (p, v, q') -> loop q' ((p, v) :: acc)
+  in
+  loop q []

@@ -1,0 +1,26 @@
+(** A purely functional min-priority queue (leftist heap), keyed by float
+    priority.  The discrete-event simulator uses it as its event queue. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val insert : float -> 'a -> 'a t -> 'a t
+(** [insert priority value q]. Ties are broken by insertion order being
+    unspecified; callers requiring determinism must disambiguate in the
+    value. *)
+
+val min : 'a t -> (float * 'a) option
+(** Smallest priority with its value, without removing it. *)
+
+val pop : 'a t -> (float * 'a * 'a t) option
+(** Remove and return the minimum. *)
+
+val of_list : (float * 'a) list -> 'a t
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** All entries in non-decreasing priority order. O(n log n). *)

@@ -1,0 +1,83 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = mix seed }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  (* 53 significant bits, same construction as the stdlib *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(int t (Array.length a))
+
+let pick_list t l = pick t (Array.of_list l)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let exponential t ~mean = -.mean *. log (1. -. float t 1.)
+
+(* Zipf by binary search over the cumulative distribution.  The table is
+   cached per (n, theta) since workloads draw many values with the same
+   parameters. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf_cdf n theta =
+  match Hashtbl.find_opt zipf_cache (n, theta) with
+  | Some c -> c
+  | None ->
+    let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) theta) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (weights.(i) /. total);
+      cdf.(i) <- !acc
+    done;
+    cdf.(n - 1) <- 1.;
+    Hashtbl.replace zipf_cache (n, theta) cdf;
+    cdf
+
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  let cdf = zipf_cdf n theta in
+  let u = float t 1. in
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (n - 1)

@@ -1,0 +1,49 @@
+(** Deterministic, splittable pseudo-random number generator (SplitMix64).
+
+    Every randomized component of the repository (data generation, workload
+    generation, Monte-Carlo experiments, property tests' fixtures) draws from
+    an explicit [Rng.t] so results are reproducible from a single seed and
+    independent streams can be split off without sharing state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** A new generator statistically independent of the parent; the parent
+    advances by one step. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0 .. bound). *)
+
+val bool : t -> bool
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo .. hi] inclusive. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val exponential : t -> mean:float -> float
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] draws from a Zipf distribution over [1 .. n] with
+    skew [theta] (0 = uniform) by inversion over the exact CDF. O(log n)
+    after an O(n) table built per (n, theta) — cached internally. *)

@@ -1,0 +1,81 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Statsu.mean"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Statsu.summarize"
+  | _ ->
+    let n = List.length xs in
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. float_of_int n
+    in
+    {
+      n;
+      mean = m;
+      stddev = sqrt var;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+    }
+
+(* Average ranks: ties receive the mean of the positions they occupy. *)
+let ranks xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Float.compare arr.(a) arr.(b)) idx;
+  let rank = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && arr.(idx.(!j + 1)) = arr.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2. +. 1. in
+    for k = !i to !j do
+      rank.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  Array.to_list rank
+
+let pearson xs ys =
+  if List.length xs <> List.length ys || List.length xs < 2 then
+    invalid_arg "Statsu.pearson";
+  let mx = mean xs and my = mean ys in
+  let num, dx, dy =
+    List.fold_left2
+      (fun (num, dx, dy) x y ->
+        let a = x -. mx and b = y -. my in
+        (num +. (a *. b), dx +. (a *. a), dy +. (b *. b)))
+      (0., 0., 0.) xs ys
+  in
+  if dx = 0. || dy = 0. then 0. else num /. sqrt (dx *. dy)
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let quantile q xs =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Statsu.quantile"
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let pos = q *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = pos -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end

@@ -1,0 +1,26 @@
+(** Small statistical helpers for the experiment harness: summaries of
+    samples and rank correlation between predicted and simulated response
+    times (experiment E9). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+
+val spearman : float list -> float list -> float
+(** Spearman rank correlation of two equal-length samples (average ranks
+    for ties). Raises [Invalid_argument] on mismatch or length < 2. *)
+
+val pearson : float list -> float list -> float
+
+val quantile : float -> float list -> float
+(** [quantile q xs] for [0 <= q <= 1], linear interpolation between order
+    statistics. *)

@@ -1,0 +1,114 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tableau.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Rule -> w
+            | Cells cells -> max w (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render_cells headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun row ->
+      match row with
+      | Rule -> Buffer.add_string buf (rule ^ "\n")
+      | Cells cells -> Buffer.add_string buf (render_cells cells ^ "\n"))
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line (List.map fst t.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      match row with
+      | Rule -> ()
+      | Cells cells ->
+        Buffer.add_string buf (line cells);
+        Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then Char.lowercase_ascii c
+      else '-')
+    title
+
+let write_csv t dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (slug t.title ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ();
+  match !csv_dir with None -> () | Some dir -> write_csv t dir
+
+let cell_float ?(decimals = 2) x =
+  if Float.is_nan x then "-"
+  else if Float.is_integer x && Float.abs x < 1e7 then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1e7 then Printf.sprintf "%.3e" x
+  else Printf.sprintf "%.*f" decimals x
+
+let cell_int = string_of_int

@@ -1,0 +1,38 @@
+(** Plain-text table rendering for the benchmark harness and CLI: the
+    experiment tables (E1..E10 in DESIGN.md) are printed through this
+    module so every experiment reports in a uniform format. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** Horizontal separator between row groups. *)
+
+val render : t -> string
+(** The table as a string, boxed with ASCII rules. *)
+
+val to_csv : t -> string
+(** Header row plus data rows, RFC-4180-style quoting; rules are
+    skipped. *)
+
+val set_csv_dir : string option -> unit
+(** When set, every subsequent [print] also writes the table as
+    [<dir>/<slug-of-title>.csv] (the directory is created).  The
+    benchmark harness exposes this as [--csv DIR]. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line (plus the CSV side
+    effect when a directory is configured). *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Compact numeric cell: fixed decimals for small magnitudes, scientific
+    notation beyond 1e7, ["-"] for NaN and ["inf"] for infinities. *)
+
+val cell_int : int -> string

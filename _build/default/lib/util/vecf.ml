@@ -1,0 +1,47 @@
+type t = float array
+
+let make dim x = Array.make dim x
+let zero dim = Array.make dim 0.
+let of_array a = Array.copy a
+let to_array v = Array.copy v
+let init = Array.init
+let dim = Array.length
+let get v i = v.(i)
+
+let set v i x =
+  let v' = Array.copy v in
+  v'.(i) <- x;
+  v'
+
+let check_dim a b = if Array.length a <> Array.length b then invalid_arg "Vecf: dimension mismatch"
+
+let map2 f a b =
+  check_dim a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale k v = Array.map (fun x -> k *. x) v
+let pointwise_max a b = map2 Float.max a b
+let max_coord v = Array.fold_left Float.max neg_infinity v
+let sum v = Array.fold_left ( +. ) 0. v
+
+let dominates a b =
+  check_dim a b;
+  let rec loop i = i >= Array.length a || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let equal ?(eps = 0.) a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i =
+    i >= Array.length a || (Float.abs (a.(i) -. b.(i)) <= eps && loop (i + 1))
+  in
+  loop 0
+
+let map = Array.map
+let clamp_non_negative v = Array.map (fun x -> Float.max 0. x) v
+
+let pp ppf v =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3g") v)))

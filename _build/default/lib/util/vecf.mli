@@ -1,0 +1,59 @@
+(** Dense float vectors with coordinate-wise arithmetic.
+
+    Resource vectors in the cost model (per-resource work, §5.2 of the
+    paper) are [Vecf.t] values whose dimension equals the number of modeled
+    resources of the machine. *)
+
+type t
+(** An immutable vector of floats. *)
+
+val make : int -> float -> t
+(** [make dim x] is the [dim]-vector with every coordinate [x]. *)
+
+val zero : int -> t
+
+val of_array : float array -> t
+(** Copies the array. *)
+
+val to_array : t -> float array
+(** Fresh copy. *)
+
+val init : int -> (int -> float) -> t
+
+val dim : t -> int
+
+val get : t -> int -> float
+
+val set : t -> int -> float -> t
+(** Functional update. *)
+
+val add : t -> t -> t
+(** Coordinate-wise sum. Raises [Invalid_argument] on dimension mismatch. *)
+
+val sub : t -> t -> t
+(** Coordinate-wise difference. *)
+
+val scale : float -> t -> t
+
+val pointwise_max : t -> t -> t
+
+val max_coord : t -> float
+(** Largest coordinate; [neg_infinity] for the 0-dimensional vector. *)
+
+val sum : t -> float
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [a.(i) <= b.(i)] for every coordinate — the
+    l-dimensional less-than of §6.2. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val clamp_non_negative : t -> t
+(** Replaces negative coordinates by [0.]; used when subtracting a
+    materialized front introduces small negative residuals. *)
+
+val pp : Format.formatter -> t -> unit

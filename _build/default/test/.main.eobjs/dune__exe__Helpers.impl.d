@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Fmt Parqo QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Helpers List Parqo QCheck2

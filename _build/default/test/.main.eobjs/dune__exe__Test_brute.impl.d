@@ -1,0 +1,1 @@
+test/test_brute.ml: Alcotest Float Helpers List Parqo Printf

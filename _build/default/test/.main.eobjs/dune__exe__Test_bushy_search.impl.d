@@ -1,0 +1,1 @@
+test/test_bushy_search.ml: Alcotest Helpers List Parqo Printf

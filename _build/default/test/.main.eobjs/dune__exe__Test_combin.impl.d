@@ -1,0 +1,1 @@
+test/test_combin.ml: Alcotest Helpers Parqo QCheck2

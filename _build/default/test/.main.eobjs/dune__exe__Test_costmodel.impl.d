@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Helpers List Parqo

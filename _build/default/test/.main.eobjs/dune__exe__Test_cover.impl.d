@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Float List Parqo Printf

@@ -1,0 +1,1 @@
+test/test_descriptor.ml: Alcotest Float Helpers List Parqo QCheck2

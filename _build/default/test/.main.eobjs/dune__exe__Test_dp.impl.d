@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Helpers List Parqo Printf

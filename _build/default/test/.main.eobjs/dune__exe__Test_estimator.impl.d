@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Helpers List Parqo

@@ -1,0 +1,1 @@
+test/test_expand.ml: Alcotest Float Helpers List Parqo

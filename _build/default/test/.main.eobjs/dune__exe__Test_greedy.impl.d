@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Float Hashtbl Helpers List Parqo Printf

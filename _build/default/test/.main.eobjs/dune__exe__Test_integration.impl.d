@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Parqo Printf

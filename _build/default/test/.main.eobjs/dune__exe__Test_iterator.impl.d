@@ -1,0 +1,1 @@
+test/test_iterator.ml: Alcotest Array Helpers List Parqo Printf

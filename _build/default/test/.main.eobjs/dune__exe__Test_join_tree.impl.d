@@ -1,0 +1,1 @@
+test/test_join_tree.ml: Alcotest List Parqo

@@ -1,0 +1,1 @@
+test/test_opcost.ml: Alcotest Helpers List Parqo Printf

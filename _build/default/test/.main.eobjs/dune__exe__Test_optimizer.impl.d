@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Helpers List Parqo

@@ -1,0 +1,1 @@
+test/test_optree.ml: Alcotest List Parqo String

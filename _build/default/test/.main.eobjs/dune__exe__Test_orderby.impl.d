@@ -1,0 +1,1 @@
+test/test_orderby.ml: Alcotest Array Helpers List Parqo

@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Char Helpers Parqo QCheck2 String

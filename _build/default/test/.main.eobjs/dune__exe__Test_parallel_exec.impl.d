@@ -1,0 +1,1 @@
+test/test_parallel_exec.ml: Alcotest Helpers List Parqo Printf

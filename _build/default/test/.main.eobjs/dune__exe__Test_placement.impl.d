@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest List Parqo

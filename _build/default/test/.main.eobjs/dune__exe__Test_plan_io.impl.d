@@ -1,0 +1,1 @@
+test/test_plan_io.ml: Alcotest Helpers List Parqo Printf QCheck2 String

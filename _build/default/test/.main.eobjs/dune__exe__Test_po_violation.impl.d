@@ -1,0 +1,1 @@
+test/test_po_violation.ml: Alcotest Helpers List Parqo

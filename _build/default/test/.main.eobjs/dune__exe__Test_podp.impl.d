@@ -1,0 +1,1 @@
+test/test_podp.ml: Alcotest Helpers List Parqo Printf

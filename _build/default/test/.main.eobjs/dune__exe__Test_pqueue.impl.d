@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Helpers List Parqo QCheck2

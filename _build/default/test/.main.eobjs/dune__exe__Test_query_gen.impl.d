@@ -1,0 +1,1 @@
+test/test_query_gen.ml: Alcotest Helpers List Parqo Printf

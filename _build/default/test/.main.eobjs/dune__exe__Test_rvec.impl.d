@@ -1,0 +1,1 @@
+test/test_rvec.ml: Alcotest Float Helpers Parqo QCheck2

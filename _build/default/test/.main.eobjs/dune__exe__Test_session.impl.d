@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest List Parqo String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Helpers List Parqo Printf String

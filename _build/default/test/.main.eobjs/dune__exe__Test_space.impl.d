@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Helpers List Parqo

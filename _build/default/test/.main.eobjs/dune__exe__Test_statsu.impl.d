@@ -1,0 +1,1 @@
+test/test_statsu.ml: Alcotest Helpers List Parqo

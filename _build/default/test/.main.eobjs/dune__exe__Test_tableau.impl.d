@@ -1,0 +1,1 @@
+test/test_tableau.ml: Alcotest Float List Parqo String

@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Array Helpers List Parqo

@@ -1,0 +1,1 @@
+test/test_tdesc.ml: Alcotest Helpers List Parqo QCheck2

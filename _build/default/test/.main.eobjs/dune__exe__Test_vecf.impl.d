@@ -1,0 +1,1 @@
+test/test_vecf.ml: Alcotest Array Float Helpers Parqo QCheck2

@@ -1,0 +1,77 @@
+module B = Parqo.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let small_set = QCheck2.Gen.(map B.of_list (list_size (int_bound 8) (int_bound 15)))
+
+let basics () =
+  Alcotest.(check (list int)) "empty" [] (B.to_list B.empty);
+  Alcotest.(check (list int)) "full 4" [ 0; 1; 2; 3 ] (B.to_list (B.full 4));
+  Alcotest.(check (list int)) "of_list sorts+dedups" [ 1; 3; 7 ]
+    (B.to_list (B.of_list [ 7; 3; 1; 3 ]));
+  Alcotest.(check int) "cardinal" 3 (B.cardinal (B.of_list [ 0; 5; 9 ]));
+  Alcotest.(check bool) "mem yes" true (B.mem 5 (B.of_list [ 0; 5 ]));
+  Alcotest.(check bool) "mem no" false (B.mem 1 (B.of_list [ 0; 5 ]));
+  Alcotest.(check int) "choose = min" 2 (B.choose (B.of_list [ 9; 2; 4 ]))
+
+let set_algebra () =
+  let a = B.of_list [ 0; 1; 2 ] and b = B.of_list [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (B.to_list (B.union a b));
+  Alcotest.(check (list int)) "inter" [ 2 ] (B.to_list (B.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 1 ] (B.to_list (B.diff a b));
+  Alcotest.(check bool) "subset" true (B.subset (B.of_list [ 1 ]) a);
+  Alcotest.(check bool) "not subset" false (B.subset b a);
+  Alcotest.(check bool) "disjoint" true (B.disjoint (B.of_list [ 0 ]) (B.of_list [ 1 ]));
+  Alcotest.(check bool) "not disjoint" false (B.disjoint a b)
+
+let subsets_of_size () =
+  let subsets = B.subsets_of_size 4 ~size:2 in
+  Alcotest.(check int) "C(4,2)=6" 6 (List.length subsets);
+  List.iter (fun s -> Alcotest.(check int) "size 2" 2 (B.cardinal s)) subsets;
+  (* all distinct *)
+  Alcotest.(check int) "distinct" 6
+    (List.length (List.sort_uniq B.compare subsets))
+
+let proper_subsets () =
+  let s = B.of_list [ 0; 2; 5 ] in
+  let subs = B.proper_nonempty_subsets s in
+  Alcotest.(check int) "2^3-2" 6 (List.length subs);
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) "proper" true
+        (B.subset sub s && (not (B.is_empty sub)) && not (B.equal sub s)))
+    subs
+
+let errors () =
+  Alcotest.check_raises "full -1" (Invalid_argument "Bitset.full") (fun () ->
+      ignore (B.full (-1)));
+  Alcotest.check_raises "choose empty" Not_found (fun () ->
+      ignore (B.choose B.empty))
+
+let prop_union_cardinal =
+  Helpers.qtest "cardinal(a∪b) = |a|+|b|-|a∩b|"
+    QCheck2.Gen.(pair small_set small_set)
+    (fun (a, b) ->
+      B.cardinal (B.union a b)
+      = B.cardinal a + B.cardinal b - B.cardinal (B.inter a b))
+
+let prop_fold_iter_agree =
+  Helpers.qtest "fold and to_list agree" small_set (fun s ->
+      List.rev (B.fold (fun i acc -> i :: acc) s []) = B.to_list s)
+
+let prop_roundtrip =
+  Helpers.qtest "of_list ∘ to_list = id" small_set (fun s ->
+      B.equal (B.of_list (B.to_list s)) s)
+
+let suite =
+  ( "bitset",
+    [
+      t "basics" basics;
+      t "set algebra" set_algebra;
+      t "subsets of size" subsets_of_size;
+      t "proper subsets" proper_subsets;
+      t "errors" errors;
+      prop_union_cardinal;
+      prop_fold_iter_agree;
+      prop_roundtrip;
+    ] )

@@ -1,0 +1,105 @@
+module B = Parqo.Bounds
+module Cm = Parqo.Costmodel
+module G = Parqo.Query_gen
+module Opt = Parqo.Optimizer
+
+let t name f = Alcotest.test_case name `Quick f
+
+let caps () =
+  Alcotest.(check (option (float 1e-9))) "unbounded" None
+    (B.partial_work_cap B.Unbounded ~work_opt:100. ~rt_opt:50.);
+  Alcotest.(check (option (float 1e-9))) "throughput degradation"
+    (Some 200.)
+    (B.partial_work_cap (B.Throughput_degradation 2.) ~work_opt:100. ~rt_opt:50.);
+  Alcotest.(check (option (float 1e-9))) "cost-benefit"
+    (Some 150.)
+    (B.partial_work_cap (B.Cost_benefit 1.) ~work_opt:100. ~rt_opt:50.)
+
+let dummy_eval work rt =
+  (* synthesize an eval through the real pipeline, then override is not
+     possible (immutable); instead test [admits] through a real plan with
+     scaled bounds *)
+  ignore work;
+  ignore rt
+
+let admits () =
+  let env = Helpers.chain_env ~n:2 () in
+  let e =
+    Cm.evaluate env
+      (Parqo.Join_tree.join Parqo.Join_method.Hash_join
+         ~outer:(Parqo.Join_tree.access 0) ~inner:(Parqo.Join_tree.access 1))
+  in
+  ignore (dummy_eval 0. 0.);
+  (* the plan relative to itself as work-optimum: always admitted *)
+  Alcotest.(check bool) "self admitted TD" true
+    (B.admits (B.Throughput_degradation 1.) ~work_opt:e.Cm.work
+       ~rt_opt:e.Cm.response_time e);
+  Alcotest.(check bool) "self admitted CB" true
+    (B.admits (B.Cost_benefit 0.) ~work_opt:e.Cm.work ~rt_opt:e.Cm.response_time e);
+  (* a plan with double the work of the optimum *)
+  Alcotest.(check bool) "TD 1.5 rejects 2x work" false
+    (B.admits (B.Throughput_degradation 1.5) ~work_opt:(e.Cm.work /. 2.)
+       ~rt_opt:e.Cm.response_time e);
+  Alcotest.(check bool) "TD 3 admits 2x work" true
+    (B.admits (B.Throughput_degradation 3.) ~work_opt:(e.Cm.work /. 2.)
+       ~rt_opt:e.Cm.response_time e);
+  (* cost-benefit: extra work admitted only if response time improves
+     enough; here rt equals the optimum's, so extra work is rejected *)
+  Alcotest.(check bool) "CB rejects no-benefit extra work" false
+    (B.admits (B.Cost_benefit 10.) ~work_opt:(e.Cm.work /. 2.)
+       ~rt_opt:e.Cm.response_time e);
+  (* generous improvement: admitted *)
+  Alcotest.(check bool) "CB admits paid-for work" true
+    (B.admits (B.Cost_benefit 10.) ~work_opt:(e.Cm.work /. 2.)
+       ~rt_opt:(e.Cm.response_time *. 10.) e)
+
+(* end-to-end: RT(k) is non-increasing and W <= k * W_opt always holds *)
+let bound_sweep_monotone () =
+  let env = Helpers.chain_env ~n:4 () in
+  let config = Parqo.Space.parallel_config env.Parqo.Env.machine in
+  let results =
+    List.map
+      (fun k ->
+        let o =
+          Opt.minimize_response_time ~config
+            ~bound:(B.Throughput_degradation k) env
+        in
+        match (o.Opt.best, o.Opt.work_optimal) with
+        | Some b, Some w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "work within %.2fx" k)
+            true
+            (b.Cm.work <= (k *. w.Cm.work) +. 1e-6);
+          b.Cm.response_time
+        | _ -> Alcotest.fail "missing plan")
+      [ 1.0; 1.5; 2.0; 4.0 ]
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-6 >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "rt non-increasing in budget" true (non_increasing results);
+  (* k = 1: no extra work allowed; response time equals the work
+     optimum's response time *)
+  let tight =
+    Opt.minimize_response_time ~config ~bound:(B.Throughput_degradation 1.0) env
+  in
+  match (tight.Opt.best, tight.Opt.work_optimal) with
+  | Some b, Some w ->
+    Alcotest.(check bool) "k=1 collapses to work optimum" true
+      (b.Cm.response_time <= w.Cm.response_time +. 1e-6)
+  | _ -> Alcotest.fail "missing plan"
+
+let to_string () =
+  Alcotest.(check string) "unbounded" "unbounded" (B.to_string B.Unbounded);
+  Alcotest.(check string) "td" "throughput-degradation(2.00)"
+    (B.to_string (B.Throughput_degradation 2.))
+
+let suite =
+  ( "bounds",
+    [
+      t "caps" caps;
+      t "admits" admits;
+      t "bound sweep monotone" bound_sweep_monotone;
+      t "to_string" to_string;
+    ] )

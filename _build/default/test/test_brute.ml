@@ -1,0 +1,85 @@
+module Brute = Parqo.Brute
+module S = Parqo.Space
+module G = Parqo.Query_gen
+module Cm = Parqo.Costmodel
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes:2 () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+(* Table 1, "size of space": with the minimal config (one method, one
+   access path, no clones) brute force enumerates exactly the join
+   orders: n! left-deep and (2(n-1))!/(n-1)! bushy *)
+let leftdeep_space_size () =
+  List.iter
+    (fun n ->
+      let env = env_of G.Clique n in
+      let r = Brute.leftdeep ~config:S.minimal_config env in
+      Alcotest.(check int)
+        (Printf.sprintf "n! for n=%d" n)
+        (int_of_float (Parqo.Combin.leftdeep_space n))
+        r.Brute.n_plans)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let bushy_space_size () =
+  List.iter
+    (fun n ->
+      let env = env_of G.Clique n in
+      let r = Brute.bushy ~config:S.minimal_config env in
+      Alcotest.(check int)
+        (Printf.sprintf "(2(n-1))!/(n-1)! for n=%d" n)
+        (int_of_float (Parqo.Combin.bushy_space n))
+        r.Brute.n_plans)
+    [ 1; 2; 3; 4 ]
+
+(* annotations multiply the space: two methods double each join choice *)
+let annotations_multiply () =
+  let env = env_of G.Clique 3 in
+  let one = Brute.leftdeep ~config:S.minimal_config env in
+  let two =
+    Brute.leftdeep
+      ~config:
+        {
+          S.minimal_config with
+          S.methods = [ Parqo.Join_method.Nested_loops; Parqo.Join_method.Hash_join ];
+        }
+      env
+  in
+  Alcotest.(check int) "2^joins multiplier" (one.Brute.n_plans * 4) two.Brute.n_plans
+
+let on_plan_callback () =
+  let env = env_of G.Chain 3 in
+  let seen = ref 0 in
+  let r =
+    Brute.leftdeep ~config:S.minimal_config ~on_plan:(fun _ -> incr seen) env
+  in
+  Alcotest.(check int) "callback per plan" r.Brute.n_plans !seen
+
+let best_is_minimum () =
+  let env = env_of G.Chain 3 in
+  let rts = ref [] in
+  let r =
+    Brute.leftdeep ~config:S.default_config
+      ~objective:(fun (e : Cm.eval) -> e.Cm.response_time)
+      ~on_plan:(fun e -> rts := e.Cm.response_time :: !rts)
+      env
+  in
+  match r.Brute.best with
+  | Some b ->
+    Helpers.check_float "best = min over stream"
+      (List.fold_left Float.min infinity !rts)
+      b.Cm.response_time
+  | None -> Alcotest.fail "no plan"
+
+let suite =
+  ( "brute",
+    [
+      t "left-deep space size (Table 1)" leftdeep_space_size;
+      t "bushy space size (Table 1)" bushy_space_size;
+      t "annotations multiply" annotations_multiply;
+      t "on_plan callback" on_plan_callback;
+      t "best is minimum" best_is_minimum;
+    ] )

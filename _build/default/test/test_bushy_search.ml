@@ -1,0 +1,118 @@
+module Bushy = Parqo.Bushy
+module Dp = Parqo.Dp
+module Brute = Parqo.Brute
+module Cm = Parqo.Costmodel
+module S = Parqo.Space
+module G = Parqo.Query_gen
+module Stats = Parqo.Search_stats
+module Mt = Parqo.Metric
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of ?(nodes = 4) shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let finds_plans () =
+  List.iter
+    (fun shape ->
+      let env = env_of shape 4 in
+      match (Bushy.optimize_scalar env).Bushy.best with
+      | Some e ->
+        Alcotest.(check bool) "covers all" true
+          (Parqo.Bitset.equal
+             (Parqo.Join_tree.relations e.Cm.tree)
+             (Parqo.Bitset.full 4))
+      | None -> Alcotest.fail "no plan")
+    [ G.Chain; G.Star; G.Clique ]
+
+(* bushy DP searches a superset of left-deep DP's space: its work optimum
+   is never worse (same candidate generator, same objective) *)
+let at_least_as_good_as_leftdeep () =
+  let rng = Parqo.Rng.create 30 in
+  let config =
+    {
+      S.default_config with
+      S.methods = [ Parqo.Join_method.Nested_loops; Parqo.Join_method.Hash_join ];
+    }
+  in
+  for _ = 1 to 6 do
+    let env = Helpers.random_env rng ~n:4 in
+    let ld = Dp.optimize ~config env in
+    let bushy = Bushy.optimize_scalar ~config env in
+    match (ld.Dp.best, bushy.Bushy.best) with
+    | Some l, Some b ->
+      Alcotest.(check bool) "bushy work <= left-deep work" true
+        (b.Cm.work <= l.Cm.work +. 1e-6)
+    | _ -> Alcotest.fail "missing plan"
+  done
+
+(* bushy DP matches bushy brute force without interesting orders *)
+let matches_brute () =
+  let rng = Parqo.Rng.create 31 in
+  let config =
+    {
+      S.minimal_config with
+      S.methods = [ Parqo.Join_method.Nested_loops; Parqo.Join_method.Hash_join ];
+    }
+  in
+  for _ = 1 to 5 do
+    let env = Helpers.random_env rng ~n:4 in
+    let objective (e : Cm.eval) = e.Cm.work in
+    let dp = Bushy.optimize_scalar ~config ~objective env in
+    let brute = Brute.bushy ~config ~objective env in
+    match (dp.Bushy.best, brute.Brute.best) with
+    | Some a, Some b ->
+      Helpers.check_float ~eps:1e-6 "same optimum" b.Cm.work a.Cm.work
+    | _ -> Alcotest.fail "missing plan"
+  done
+
+(* Table 1: plans considered by bushy DP on a clique =
+   3^n - 2^(n+1) + n + 1 (with b = 0: bindings fixed for SPJ) *)
+let table1_counters () =
+  List.iter
+    (fun n ->
+      let env = env_of G.Clique n in
+      let r = Bushy.optimize_scalar ~config:S.minimal_config env in
+      Alcotest.(check int)
+        (Printf.sprintf "considered n=%d" n)
+        (int_of_float (Parqo.Combin.dp_bushy_time n ~b:0))
+        r.Bushy.stats.Stats.considered)
+    [ 2; 3; 4; 5 ]
+
+(* the paper §6.4: on a parallel machine bushy partial-order DP finds
+   response times at least as good as left-deep partial-order DP *)
+let bushy_rt_at_least_as_good () =
+  let env = env_of ~nodes:4 G.Star 4 in
+  let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+  let metric =
+    Mt.with_ordering (Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Single)
+  in
+  let ld = Parqo.Podp.optimize ~config ~metric env in
+  (* beam-bounded: exact bushy po-DP cover products are prohibitive; the
+     beam keeps the best plans per subset and still beats left-deep *)
+  let bushy = Bushy.optimize_po ~config ~metric ~max_cover:24 env in
+  match (ld.Parqo.Podp.best, bushy.Bushy.best) with
+  | Some l, Some b ->
+    Alcotest.(check bool) "bushy rt <= left-deep rt" true
+      (b.Cm.response_time <= l.Cm.response_time +. 1e-6)
+  | _ -> Alcotest.fail "missing plan"
+
+let beam_bound_respected () =
+  let env = env_of G.Chain 4 in
+  let metric = Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Single in
+  let r = Bushy.optimize_po ~metric ~max_cover:4 env in
+  Alcotest.(check bool) "has result" true (r.Bushy.best <> None);
+  Alcotest.(check bool) "cover bounded" true (List.length r.Bushy.cover <= 4)
+
+let suite =
+  ( "bushy",
+    [
+      t "finds plans" finds_plans;
+      t "at least as good as left-deep" at_least_as_good_as_leftdeep;
+      t "matches brute force" matches_brute;
+      t "Table 1 counters" table1_counters;
+      t "bushy rt wins" bushy_rt_at_least_as_good;
+      t "beam bound" beam_bound_respected;
+    ] )

@@ -1,0 +1,104 @@
+module C = Parqo.Catalog
+module Table = Parqo.Table
+module Index = Parqo.Index
+module Stats = Parqo.Stats
+module Value = Parqo.Value
+
+let t name f = Alcotest.test_case name `Quick f
+
+let col ?(distinct = 10.) () = Stats.column ~distinct ~min_v:0. ~max_v:100. ()
+
+let sample_catalog () =
+  let emp =
+    Table.create ~name:"emp"
+      ~columns:[ ("id", col ~distinct:1000. ()); ("dept", col ()) ]
+      ~cardinality:1000. ~disks:[ 0 ] ()
+  in
+  let dept =
+    Table.create ~name:"dept"
+      ~columns:[ ("id", col ()); ("name", col ()) ]
+      ~cardinality:10. ~disks:[ 1 ] ()
+  in
+  let idx = Index.create ~name:"emp_dept" ~table:"emp" ~columns:[ "dept" ] ~disk:0 () in
+  C.create ~tables:[ emp; dept ] ~indexes:[ idx ]
+
+let values () =
+  Alcotest.(check int) "int order" (-1) (Value.compare (Value.Int 1) (Value.Int 2));
+  Alcotest.(check int) "mixed numeric" 0 (Value.compare (Value.Int 2) (Value.Flt 2.));
+  Alcotest.(check bool) "strings after numbers" true
+    (Value.compare (Value.Str "a") (Value.Int 5) > 0);
+  Alcotest.(check string) "to_string" "3.5" (Value.to_string (Value.Flt 3.5));
+  Alcotest.(check bool) "equal" true (Value.equal (Value.Str "x") (Value.Str "x"))
+
+let table_ops () =
+  let c = sample_catalog () in
+  let emp = C.table c "emp" in
+  Alcotest.(check int) "arity" 2 (Table.arity emp);
+  Alcotest.(check (list string)) "column names" [ "id"; "dept" ] (Table.column_names emp);
+  Alcotest.(check int) "column index" 1 (Table.column_index emp "dept");
+  Alcotest.(check bool) "has column" true (Table.has_column emp "id");
+  Alcotest.(check bool) "lacks column" false (Table.has_column emp "salary");
+  Helpers.check_float "stats lookup" 1000.
+    (C.column_stats c ~table:"emp" ~column:"id").Stats.distinct
+
+let table_errors () =
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Table.create: duplicate column") (fun () ->
+      ignore
+        (Table.create ~name:"x"
+           ~columns:[ ("a", col ()); ("a", col ()) ]
+           ~cardinality:1. ()));
+  Alcotest.check_raises "no columns"
+    (Invalid_argument "Table.create: no columns") (fun () ->
+      ignore (Table.create ~name:"x" ~columns:[] ~cardinality:1. ()))
+
+let index_ops () =
+  let c = sample_catalog () in
+  Alcotest.(check int) "indexes_of emp" 1 (List.length (C.indexes_of c "emp"));
+  Alcotest.(check int) "indexes_of dept" 0 (List.length (C.indexes_of c "dept"));
+  let idx = List.hd (C.indexes_of c "emp") in
+  Alcotest.(check bool) "covers" true (Index.covers idx [ "dept" ]);
+  Alcotest.(check bool) "does not cover" false (Index.covers idx [ "id" ])
+
+let validation () =
+  let c = sample_catalog () in
+  (match C.validate ~n_disks:2 c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* index on missing table *)
+  let bad =
+    C.add_index c (Index.create ~name:"ghost" ~table:"nope" ~columns:[ "x" ] ())
+  in
+  (match C.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected missing-table error");
+  (* index on missing column *)
+  let bad2 =
+    C.add_index c (Index.create ~name:"badcol" ~table:"emp" ~columns:[ "zzz" ] ())
+  in
+  (match C.validate bad2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected missing-column error");
+  (* disk out of range *)
+  match C.validate ~n_disks:1 c with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected disk-range error"
+
+let duplicates () =
+  let emp =
+    Table.create ~name:"emp" ~columns:[ ("id", col ()) ] ~cardinality:1. ()
+  in
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "Catalog: duplicate table") (fun () ->
+      ignore (C.create ~tables:[ emp; emp ] ~indexes:[]))
+
+let suite =
+  ( "catalog",
+    [
+      t "values" values;
+      t "table ops" table_ops;
+      t "table errors" table_errors;
+      t "index ops" index_ops;
+      t "validation" validation;
+      t "duplicates" duplicates;
+    ] )

@@ -1,0 +1,76 @@
+module C = Parqo.Combin
+
+let t name f = Alcotest.test_case name `Quick f
+
+let factorials () =
+  Helpers.check_float "0!" 1. (C.factorial 0);
+  Helpers.check_float "1!" 1. (C.factorial 1);
+  Helpers.check_float "5!" 120. (C.factorial 5);
+  Helpers.check_float "10!" 3628800. (C.factorial 10)
+
+let binomials () =
+  Helpers.check_float "C(4,2)" 6. (C.binomial 4 2);
+  Helpers.check_float "C(10,5)" 252. (C.binomial 10 5);
+  Helpers.check_float "C(n,0)" 1. (C.binomial 7 0);
+  Helpers.check_float "C(n,n)" 1. (C.binomial 7 7);
+  Helpers.check_float "out of range" 0. (C.binomial 5 6)
+
+let powers () =
+  Helpers.check_float "2^10" 1024. (C.powi 2. 10);
+  Helpers.check_float "x^0" 1. (C.powi 3.7 0);
+  Helpers.check_float "3^5" 243. (C.powi 3. 5)
+
+(* Table 1 formulas at the values quoted/implied by the paper *)
+let table1_formulas () =
+  Helpers.check_float "left-deep space n=10" 3628800. (C.leftdeep_space 10);
+  Helpers.check_float "DP left-deep time n=10" (10. *. 512.) (C.dp_leftdeep_time 10);
+  Helpers.check_float "DP left-deep space n=10" 252. (C.dp_leftdeep_space 10);
+  Helpers.check_float "po-DP time multiplies by 2^l" (C.dp_leftdeep_time 8 *. 8.)
+    (C.podp_leftdeep_time 8 ~l:3);
+  Helpers.check_float "bushy space n=2" 2. (C.bushy_space 2);
+  Helpers.check_float "bushy space n=3" 12. (C.bushy_space 3);
+  Helpers.check_float "bushy space n=4" 120. (C.bushy_space 4);
+  (* the paper: bushy is "three orders of magnitude" above left-deep at n=10 *)
+  let ratio = C.bushy_space 10 /. C.leftdeep_space 10 in
+  Alcotest.(check bool) "bushy/leftdeep at n=10 ~ 10^3" true
+    (ratio > 1e3 && ratio < 1e5);
+  Helpers.check_float "DP bushy time n=3, b=0"
+    (C.powi 3. 3 -. C.powi 2. 4 +. 3. +. 1.)
+    (C.dp_bushy_time 3 ~b:0)
+
+let theorem3_bound () =
+  (* bound is monotone in m, approaches 2^l *)
+  let b1 = C.theorem3_bound ~l:3 ~m:10 in
+  let b2 = C.theorem3_bound ~l:3 ~m:100 in
+  Alcotest.(check bool) "monotone in m" true (b1 <= b2);
+  Alcotest.(check bool) "below 2^l" true (b2 <= 8.);
+  Helpers.check_float "m=1 gives 1" 1. (C.theorem3_bound ~l:4 ~m:1);
+  (* l = 0: a total order keeps one plan *)
+  Helpers.check_float "l=0 keeps 1" 1. (C.theorem3_bound ~l:0 ~m:1000)
+
+let harmonic () =
+  Helpers.check_float "H_1" 1. (C.harmonic 1);
+  Helpers.check_float ~eps:1e-9 "H_4" (1. +. 0.5 +. (1. /. 3.) +. 0.25) (C.harmonic 4)
+
+let prop_pascal =
+  Helpers.qtest "Pascal's rule"
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 20))
+    (fun (n, k) ->
+      let k = min k n in
+      if k = 0 || k = n then true
+      else
+        Helpers.feq ~eps:1e-6
+          (C.binomial n k)
+          (C.binomial (n - 1) (k - 1) +. C.binomial (n - 1) k))
+
+let suite =
+  ( "combin",
+    [
+      t "factorials" factorials;
+      t "binomials" binomials;
+      t "powers" powers;
+      t "Table 1 formulas" table1_formulas;
+      t "Theorem 3 bound" theorem3_bound;
+      t "harmonic" harmonic;
+      prop_pascal;
+    ] )

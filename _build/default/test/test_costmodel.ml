@@ -1,0 +1,140 @@
+module Cm = Parqo.Costmodel
+module D = Parqo.Descriptor
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env ?(nodes = 4) ?(shape = G.Chain) ?(n = 3) () =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let leftdeep_tree ?(method_ = M.Hash_join) ?(clone = 1) n =
+  List.fold_left
+    (fun acc rel -> J.join ~clone method_ ~outer:acc ~inner:(J.access rel))
+    (J.access 0)
+    (List.init (n - 1) (fun i -> i + 1))
+
+let evaluation_consistency () =
+  let env = env () in
+  let e = Cm.evaluate env (leftdeep_tree 3) in
+  Helpers.check_float "rt = descriptor rl time" (D.response_time e.Cm.descriptor)
+    e.Cm.response_time;
+  Helpers.check_float "work = descriptor work" (D.work e.Cm.descriptor) e.Cm.work;
+  Alcotest.(check bool) "positive costs" true (e.Cm.work > 0. && e.Cm.response_time > 0.)
+
+let rt_bounded_by_work () =
+  (* on any machine, response time of a plan never exceeds its work plus
+     pipeline penalties; with delta(k) bounded by 1+k *)
+  let env = env () in
+  let rng = Parqo.Rng.create 31 in
+  let k = env.Parqo.Env.machine.Parqo.Machine.params.Parqo.Machine.pipeline_delta_k in
+  for _ = 1 to 50 do
+    let tree = Helpers.random_tree rng env in
+    let e = Cm.evaluate env tree in
+    Alcotest.(check bool) "rt <= (1+k) * work" true
+      (e.Cm.response_time <= ((1. +. k) ** 3.) *. e.Cm.work +. 1e-6)
+  done
+
+let parallelism_helps () =
+  let env = env () in
+  let seq = Cm.evaluate env (leftdeep_tree ~clone:1 3) in
+  let par = Cm.evaluate env (leftdeep_tree ~clone:4 3) in
+  Alcotest.(check bool) "cloning reduces response time" true
+    (par.Cm.response_time < seq.Cm.response_time);
+  Alcotest.(check bool) "cloning costs extra work" true (par.Cm.work >= seq.Cm.work)
+
+let materialize_trades_penalty () =
+  (* forcing materialization must not change total work (stretch mode)
+     and yields a valid descriptor *)
+  let env = env () in
+  let pipelined = J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) in
+  let materialized =
+    J.join ~materialize:true M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)
+  in
+  let ep = Cm.evaluate env pipelined and em = Cm.evaluate env materialized in
+  Helpers.check_float ~eps:1e-6 "same work" ep.Cm.work em.Cm.work;
+  Helpers.check_float "materialized blocks"
+    (D.response_time em.Cm.descriptor)
+    (D.first_tuple_time em.Cm.descriptor)
+
+let bushy_vs_leftdeep () =
+  (* star query, 4 relations: bushy trees can run both dimension joins in
+     parallel; on a parallel machine some bushy plan should be at least as
+     good as the same-method left-deep plan *)
+  let env = env ~shape:G.Star ~n:4 () in
+  let ld = Cm.evaluate env (leftdeep_tree 4) in
+  let bushy =
+    J.join M.Hash_join
+      ~outer:(J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
+      ~inner:(J.join M.Hash_join ~outer:(J.access 2) ~inner:(J.access 3))
+  in
+  (* star: 2-3 joins 0; this tree is legal but the 2-3 join is cartesian *)
+  let eb = Cm.evaluate env bushy in
+  Alcotest.(check bool) "both evaluable" true
+    (ld.Cm.response_time > 0. && eb.Cm.response_time > 0.)
+
+let work_additivity () =
+  (* physical transparency: the work of a plan equals the sum over its
+     operator tree of base works (stretch mode keeps work exact) *)
+  let env = env () in
+  let tree = leftdeep_tree 3 in
+  let e = Cm.evaluate env tree in
+  let sum = ref 0. in
+  Parqo.Op.iter
+    (fun node ->
+      if
+        not
+          (Parqo.Opcost.nl_inner_is_free node)
+        (* all ops here are costed *)
+      then
+        sum :=
+          !sum
+          +. D.work
+               (Parqo.Opcost.base env.Parqo.Env.machine env.Parqo.Env.estimator
+                  node))
+    e.Cm.optree;
+  Helpers.check_float ~eps:1e-6 "work additivity" !sum e.Cm.work
+
+let deterministic () =
+  let env = env () in
+  let tree = leftdeep_tree 3 in
+  let a = Cm.evaluate env tree and b = Cm.evaluate env tree in
+  Helpers.check_float "same rt" a.Cm.response_time b.Cm.response_time;
+  Helpers.check_float "same work" a.Cm.work b.Cm.work
+
+(* the pipeline penalty only ever hurts: any plan's response time with
+   delta_k > 0 is at least its delta-free response time, and work is
+   unchanged in stretch mode *)
+let delta_ablation () =
+  let catalog, query = G.generate (G.default_spec G.Chain 3) in
+  let mk k =
+    let params = { Parqo.Machine.default_params with pipeline_delta_k = k } in
+    Parqo.Env.create
+      ~machine:(Parqo.Machine.shared_nothing ~params ~nodes:4 ())
+      ~catalog ~query ()
+  in
+  let free = mk 0. and taxed = mk 0.5 in
+  let rng = Parqo.Rng.create 62 in
+  for _ = 1 to 30 do
+    let tree = Helpers.random_tree rng free in
+    let a = Cm.evaluate free tree and b = Cm.evaluate taxed tree in
+    Alcotest.(check bool) "delta cannot help" true
+      (a.Cm.response_time <= b.Cm.response_time +. 1e-9);
+    Helpers.check_float ~eps:1e-6 "work unchanged" a.Cm.work b.Cm.work
+  done
+
+let suite =
+  ( "costmodel",
+    [
+      t "delta ablation" delta_ablation;
+      t "evaluation consistency" evaluation_consistency;
+      t "rt bounded" rt_bounded_by_work;
+      t "parallelism helps" parallelism_helps;
+      t "materialize annotation" materialize_trades_penalty;
+      t "bushy evaluable" bushy_vs_leftdeep;
+      t "work additivity" work_additivity;
+      t "deterministic" deterministic;
+    ] )

@@ -1,0 +1,127 @@
+module C = Parqo.Cover
+module Combin = Parqo.Combin
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* dominance on int pairs: componentwise <= *)
+let dom2 (a1, a2) (b1, b2) = a1 <= b1 && a2 <= b2
+
+let maintenance () =
+  let c = C.create ~dominates:dom2 in
+  Alcotest.(check bool) "insert first" true (C.add c (5, 5));
+  Alcotest.(check bool) "dominated rejected" false (C.add c (6, 6));
+  Alcotest.(check bool) "incomparable accepted" true (C.add c (3, 8));
+  Alcotest.(check int) "two elements" 2 (C.size c);
+  (* a dominating element evicts both *)
+  Alcotest.(check bool) "dominator accepted" true (C.add c (1, 1));
+  Alcotest.(check int) "evicted to one" 1 (C.size c);
+  Alcotest.(check bool) "covered query" true (C.is_covered c (9, 9))
+
+let incomparability_invariant () =
+  let rng = Parqo.Rng.create 5 in
+  let c = C.create ~dominates:dom2 in
+  for _ = 1 to 500 do
+    ignore (C.add c (Parqo.Rng.int rng 100, Parqo.Rng.int rng 100))
+  done;
+  let elems = C.elements c in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> if a != b then Alcotest.(check bool) "incomparable" false (dom2 a b))
+        elems)
+    elems
+
+let coverage_invariant () =
+  (* every inserted point is covered by the final cover *)
+  let rng = Parqo.Rng.create 6 in
+  let points =
+    List.init 300 (fun _ -> (Parqo.Rng.int rng 50, Parqo.Rng.int rng 50))
+  in
+  let cover = C.pareto ~dominates:dom2 points in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "covered" true
+        (List.exists (fun c -> dom2 c p) cover))
+    points
+
+(* Theorem 3 claims E[cover size] of m independent random points in l
+   dims is at most 2^l (1 - (1 - 2^-l)^m).  Reproduction finding: the
+   claim cannot hold for the full minimal-element set at large m — for
+   l = 2 the true expectation is the harmonic number H_m (≈ ln m), which
+   exceeds 2^2 once m > ~55.  We verify both regimes: the bound holds for
+   small m, and is measurably exceeded at (l=2, m=256), where the
+   harmonic law takes over.  See EXPERIMENTS.md (E4). *)
+let theorem3_monte_carlo () =
+  let rng = Parqo.Rng.create 77 in
+  let doml l a b =
+    let rec go i = i >= l || (a.(i) <= b.(i) && go (i + 1)) in
+    go 0
+  in
+  let mean_cover l m trials =
+    let total = ref 0 in
+    for _ = 1 to trials do
+      let pts =
+        List.init m (fun _ -> Array.init l (fun _ -> Parqo.Rng.float rng 1.))
+      in
+      total := !total + List.length (C.pareto ~dominates:(doml l) pts)
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  (* small-m regime: the bound holds (with Monte-Carlo slack) *)
+  List.iter
+    (fun (l, m) ->
+      let mean = mean_cover l m 60 in
+      let bound = Combin.theorem3_bound ~l ~m in
+      Alcotest.(check bool)
+        (Printf.sprintf "small-m l=%d m=%d: mean %.2f <= bound %.2f" l m mean bound)
+        true
+        (mean <= (bound *. 1.25) +. 0.5))
+    [ (1, 16); (2, 8); (3, 16); (4, 32) ];
+  (* large-m regime: the harmonic law exceeds the 2^l bound at l = 2 *)
+  let mean = mean_cover 2 256 60 in
+  let bound = Combin.theorem3_bound ~l:2 ~m:256 in
+  Alcotest.(check bool)
+    (Printf.sprintf "large-m: mean %.2f exceeds stated bound %.2f" mean bound)
+    true (mean > bound);
+  Alcotest.(check bool)
+    (Printf.sprintf "large-m follows H_m: %.2f ~ %.2f" mean (Combin.harmonic 256))
+    true
+    (Float.abs (mean -. Combin.harmonic 256) < 1.0)
+
+(* exact cross-check: for l = 2 the expected Pareto-set size is H_m *)
+let two_dims_harmonic () =
+  let rng = Parqo.Rng.create 99 in
+  let m = 64 in
+  let trials = 400 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let pts = List.init m (fun _ -> (Parqo.Rng.float rng 1., Parqo.Rng.float rng 1.)) in
+    let dom (a1, a2) (b1, b2) = a1 <= b1 && a2 <= b2 in
+    total := !total + List.length (C.pareto ~dominates:dom pts)
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let expected = Combin.harmonic m in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f ~ H_%d = %.2f" mean m expected)
+    true
+    (Float.abs (mean -. expected) < 0.6)
+
+let total_order_keeps_one () =
+  (* l = 1: a total order; the cover collapses to the single best *)
+  let rng = Parqo.Rng.create 3 in
+  let pts = List.init 200 (fun _ -> Parqo.Rng.int rng 1000) in
+  let cover = C.pareto ~dominates:(fun a b -> a <= b) pts in
+  Alcotest.(check int) "one survivor" 1 (List.length cover);
+  Alcotest.(check int) "it is the min" (List.fold_left min max_int pts)
+    (List.hd cover)
+
+let suite =
+  ( "cover",
+    [
+      t "maintenance" maintenance;
+      t "incomparability invariant" incomparability_invariant;
+      t "coverage invariant" coverage_invariant;
+      t "Theorem 3 Monte Carlo" theorem3_monte_carlo;
+      t "2-dim harmonic cross-check" two_dims_harmonic;
+      t "total order keeps one" total_order_keeps_one;
+    ] )

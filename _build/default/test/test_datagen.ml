@@ -1,0 +1,92 @@
+module D = Parqo.Datagen
+module C = Parqo.Catalog
+module Value = Parqo.Value
+
+let t name f = Alcotest.test_case name `Quick f
+
+let specs =
+  [
+    D.spec ~name:"parent" ~rows:50
+      ~columns:[ ("pk", D.Serial); ("weight", D.Uniform_int (1, 5)) ]
+      ();
+    D.spec ~name:"child" ~rows:200
+      ~columns:
+        [
+          ("pk", D.Serial);
+          ("parent", D.Fk "parent");
+          ("zip", D.Zipf_int (20, 1.0));
+          ("score", D.Uniform_float (0., 1.));
+          ("tag", D.String_pool 3);
+        ]
+      ~disks:[ 1 ] ();
+  ]
+
+let db () = D.materialize (Parqo.Rng.create 123) specs
+
+let shapes () =
+  let db = db () in
+  let parent = D.rows_of db "parent" and child = D.rows_of db "child" in
+  Alcotest.(check int) "parent rows" 50 (Array.length parent);
+  Alcotest.(check int) "child rows" 200 (Array.length child);
+  Alcotest.(check int) "child width" 5 (Array.length child.(0))
+
+let serial_is_pk () =
+  let db = db () in
+  let parent = D.rows_of db "parent" in
+  Array.iteri
+    (fun i row ->
+      match row.(0) with
+      | Value.Int v -> Alcotest.(check int) "serial" i v
+      | _ -> Alcotest.fail "serial not an int")
+    parent
+
+let fk_in_range () =
+  let db = db () in
+  let child = D.rows_of db "child" in
+  Array.iter
+    (fun row ->
+      match row.(1) with
+      | Value.Int v -> Alcotest.(check bool) "fk valid" true (v >= 0 && v < 50)
+      | _ -> Alcotest.fail "fk not an int")
+    child
+
+let stats_match_data () =
+  let db = db () in
+  let stats = C.column_stats db.D.catalog ~table:"parent" ~column:"pk" in
+  Helpers.check_float "pk distinct = rows" 50. stats.Parqo.Stats.distinct;
+  Helpers.check_float "pk min" 0. stats.Parqo.Stats.min_v;
+  Helpers.check_float "pk max" 49. stats.Parqo.Stats.max_v;
+  let card = (C.table db.D.catalog "parent").Parqo.Table.cardinality in
+  Helpers.check_float "cardinality" 50. card
+
+let determinism () =
+  let a = D.materialize (Parqo.Rng.create 9) specs in
+  let b = D.materialize (Parqo.Rng.create 9) specs in
+  Alcotest.(check bool) "same data for same seed" true
+    (D.rows_of a "child" = D.rows_of b "child");
+  let c = D.materialize (Parqo.Rng.create 10) specs in
+  Alcotest.(check bool) "different seed differs" true
+    (D.rows_of a "child" <> D.rows_of c "child")
+
+let errors () =
+  Alcotest.check_raises "fk to unknown"
+    (Invalid_argument "Datagen: Fk references unknown table ghost") (fun () ->
+      ignore
+        (D.materialize (Parqo.Rng.create 1)
+           [ D.spec ~name:"t" ~rows:5 ~columns:[ ("c", D.Fk "ghost") ] () ]));
+  Alcotest.check_raises "zero rows"
+    (Invalid_argument "Datagen: table t has no rows") (fun () ->
+      ignore
+        (D.materialize (Parqo.Rng.create 1)
+           [ D.spec ~name:"t" ~rows:0 ~columns:[ ("c", D.Serial) ] () ]))
+
+let suite =
+  ( "datagen",
+    [
+      t "shapes" shapes;
+      t "serial is pk" serial_is_pk;
+      t "fk in range" fk_in_range;
+      t "stats match data" stats_match_data;
+      t "determinism" determinism;
+      t "errors" errors;
+    ] )

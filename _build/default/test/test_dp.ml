@@ -1,0 +1,163 @@
+(* Figure 1: System R DP over left-deep trees. *)
+
+module Dp = Parqo.Dp
+module Brute = Parqo.Brute
+module Cm = Parqo.Costmodel
+module S = Parqo.Space
+module G = Parqo.Query_gen
+module Stats = Parqo.Search_stats
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let finds_a_plan () =
+  List.iter
+    (fun shape ->
+      let env = env_of shape 4 in
+      let r = Dp.optimize env in
+      match r.Dp.best with
+      | Some e ->
+        Alcotest.(check bool) "left-deep result" true
+          (Parqo.Join_tree.is_left_deep e.Cm.tree);
+        Alcotest.(check bool) "covers all relations" true
+          (Parqo.Bitset.equal
+             (Parqo.Join_tree.relations e.Cm.tree)
+             (Parqo.Bitset.full 4))
+      | None -> Alcotest.fail "no plan")
+    [ G.Chain; G.Star; G.Cycle; G.Clique ]
+
+(* the central correctness check: in a space without interesting orders
+   (no sort-merge), physical transparency holds (Theorem 1) and DP's work
+   optimum equals brute force's over the identical candidate space *)
+let matches_brute_force () =
+  let rng = Parqo.Rng.create 21 in
+  let config =
+    {
+      S.default_config with
+      S.methods = [ Parqo.Join_method.Nested_loops; Parqo.Join_method.Hash_join ];
+    }
+  in
+  for _ = 1 to 8 do
+    let env = Helpers.random_env rng ~n:3 in
+    let objective (e : Cm.eval) = e.Cm.work in
+    let dp = Dp.optimize ~config ~objective env in
+    let brute = Brute.leftdeep ~config ~objective env in
+    match (dp.Dp.best, brute.Brute.best) with
+    | Some a, Some b ->
+      Helpers.check_float ~eps:1e-6 "same optimal work" b.Cm.work a.Cm.work
+    | _ -> Alcotest.fail "missing plan"
+  done
+
+(* with sort-merge in the space, interesting orders break the principle
+   of optimality for work (§6.1.2): DP can only be >= brute force, and
+   the gap is real on some instances *)
+let interesting_orders_gap () =
+  let rng = Parqo.Rng.create 22 in
+  let config = S.default_config in
+  let objective (e : Cm.eval) = e.Cm.work in
+  for _ = 1 to 8 do
+    let env = Helpers.random_env rng ~n:3 in
+    let dp = Dp.optimize ~config ~objective env in
+    let brute = Brute.leftdeep ~config ~objective env in
+    match (dp.Dp.best, brute.Brute.best) with
+    | Some a, Some b ->
+      Alcotest.(check bool) "dp never beats brute" true
+        (b.Cm.work <= a.Cm.work +. 1e-6)
+    | _ -> Alcotest.fail "missing plan"
+  done
+
+(* Table 1: on a clique query every (S, j) pair is connected, so plans
+   considered = n 2^(n-1) and peak storage per level = C(n, ceil(n/2)). *)
+let table1_counters () =
+  List.iter
+    (fun n ->
+      let env = env_of G.Clique n in
+      let r = Dp.optimize ~config:S.minimal_config env in
+      Alcotest.(check int)
+        (Printf.sprintf "considered n=%d" n)
+        (int_of_float (Parqo.Combin.dp_leftdeep_time n))
+        r.Dp.stats.Stats.considered;
+      Alcotest.(check int)
+        (Printf.sprintf "stored peak n=%d" n)
+        (int_of_float (Parqo.Combin.dp_leftdeep_space n))
+        r.Dp.stats.Stats.stored_peak)
+    [ 2; 3; 4; 5; 6; 7 ]
+
+(* non-clique shapes skip disconnected extensions: strictly fewer plans *)
+let connectivity_prunes () =
+  let clique = Dp.optimize ~config:S.minimal_config (env_of G.Clique 5) in
+  let chain = Dp.optimize ~config:S.minimal_config (env_of G.Chain 5) in
+  Alcotest.(check bool) "chain considers fewer" true
+    (chain.Dp.stats.Stats.considered < clique.Dp.stats.Stats.considered)
+
+let disconnected_queries_work () =
+  (* two disjoint joined pairs: requires a cartesian bridge *)
+  let catalog, _ = G.generate (G.default_spec G.Chain 4) in
+  let query =
+    Parqo.Query.create
+      ~relations:[ ("t0", "t0"); ("t1", "t1"); ("t2", "t2"); ("t3", "t3") ]
+      ~joins:
+        [
+          {
+            Parqo.Query.left = { Parqo.Query.rel = 0; column = "j0_1" };
+            right = { Parqo.Query.rel = 1; column = "j0_1" };
+          };
+          {
+            Parqo.Query.left = { Parqo.Query.rel = 2; column = "j2_3" };
+            right = { Parqo.Query.rel = 3; column = "j2_3" };
+          };
+        ]
+      ()
+  in
+  let machine = Parqo.Machine.shared_nothing ~nodes:2 () in
+  let env = Parqo.Env.create ~machine ~catalog ~query () in
+  match (Dp.optimize env).Dp.best with
+  | Some e ->
+    Alcotest.(check bool) "all four joined" true
+      (Parqo.Bitset.cardinal (Parqo.Join_tree.relations e.Cm.tree) = 4)
+  | None -> Alcotest.fail "no plan for disconnected query"
+
+(* running Figure 1 with RT as objective is unsound: brute force can find
+   strictly better response times (the paper's motivation for §6.2) *)
+let rt_objective_suboptimal_somewhere () =
+  let rng = Parqo.Rng.create 4242 in
+  let objective (e : Cm.eval) = e.Cm.response_time in
+  let found_gap = ref false in
+  (* also verify DP-RT never beats brute force (it searches a subset) *)
+  for _ = 1 to 12 do
+    let env = Helpers.random_env rng ~n:3 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let dp = Parqo.Dp.optimize ~config ~objective env in
+    let brute = Brute.leftdeep ~config ~objective env in
+    match (dp.Dp.best, brute.Brute.best) with
+    | Some a, Some b ->
+      Alcotest.(check bool) "brute <= dp for RT" true
+        (b.Cm.response_time <= a.Cm.response_time +. 1e-6);
+      if b.Cm.response_time +. 1e-6 < a.Cm.response_time then found_gap := true
+    | _ -> Alcotest.fail "missing plan"
+  done;
+  ignore !found_gap (* gap existence is demonstrated deterministically in
+                       test_po_violation; random draws need not exhibit it *)
+
+let singleton_query () =
+  let env = env_of G.Chain 1 in
+  match (Dp.optimize env).Dp.best with
+  | Some e -> Alcotest.(check int) "single access plan" 0 (Parqo.Join_tree.n_joins e.Cm.tree)
+  | None -> Alcotest.fail "no plan for single relation"
+
+let suite =
+  ( "dp",
+    [
+      t "finds a plan" finds_a_plan;
+      t "matches brute force" matches_brute_force;
+      t "interesting orders gap" interesting_orders_gap;
+      t "Table 1 counters" table1_counters;
+      t "connectivity prunes" connectivity_prunes;
+      t "disconnected queries" disconnected_queries_work;
+      t "rt objective vs brute" rt_objective_suboptimal_somewhere;
+      t "singleton query" singleton_query;
+    ] )

@@ -1,0 +1,99 @@
+module E = Parqo.Estimator
+module Q = Parqo.Query
+module B = Parqo.Bitset
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  E.create catalog query
+
+let base_cards () =
+  let est = env_of G.Chain 3 in
+  Helpers.check_float "raw t0" 1000. (E.raw_card est 0);
+  Helpers.check_float "raw t1" 1500. (E.raw_card est 1);
+  (* no selections: base = raw *)
+  Helpers.check_float "base = raw" (E.raw_card est 2) (E.base_card est 2)
+
+let selection_reduces () =
+  let catalog, query = G.generate (G.default_spec G.Chain 2) in
+  let query' =
+    Q.create
+      ~relations:[ ("t0", "t0"); ("t1", "t1") ]
+      ~joins:query.Q.joins
+      ~selections:
+        [
+          {
+            Q.on = { Q.rel = 0; column = "val" };
+            cmp = Q.Le;
+            value = Parqo.Value.Flt 500.;
+          };
+        ]
+      ()
+  in
+  let est = E.create catalog query' in
+  Alcotest.(check bool) "selection reduces base card" true
+    (E.base_card est 0 < E.raw_card est 0);
+  Alcotest.(check bool) "other relation untouched" true
+    (Helpers.feq (E.base_card est 1) (E.raw_card est 1))
+
+let join_cardinality () =
+  let est = env_of G.Chain 3 in
+  let query = E.query est in
+  let sel01 = E.join_selectivity est (List.hd query.Q.joins) in
+  Alcotest.(check bool) "selectivity in (0,1]" true (sel01 > 0. && sel01 <= 1.);
+  let pair = B.of_list [ 0; 1 ] in
+  Helpers.check_float ~eps:1e-6 "card of pair"
+    (E.base_card est 0 *. E.base_card est 1 *. sel01)
+    (E.card est pair);
+  (* adding an unconnected relation multiplies cardinality *)
+  Helpers.check_float ~eps:1e-3 "cartesian with t2... via chain sel"
+    (E.card est pair *. E.base_card est 2
+    *. E.join_selectivity est (List.nth query.Q.joins 1))
+    (E.card est (B.full 3))
+
+let monotone_in_predicates () =
+  (* clique has more predicates inside any subset than a chain: its
+     cardinality estimate for the full set must be no larger *)
+  let chain = env_of G.Chain 4 and clique = env_of G.Clique 4 in
+  Alcotest.(check bool) "clique <= chain" true
+    (E.card clique (B.full 4) <= E.card chain (B.full 4))
+
+let physical_transparency () =
+  (* the estimate depends only on the relation set - feed it twice *)
+  let est = env_of G.Star 4 in
+  Helpers.check_float "memoized identical" (E.card est (B.full 4))
+    (E.card est (B.full 4))
+
+let empty_set () =
+  let est = env_of G.Chain 2 in
+  Helpers.check_float "empty set card" 1. (E.card est B.empty)
+
+let width () =
+  let est = env_of G.Chain 3 in
+  (* chain tables: pk + joins + val *)
+  Alcotest.(check bool) "width grows with set" true
+    (E.width est (B.full 3) > E.width est (B.singleton 0))
+
+let errors () =
+  let catalog, _ = G.generate (G.default_spec G.Chain 2) in
+  let bad = Q.create ~relations:[ ("x", "missing") ] ~joins:[] () in
+  Alcotest.(check bool) "invalid query rejected" true
+    (try
+       ignore (E.create catalog bad);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "estimator",
+    [
+      t "base cards" base_cards;
+      t "selection reduces" selection_reduces;
+      t "join cardinality" join_cardinality;
+      t "monotone in predicates" monotone_in_predicates;
+      t "physical transparency" physical_transparency;
+      t "empty set" empty_set;
+      t "width" width;
+      t "errors" errors;
+    ] )

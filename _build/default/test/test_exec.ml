@@ -1,0 +1,148 @@
+module B = Parqo.Batch
+module Ex = Parqo.Executor
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module Q = Parqo.Query
+module V = Parqo.Value
+
+let t name f = Alcotest.test_case name `Quick f
+
+let db_and_query () = Parqo.Workloads.chain_db ~n:3 ~rows:80 ~seed:7 ()
+
+let batch_basics () =
+  let rows = [ [| V.Int 1; V.Int 2 |]; [| V.Int 3; V.Int 4 |] ] in
+  let b = B.create ~layout:[ (0, 2) ] ~rows in
+  Alcotest.(check int) "rows" 2 (B.n_rows b);
+  Alcotest.(check int) "width" 2 (B.width b);
+  Alcotest.(check int) "offset" 0 (B.offset b.B.layout 0);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Batch.create: row width mismatch") (fun () ->
+      ignore (B.create ~layout:[ (0, 3) ] ~rows))
+
+let layout_ops () =
+  let l = B.concat_layouts [ (1, 2) ] [ (0, 1) ] in
+  Alcotest.(check int) "offset second segment" 2 (B.offset l 0);
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Batch.concat_layouts: overlapping relations")
+    (fun () -> ignore (B.concat_layouts [ (0, 1) ] [ (0, 1) ]))
+
+let canonicalization () =
+  (* same bag, columns in different relation order *)
+  let a =
+    B.create ~layout:[ (0, 1); (1, 1) ]
+      ~rows:[ [| V.Int 1; V.Int 10 |]; [| V.Int 2; V.Int 20 |] ]
+  in
+  let b =
+    B.create ~layout:[ (1, 1); (0, 1) ]
+      ~rows:[ [| V.Int 20; V.Int 2 |]; [| V.Int 10; V.Int 1 |] ]
+  in
+  Alcotest.(check bool) "equal bags modulo layout" true (B.equal_bags a b);
+  let c =
+    B.create ~layout:[ (0, 1); (1, 1) ]
+      ~rows:[ [| V.Int 1; V.Int 10 |]; [| V.Int 2; V.Int 99 |] ]
+  in
+  Alcotest.(check bool) "different values differ" false (B.equal_bags a c);
+  (* bags: duplicates matter *)
+  let d =
+    B.create ~layout:[ (0, 1); (1, 1) ]
+      ~rows:[ [| V.Int 1; V.Int 10 |] ]
+  in
+  Alcotest.(check bool) "cardinality matters" false (B.equal_bags a d)
+
+let scan_applies_selections () =
+  let db, query = db_and_query () in
+  let query' =
+    Q.create
+      ~relations:(Array.to_list query.Q.relations)
+      ~joins:query.Q.joins
+      ~selections:
+        [ { Q.on = { Q.rel = 0; column = "payload" }; cmp = Q.Le; value = V.Int 4 } ]
+      ()
+  in
+  let all = Ex.scan db query ~rel:0 in
+  let filtered = Ex.scan db query' ~rel:0 in
+  Alcotest.(check bool) "selection filters" true
+    (B.n_rows filtered < B.n_rows all);
+  (* every surviving row satisfies the predicate *)
+  let table = Parqo.Catalog.table db.Parqo.Datagen.catalog "c0" in
+  let payload_idx = Parqo.Table.column_index table "payload" in
+  List.iter
+    (fun row ->
+      match row.(payload_idx) with
+      | V.Int v -> Alcotest.(check bool) "payload <= 4" true (v <= 4)
+      | _ -> Alcotest.fail "unexpected type")
+    filtered.B.rows
+
+let join_methods_agree () =
+  let db, query = db_and_query () in
+  let outer = Ex.scan db query ~rel:0 and inner = Ex.scan db query ~rel:1 in
+  let nl = Ex.join db query ~method_:M.Nested_loops ~outer ~inner in
+  let hj = Ex.join db query ~method_:M.Hash_join ~outer ~inner in
+  let sm = Ex.join db query ~method_:M.Sort_merge ~outer ~inner in
+  Alcotest.(check bool) "hash = nl" true (B.equal_bags nl hj);
+  Alcotest.(check bool) "sort-merge = nl" true (B.equal_bags nl sm);
+  Alcotest.(check bool) "non-empty join" true (B.n_rows nl > 0)
+
+let fk_join_cardinality () =
+  (* child.fk -> parent.pk: every child row matches exactly one parent *)
+  let db, query = db_and_query () in
+  let c0 = Ex.scan db query ~rel:0 and c1 = Ex.scan db query ~rel:1 in
+  let joined = Ex.join db query ~method_:M.Hash_join ~outer:c0 ~inner:c1 in
+  Alcotest.(check int) "FK join preserves child count" (B.n_rows c1)
+    (B.n_rows joined)
+
+let cartesian_product () =
+  let db, _ = db_and_query () in
+  (* a query with no join predicates *)
+  let query =
+    Q.create ~relations:[ ("c0", "c0"); ("c1", "c1") ] ~joins:[] ()
+  in
+  let a = Ex.scan db query ~rel:0 and b = Ex.scan db query ~rel:1 in
+  let prod = Ex.join db query ~method_:M.Nested_loops ~outer:a ~inner:b in
+  Alcotest.(check int) "cartesian size" (B.n_rows a * B.n_rows b) (B.n_rows prod)
+
+let all_plans_equivalent () =
+  let db, query = db_and_query () in
+  let reference = Ex.reference db query in
+  let machine = Parqo.Machine.shared_nothing ~nodes:2 () in
+  let env = Parqo.Env.create ~machine ~catalog:db.Parqo.Datagen.catalog ~query () in
+  let rng = Parqo.Rng.create 17 in
+  for _ = 1 to 15 do
+    let tree = Helpers.random_tree rng env in
+    let result = Ex.run_query db query tree in
+    Alcotest.(check bool)
+      (Printf.sprintf "plan %s equivalent" (J.to_string tree))
+      true
+      (B.equal_bags reference result)
+  done
+
+let projection () =
+  let db, query = db_and_query () in
+  let query' =
+    Q.create
+      ~relations:(Array.to_list query.Q.relations)
+      ~joins:query.Q.joins
+      ~projection:[ { Q.rel = 0; column = "pk" }; { Q.rel = 2; column = "payload" } ]
+      ()
+  in
+  let tree =
+    J.join M.Hash_join
+      ~outer:(J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
+      ~inner:(J.access 2)
+  in
+  let out = Ex.run_query db query' tree in
+  Alcotest.(check int) "two columns" 2 (B.width out)
+
+let suite =
+  ( "executor",
+    [
+      t "batch basics" batch_basics;
+      t "layout ops" layout_ops;
+      t "canonicalization" canonicalization;
+      t "scan applies selections" scan_applies_selections;
+      t "join methods agree" join_methods_agree;
+      t "fk join cardinality" fk_join_cardinality;
+      t "cartesian product" cartesian_product;
+      t "all plans equivalent" all_plans_equivalent;
+      t "projection" projection;
+    ] )

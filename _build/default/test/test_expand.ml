@@ -1,0 +1,226 @@
+module Op = Parqo.Op
+module X = Parqo.Expand
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module G = Parqo.Query_gen
+module AP = Parqo.Access_path
+module E = Parqo.Estimator
+
+let t name f = Alcotest.test_case name `Quick f
+
+let est_of ?(n = 3) ?(shape = G.Chain) () =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  (catalog, query, E.create catalog query)
+
+let kinds root =
+  let acc = ref [] in
+  Op.iter (fun n -> acc := n.Op.kind :: !acc) root;
+  List.rev !acc
+
+let count pred root = List.length (List.filter pred (kinds root))
+
+let is_sort = function Op.Sort _ -> true | _ -> false
+let is_exchange = function Op.Exchange _ -> true | _ -> false
+
+let hash_join_shape () =
+  let _, _, est = est_of () in
+  let tree = J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) in
+  let root = X.expand est tree in
+  (match root.Op.kind with
+  | Op.Hash_probe -> ()
+  | k -> Alcotest.failf "expected probe root, got %s" (Op.kind_name k));
+  (match Op.validate root with Ok () -> () | Error e -> Alcotest.fail e);
+  (* probe(outer, build(inner)) with materialized build *)
+  let build = List.nth root.Op.children 1 in
+  (match build.Op.kind with
+  | Op.Hash_build -> ()
+  | k -> Alcotest.failf "expected build, got %s" (Op.kind_name k));
+  Alcotest.(check bool) "build materialized" true
+    (build.Op.composition = Op.Materialized);
+  Alcotest.(check int) "front is the build" 1
+    (List.length (Op.materialized_front root))
+
+let sort_merge_shape () =
+  let _, _, est = est_of () in
+  let tree = J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1) in
+  let root = X.expand est tree in
+  (match root.Op.kind with
+  | Op.Merge_join -> ()
+  | k -> Alcotest.failf "expected merge root, got %s" (Op.kind_name k));
+  Alcotest.(check int) "two sorts" 2 (count is_sort root);
+  (* both sorts are materialized: they form the front *)
+  Alcotest.(check int) "front = sorts" 2 (List.length (Op.materialized_front root))
+
+let sort_elision () =
+  let catalog, _, est = est_of () in
+  (* index on the join column delivers the needed ordering *)
+  let idx =
+    List.find
+      (fun (i : Parqo.Index.t) -> i.Parqo.Index.columns = [ "j0_1" ])
+      (Parqo.Catalog.indexes_of catalog "t0")
+  in
+  let tree =
+    J.join M.Sort_merge
+      ~outer:(J.access ~path:(AP.Index_scan idx) 0)
+      ~inner:(J.access 1)
+  in
+  let root = X.expand est tree in
+  Alcotest.(check int) "one sort elided" 1 (count is_sort root)
+
+let nested_loops_shape () =
+  let _, _, est = est_of () in
+  let tree = J.join M.Nested_loops ~outer:(J.access 0) ~inner:(J.access 1) in
+  let root = X.expand est tree in
+  (match root.Op.kind with
+  | Op.Nl_join -> ()
+  | k -> Alcotest.failf "expected nl root, got %s" (Op.kind_name k));
+  Alcotest.(check int) "no exchanges sequential" 0 (count is_exchange root)
+
+let create_index_inflection () =
+  let _, _, est = est_of () in
+  let tree = J.join M.Nested_loops ~outer:(J.access 0) ~inner:(J.access 1) in
+  let root = X.expand ~config:{ X.create_index_for_nl = true } est tree in
+  Alcotest.(check int) "create-index inserted" 1
+    (count (function Op.Create_index _ -> true | _ -> false) root)
+
+let cloning_inserts_exchanges () =
+  let _, _, est = est_of () in
+  let tree = J.join ~clone:4 M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) in
+  let root = X.expand est tree in
+  (* both scan streams must be repartitioned to degree 4 *)
+  Alcotest.(check int) "two repartition exchanges" 2 (count is_exchange root);
+  Op.iter
+    (fun n ->
+      match n.Op.kind with
+      | Op.Exchange { mode } ->
+        Alcotest.(check bool) "repartition mode" true (mode = Op.Repartition);
+        Alcotest.(check int) "exchange degree" 4 n.Op.clone
+      | _ -> ())
+    root
+
+let compatible_partitioning_no_exchange () =
+  let _, _, est = est_of () in
+  (* pre-cloned scans matching the join degree: hash join still needs
+     attribute partitioning, which plain scans cannot guarantee *)
+  let tree =
+    J.join ~clone:4 M.Hash_join
+      ~outer:(J.access ~clone:4 0)
+      ~inner:(J.access ~clone:4 1)
+  in
+  let root = X.expand est tree in
+  (* scans are degree 4 but not attribute-partitioned: exchanges stay *)
+  Alcotest.(check int) "attribute repartition still required" 2
+    (count is_exchange root);
+  (* nested loops accepts any partitioning of the outer: no outer exchange *)
+  let nl =
+    J.join ~clone:4 M.Nested_loops
+      ~outer:(J.access ~clone:4 0)
+      ~inner:(J.access 1)
+  in
+  let nl_root = X.expand est nl in
+  (* only the broadcast of the inner remains *)
+  Alcotest.(check int) "NL outer reused, inner broadcast" 1
+    (count is_exchange nl_root);
+  Op.iter
+    (fun n ->
+      match n.Op.kind with
+      | Op.Exchange { mode } ->
+        Alcotest.(check bool) "broadcast mode" true (mode = Op.Broadcast)
+      | _ -> ())
+    nl_root
+
+let broadcast_multiplies_cardinality () =
+  let _, _, est = est_of () in
+  let nl =
+    J.join ~clone:4 M.Nested_loops ~outer:(J.access ~clone:4 0) ~inner:(J.access 1)
+  in
+  let root = X.expand est nl in
+  let bcast =
+    Op.find (fun n -> match n.Op.kind with Op.Exchange _ -> true | _ -> false) root
+  in
+  match bcast with
+  | Some b ->
+    let inner_scan = List.hd b.Op.children in
+    Helpers.check_float "4x replicated" (4. *. inner_scan.Op.out_card) b.Op.out_card
+  | None -> Alcotest.fail "expected broadcast"
+
+let unique_ids () =
+  let _, _, est = est_of ~n:4 () in
+  let tree =
+    J.join M.Hash_join
+      ~outer:(J.join ~clone:2 M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1))
+      ~inner:(J.join M.Nested_loops ~outer:(J.access 2) ~inner:(J.access 3))
+  in
+  let root = X.expand est tree in
+  match Op.validate root with Ok () -> () | Error e -> Alcotest.fail e
+
+let materialize_annotation () =
+  let _, _, est = est_of () in
+  let tree =
+    J.join ~materialize:true M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)
+  in
+  let root = X.expand est tree in
+  Alcotest.(check bool) "root materialized" true
+    (root.Op.composition = Op.Materialized)
+
+let expansion_deterministic () =
+  let _, _, est = est_of () in
+  let tree = J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1) in
+  Alcotest.(check string) "unique expansion"
+    (Op.to_string (X.expand est tree))
+    (Op.to_string (X.expand est tree))
+
+let ill_formed_rejected () =
+  let _, _, est = est_of ~n:2 () in
+  let dup = J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 0) in
+  Alcotest.(check bool) "duplicate leaf rejected" true
+    (try
+       ignore (X.expand est dup);
+       false
+     with Invalid_argument _ -> true)
+
+let random_plans_expand_validly () =
+  (* every random annotated tree expands to a valid operator tree whose
+     root cardinality is the estimator's for the full relation set *)
+  let rng = Parqo.Rng.create 500 in
+  for _ = 1 to 10 do
+    let catalog, query = Parqo.Query_gen.random rng ~n:(2 + Parqo.Rng.int rng 4) () in
+    let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+    let env = Parqo.Env.create ~machine ~catalog ~query () in
+    let est = env.Parqo.Env.estimator in
+    for _ = 1 to 10 do
+      let tree = Helpers.random_tree rng env in
+      let root = X.expand est tree in
+      (match Op.validate root with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (J.to_string tree) e);
+      let n = Parqo.Query.n_relations query in
+      Helpers.check_float ~eps:1e-6 "root cardinality is logical"
+        (E.card est (Parqo.Bitset.full n))
+        root.Op.out_card;
+      (* every node's cardinality is non-negative and finite *)
+      Op.iter
+        (fun node ->
+          Alcotest.(check bool) "finite card" true
+            (Float.is_finite node.Op.out_card && node.Op.out_card >= 0.))
+        root
+    done
+  done
+
+let suite =
+  ( "expand",
+    [
+      t "random plans expand validly" random_plans_expand_validly;
+      t "hash join shape" hash_join_shape;
+      t "sort-merge shape" sort_merge_shape;
+      t "sort elision" sort_elision;
+      t "nested loops shape" nested_loops_shape;
+      t "create-index inflection" create_index_inflection;
+      t "cloning inserts exchanges" cloning_inserts_exchanges;
+      t "partitioning compatibility" compatible_partitioning_no_exchange;
+      t "broadcast cardinality" broadcast_multiplies_cardinality;
+      t "unique ids" unique_ids;
+      t "materialize annotation" materialize_annotation;
+      t "deterministic" expansion_deterministic;
+      t "ill-formed rejected" ill_formed_rejected;
+    ] )

@@ -1,0 +1,66 @@
+module E = Parqo.Explain
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env () = Helpers.chain_env ~n:3 ()
+
+let tree =
+  J.join ~clone:4 M.Hash_join
+    ~outer:(J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1))
+    ~inner:(J.access 2)
+
+let rows_structure () =
+  let env = env () in
+  let e = Parqo.Costmodel.evaluate env tree in
+  let rows = E.rows env e.Parqo.Costmodel.optree in
+  Alcotest.(check int) "one row per operator" (Parqo.Op.size e.Parqo.Costmodel.optree)
+    (List.length rows);
+  let root = List.hd rows in
+  Alcotest.(check int) "root depth 0" 0 root.E.depth;
+  Alcotest.(check int) "root cloned" 4 root.E.cloning;
+  Helpers.check_float ~eps:1e-6 "root subtree rt = plan rt"
+    e.Parqo.Costmodel.response_time root.E.subtree_rt;
+  (* subtree response times never exceed the root's *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "subtree rt bounded" true
+        (r.E.subtree_rt <= root.E.subtree_rt +. 1e-6);
+      Alcotest.(check bool) "first <= last" true
+        (r.E.subtree_first <= r.E.subtree_rt +. 1e-6);
+      Alcotest.(check bool) "non-negative own work" true (r.E.own_work >= 0.))
+    rows
+
+let annotations_reported () =
+  let env = env () in
+  let e = Parqo.Costmodel.evaluate env tree in
+  let rows = E.rows env e.Parqo.Costmodel.optree in
+  Alcotest.(check bool) "some exchange row" true
+    (List.exists (fun r -> r.E.redistributes) rows);
+  Alcotest.(check bool) "sorts are materialized" true
+    (List.for_all
+       (fun r ->
+         (not (String.length r.E.operator >= 4 && String.sub r.E.operator 0 4 = "sort"))
+         || r.E.composition = "materialized")
+       rows)
+
+let render_contains_plan () =
+  let env = env () in
+  let text = E.explain_plan env tree in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec scan i = i + n <= h && (String.sub text i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mentions response time" true (contains "response time");
+  Alcotest.(check bool) "shows the probe" true (contains "probe");
+  Alcotest.(check bool) "shows composition column" true (contains "comp. method")
+
+let suite =
+  ( "explain",
+    [
+      t "rows structure" rows_structure;
+      t "annotations reported" annotations_reported;
+      t "render" render_contains_plan;
+    ] )

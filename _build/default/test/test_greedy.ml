@@ -1,0 +1,139 @@
+module Gr = Parqo.Greedy
+module RP = Parqo.Random_plans
+module Cm = Parqo.Costmodel
+module J = Parqo.Join_tree
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let config env = Parqo.Space.parallel_config env.Parqo.Env.machine
+
+let random_tree_well_formed () =
+  let rng = Parqo.Rng.create 1 in
+  let env = env_of G.Star 5 in
+  for _ = 1 to 50 do
+    let tree = RP.random_tree rng env (config env) in
+    (match J.well_formed ~n_relations:5 tree with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    Alcotest.(check int) "all relations" 5 (J.n_leaves tree)
+  done;
+  (* left-deep mode *)
+  for _ = 1 to 20 do
+    let tree = RP.random_tree ~bushy:false rng env (config env) in
+    Alcotest.(check bool) "left-deep" true (J.is_left_deep tree)
+  done
+
+let moves_preserve_well_formedness () =
+  let rng = Parqo.Rng.create 2 in
+  let env = env_of G.Cycle 5 in
+  let cfg = config env in
+  let tree = ref (RP.random_tree rng env cfg) in
+  for _ = 1 to 200 do
+    tree := RP.random_move rng env cfg !tree;
+    match J.well_formed ~n_relations:5 !tree with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "move broke tree: %s" e
+  done
+
+let moves_reach_new_plans () =
+  let rng = Parqo.Rng.create 3 in
+  let env = env_of G.Chain 4 in
+  let cfg = config env in
+  let start = RP.random_tree rng env cfg in
+  let seen = Hashtbl.create 64 in
+  let tree = ref start in
+  for _ = 1 to 100 do
+    tree := RP.random_move rng env cfg !tree;
+    Hashtbl.replace seen (J.to_string !tree) ()
+  done;
+  Alcotest.(check bool) "explores many plans" true (Hashtbl.length seen > 20)
+
+let greedy_finds_valid_plan () =
+  List.iter
+    (fun shape ->
+      let env = env_of shape 5 in
+      let r = Gr.greedy ~config:(config env) env in
+      match r.Gr.best with
+      | Some e ->
+        (match J.well_formed ~n_relations:5 e.Cm.tree with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg);
+        Alcotest.(check bool) "finite rt" true (Float.is_finite e.Cm.response_time);
+        Alcotest.(check bool) "did work" true (r.Gr.evaluated > 0)
+      | None -> Alcotest.fail "greedy found nothing")
+    [ G.Chain; G.Star; G.Clique ]
+
+let greedy_reasonable_quality () =
+  (* greedy within 3x of the partial-order DP optimum on small queries *)
+  let env = env_of G.Chain 4 in
+  let cfg = config env in
+  let metric = Parqo.Optimizer.default_metric env in
+  let exact = Parqo.Podp.optimize ~config:cfg ~metric env in
+  let greedy = Gr.greedy ~config:cfg env in
+  match (exact.Parqo.Podp.best, greedy.Gr.best) with
+  | Some e, Some g ->
+    Alcotest.(check bool)
+      (Printf.sprintf "greedy %.0f vs exact %.0f" g.Cm.response_time
+         e.Cm.response_time)
+      true
+      (g.Cm.response_time <= 3. *. e.Cm.response_time)
+  | _ -> Alcotest.fail "missing plan"
+
+let ii_valid_and_deterministic () =
+  let env = env_of G.Star 5 in
+  let cfg = config env in
+  let run seed =
+    let rng = Parqo.Rng.create seed in
+    Gr.iterative_improvement ~config:cfg ~restarts:3 ~patience:20 ~rng env
+  in
+  let a = run 7 and b = run 7 in
+  (match (a.Gr.best, b.Gr.best) with
+  | Some x, Some y ->
+    Helpers.check_float "same seed, same answer" x.Cm.response_time
+      y.Cm.response_time
+  | _ -> Alcotest.fail "missing plan");
+  match a.Gr.best with
+  | Some e -> (
+    match J.well_formed ~n_relations:5 e.Cm.tree with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg)
+  | None -> Alcotest.fail "missing plan"
+
+let ii_beats_single_random_plan () =
+  (* hill climbing cannot be worse than its own start; compare against a
+     fresh random plan drawn from the same distribution *)
+  let env = env_of G.Chain 5 in
+  let cfg = config env in
+  let rng = Parqo.Rng.create 11 in
+  let random_plan = Cm.evaluate env (RP.random_tree (Parqo.Rng.create 12) env cfg) in
+  let r = Gr.iterative_improvement ~config:cfg ~restarts:6 ~patience:40 ~rng env in
+  match r.Gr.best with
+  | Some e ->
+    Alcotest.(check bool) "II beats a random plan" true
+      (e.Cm.response_time <= random_plan.Cm.response_time)
+  | None -> Alcotest.fail "missing plan"
+
+let singleton_query () =
+  let env = env_of G.Chain 1 in
+  match (Gr.greedy env).Gr.best with
+  | Some e -> Alcotest.(check int) "access only" 0 (J.n_joins e.Cm.tree)
+  | None -> Alcotest.fail "no plan for n=1"
+
+let suite =
+  ( "greedy",
+    [
+      t "random tree well-formed" random_tree_well_formed;
+      t "moves preserve well-formedness" moves_preserve_well_formedness;
+      t "moves reach new plans" moves_reach_new_plans;
+      t "greedy valid plan" greedy_finds_valid_plan;
+      t "greedy reasonable quality" greedy_reasonable_quality;
+      t "II deterministic" ii_valid_and_deterministic;
+      t "II beats random" ii_beats_single_random_plan;
+      t "singleton query" singleton_query;
+    ] )

@@ -1,0 +1,73 @@
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module B = Parqo.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let leaf r = J.access r
+
+let left_deep =
+  J.join M.Hash_join
+    ~outer:(J.join M.Sort_merge ~outer:(leaf 0) ~inner:(leaf 1))
+    ~inner:(leaf 2)
+
+let bushy =
+  J.join M.Nested_loops
+    ~outer:(J.join M.Hash_join ~outer:(leaf 0) ~inner:(leaf 1))
+    ~inner:(J.join M.Sort_merge ~outer:(leaf 2) ~inner:(leaf 3))
+
+let structure () =
+  Alcotest.(check (list int)) "relations" [ 0; 1; 2 ]
+    (B.to_list (J.relations left_deep));
+  Alcotest.(check int) "leaves" 3 (J.n_leaves left_deep);
+  Alcotest.(check int) "joins" 2 (J.n_joins left_deep);
+  Alcotest.(check bool) "left deep" true (J.is_left_deep left_deep);
+  Alcotest.(check bool) "bushy is not left deep" false (J.is_left_deep bushy);
+  Alcotest.(check int) "bushy joins" 3 (J.n_joins bushy);
+  Alcotest.(check (list int)) "leaf order" [ 0; 1; 2 ]
+    (List.map (fun (a : J.access) -> a.J.rel) (J.leaves left_deep))
+
+let folding () =
+  let sum = J.fold ~access:(fun a -> a.J.rel) ~join:(fun _ l r -> l + r) bushy in
+  Alcotest.(check int) "fold sums leaves" 6 sum
+
+let well_formedness () =
+  (match J.well_formed ~n_relations:3 left_deep with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let dup = J.join M.Hash_join ~outer:(leaf 0) ~inner:(leaf 0) in
+  (match J.well_formed ~n_relations:2 dup with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected duplicate-relation error");
+  match J.well_formed ~n_relations:2 left_deep with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected out-of-range error"
+
+let equality () =
+  Alcotest.(check bool) "equal to itself" true (J.equal left_deep left_deep);
+  let other = J.join M.Hash_join ~outer:(leaf 0) ~inner:(leaf 1) in
+  Alcotest.(check bool) "different trees differ" false (J.equal left_deep other);
+  let cloned = J.join ~clone:2 M.Hash_join ~outer:(leaf 0) ~inner:(leaf 1) in
+  Alcotest.(check bool) "clone matters" false (J.equal other cloned)
+
+let rendering () =
+  Alcotest.(check string) "compact form" "HJ(SM(scan(r0), scan(r1)), scan(r2))"
+    (J.to_string left_deep);
+  let annotated = J.join ~clone:4 ~materialize:true M.Hash_join ~outer:(leaf 0) ~inner:(leaf 1) in
+  Alcotest.(check string) "annotations rendered" "HJ/4!(scan(r0), scan(r1))"
+    (J.to_string annotated)
+
+let errors () =
+  Alcotest.check_raises "clone < 1" (Invalid_argument "Join_tree.access: clone < 1")
+    (fun () -> ignore (J.access ~clone:0 1))
+
+let suite =
+  ( "join-tree",
+    [
+      t "structure" structure;
+      t "folding" folding;
+      t "well-formedness" well_formedness;
+      t "equality" equality;
+      t "rendering" rendering;
+      t "errors" errors;
+    ] )

@@ -1,0 +1,84 @@
+module M = Parqo.Machine
+module R = Parqo.Resource
+
+let t name f = Alcotest.test_case name `Quick f
+
+let shared_nothing () =
+  let m = M.shared_nothing ~nodes:4 () in
+  Alcotest.(check int) "4 cpus" 4 (List.length (M.cpu_ids m));
+  Alcotest.(check int) "4 disks" 4 (List.length (M.disk_ids m));
+  Alcotest.(check bool) "has network" true (M.network m <> None);
+  Alcotest.(check int) "9 resources" 9 (M.n_resources m);
+  (* node-local lookups *)
+  let cpu2 = M.node_cpu m 2 in
+  Alcotest.(check int) "cpu2 on node 2" 2 cpu2.R.node;
+  let disk2 = M.node_disk m 2 in
+  Alcotest.(check bool) "disk co-located" true (disk2.R.node = 2);
+  (* single node has no network *)
+  let solo = M.shared_nothing ~nodes:1 () in
+  Alcotest.(check bool) "single node, no net" true (M.network solo = None)
+
+let shared_memory () =
+  let m = M.shared_memory ~cpus:4 ~disks:2 () in
+  Alcotest.(check int) "4 cpus" 4 (List.length (M.cpu_ids m));
+  Alcotest.(check int) "2 disks" 2 (List.length (M.disk_ids m));
+  Alcotest.(check bool) "no network" true (M.network m = None);
+  Alcotest.(check int) "one node" 1 m.M.nodes
+
+let special_machines () =
+  let seq = M.sequential () in
+  Alcotest.(check int) "sequential: 2 resources" 2 (M.n_resources seq);
+  let two = M.two_disks () in
+  Alcotest.(check int) "example 3: disks only" 2 (List.length (M.disk_ids two));
+  Alcotest.(check int) "example 3: no cpus" 0 (List.length (M.cpu_ids two))
+
+let aggregation_modes () =
+  let m = M.shared_nothing ~nodes:4 () in
+  let check_mode name agg expected_dims =
+    let dims, group = M.aggregate m agg in
+    Alcotest.(check int) (name ^ " dims") expected_dims dims;
+    (* every resource maps into range *)
+    for id = 0 to M.n_resources m - 1 do
+      let g = group id in
+      Alcotest.(check bool) (name ^ " in range") true (g >= 0 && g < dims)
+    done
+  in
+  check_mode "single" M.Single 1;
+  check_mode "by-kind" M.By_kind 3;
+  check_mode "by-node" M.By_node 4;
+  check_mode "per-resource" M.Per_resource 9;
+  (* by-kind groups cpus together *)
+  let _, group = M.aggregate m M.By_kind in
+  let cpu_groups = List.map group (M.cpu_ids m) in
+  Alcotest.(check int) "all cpus one group" 1
+    (List.length (List.sort_uniq compare cpu_groups));
+  (* machines without a network have only two kinds *)
+  let sm = M.shared_memory ~cpus:2 ~disks:2 () in
+  Alcotest.(check int) "shared memory kinds" 2 (fst (M.aggregate sm M.By_kind))
+
+let params_sanity () =
+  let p = M.default_params in
+  Alcotest.(check bool) "costs positive" true
+    (p.M.io_page_cost > 0. && p.M.cpu_tuple_cost > 0.
+    && p.M.tuples_per_page > 0.);
+  Alcotest.(check bool) "delta k sane" true (p.M.pipeline_delta_k >= 0.)
+
+let errors () =
+  Alcotest.check_raises "0 nodes" (Invalid_argument "Machine.shared_nothing")
+    (fun () -> ignore (M.shared_nothing ~nodes:0 ()));
+  Alcotest.check_raises "0 cpus" (Invalid_argument "Machine.shared_memory")
+    (fun () -> ignore (M.shared_memory ~cpus:0 ~disks:1 ()));
+  let two = M.two_disks () in
+  Alcotest.check_raises "no cpu on diskful machine" Not_found (fun () ->
+      ignore (M.node_cpu two 0))
+
+let suite =
+  ( "machine",
+    [
+      t "shared nothing" shared_nothing;
+      t "shared memory" shared_memory;
+      t "special machines" special_machines;
+      t "aggregation modes" aggregation_modes;
+      t "params sanity" params_sanity;
+      t "errors" errors;
+    ] )

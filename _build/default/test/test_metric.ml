@@ -1,0 +1,122 @@
+module Mt = Parqo.Metric
+module Cm = Parqo.Costmodel
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env () = Helpers.chain_env ()
+
+let eval env tree = Cm.evaluate env tree
+
+let scalar_metrics_total () =
+  let env = env () in
+  let a = eval env (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
+  let b = eval env (J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1)) in
+  (* work metric: one of the two directions must hold (total order) *)
+  Alcotest.(check bool) "work total order" true
+    (Mt.dominates Mt.work a b || Mt.dominates Mt.work b a);
+  Alcotest.(check bool) "rt total order" true
+    (Mt.dominates Mt.response_time a b || Mt.dominates Mt.response_time b a);
+  Alcotest.(check int) "work is 1-dim" 1 (Mt.n_dims Mt.work a)
+
+let vector_metric_partial () =
+  let env = env () in
+  let machine = env.Parqo.Env.machine in
+  let m = Mt.resource_vector machine Parqo.Machine.By_kind in
+  let a = eval env (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
+  Alcotest.(check bool) "reflexive" true (Mt.dominates m a a);
+  Alcotest.(check bool) "dims = 1 + kinds" true (Mt.n_dims m a >= 3)
+
+let descriptor_metric_dims () =
+  let env = env () in
+  let machine = env.Parqo.Env.machine in
+  let a = eval env (J.access 0) in
+  let per = Mt.descriptor machine Parqo.Machine.Per_resource in
+  let single = Mt.descriptor machine Parqo.Machine.Single in
+  Alcotest.(check int) "single = 4 dims" 4 (Mt.n_dims single a);
+  Alcotest.(check int) "per-resource = 2 + 2R dims"
+    (2 + (2 * Parqo.Machine.n_resources machine))
+    (Mt.n_dims per a)
+
+let ordering_refinement () =
+  let env = env () in
+  let catalog = Parqo.Env.catalog env in
+  let machine = env.Parqo.Env.machine in
+  let base = Mt.descriptor machine Parqo.Machine.Single in
+  let with_ord = Mt.with_ordering base in
+  let idx =
+    List.find
+      (fun (i : Parqo.Index.t) -> i.Parqo.Index.columns = [ "j0_1" ])
+      (Parqo.Catalog.indexes_of catalog "t0")
+  in
+  let ordered = eval env (J.access ~path:(Parqo.Access_path.Index_scan idx) 0) in
+  let unordered = eval env (J.access 0) in
+  (* the plain metric may let the cheap unordered scan dominate; with the
+     ordering dimension the ordered plan survives *)
+  if Mt.dominates base unordered ordered then
+    Alcotest.(check bool) "ordering saves the ordered plan" false
+      (Mt.dominates with_ord unordered ordered);
+  (* ordered plan still dominates itself *)
+  Alcotest.(check bool) "reflexive with ordering" true
+    (Mt.dominates with_ord ordered ordered)
+
+(* Theorem 1: work is totally ordered and, under physical transparency
+   (our estimator), satisfies the principle of optimality for plans in a
+   space without interesting orders: extending two plans for the same
+   subquery by the same hash join preserves their work order. *)
+let theorem1_work_po () =
+  let env = env () in
+  let rng = Parqo.Rng.create 55 in
+  let ok = ref true in
+  for _ = 1 to 100 do
+    (* two random plans for {0,1}, extended identically by relation 2 *)
+    let mk () =
+      J.join
+        (Parqo.Rng.pick_list rng [ M.Hash_join; M.Nested_loops ])
+        ~outer:(J.access 0) ~inner:(J.access 1)
+    in
+    let p1 = mk () and p2 = mk () in
+    let extend p = J.join M.Hash_join ~outer:p ~inner:(J.access 2) in
+    let w p = (eval env p).Cm.work in
+    if w p1 <= w p2 && not (w (extend p1) <= w (extend p2) +. 1e-9) then
+      ok := false
+  done;
+  Alcotest.(check bool) "principle of optimality for work" true !ok
+
+(* Theorem 2 (exhibit): response time is a total order but extending two
+   plans can invert it — the Example 3 family. *)
+let theorem2_rt_violation () =
+  Alcotest.(check bool) "Example 3 violates PO for RT" true
+    (Parqo.Scenarios.example3_violates_po ())
+
+let partitioning_refinement () =
+  let env = env () in
+  let machine = env.Parqo.Env.machine in
+  let base = Mt.work in
+  let with_part = Mt.with_partitioning base in
+  let j clone =
+    eval env (J.join ~clone M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
+  in
+  let seq = j 1 and par = j 4 in
+  (* under plain work, the cheaper plan dominates; with the partitioning
+     dimension, differently-partitioned plans are incomparable *)
+  Alcotest.(check bool) "work: one dominates" true
+    (Mt.dominates base seq par || Mt.dominates base par seq);
+  Alcotest.(check bool) "partitioning keeps both" false
+    (Mt.dominates with_part seq par || Mt.dominates with_part par seq);
+  Alcotest.(check bool) "reflexive" true (Mt.dominates with_part seq seq);
+  ignore machine
+
+let suite =
+  ( "metric",
+    [
+      t "partitioning refinement" partitioning_refinement;
+      t "scalar metrics total" scalar_metrics_total;
+      t "vector metric partial" vector_metric_partial;
+      t "descriptor metric dims" descriptor_metric_dims;
+      t "ordering refinement" ordering_refinement;
+      t "Theorem 1: work satisfies PO" theorem1_work_po;
+      t "Theorem 2: RT violates PO" theorem2_rt_violation;
+    ] )

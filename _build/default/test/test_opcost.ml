@@ -1,0 +1,203 @@
+module OC = Parqo.Opcost
+module D = Parqo.Descriptor
+module Op = Parqo.Op
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module G = Parqo.Query_gen
+module X = Parqo.Expand
+
+let t name f = Alcotest.test_case name `Quick f
+
+let setup ?(nodes = 2) ?(shape = G.Chain) ?(n = 2) () =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes () in
+  let est = Parqo.Estimator.create catalog query in
+  (machine, est)
+
+let expand est tree = X.expand est tree
+
+let find_kind root pred =
+  match Op.find pred root with
+  | Some n -> n
+  | None -> Alcotest.fail "operator not found"
+
+let scan_costs () =
+  let machine, est = setup () in
+  let root = expand est (J.access 0) in
+  let d = OC.base machine est root in
+  Alcotest.(check bool) "scan does positive work" true (D.work d > 0.);
+  Helpers.check_float "scan streams from t=0" 0. (D.first_tuple_time d);
+  (* the scan's I/O lands on the table's disk only *)
+  let work = D.work_vector d in
+  let disk_ids = Parqo.Machine.disk_ids machine in
+  let io_disks =
+    List.filter (fun id -> Parqo.Vecf.get work id > 0.) disk_ids
+  in
+  Alcotest.(check int) "one disk" 1 (List.length io_disks)
+
+let blocking_ops_block () =
+  let machine, est = setup () in
+  let root = expand est (J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1)) in
+  let sort = find_kind root (fun n -> match n.Op.kind with Op.Sort _ -> true | _ -> false) in
+  let d = OC.base machine est sort in
+  Helpers.check_float "sort cannot stream" (D.response_time d) (D.first_tuple_time d);
+  let build =
+    expand est (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
+    |> fun r -> find_kind r (fun n -> n.Op.kind = Op.Hash_build)
+  in
+  let db = OC.base machine est build in
+  Helpers.check_float "build cannot stream" (D.response_time db)
+    (D.first_tuple_time db)
+
+let cloning_reduces_time () =
+  let machine, est = setup ~nodes:4 () in
+  let time clone =
+    let root = expand est (J.join ~clone M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
+    let probe = find_kind root (fun n -> n.Op.kind = Op.Hash_probe) in
+    D.response_time (OC.base machine est probe)
+  in
+  Alcotest.(check bool) "clone 4 faster than 1" true (time 4 < time 1);
+  Alcotest.(check bool) "clone 2 between" true (time 4 <= time 2 && time 2 <= time 1)
+
+let clone_overhead_charged () =
+  let catalog, query = G.generate (G.default_spec G.Chain 2) in
+  let params = { Parqo.Machine.default_params with clone_overhead = 0.5 } in
+  let m_cheap = Parqo.Machine.shared_nothing ~nodes:4 () in
+  let m_costly = Parqo.Machine.shared_nothing ~params ~nodes:4 () in
+  let est = Parqo.Estimator.create catalog query in
+  let probe_time machine =
+    let root = expand est (J.join ~clone:4 M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
+    let probe = find_kind root (fun n -> n.Op.kind = Op.Hash_probe) in
+    D.response_time (OC.base machine est probe)
+  in
+  Alcotest.(check bool) "overhead slows clones" true
+    (probe_time m_costly > probe_time m_cheap)
+
+let unclustered_index_penalty () =
+  let machine, est = setup () in
+  let catalog = Parqo.Estimator.catalog est in
+  let indexes = Parqo.Catalog.indexes_of catalog "t0" in
+  let clustered = List.find (fun (i : Parqo.Index.t) -> i.Parqo.Index.clustered) indexes in
+  let time idx =
+    let root = expand est (J.access ~path:(Parqo.Access_path.Index_scan idx) 0) in
+    D.work (OC.base machine est root)
+  in
+  let unclustered = { clustered with Parqo.Index.clustered = false } in
+  Alcotest.(check bool) "unclustered costs more" true
+    (time unclustered > time clustered)
+
+let nl_index_probe_io_on_index_disk () =
+  let machine, est = setup () in
+  let catalog = Parqo.Estimator.catalog est in
+  let idx = List.hd (Parqo.Catalog.indexes_of catalog "t1") in
+  let tree =
+    J.join M.Nested_loops ~outer:(J.access 0)
+      ~inner:(J.access ~path:(Parqo.Access_path.Index_scan idx) 1)
+  in
+  let root = expand est tree in
+  Alcotest.(check bool) "inner is free" true (OC.nl_inner_is_free root);
+  let d = OC.base machine est root in
+  (* probing I/O charged to the index's machine disk *)
+  let w = D.work_vector d in
+  let disk_work =
+    List.fold_left (fun acc id -> acc +. Parqo.Vecf.get w id) 0.
+      (Parqo.Machine.disk_ids machine)
+  in
+  Alcotest.(check bool) "probe I/O present" true (disk_work > 0.)
+
+let pure_nl_quadratic () =
+  let machine, est = setup () in
+  let root = expand est (J.join M.Nested_loops ~outer:(J.access 0) ~inner:(J.access 1)) in
+  Alcotest.(check bool) "pure NL inner is costed" false (OC.nl_inner_is_free root);
+  let d = OC.base machine est root in
+  (* outer 1000 x inner 1500 comparisons at compare cost dominate *)
+  Alcotest.(check bool) "quadratic work" true (D.work d > 1000.)
+
+let exchange_uses_network () =
+  let machine, est = setup ~nodes:4 () in
+  let tree = J.join ~clone:4 M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) in
+  let root = expand est tree in
+  let xchg = find_kind root (fun n -> match n.Op.kind with Op.Exchange _ -> true | _ -> false) in
+  let d = OC.base machine est xchg in
+  match Parqo.Machine.network machine with
+  | Some net ->
+    Alcotest.(check bool) "network work" true
+      (Parqo.Vecf.get (D.work_vector d) net.Parqo.Resource.id > 0.)
+  | None -> Alcotest.fail "expected a network"
+
+let diskless_machine_drops_io () =
+  (* Example 3 machine: disks only, no CPUs — cpu work is not modeled *)
+  let catalog, query, machine = Parqo.Scenarios.ctr_ci () in
+  let est = Parqo.Estimator.create catalog query in
+  let root = expand est (J.access 0) in
+  let d = OC.base machine est root in
+  Alcotest.(check bool) "io work present on diskful machine" true (D.work d > 0.)
+
+let hash_spill_threshold () =
+  (* a build crossing the per-clone memory limit pays partition I/O, and
+     a big enough inner makes sort-merge beat hash join *)
+  let mk_env inner_card =
+    let col distinct = Parqo.Stats.column ~distinct ~min_v:0. ~max_v:1e6 () in
+    let catalog =
+      Parqo.Catalog.create
+        ~tables:
+          [
+            Parqo.Table.create ~name:"o"
+              ~columns:[ ("k", col 1000.) ] ~cardinality:10_000. ~disks:[ 0 ] ();
+            Parqo.Table.create ~name:"i"
+              ~columns:[ ("k", col 1000.) ] ~cardinality:inner_card ~disks:[ 1 ] ();
+          ]
+        ~indexes:[]
+    in
+    let query =
+      Parqo.Query.create
+        ~relations:[ ("o", "o"); ("i", "i") ]
+        ~joins:
+          [
+            {
+              Parqo.Query.left = { Parqo.Query.rel = 0; column = "k" };
+              right = { Parqo.Query.rel = 1; column = "k" };
+            };
+          ]
+        ()
+    in
+    Parqo.Env.create ~machine:(Parqo.Machine.shared_nothing ~nodes:2 ())
+      ~catalog ~query ()
+  in
+  let hj_work env =
+    (Parqo.Costmodel.evaluate env
+       (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)))
+      .Parqo.Costmodel.work
+  in
+  let small = mk_env 10_000. and big = mk_env 200_000. in
+  (* spilling multiplies work beyond the pure cardinality ratio *)
+  let ratio = hj_work big /. hj_work small in
+  Alcotest.(check bool)
+    (Printf.sprintf "spill superlinear: ratio %.1f > 20x card ratio" ratio)
+    true (ratio > 20.);
+  (* the memory threshold is per clone: cloning the join 2 ways halves
+     the per-lane build and cuts the spill *)
+  let at_edge = mk_env 80_000. in
+  let cloned =
+    (Parqo.Costmodel.evaluate at_edge
+       (J.join ~clone:2 M.Hash_join
+          ~outer:(J.access ~clone:2 0) ~inner:(J.access ~clone:2 1)))
+      .Parqo.Costmodel.work
+  in
+  Alcotest.(check bool) "cloning avoids the spill" true
+    (cloned < hj_work at_edge)
+
+let suite =
+  ( "opcost",
+    [
+      t "hash spill threshold" hash_spill_threshold;
+      t "scan costs" scan_costs;
+      t "blocking ops block" blocking_ops_block;
+      t "cloning reduces time" cloning_reduces_time;
+      t "clone overhead" clone_overhead_charged;
+      t "unclustered penalty" unclustered_index_penalty;
+      t "NL index probe" nl_index_probe_io_on_index_disk;
+      t "pure NL quadratic" pure_nl_quadratic;
+      t "exchange network" exchange_uses_network;
+      t "two-disk machine" diskless_machine_drops_io;
+    ] )

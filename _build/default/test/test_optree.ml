@@ -1,0 +1,82 @@
+module Op = Parqo.Op
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let sample () =
+  let catalog, query = G.generate (G.default_spec G.Chain 3) in
+  let est = Parqo.Estimator.create catalog query in
+  Parqo.Expand.expand est
+    (J.join M.Hash_join
+       ~outer:(J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1))
+       ~inner:(J.access 2))
+
+let traversals () =
+  let root = sample () in
+  (* size = number of iter visits = number of fold visits *)
+  let iter_count = ref 0 in
+  Op.iter (fun _ -> incr iter_count) root;
+  Alcotest.(check int) "size = iter count" (Op.size root) !iter_count;
+  Alcotest.(check int) "fold agrees" (Op.size root)
+    (Op.fold (fun n _ -> n + 1) 0 root);
+  (* preorder: the root is visited first *)
+  let first = ref None in
+  Op.iter (fun n -> if !first = None then first := Some n.Op.id) root;
+  Alcotest.(check (option int)) "root first" (Some root.Op.id) !first
+
+let find_and_arity () =
+  let root = sample () in
+  (match Op.find (fun n -> n.Op.kind = Op.Merge_join) root with
+  | Some n ->
+    Alcotest.(check int) "merge arity" 2 (List.length n.Op.children)
+  | None -> Alcotest.fail "no merge found");
+  Alcotest.(check bool) "missing kind" true
+    (Op.find (fun n -> n.Op.kind = Op.Nl_join) root = None);
+  (* declared arities *)
+  Alcotest.(check int) "scan arity" 0 (Op.arity (Op.Seq_scan { rel = 0 }));
+  Alcotest.(check int) "sort arity" 1 (Op.arity (Op.Sort { key = [] }));
+  Alcotest.(check int) "probe arity" 2 (Op.arity Op.Hash_probe);
+  Alcotest.(check int) "build arity" 1 (Op.arity Op.Hash_build)
+
+let rendering () =
+  let root = sample () in
+  let s = Op.to_string root in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and h = String.length s in
+      let rec scan i = i + n <= h && (String.sub s i n = needle || scan (i + 1)) in
+      Alcotest.(check bool) ("contains " ^ needle) true (scan 0))
+    [ "probe"; "build!"; "merge"; "sort"; "scan(r2)" ]
+
+let kind_names () =
+  Alcotest.(check string) "scan" "scan(r3)" (Op.kind_name (Op.Seq_scan { rel = 3 }));
+  Alcotest.(check string) "nl" "nested-loops" (Op.kind_name Op.Nl_join);
+  Alcotest.(check string) "bcast" "xchg-bcast"
+    (Op.kind_name (Op.Exchange { mode = Op.Broadcast }));
+  Alcotest.(check string) "repart" "xchg-repart"
+    (Op.kind_name (Op.Exchange { mode = Op.Repartition }))
+
+let validate_rejects () =
+  let root = sample () in
+  (* breaking arity by dropping a child must be caught *)
+  let broken = { root with Op.children = [ List.hd root.Op.children ] } in
+  (match Op.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected arity error");
+  (* duplicate ids *)
+  let dup = { root with Op.id = (List.hd root.Op.children).Op.id } in
+  match Op.validate dup with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected duplicate-id error"
+
+let suite =
+  ( "optree",
+    [
+      t "traversals" traversals;
+      t "find and arity" find_and_arity;
+      t "rendering" rendering;
+      t "kind names" kind_names;
+      t "validate rejects" validate_rejects;
+    ] )

@@ -1,0 +1,40 @@
+module O = Parqo.Ordering
+
+let t name f = Alcotest.test_case name `Quick f
+
+let c rel column = { O.rel; column }
+
+let subsumption () =
+  let ab = [ c 0 "a"; c 0 "b" ] in
+  let a = [ c 0 "a" ] in
+  Alcotest.(check bool) "longer subsumes prefix" true (O.subsumes ab a);
+  Alcotest.(check bool) "prefix does not subsume longer" false (O.subsumes a ab);
+  Alcotest.(check bool) "anything subsumes none" true (O.subsumes a O.none);
+  Alcotest.(check bool) "none subsumes none" true (O.subsumes O.none O.none);
+  Alcotest.(check bool) "none does not subsume" false (O.subsumes O.none a);
+  Alcotest.(check bool) "reflexive" true (O.subsumes ab ab);
+  Alcotest.(check bool) "different column" false (O.subsumes [ c 0 "x" ] a);
+  Alcotest.(check bool) "different relation" false (O.subsumes [ c 1 "a" ] a);
+  (* subsequence must be a prefix in our realization *)
+  Alcotest.(check bool) "non-prefix subsequence rejected" false
+    (O.subsumes ab [ c 0 "b" ])
+
+let equality () =
+  Alcotest.(check bool) "equal" true (O.equal [ c 0 "a" ] [ c 0 "a" ]);
+  Alcotest.(check bool) "unequal length" false (O.equal [ c 0 "a" ] []);
+  Alcotest.(check string) "to_string none" "-" (O.to_string O.none);
+  Alcotest.(check string) "to_string" "r0.a,r1.b"
+    (O.to_string [ c 0 "a"; c 1 "b" ])
+
+let prop_transitive =
+  let gen =
+    QCheck2.Gen.(
+      let col = map (fun i -> c 0 (String.make 1 (Char.chr (97 + i)))) (int_bound 3) in
+      triple (list_size (int_bound 4) col) (list_size (int_bound 4) col)
+        (list_size (int_bound 4) col))
+  in
+  Helpers.qtest "subsumption transitive" gen (fun (x, y, z) ->
+      if O.subsumes x y && O.subsumes y z then O.subsumes x z else true)
+
+let suite =
+  ("ordering", [ t "subsumption" subsumption; t "equality" equality; prop_transitive ])

@@ -1,0 +1,124 @@
+module Q = Parqo.Query
+module P = Parqo.Sql
+
+let t name f = Alcotest.test_case name `Quick f
+
+let catalog =
+  let col = Parqo.Stats.column ~distinct:10. ~min_v:0. ~max_v:9. () in
+  Parqo.Catalog.create
+    ~tables:
+      [
+        Parqo.Table.create ~name:"emp"
+          ~columns:[ ("id", col); ("dept_id", col); ("salary", col) ]
+          ~cardinality:100. ();
+        Parqo.Table.create ~name:"dept"
+          ~columns:[ ("id", col); ("city", col) ]
+          ~cardinality:10. ();
+      ]
+    ~indexes:[]
+
+let parse s =
+  match P.parse ~catalog s with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let simple_select () =
+  let q = parse "SELECT * FROM emp" in
+  Alcotest.(check int) "one relation" 1 (Q.n_relations q);
+  Alcotest.(check int) "no joins" 0 (List.length q.Q.joins);
+  Alcotest.(check int) "no projection" 0 (List.length q.Q.projection)
+
+let join_query () =
+  let q = parse "SELECT e.id FROM emp e, dept d WHERE e.dept_id = d.id" in
+  Alcotest.(check int) "two relations" 2 (Q.n_relations q);
+  Alcotest.(check int) "one join" 1 (List.length q.Q.joins);
+  Alcotest.(check string) "alias" "e" (Q.alias q 0);
+  Alcotest.(check string) "table" "emp" (Q.table_name q 0);
+  Alcotest.(check int) "projection" 1 (List.length q.Q.projection)
+
+let selections () =
+  let q = parse "SELECT * FROM emp WHERE salary >= 5 AND id <> 3" in
+  Alcotest.(check int) "two selections" 2 (List.length q.Q.selections);
+  let s = List.hd q.Q.selections in
+  Alcotest.(check string) "column resolved" "salary" s.Q.on.Q.column;
+  Alcotest.(check bool) "cmp" true (s.Q.cmp = Q.Ge)
+
+let literal_flip () =
+  let q = parse "SELECT * FROM emp WHERE 5 < salary" in
+  let s = List.hd q.Q.selections in
+  Alcotest.(check bool) "flipped to >" true (s.Q.cmp = Q.Gt)
+
+let unqualified_resolution () =
+  let q = parse "SELECT city FROM emp, dept WHERE dept_id = city" in
+  Alcotest.(check int) "join recognized" 1 (List.length q.Q.joins);
+  let j = List.hd q.Q.joins in
+  Alcotest.(check int) "dept_id owner" 0 j.Q.left.Q.rel;
+  Alcotest.(check int) "city owner" 1 j.Q.right.Q.rel
+
+let string_and_float_literals () =
+  let q = parse "SELECT * FROM dept WHERE city = 'paris'" in
+  (match (List.hd q.Q.selections).Q.value with
+  | Parqo.Value.Str s -> Alcotest.(check string) "string literal" "paris" s
+  | _ -> Alcotest.fail "expected string");
+  let q2 = parse "SELECT * FROM emp WHERE salary <= 3.5" in
+  match (List.hd q2.Q.selections).Q.value with
+  | Parqo.Value.Flt f -> Helpers.check_float "float literal" 3.5 f
+  | _ -> Alcotest.fail "expected float"
+
+let case_insensitive_keywords () =
+  let q = parse "select * from emp where salary > 1" in
+  Alcotest.(check int) "parsed" 1 (List.length q.Q.selections)
+
+let roundtrip () =
+  let q = parse "SELECT e.id FROM emp e, dept d WHERE e.dept_id = d.id AND e.salary < 5" in
+  let q2 = parse (Q.to_sql q) in
+  Alcotest.(check string) "sql fixpoint" (Q.to_sql q) (Q.to_sql q2)
+
+let errors () =
+  let expect_error s =
+    match P.parse ~catalog s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %S" s
+  in
+  expect_error "SELECT";
+  expect_error "SELECT * FROM";
+  expect_error "SELECT * FROM ghost";
+  expect_error "SELECT * FROM emp WHERE nope = 1";
+  expect_error "SELECT * FROM emp e, dept d WHERE e.id < d.id";
+  (* non-equi join *)
+  expect_error "SELECT * FROM emp WHERE id = id";
+  (* self-relating predicate *)
+  expect_error "SELECT * FROM emp, dept WHERE id = 1";
+  (* ambiguous unqualified column *)
+  expect_error "SELECT * FROM emp WHERE 1 = 2";
+  (* two literals *)
+  expect_error "SELECT * FROM emp WHERE salary = 'unterminated"
+
+let fuzz_no_crash =
+  Helpers.qtest ~count:300 "arbitrary input never raises"
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 60))
+    (fun s -> match P.parse ~catalog s with Ok _ | Error _ -> true)
+
+let fuzz_mutations =
+  let base = "SELECT e.id FROM emp e, dept d WHERE e.dept_id = d.id AND e.salary < 5" in
+  Helpers.qtest ~count:300 "mutated SQL never raises"
+    QCheck2.Gen.(pair (int_bound (String.length base - 1)) printable)
+    (fun (i, c) ->
+      let mutated = String.mapi (fun j x -> if i = j then c else x) base in
+      match P.parse ~catalog mutated with Ok _ | Error _ -> true)
+
+let suite =
+  ( "parser",
+    [
+      fuzz_no_crash;
+      fuzz_mutations;
+      t "simple select" simple_select;
+      t "join query" join_query;
+      t "selections" selections;
+      t "literal flip" literal_flip;
+      t "unqualified resolution" unqualified_resolution;
+      t "literals" string_and_float_literals;
+      t "case insensitive" case_insensitive_keywords;
+      t "roundtrip" roundtrip;
+      t "errors" errors;
+    ] )

@@ -1,0 +1,55 @@
+module P = Parqo.Opcost
+module Pl = Parqo.Placement
+module M = Parqo.Machine
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cpus_for () =
+  let m = M.shared_nothing ~nodes:4 () in
+  Alcotest.(check int) "one cpu" 1 (List.length (Pl.cpus_for m ~clone:1));
+  Alcotest.(check int) "clamped at machine size" 4
+    (List.length (Pl.cpus_for m ~clone:16));
+  (* deterministic: lowest ids first *)
+  Alcotest.(check (list int)) "stable choice" (Pl.cpus_for m ~clone:2)
+    (Pl.cpus_for m ~clone:2);
+  let two = M.two_disks () in
+  Alcotest.(check int) "no cpus on example-3 machine" 0
+    (List.length (Pl.cpus_for two ~clone:4))
+
+let effective_clone () =
+  let m = M.shared_nothing ~nodes:4 () in
+  Alcotest.(check int) "within capacity" 3 (Pl.effective_clone m 3);
+  Alcotest.(check int) "clamped" 4 (Pl.effective_clone m 9);
+  let two = M.two_disks () in
+  Alcotest.(check int) "no cpus -> 1" 1 (Pl.effective_clone two 8)
+
+let table_and_index_disks () =
+  let m = M.shared_nothing ~nodes:4 () in
+  let col = Parqo.Stats.column ~distinct:10. ~min_v:0. ~max_v:9. () in
+  let table d =
+    Parqo.Table.create ~name:"t" ~columns:[ ("c", col) ] ~cardinality:10.
+      ~disks:d ()
+  in
+  Alcotest.(check int) "single placement" 1
+    (List.length (Pl.disks_for_table m (table [ 2 ])));
+  Alcotest.(check int) "partitioned placement" 3
+    (List.length (Pl.disks_for_table m (table [ 0; 1; 2 ])));
+  (* abstract disk indexes wrap around machine disks *)
+  Alcotest.(check int) "modulo wrap" 1
+    (List.length (Pl.disks_for_table m (table [ 5 ])));
+  let idx = Parqo.Index.create ~name:"i" ~table:"t" ~columns:[ "c" ] ~disk:1 () in
+  (match Pl.disk_for_index m idx with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a disk");
+  (* spill disks are cpu-local on shared-nothing *)
+  let cpus = Pl.cpus_for m ~clone:2 in
+  Alcotest.(check int) "one spill disk per cpu" 2
+    (List.length (Pl.spill_disks m ~cpus))
+
+let suite =
+  ( "placement",
+    [
+      t "cpus_for" cpus_for;
+      t "effective clone" effective_clone;
+      t "table and index disks" table_and_index_disks;
+    ] )

@@ -1,0 +1,95 @@
+module P = Parqo.Plan_io
+module J = Parqo.Join_tree
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let setup () =
+  let catalog, query = G.generate (G.default_spec G.Chain 4) in
+  (catalog, query)
+
+let explicit_round_trip () =
+  let catalog, query = setup () in
+  let texts =
+    [
+      "scan(r0)";
+      "scan(r2)/4";
+      "HJ(scan(r0), scan(r1))";
+      "SM/2!(scan(r0), scan(r1))";
+      "NL(HJ(scan(r0), scan(r1)), scan(r2))";
+      "HJ/4!(SM(scan(r0), scan(r1)), NL(scan(r2), scan(r3)))";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match P.of_string ~catalog ~query text with
+      | Ok tree -> Alcotest.(check string) text text (P.to_string tree)
+      | Error e -> Alcotest.failf "%s: %s" text e)
+    texts
+
+let index_resolution () =
+  let catalog, query = setup () in
+  let idx = List.hd (Parqo.Catalog.indexes_of catalog "t0") in
+  let text = Printf.sprintf "idx(r0:%s)/2" idx.Parqo.Index.name in
+  match P.of_string ~catalog ~query text with
+  | Ok tree -> Alcotest.(check string) "round trip" text (P.to_string tree)
+  | Error e -> Alcotest.fail e
+
+let random_round_trips () =
+  let catalog, query = setup () in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  let env = Parqo.Env.create ~machine ~catalog ~query () in
+  let rng = Parqo.Rng.create 21 in
+  for _ = 1 to 50 do
+    let tree = Helpers.random_tree rng env in
+    let text = P.to_string tree in
+    match P.of_string ~catalog ~query text with
+    | Ok tree' ->
+      Alcotest.(check bool) ("equal: " ^ text) true (J.equal tree tree')
+    | Error e -> Alcotest.failf "%s: %s" text e
+  done
+
+let errors () =
+  let catalog, query = setup () in
+  let expect_error text =
+    match P.of_string ~catalog ~query text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %S" text
+  in
+  expect_error "";
+  expect_error "scan(r9)";
+  (* out of range *)
+  expect_error "HJ(scan(r0), scan(r0))";
+  (* duplicate relation *)
+  expect_error "idx(r0:no_such_index)";
+  expect_error "HJ(scan(r0)";
+  (* unbalanced *)
+  expect_error "HJ(scan(r0), scan(r1)) trailing"
+
+let fuzz_no_crash =
+  let catalog, query = setup () in
+  Helpers.qtest ~count:300 "arbitrary input never raises"
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 40))
+    (fun s ->
+      match P.of_string ~catalog ~query s with Ok _ | Error _ -> true)
+
+let fuzz_mutations_no_crash =
+  (* mutate a valid plan text: still never raises *)
+  let catalog, query = setup () in
+  let base = "HJ/4!(SM(scan(r0), scan(r1)), NL(scan(r2), scan(r3)))" in
+  Helpers.qtest ~count:300 "mutated plan text never raises"
+    QCheck2.Gen.(pair (int_bound (String.length base - 1)) printable)
+    (fun (i, c) ->
+      let mutated = String.mapi (fun j x -> if i = j then c else x) base in
+      match P.of_string ~catalog ~query mutated with Ok _ | Error _ -> true)
+
+let suite =
+  ( "plan-io",
+    [
+      fuzz_no_crash;
+      fuzz_mutations_no_crash;
+      t "explicit round trip" explicit_round_trip;
+      t "index resolution" index_resolution;
+      t "random round trips" random_round_trips;
+      t "errors" errors;
+    ] )

@@ -1,0 +1,186 @@
+(* Figure 2: partial-order DP over left-deep trees. *)
+
+module Podp = Parqo.Podp
+module Dp = Parqo.Dp
+module Brute = Parqo.Brute
+module Mt = Parqo.Metric
+module Cm = Parqo.Costmodel
+module S = Parqo.Space
+module G = Parqo.Query_gen
+module Stats = Parqo.Search_stats
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of ?(nodes = 4) shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  let machine = Parqo.Machine.shared_nothing ~nodes () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let metric_for env =
+  Mt.with_ordering
+    (Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Single)
+
+let finds_plans () =
+  List.iter
+    (fun shape ->
+      let env = env_of shape 4 in
+      let r = Podp.optimize ~metric:(metric_for env) env in
+      match r.Podp.best with
+      | Some e ->
+        Alcotest.(check bool) "left-deep" true (Parqo.Join_tree.is_left_deep e.Cm.tree)
+      | None -> Alcotest.fail "no plan")
+    [ G.Chain; G.Star; G.Cycle; G.Clique ]
+
+let final_cover_incomparable () =
+  let env = env_of G.Chain 4 in
+  let metric = metric_for env in
+  let r =
+    Podp.optimize ~config:(S.parallel_config env.Parqo.Env.machine) ~metric env
+  in
+  let cover = r.Podp.cover in
+  Alcotest.(check bool) "non-empty cover" true (cover <> []);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a != b then
+            Alcotest.(check bool) "pairwise incomparable" false
+              (Mt.dominates metric a b))
+        cover)
+    cover
+
+(* po-DP at least matches DP on response time: it retains strictly more
+   plans per subset, so its final answer can only be better or equal *)
+let no_worse_than_rt_dp () =
+  let rng = Parqo.Rng.create 8 in
+  for _ = 1 to 8 do
+    let env = Helpers.random_env rng ~n:4 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let objective (e : Cm.eval) = e.Cm.response_time in
+    let dp = Dp.optimize ~config ~objective env in
+    let po = Podp.optimize ~config ~metric:(metric_for env) env in
+    match (dp.Dp.best, po.Podp.best) with
+    | Some d, Some p ->
+      Alcotest.(check bool) "po-DP <= naive RT DP" true
+        (p.Cm.response_time <= d.Cm.response_time +. 1e-6)
+    | _ -> Alcotest.fail "missing plan"
+  done
+
+(* ground truth: po-DP with the full descriptor metric finds the true
+   response-time optimum (delta = 0 makes the metric provably sound) *)
+let optimal_vs_brute_delta0 () =
+  let rng = Parqo.Rng.create 9 in
+  let count = ref 0 in
+  for _ = 1 to 8 do
+    let catalog, query = Parqo.Query_gen.random rng ~n:3 () in
+    let params = { Parqo.Machine.default_params with pipeline_delta_k = 0. } in
+    let machine = Parqo.Machine.shared_nothing ~params ~nodes:3 () in
+    let env = Parqo.Env.create ~machine ~catalog ~query () in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let metric =
+      Mt.with_ordering (Mt.descriptor machine Parqo.Machine.Per_resource)
+    in
+    let po = Podp.optimize ~config ~metric env in
+    let brute =
+      Brute.leftdeep ~config
+        ~objective:(fun (e : Cm.eval) -> e.Cm.response_time)
+        env
+    in
+    match (po.Podp.best, brute.Brute.best) with
+    | Some p, Some b ->
+      if Helpers.feq ~eps:1e-6 p.Cm.response_time b.Cm.response_time then
+        incr count
+      else
+        Alcotest.failf "po-DP %.4f vs brute %.4f" p.Cm.response_time
+          b.Cm.response_time
+    | _ -> Alcotest.fail "missing plan"
+  done;
+  Alcotest.(check int) "all optimal" 8 !count
+
+(* with the delta penalty on, the metric is heuristic; measure that it
+   still matches brute force on nearly all random instances *)
+let near_optimal_with_delta () =
+  let rng = Parqo.Rng.create 10 in
+  let total = 10 and hits = ref 0 in
+  for _ = 1 to total do
+    let env = Helpers.random_env rng ~n:3 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let metric =
+      Mt.with_ordering
+        (Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Per_resource)
+    in
+    let po = Podp.optimize ~config ~metric env in
+    let brute =
+      Brute.leftdeep ~config
+        ~objective:(fun (e : Cm.eval) -> e.Cm.response_time)
+        env
+    in
+    match (po.Podp.best, brute.Brute.best) with
+    | Some p, Some b ->
+      if p.Cm.response_time <= b.Cm.response_time *. 1.02 +. 1e-9 then incr hits
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d within 2%% of optimal" !hits total)
+    true
+    (!hits >= total - 1)
+
+(* work cap prunes the search; with cap = optimal work the result matches
+   the work optimizer's response time *)
+let work_cap_prunes () =
+  let env = env_of G.Chain 4 in
+  let config = S.parallel_config env.Parqo.Env.machine in
+  let metric = metric_for env in
+  let wopt = (Dp.optimize ~config env).Dp.best in
+  match wopt with
+  | None -> Alcotest.fail "no work optimum"
+  | Some w ->
+    let free = Podp.optimize ~config ~metric env in
+    let capped = Podp.optimize ~config ~metric ~work_cap:w.Cm.work env in
+    (match (free.Podp.best, capped.Podp.best) with
+    | Some f, Some c ->
+      Alcotest.(check bool) "cap respected" true (c.Cm.work <= w.Cm.work +. 1e-6);
+      Alcotest.(check bool) "free at least as fast" true
+        (f.Cm.response_time <= c.Cm.response_time +. 1e-6)
+    | _ -> Alcotest.fail "missing plan");
+    Alcotest.(check bool) "cap shrinks generated plans" true
+      (capped.Podp.stats.Stats.generated <= free.Podp.stats.Stats.generated)
+
+(* Theorem 3 bounds the expected cover by 2^l only under independent
+   dimensions, an assumption the paper itself calls "likely to be
+   optimistic": a plan's time and work dimensions are anti-correlated
+   (that tradeoff is the whole point), so measured covers exceed 2^l.
+   Assert the honest claim — covers stay bounded and small relative to
+   the number of plans per subset — and that a beam cap enforces 2^l. *)
+let cover_sizes_reasonable () =
+  let env = env_of G.Clique 5 in
+  let metric = Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Single in
+  let r = Podp.optimize ~config:S.default_config ~metric env in
+  Alcotest.(check bool)
+    (Printf.sprintf "cover max %d stays bounded" r.Podp.stats.Stats.cover_max)
+    true
+    (r.Podp.stats.Stats.cover_max <= 128);
+  let beamed = Podp.optimize ~config:S.default_config ~metric ~max_cover:16 env in
+  List.iter
+    (fun (c : Cm.eval) -> ignore c)
+    beamed.Podp.cover;
+  Alcotest.(check bool) "beamed cover obeys cap" true
+    (List.length beamed.Podp.cover <= 16);
+  (* the beam is a heuristic: its answer is close to the exact one *)
+  match (r.Podp.best, beamed.Podp.best) with
+  | Some exact, Some beam ->
+    Alcotest.(check bool) "beam within 10% of exact" true
+      (beam.Cm.response_time <= exact.Cm.response_time *. 1.10 +. 1e-9)
+  | _ -> Alcotest.fail "missing plan"
+
+let suite =
+  ( "podp",
+    [
+      t "finds plans" finds_plans;
+      t "final cover incomparable" final_cover_incomparable;
+      t "no worse than naive RT DP" no_worse_than_rt_dp;
+      t "optimal vs brute (delta=0)" optimal_vs_brute_delta0;
+      t "near-optimal with delta" near_optimal_with_delta;
+      t "work cap prunes" work_cap_prunes;
+      t "cover sizes reasonable" cover_sizes_reasonable;
+    ] )

@@ -1,0 +1,39 @@
+module P = Parqo.Pqueue
+
+let t name f = Alcotest.test_case name `Quick f
+
+let basics () =
+  Alcotest.(check bool) "empty" true (P.is_empty P.empty);
+  let q = P.insert 3. "c" (P.insert 1. "a" (P.insert 2. "b" P.empty)) in
+  Alcotest.(check int) "size" 3 (P.size q);
+  (match P.min q with
+  | Some (p, v) ->
+    Helpers.check_float "min prio" 1. p;
+    Alcotest.(check string) "min value" "a" v
+  | None -> Alcotest.fail "expected a minimum");
+  match P.pop q with
+  | Some (_, v, q') ->
+    Alcotest.(check string) "pop order" "a" v;
+    Alcotest.(check int) "size after pop" 2 (P.size q')
+  | None -> Alcotest.fail "expected pop"
+
+let sorted_drain () =
+  let entries = [ (5., 5); (1., 1); (3., 3); (2., 2); (4., 4) ] in
+  let q = P.of_list entries in
+  let drained = P.to_sorted_list q in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.map snd drained)
+
+let prop_heap_order =
+  Helpers.qtest "drain is non-decreasing"
+    QCheck2.Gen.(list_size (int_bound 50) (float_bound_inclusive 1000.))
+    (fun prios ->
+      let q = P.of_list (List.map (fun p -> (p, ())) prios) in
+      let drained = List.map fst (P.to_sorted_list q) in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing drained && List.length drained = List.length prios)
+
+let suite =
+  ("pqueue", [ t "basics" basics; t "sorted drain" sorted_drain; prop_heap_order ])

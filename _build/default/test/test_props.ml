@@ -1,0 +1,86 @@
+module P = Parqo.Props
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module O = Parqo.Ordering
+module G = Parqo.Query_gen
+module AP = Parqo.Access_path
+
+let t name f = Alcotest.test_case name `Quick f
+
+let setup () =
+  let catalog, query = G.generate (G.default_spec G.Chain 3) in
+  (catalog, query)
+
+let join_preds () =
+  let _, query = setup () in
+  let j01 =
+    match J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) with
+    | J.Join j -> j
+    | J.Access _ -> assert false
+  in
+  Alcotest.(check int) "connected pair" 1 (List.length (P.join_preds query j01));
+  let j02 =
+    match J.join M.Nested_loops ~outer:(J.access 0) ~inner:(J.access 2) with
+    | J.Join j -> j
+    | J.Access _ -> assert false
+  in
+  Alcotest.(check int) "cartesian pair" 0 (List.length (P.join_preds query j02))
+
+let sort_keys () =
+  let _, query = setup () in
+  let j =
+    match J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1) with
+    | J.Join j -> j
+    | J.Access _ -> assert false
+  in
+  let outer_key = P.sort_key_outer query j in
+  let inner_key = P.sort_key_inner query j in
+  Alcotest.(check int) "outer key" 1 (List.length outer_key);
+  Alcotest.(check int) "inner key" 1 (List.length inner_key);
+  Alcotest.(check int) "outer side rel" 0 (List.hd outer_key).O.rel;
+  Alcotest.(check int) "inner side rel" 1 (List.hd inner_key).O.rel;
+  Alcotest.(check string) "join column" "j0_1" (List.hd outer_key).O.column
+
+let orderings () =
+  let catalog, query = setup () in
+  (* seq scan has no order *)
+  Alcotest.(check bool) "scan unordered" true
+    (O.equal O.none (P.ordering query (J.access 0)));
+  (* index scan delivers the index key *)
+  let idx = List.hd (Parqo.Catalog.indexes_of catalog "t0") in
+  let tree = J.access ~path:(AP.Index_scan idx) 0 in
+  Alcotest.(check bool) "index scan ordered" true
+    (P.ordering query tree <> O.none);
+  (* cloning destroys order *)
+  let cloned = J.access ~path:(AP.Index_scan idx) ~clone:2 0 in
+  Alcotest.(check bool) "cloned scan unordered" true
+    (O.equal O.none (P.ordering query cloned));
+  (* sort-merge delivers the outer key; hash preserves outer order *)
+  let sm = J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1) in
+  Alcotest.(check bool) "SM ordered on join col" true
+    (P.ordering query sm <> O.none);
+  let hj = J.join M.Hash_join ~outer:tree ~inner:(J.access 1) in
+  Alcotest.(check bool) "HJ preserves outer order" true
+    (O.equal (P.ordering query tree) (P.ordering query hj))
+
+let partitioning () =
+  let _, query = setup () in
+  let cloned_join =
+    J.join ~clone:4 M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)
+  in
+  (match P.partition_column query cloned_join with
+  | Some c -> Alcotest.(check string) "partition on join col" "j0_1" c.O.column
+  | None -> Alcotest.fail "expected a partition column");
+  Alcotest.(check bool) "degree-1 join unpartitioned" true
+    (P.partition_column query
+       (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
+    = None)
+
+let suite =
+  ( "props",
+    [
+      t "join preds" join_preds;
+      t "sort keys" sort_keys;
+      t "orderings" orderings;
+      t "partitioning" partitioning;
+    ] )

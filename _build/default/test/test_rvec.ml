@@ -1,0 +1,113 @@
+module R = Parqo.Rvec
+module V = Parqo.Vecf
+
+let t name f = Alcotest.test_case name `Quick f
+
+let v2 a b = V.of_array [| a; b |]
+let rv t a b = R.make ~time:t ~work:(v2 a b)
+
+let rvec_gen =
+  QCheck2.Gen.(
+    let work = float_bound_inclusive 50. in
+    map
+      (fun (a, b, slack) ->
+        let peak = Float.max a b in
+        R.make ~time:(peak +. slack) ~work:(v2 a b))
+      (triple work work (float_bound_inclusive 50.)))
+
+let construction () =
+  let r = rv 10. 4. 6. in
+  Helpers.check_float "time" 10. (R.response_time r);
+  Helpers.check_float "work" 10. (R.total_work r);
+  Alcotest.(check bool) "zero is zero" true (R.is_zero (R.zero 3));
+  Alcotest.check_raises "time below busiest"
+    (Invalid_argument "Rvec.make: time below busiest resource") (fun () ->
+      ignore (rv 3. 4. 0.))
+
+let of_demands () =
+  let r = R.of_demands 2 [ (0, 6.); (1, 2.); (0, 2.) ] ~lanes:1 ~overhead:0. in
+  Helpers.check_float "demands accumulate" 8. (V.get r.R.work 0);
+  (* traditional: response time = total work for a sequential op *)
+  Helpers.check_float "time = total work" 10. (R.response_time r);
+  (* cloned over 2 lanes: halved plus overhead *)
+  let c = R.of_demands 2 [ (0, 6.); (1, 6.) ] ~lanes:2 ~overhead:0.1 in
+  Helpers.check_float "cloned time" (12. /. 2. *. 1.1) (R.response_time c);
+  (* time never drops below the busiest resource *)
+  let skew = R.of_demands 2 [ (0, 100.) ] ~lanes:8 ~overhead:0. in
+  Helpers.check_float "bounded by busiest" 100. (R.response_time skew)
+
+let sequential () =
+  let a = rv 10. 10. 0. and b = rv 5. 0. 5. in
+  let s = R.seq a b in
+  Helpers.check_float "times add" 15. (R.response_time s);
+  Helpers.check_float "work adds" 15. (R.total_work s)
+
+let parallel_contention () =
+  (* disjoint resources: true parallelism *)
+  let a = rv 10. 10. 0. and b = rv 5. 0. 5. in
+  Helpers.check_float "disjoint = max" 10. (R.response_time (R.par a b));
+  (* same resource: contention forces the sum *)
+  let c = rv 10. 10. 0. and d = rv 8. 8. 0. in
+  Helpers.check_float "contended = sum" 18. (R.response_time (R.par c d));
+  (* Example 3 arithmetic: p2 and the join on different disks *)
+  let p2 = rv 25. 0. 25. and join = rv 40. 40. 0. in
+  Helpers.check_float "Example 3 p2 case" 40. (R.response_time (R.par p2 join));
+  let p1 = rv 20. 20. 0. in
+  Helpers.check_float "Example 3 p1 case" 60. (R.response_time (R.par p1 join))
+
+let residual () =
+  let whole = rv 10. 8. 2. and front = rv 4. 4. 0. in
+  let r = R.residual whole front in
+  Helpers.check_float "time subtracts" 6. (R.response_time r);
+  Helpers.check_float "work subtracts" 4. (V.get r.R.work 0);
+  Helpers.check_float "clamped at zero" 2. (V.get r.R.work 1);
+  (* over-subtraction clamps instead of going negative *)
+  let r2 = R.residual front whole in
+  Alcotest.(check bool) "non-negative" true
+    (R.response_time r2 >= 0. && V.get r2.R.work 0 >= 0.)
+
+let stretching () =
+  let r = rv 10. 8. 2. in
+  let s = R.stretch 2. r in
+  Helpers.check_float "time doubles" 20. (R.response_time s);
+  Helpers.check_float "work unchanged" 10. (R.total_work s);
+  Alcotest.check_raises "stretch < 1" (Invalid_argument "Rvec.stretch: factor < 1")
+    (fun () -> ignore (R.stretch 0.5 r))
+
+let prop_par_commutative =
+  Helpers.qtest "par commutative" (QCheck2.Gen.pair rvec_gen rvec_gen)
+    (fun (a, b) -> R.equal (R.par a b) (R.par b a))
+
+let prop_par_bounds =
+  Helpers.qtest "max <= par <= seq" (QCheck2.Gen.pair rvec_gen rvec_gen)
+    (fun (a, b) ->
+      let p = R.response_time (R.par a b) in
+      p +. 1e-9 >= Float.max (R.response_time a) (R.response_time b)
+      && p <= R.response_time (R.seq a b) +. 1e-9)
+
+let prop_seq_associative =
+  Helpers.qtest "seq associative" (QCheck2.Gen.triple rvec_gen rvec_gen rvec_gen)
+    (fun (a, b, c) ->
+      R.equal ~eps:1e-6 (R.seq (R.seq a b) c) (R.seq a (R.seq b c)))
+
+let prop_par_work_conserved =
+  Helpers.qtest "par conserves work" (QCheck2.Gen.pair rvec_gen rvec_gen)
+    (fun (a, b) ->
+      Helpers.feq ~eps:1e-6
+        (R.total_work (R.par a b))
+        (R.total_work a +. R.total_work b))
+
+let suite =
+  ( "rvec",
+    [
+      t "construction" construction;
+      t "of_demands" of_demands;
+      t "sequential" sequential;
+      t "parallel contention" parallel_contention;
+      t "residual" residual;
+      t "stretching" stretching;
+      prop_par_commutative;
+      prop_par_bounds;
+      prop_seq_associative;
+      prop_par_work_conserved;
+    ] )

@@ -1,0 +1,73 @@
+module Sc = Parqo.Scenarios
+module Op = Parqo.Op
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Example 1's annotation table: scans pipelined, sorts materialized,
+   merge pipelined, as in the paper *)
+let example1_annotations () =
+  let _env, root = Sc.example1 () in
+  (match Op.validate root with Ok () -> () | Error e -> Alcotest.fail e);
+  (match root.Op.kind with
+  | Op.Nl_join -> ()
+  | k -> Alcotest.failf "expected nested-loops root, got %s" (Op.kind_name k));
+  let count pred = Op.fold (fun n node -> if pred node then n + 1 else n) 0 root in
+  Alcotest.(check int) "three scans" 3
+    (count (fun n -> match n.Op.kind with Op.Seq_scan _ -> true | _ -> false));
+  Alcotest.(check int) "two sorts" 2
+    (count (fun n -> match n.Op.kind with Op.Sort _ -> true | _ -> false));
+  Alcotest.(check int) "one merge" 1
+    (count (fun n -> n.Op.kind = Op.Merge_join));
+  (* annotation table: composition per operator kind *)
+  Op.iter
+    (fun n ->
+      match n.Op.kind with
+      | Op.Seq_scan _ | Op.Merge_join ->
+        Alcotest.(check bool)
+          (Op.kind_name n.Op.kind ^ " pipelined")
+          true
+          (n.Op.composition = Op.Pipelined)
+      | Op.Sort _ ->
+        Alcotest.(check bool) "sort materialized" true
+          (n.Op.composition = Op.Materialized)
+      | _ -> ())
+    root;
+  (* the materialized front of the whole tree is the two sorts (§5) *)
+  let front = Op.materialized_front root in
+  Alcotest.(check int) "front = {sort1, sort2}" 2 (List.length front);
+  List.iter
+    (fun (n : Op.node) ->
+      match n.Op.kind with
+      | Op.Sort _ -> ()
+      | k -> Alcotest.failf "front contains %s" (Op.kind_name k))
+    front
+
+let ctr_ci_catalog_valid () =
+  let catalog, query, machine = Sc.ctr_ci () in
+  (match
+     Parqo.Catalog.validate
+       ~n_disks:(List.length (Parqo.Machine.disk_ids machine))
+       catalog
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Parqo.Query.validate catalog query with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let example2_stable () =
+  (* defensive: the Example 2 rows never drift *)
+  let rows = Sc.example2 () in
+  let find name =
+    (List.find (fun (r : Sc.example2_row) -> r.Sc.operator = name) rows).Sc.computed
+  in
+  Helpers.check_float "merge tl" 15. (find "merge").Parqo.Tdesc.tl;
+  Helpers.check_float "nloops tf" 13. (find "n.loops").Parqo.Tdesc.tf
+
+let suite =
+  ( "scenarios",
+    [
+      t "example 1 annotations" example1_annotations;
+      t "ctr/ci catalog valid" ctr_ci_catalog_valid;
+      t "example 2 stable" example2_stable;
+    ] )

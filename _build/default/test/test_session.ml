@@ -1,0 +1,93 @@
+module S = Parqo.Session
+module Cm = Parqo.Costmodel
+
+let t name f = Alcotest.test_case name `Quick f
+
+let session () =
+  match S.of_workload "tpch" with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let workload_lookup () =
+  List.iter
+    (fun name ->
+      match S.of_workload name with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    [ "tpch"; "portfolio"; "university"; "chain" ];
+  match S.of_workload "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown-workload error"
+
+let tables_listed () =
+  let s = session () in
+  let ts = S.tables s in
+  Alcotest.(check bool) "has lineitem" true (List.mem "lineitem" ts);
+  Alcotest.(check int) "seven tables" 7 (List.length ts)
+
+let sql_runs () =
+  let s = session () in
+  match
+    S.sql s
+      "SELECT c.c_key, o.o_total FROM customer c, orders o WHERE c.c_key = \
+       o.c_key AND o.o_total >= 9000"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+    Alcotest.(check bool) "verified" true a.S.verified;
+    Alcotest.(check bool) "has rows" true (Parqo.Batch.n_rows a.S.batch > 0);
+    Alcotest.(check bool) "plan costed" true
+      (a.S.plan.Cm.response_time > 0. && a.S.plan.Cm.work > 0.);
+    Alcotest.(check bool) "work baseline present" true (a.S.work_optimal <> None)
+
+let budget_respected () =
+  let s = session () in
+  let q =
+    "SELECT o.o_key, l.l_price FROM orders o, lineitem l WHERE o.o_key = l.o_key"
+  in
+  S.set_bound s (Parqo.Bounds.Throughput_degradation 1.0);
+  let tight =
+    match S.sql s q with Ok a -> a | Error e -> Alcotest.fail e
+  in
+  S.set_bound s Parqo.Bounds.Unbounded;
+  let free = match S.sql s q with Ok a -> a | Error e -> Alcotest.fail e in
+  (match tight.S.work_optimal with
+  | Some w ->
+    Alcotest.(check bool) "tight budget caps work" true
+      (tight.S.plan.Cm.work <= w.Cm.work +. 1e-6)
+  | None -> Alcotest.fail "no baseline");
+  Alcotest.(check bool) "free budget at least as fast" true
+    (free.S.plan.Cm.response_time <= tight.S.plan.Cm.response_time +. 1e-6);
+  Alcotest.(check bool) "same answer either way" true
+    (Parqo.Batch.equal_bags free.S.batch tight.S.batch)
+
+let explain_text () =
+  let s = session () in
+  match S.explain s "SELECT * FROM nation n, region r WHERE n.r_key = r.r_key" with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    Alcotest.(check bool) "mentions response time" true
+      (let needle = "response time" in
+       let n = String.length needle and h = String.length text in
+       let rec scan i = i + n <= h && (String.sub text i n = needle || scan (i + 1)) in
+       scan 0)
+
+let sql_errors_propagate () =
+  let s = session () in
+  (match S.sql s "SELECT * FROM ghost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown-table error");
+  match S.sql s "not sql at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let suite =
+  ( "session",
+    [
+      t "workload lookup" workload_lookup;
+      t "tables listed" tables_listed;
+      t "sql runs" sql_runs;
+      t "budget respected" budget_respected;
+      t "explain text" explain_text;
+      t "errors propagate" sql_errors_propagate;
+    ] )

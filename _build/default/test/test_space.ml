@@ -1,0 +1,101 @@
+module S = Parqo.Space
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module B = Parqo.Bitset
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env () = Helpers.chain_env ()
+
+let access_plan_counts () =
+  let env = env () in
+  (* chain t0 has 1 join edge -> 1 index (+1 seq scan) with default config *)
+  let plans = S.access_plans env S.default_config 0 in
+  Alcotest.(check int) "seq + index" 2 (List.length plans);
+  let no_idx = S.access_plans env { S.default_config with S.use_indexes = false } 0 in
+  Alcotest.(check int) "seq only" 1 (List.length no_idx);
+  let degrees =
+    S.access_plans env { S.default_config with S.clone_degrees = [ 1; 2; 4 ] } 0
+  in
+  Alcotest.(check int) "3 degrees x 2 paths" 6 (List.length degrees);
+  Alcotest.(check int) "minimal config" 1
+    (List.length (S.access_plans env S.minimal_config 0))
+
+let connects () =
+  let env = env () in
+  Alcotest.(check bool) "chain neighbors" true
+    (S.connects env (B.singleton 0) (B.singleton 1));
+  Alcotest.(check bool) "chain non-neighbors" false
+    (S.connects env (B.singleton 0) (B.singleton 2));
+  Alcotest.(check bool) "via set" true
+    (S.connects env (B.of_list [ 0; 1 ]) (B.singleton 2))
+
+let join_candidate_methods () =
+  let env = env () in
+  let outer = J.access 0 in
+  (* connected pair: all three methods appear *)
+  let cands = S.join_candidates env S.default_config ~outer ~rel:1 in
+  let methods =
+    List.sort_uniq compare
+      (List.filter_map
+         (function J.Join j -> Some j.J.method_ | J.Access _ -> None)
+         cands)
+  in
+  Alcotest.(check int) "three methods" 3 (List.length methods);
+  (* cartesian pair: nested loops only *)
+  let cart = S.join_candidates env S.default_config ~outer ~rel:2 in
+  List.iter
+    (fun c ->
+      match c with
+      | J.Join j ->
+        Alcotest.(check bool) "NL only for cartesian" true
+          (j.J.method_ = M.Nested_loops)
+      | J.Access _ -> Alcotest.fail "expected join")
+    cart
+
+let materialize_choices () =
+  let env = env () in
+  let outer = J.access 0 in
+  let without = S.join_candidates env S.default_config ~outer ~rel:1 in
+  let with_mat =
+    S.join_candidates env
+      { S.default_config with S.materialize_choices = true }
+      ~outer ~rel:1
+  in
+  Alcotest.(check int) "materialize doubles candidates"
+    (2 * List.length without)
+    (List.length with_mat)
+
+let parallel_config () =
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  let cfg = S.parallel_config machine in
+  Alcotest.(check (list int)) "degrees powers of two" [ 1; 2; 4 ] cfg.S.clone_degrees;
+  Alcotest.(check bool) "materialize on" true cfg.S.materialize_choices;
+  let seq = S.parallel_config (Parqo.Machine.sequential ()) in
+  Alcotest.(check (list int)) "sequential machine degree 1" [ 1 ] seq.S.clone_degrees
+
+let all_candidates_well_formed () =
+  let env = env () in
+  let outer = J.access 0 in
+  let cands =
+    S.join_candidates env (S.parallel_config env.Parqo.Env.machine) ~outer ~rel:1
+  in
+  Alcotest.(check bool) "non-empty" true (cands <> []);
+  List.iter
+    (fun c ->
+      match J.well_formed ~n_relations:4 c with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    cands
+
+let suite =
+  ( "space",
+    [
+      t "access plan counts" access_plan_counts;
+      t "connects" connects;
+      t "join candidate methods" join_candidate_methods;
+      t "materialize choices" materialize_choices;
+      t "parallel config" parallel_config;
+      t "candidates well-formed" all_candidates_well_formed;
+    ] )

@@ -1,0 +1,123 @@
+module S = Parqo.Stats
+
+let t name f = Alcotest.test_case name `Quick f
+
+let declared () =
+  let c = S.column ~distinct:10. ~min_v:0. ~max_v:9. () in
+  Helpers.check_float "eq uniform" 0.1 (S.eq_fraction c 5.);
+  Helpers.check_float "eq outside" 0. (S.eq_fraction c 50.);
+  Helpers.check_float "le at max" 1. (S.le_fraction c 9.);
+  Helpers.check_float "le below min" 0. (S.le_fraction c (-1.));
+  Helpers.check_float "le midpoint" 0.5 (S.le_fraction c 4.5)
+
+let derived () =
+  let values = List.init 100 (fun i -> float_of_int (i mod 10)) in
+  let c = S.of_values values in
+  Helpers.check_float "distinct" 10. c.S.distinct;
+  Helpers.check_float "min" 0. c.S.min_v;
+  Helpers.check_float "max" 9. c.S.max_v;
+  Alcotest.(check bool) "has histogram" true (c.S.hist <> None)
+
+let histogram_fractions () =
+  (* skewed data: 90 zeros and 10 nines *)
+  let values = List.init 90 (fun _ -> 0.) @ List.init 10 (fun _ -> 9.) in
+  let c = S.of_values values in
+  (* eq_fraction at the heavy value should exceed the uniform 1/2 *)
+  Alcotest.(check bool) "skew detected" true (S.eq_fraction c 0. > 0.5);
+  (* le covers most mass below 9 *)
+  Alcotest.(check bool) "le before tail" true (S.le_fraction c 8.9 >= 0.85)
+
+let join_selectivity () =
+  let a = S.column ~distinct:100. ~min_v:0. ~max_v:99. () in
+  let b = S.column ~distinct:20. ~min_v:0. ~max_v:99. () in
+  Helpers.check_float "1/max distinct" 0.01 (S.join_selectivity a b);
+  Helpers.check_float "symmetric" (S.join_selectivity a b) (S.join_selectivity b a)
+
+let constant_column () =
+  let c = S.of_values [ 7.; 7.; 7. ] in
+  Helpers.check_float "distinct 1" 1. c.S.distinct;
+  Helpers.check_float "eq hits" 1. (S.eq_fraction c 7.);
+  Helpers.check_float "le at value" 1. (S.le_fraction c 7.)
+
+let equidepth_beats_equiwidth_on_skew () =
+  (* heavy-tailed data: equi-depth boundaries adapt, equi-width wastes
+     buckets on the empty tail *)
+  let rng = Parqo.Rng.create 5 in
+  let values =
+    List.init 4000 (fun _ ->
+        float_of_int (Parqo.Rng.zipf rng ~n:1000 ~theta:1.2))
+  in
+  let ew = S.of_values ~buckets:16 values in
+  let ed = S.of_values_equidepth ~buckets:16 values in
+  let truth v =
+    let n = List.length values in
+    float_of_int (List.length (List.filter (fun x -> x <= v) values))
+    /. float_of_int n
+  in
+  let error c =
+    let points = [ 1.5; 2.5; 5.; 10.; 50.; 200.; 800. ] in
+    List.fold_left
+      (fun acc v -> acc +. Float.abs (S.le_fraction c v -. truth v))
+      0. points
+    /. float_of_int (List.length points)
+  in
+  let e_ew = error ew and e_ed = error ed in
+  Alcotest.(check bool)
+    (Printf.sprintf "equi-depth %.4f < equi-width %.4f" e_ed e_ew)
+    true (e_ed < e_ew)
+
+let equidepth_buckets_balanced () =
+  let rng = Parqo.Rng.create 6 in
+  let values = List.init 1600 (fun _ -> Parqo.Rng.float rng 100.) in
+  let c = S.of_values_equidepth ~buckets:16 values in
+  match c.S.hist with
+  | None -> Alcotest.fail "expected a histogram"
+  | Some h ->
+    Array.iter
+      (fun count ->
+        Alcotest.(check bool) "bucket near 100" true
+          (count >= 80. && count <= 120.))
+      h.S.counts
+
+let errors () =
+  Alcotest.check_raises "distinct < 1" (Invalid_argument "Stats.column: distinct < 1")
+    (fun () -> ignore (S.column ~distinct:0. ~min_v:0. ~max_v:1. ()));
+  Alcotest.check_raises "empty values" (Invalid_argument "Stats.of_values: empty")
+    (fun () -> ignore (S.of_values []))
+
+let prop_le_monotone =
+  Helpers.qtest "le_fraction is monotone"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 2 50) (float_bound_inclusive 100.))
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (values, (x, y)) ->
+      let c = S.of_values values in
+      let lo = Float.min x y and hi = Float.max x y in
+      S.le_fraction c lo <= S.le_fraction c hi +. 1e-9)
+
+let prop_fractions_in_range =
+  Helpers.qtest "fractions within [0,1]"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (float_bound_inclusive 100.))
+        (float_bound_inclusive 120.))
+    (fun (values, x) ->
+      let c = S.of_values values in
+      let e = S.eq_fraction c x and l = S.le_fraction c x in
+      e >= 0. && e <= 1. && l >= 0. && l <= 1.)
+
+let suite =
+  ( "stats",
+    [
+      t "declared" declared;
+      t "derived" derived;
+      t "histogram fractions" histogram_fractions;
+      t "join selectivity" join_selectivity;
+      t "constant column" constant_column;
+      t "equi-depth beats equi-width" equidepth_beats_equiwidth_on_skew;
+      t "equi-depth balanced" equidepth_buckets_balanced;
+      t "errors" errors;
+      prop_le_monotone;
+      prop_fractions_in_range;
+    ] )

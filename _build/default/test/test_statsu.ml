@@ -1,0 +1,50 @@
+module S = Parqo.Statsu
+
+let t name f = Alcotest.test_case name `Quick f
+
+let summary () =
+  let s = S.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "n" 4 s.S.n;
+  Helpers.check_float "mean" 2.5 s.S.mean;
+  Helpers.check_float "min" 1. s.S.min;
+  Helpers.check_float "max" 4. s.S.max;
+  Helpers.check_float ~eps:1e-9 "stddev" (sqrt 1.25) s.S.stddev
+
+let correlation () =
+  Helpers.check_float "perfect spearman" 1.
+    (S.spearman [ 1.; 2.; 3.; 4. ] [ 10.; 20.; 30.; 40. ]);
+  Helpers.check_float "inverse spearman" (-1.)
+    (S.spearman [ 1.; 2.; 3.; 4. ] [ 4.; 3.; 2.; 1. ]);
+  (* monotone but nonlinear: spearman 1, pearson < 1 *)
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  let ys = List.map (fun x -> x *. x *. x) xs in
+  Helpers.check_float "spearman on monotone" 1. (S.spearman xs ys);
+  Alcotest.(check bool) "pearson below 1 on nonlinear" true (S.pearson xs ys < 1.)
+
+let ties () =
+  (* ties get average ranks; correlation of a constant list is 0 *)
+  Helpers.check_float "constant series" 0.
+    (S.spearman [ 1.; 1.; 1. ] [ 1.; 2.; 3. ])
+
+let quantiles () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Helpers.check_float "median" 3. (S.quantile 0.5 xs);
+  Helpers.check_float "min" 1. (S.quantile 0. xs);
+  Helpers.check_float "max" 5. (S.quantile 1. xs);
+  Helpers.check_float "interpolated" 1.5 (S.quantile 0.125 xs)
+
+let errors () =
+  Alcotest.check_raises "empty summarize" (Invalid_argument "Statsu.summarize")
+    (fun () -> ignore (S.summarize []));
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Statsu.pearson")
+    (fun () -> ignore (S.pearson [ 1. ] [ 1.; 2. ]))
+
+let suite =
+  ( "statsu",
+    [
+      t "summary" summary;
+      t "correlation" correlation;
+      t "ties" ties;
+      t "quantiles" quantiles;
+      t "errors" errors;
+    ] )

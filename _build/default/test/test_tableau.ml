@@ -1,0 +1,56 @@
+module T = Parqo.Tableau
+
+let t name f = Alcotest.test_case name `Quick f
+
+let render () =
+  let tbl =
+    T.create ~title:"demo" ~columns:[ ("name", T.Left); ("value", T.Right) ]
+  in
+  T.add_row tbl [ "alpha"; "1" ];
+  T.add_rule tbl;
+  T.add_row tbl [ "b"; "20" ];
+  let s = T.render tbl in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  (* all data present *)
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and h = String.length s in
+        let rec scan i = i + n <= h && (String.sub s i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true found)
+    [ "alpha"; "20"; "value" ]
+
+let width_mismatch () =
+  let tbl = T.create ~title:"x" ~columns:[ ("a", T.Left) ] in
+  Alcotest.check_raises "row too wide"
+    (Invalid_argument "Tableau.add_row: width mismatch") (fun () ->
+      T.add_row tbl [ "1"; "2" ])
+
+let cells () =
+  Alcotest.(check string) "integer float" "42" (T.cell_float 42.);
+  Alcotest.(check string) "decimals" "3.14" (T.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "nan" "-" (T.cell_float Float.nan);
+  Alcotest.(check string) "big goes scientific" "1.000e+08" (T.cell_float 1e8);
+  Alcotest.(check string) "int" "7" (T.cell_int 7)
+
+let csv () =
+  let tbl =
+    T.create ~title:"x" ~columns:[ ("a", T.Left); ("b", T.Right) ]
+  in
+  T.add_row tbl [ "plain"; "1" ];
+  T.add_rule tbl;
+  T.add_row tbl [ "comma, quoted \"q\""; "2" ];
+  Alcotest.(check string) "csv escaping"
+    "a,b\nplain,1\n\"comma, quoted \"\"q\"\"\",2\n" (T.to_csv tbl)
+
+let suite =
+  ( "tableau",
+    [
+      t "render" render;
+      t "width mismatch" width_mismatch;
+      t "cells" cells;
+      t "csv" csv;
+    ] )

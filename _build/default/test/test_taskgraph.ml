@@ -1,0 +1,85 @@
+module TG = Parqo.Task_graph
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env () =
+  let catalog, query = G.generate (G.default_spec G.Chain 3) in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+let lower env tree =
+  let optree =
+    Parqo.Expand.expand env.Parqo.Env.estimator tree
+  in
+  TG.of_optree env optree
+
+let pipeline_is_one_stage () =
+  let env = env () in
+  (* scan -> probe (pipelined) with a build side: two stages *)
+  let g = lower env (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
+  Alcotest.(check int) "probe stage + build stage" 2 (Array.length g.TG.stages);
+  (match TG.validate g with Ok () -> () | Error e -> Alcotest.fail e);
+  (* root stage holds scan(outer) and probe *)
+  let root = g.TG.stages.(g.TG.root_stage) in
+  Alcotest.(check int) "two tasks in pipeline" 2 (List.length root.TG.tasks);
+  Alcotest.(check int) "root depends on build" 1 (List.length root.TG.deps)
+
+let sort_merge_stages () =
+  let env = env () in
+  let g = lower env (J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1)) in
+  (* merge stage + two sort stages (each sort pipelines its scan) *)
+  Alcotest.(check int) "three stages" 3 (Array.length g.TG.stages);
+  let root = g.TG.stages.(g.TG.root_stage) in
+  Alcotest.(check int) "root waits for both sorts" 2 (List.length root.TG.deps)
+
+let nl_index_inner_has_no_task () =
+  let env = env () in
+  let catalog = Parqo.Env.catalog env in
+  let idx = List.hd (Parqo.Catalog.indexes_of catalog "t1") in
+  let tree =
+    J.join M.Nested_loops ~outer:(J.access 0)
+      ~inner:(J.access ~path:(Parqo.Access_path.Index_scan idx) 1)
+  in
+  let g = lower env tree in
+  Alcotest.(check int) "one stage" 1 (Array.length g.TG.stages);
+  (* nl + outer scan only: the probed index contributes no task *)
+  Alcotest.(check int) "two tasks" 2
+    (List.length g.TG.stages.(g.TG.root_stage).TG.tasks)
+
+let demands_match_cost_model () =
+  let env = env () in
+  let tree = J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) in
+  let g = lower env tree in
+  let e = Parqo.Costmodel.evaluate env tree in
+  (* stretch mode: the task graph's total work equals the plan's work *)
+  Helpers.check_float ~eps:1e-6 "work agrees" e.Parqo.Costmodel.work
+    (TG.total_work g)
+
+let validate_catches_cycles () =
+  let bad =
+    {
+      TG.stages =
+        [|
+          { TG.stage_id = 0; tasks = []; deps = [ 1 ] };
+          { TG.stage_id = 1; tasks = []; deps = [ 0 ] };
+        |];
+      n_resources = 1;
+      root_stage = 0;
+    }
+  in
+  match TG.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected cycle error"
+
+let suite =
+  ( "task-graph",
+    [
+      t "pipeline is one stage" pipeline_is_one_stage;
+      t "sort-merge stages" sort_merge_stages;
+      t "NL index inner has no task" nl_index_inner_has_no_task;
+      t "demands match cost model" demands_match_cost_model;
+      t "validate catches cycles" validate_catches_cycles;
+    ] )

@@ -1,0 +1,96 @@
+(* The scalar time-descriptor calculus of §5.1, including the literal
+   reproduction of the paper's Example 2. *)
+
+module T = Parqo.Tdesc
+
+let t name f = Alcotest.test_case name `Quick f
+
+let d tf tl = T.make ~tf ~tl
+
+let tdesc_gen =
+  QCheck2.Gen.(
+    map
+      (fun (tf, extra) -> d tf (tf +. extra))
+      (pair (float_bound_inclusive 50.) (float_bound_inclusive 50.)))
+
+let operators () =
+  Helpers.check_float "par" 7. (T.par 3. 7.);
+  Helpers.check_float "seq" 10. (T.seq 3. 7.);
+  Helpers.check_float "residual" 4. (T.residual 7. 3.);
+  Helpers.check_float "residual clamps" 0. (T.residual 3. 7.)
+
+let sync_pipe () =
+  let s = T.sync (d 2. 9.) in
+  Helpers.check_float "sync tf" 9. s.T.tf;
+  Helpers.check_float "sync tl" 9. s.T.tl;
+  (* pipe of a fast producer into a blocking consumer *)
+  let p = T.pipe (d 0. 1.) (d 5. 5.) in
+  Helpers.check_float "pipe tf" 5. p.T.tf;
+  Helpers.check_float "pipe tl" 6. p.T.tl
+
+let example2_exact () =
+  (* the full worked example of the paper, all four derived rows *)
+  let rows = Parqo.Scenarios.example2 () in
+  let find name =
+    (List.find (fun (r : Parqo.Scenarios.example2_row) -> r.operator = name)
+       rows)
+      .computed
+  in
+  Alcotest.(check bool) "sort1 = (6,6)" true (T.equal (find "sort1") (d 6. 6.));
+  Alcotest.(check bool) "sort2 = (13,13)" true (T.equal (find "sort2") (d 13. 13.));
+  Alcotest.(check bool) "merge = (13,15)" true (T.equal (find "merge") (d 13. 15.));
+  Alcotest.(check bool) "n.loops = (13,15)" true
+    (T.equal (find "n.loops") (d 13. 15.))
+
+let tree_formula () =
+  (* materialized fronts run in parallel, residuals pipeline, root pipes *)
+  let l = d 6. 6. and r = d 13. 13. and root = d 0. 2. in
+  let result = T.tree l r root in
+  Alcotest.(check bool) "merge case" true (T.equal result (d 13. 15.));
+  (* unbalanced residuals: the longer residual bounds the pipeline *)
+  let l2 = d 2. 10. and r2 = d 3. 5. in
+  let res = T.tree l2 r2 (d 0. 1.) in
+  (* front = 3; residuals 8 || 2 = 8; pipe into root: tf=3, tl=3+max(8,1)=11 *)
+  Alcotest.(check bool) "unbalanced" true (T.equal res (d 3. 11.))
+
+let invariants () =
+  Alcotest.check_raises "tf > tl rejected"
+    (Invalid_argument "Tdesc.make: need 0 <= tf <= tl") (fun () ->
+      ignore (d 5. 3.))
+
+let prop_pipe_invariant =
+  Helpers.qtest "pipe preserves tf <= tl" (QCheck2.Gen.pair tdesc_gen tdesc_gen)
+    (fun (p, c) ->
+      let r = T.pipe p c in
+      r.T.tf <= r.T.tl +. 1e-9 && r.T.tf >= 0.)
+
+let prop_pipe_bounds =
+  Helpers.qtest "producer+consumer bounds pipe"
+    (QCheck2.Gen.pair tdesc_gen tdesc_gen) (fun (p, c) ->
+      let r = T.pipe p c in
+      (* never better than the producer alone, never worse than running
+         them fully sequentially *)
+      r.T.tl +. 1e-9 >= p.T.tl && r.T.tl <= p.T.tl +. c.T.tl +. 1e-9)
+
+let prop_sync_idempotent =
+  Helpers.qtest "sync idempotent" tdesc_gen (fun x ->
+      T.equal (T.sync (T.sync x)) (T.sync x))
+
+let prop_tree_symmetric =
+  Helpers.qtest "tree symmetric in children"
+    (QCheck2.Gen.triple tdesc_gen tdesc_gen tdesc_gen) (fun (l, r, root) ->
+      T.equal ~eps:1e-6 (T.tree l r root) (T.tree r l root))
+
+let suite =
+  ( "tdesc",
+    [
+      t "operators" operators;
+      t "sync and pipe" sync_pipe;
+      t "Example 2 exact" example2_exact;
+      t "tree formula" tree_formula;
+      t "invariants" invariants;
+      prop_pipe_invariant;
+      prop_pipe_bounds;
+      prop_sync_idempotent;
+      prop_tree_symmetric;
+    ] )

@@ -1,0 +1,77 @@
+module TP = Parqo.Twophase
+module Cm = Parqo.Costmodel
+module G = Parqo.Query_gen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_of ?(nodes = 4) shape n =
+  let catalog, query = G.generate (G.default_spec shape n) in
+  Parqo.Env.create ~machine:(Parqo.Machine.shared_nothing ~nodes ()) ~catalog
+    ~query ()
+
+let config env =
+  { (Parqo.Space.parallel_config env.Parqo.Env.machine) with
+    Parqo.Space.clone_degrees = [ 1; 2; 4 ] }
+
+let basics () =
+  let env = env_of G.Chain 4 in
+  let r = TP.optimize ~config:(config env) env in
+  match (r.TP.best, r.TP.sequential) with
+  | Some best, Some seq ->
+    (* phase 2 only re-annotates: same join order and methods *)
+    let strip tree =
+      Parqo.Join_tree.fold
+        ~access:(fun a -> [ `Rel a.Parqo.Join_tree.rel ])
+        ~join:(fun j l r -> l @ r @ [ `M j.Parqo.Join_tree.method_ ])
+        tree
+    in
+    Alcotest.(check bool) "same skeleton" true
+      (strip best.Cm.tree = strip seq.Cm.tree);
+    (* parallelization cannot make it slower than the sequential plan *)
+    Alcotest.(check bool) "no worse than sequential" true
+      (best.Cm.response_time <= seq.Cm.response_time +. 1e-6);
+    Alcotest.(check bool) "phase 2 searched" true (r.TP.evaluated > 1)
+  | _ -> Alcotest.fail "missing plan"
+
+let never_beats_one_phase () =
+  (* one-phase searches a superset: over several shapes the two-phase
+     answer is never strictly better than the one-phase answer *)
+  List.iter
+    (fun shape ->
+      let env = env_of shape 4 in
+      let config = config env in
+      let two = TP.optimize ~config env in
+      let metric = Parqo.Optimizer.default_metric env in
+      let one = Parqo.Podp.optimize ~config ~metric ~max_cover:32 env in
+      match (two.TP.best, one.Parqo.Podp.best) with
+      | Some t2, Some o1 ->
+        Alcotest.(check bool)
+          (G.shape_to_string shape ^ ": one-phase at least as good")
+          true
+          (o1.Cm.response_time <= t2.Cm.response_time +. 1e-6)
+      | _ -> Alcotest.fail "missing plan")
+    [ G.Chain; G.Star; G.Clique ]
+
+let coordinate_descent_path () =
+  (* more joins than the exhaustive cutoff exercises coordinate descent *)
+  let env = env_of G.Chain 8 in
+  let r = TP.optimize ~config:(config env) env in
+  match (r.TP.best, r.TP.sequential) with
+  | Some best, Some seq ->
+    Alcotest.(check bool) "descent improved the plan" true
+      (best.Cm.response_time <= seq.Cm.response_time +. 1e-6)
+  | _ -> Alcotest.fail "missing plan"
+
+let singleton () =
+  let env = env_of G.Chain 1 in
+  Alcotest.(check bool) "single relation handled" true
+    ((TP.optimize env).TP.best <> None)
+
+let suite =
+  ( "twophase",
+    [
+      t "basics" basics;
+      t "never beats one-phase" never_beats_one_phase;
+      t "coordinate descent" coordinate_descent_path;
+      t "singleton" singleton;
+    ] )

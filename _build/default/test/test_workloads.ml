@@ -1,0 +1,99 @@
+module W = Parqo.Workloads
+module Q = Parqo.Query
+
+let t name f = Alcotest.test_case name `Quick f
+
+let portfolio () =
+  let db, query = W.portfolio ~seed:1 () in
+  (match Q.validate db.Parqo.Datagen.catalog query with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "four relations" 4 (Q.n_relations query);
+  Alcotest.(check int) "three joins" 3 (List.length query.Q.joins);
+  Alcotest.(check bool) "star around trade" true
+    (Q.connected query (Parqo.Bitset.full 4));
+  Alcotest.(check int) "trade rows" 1000
+    (Array.length (Parqo.Datagen.rows_of db "trade"));
+  (* scale parameter *)
+  let db2, _ = W.portfolio ~scale:2 ~seed:1 () in
+  Alcotest.(check int) "scaled trade rows" 2000
+    (Array.length (Parqo.Datagen.rows_of db2 "trade"))
+
+let university () =
+  let db, query = W.university ~seed:1 () in
+  (match Q.validate db.Parqo.Datagen.catalog query with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "two relations" 2 (Q.n_relations query);
+  Alcotest.(check int) "three indexes" 3
+    (List.length (Parqo.Catalog.indexes db.Parqo.Datagen.catalog))
+
+let chain () =
+  let db, query = W.chain_db ~n:5 ~rows:50 ~seed:1 () in
+  Alcotest.(check int) "five relations" 5 (Q.n_relations query);
+  Alcotest.(check int) "four joins" 4 (List.length query.Q.joins);
+  (match Q.validate db.Parqo.Datagen.catalog query with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "n < 1 rejected"
+    (Invalid_argument "Workloads.chain_db: n < 1") (fun () ->
+      ignore (W.chain_db ~n:0 ~seed:1 ()))
+
+let tpch () =
+  let { W.db; q3; q5; q10 } = W.tpch ~seed:1 () in
+  List.iter
+    (fun (name, q) ->
+      match Q.validate db.Parqo.Datagen.catalog q with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    [ ("q3", q3); ("q5", q5); ("q10", q10) ];
+  Alcotest.(check int) "q5 is a six-way join" 6 (Q.n_relations q5);
+  Alcotest.(check int) "q5 has six predicates" 6 (List.length q5.Q.joins);
+  Alcotest.(check bool) "q5 connected" true
+    (Q.connected q5 (Parqo.Bitset.full 6));
+  Alcotest.(check int) "lineitem rows" 6000
+    (Array.length (Parqo.Datagen.rows_of db "lineitem"));
+  Alcotest.(check int) "q3 orders by day" 1 (List.length q3.Q.order_by);
+  (* scaling *)
+  let { W.db = db2; _ } = W.tpch ~scale:2 ~seed:1 () in
+  Alcotest.(check int) "scaled lineitem" 12000
+    (Array.length (Parqo.Datagen.rows_of db2 "lineitem"))
+
+let tpch_q3_executes () =
+  let { W.db; q3; _ } = W.tpch ~seed:2 () in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  let env = Parqo.Env.create ~machine ~catalog:db.Parqo.Datagen.catalog ~query:q3 () in
+  let o = Parqo.Optimizer.minimize_response_time env in
+  match o.Parqo.Optimizer.best with
+  | None -> Alcotest.fail "no plan"
+  | Some best ->
+    let out = Parqo.Executor.run_query db q3 best.Parqo.Costmodel.tree in
+    let reference = Parqo.Executor.reference db q3 in
+    (* reference applies no ORDER BY; compare as bags *)
+    Alcotest.(check bool) "matches reference bag" true
+      (Parqo.Batch.equal_bags out reference);
+    (* the optimizer accounted for the ORDER BY *)
+    Alcotest.(check bool) "rows ordered by o_day" true
+      (let day_col = 1 in
+       let rec sorted = function
+         | a :: (b :: _ as rest) ->
+           Parqo.Value.compare a.(day_col) b.(day_col) <= 0 && sorted rest
+         | _ -> true
+       in
+       sorted out.Parqo.Batch.rows)
+
+let deterministic () =
+  let a, _ = W.portfolio ~seed:42 () and b, _ = W.portfolio ~seed:42 () in
+  Alcotest.(check bool) "same seed, same data" true
+    (Parqo.Datagen.rows_of a "trade" = Parqo.Datagen.rows_of b "trade")
+
+let suite =
+  ( "workloads",
+    [
+      t "portfolio" portfolio;
+      t "university" university;
+      t "chain" chain;
+      t "tpch" tpch;
+      t "tpch q3 executes" tpch_q3_executes;
+      t "deterministic" deterministic;
+    ] )
