@@ -1,0 +1,17 @@
+.PHONY: all smoke test bench clean
+
+all:
+	dune build @all
+
+# fast correctness gate: typecheck everything, then the full test suite
+smoke:
+	dune build @check && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

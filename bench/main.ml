@@ -24,6 +24,7 @@ let experiments =
     ("e13", Exp_twophase.run);
     ("e14", Exp_estimation.run);
     ("e15", Exp_robustness.run);
+    ("e16", Exp_faults.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

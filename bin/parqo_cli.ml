@@ -61,6 +61,28 @@ let plan_text =
        & info [ "plan" ] ~docv:"PLAN"
            ~doc:"Use this plan (Plan_io syntax, e.g. 'HJ/4!(scan(r0), scan(r1))') instead of optimizing.")
 
+let fault_rate =
+  Arg.(value & opt float 0.
+       & info [ "fault-rate" ] ~docv:"F"
+           ~doc:"Per-attempt fail-stop probability. Optimization becomes failure-aware (expected-makespan objective); simulation injects faults at this rate.")
+
+let recovery_conv =
+  let parse s =
+    match Parqo.Recovery.of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Parqo.Recovery.to_string p))
+
+let recovery =
+  Arg.(value & opt recovery_conv Parqo.Recovery.default
+       & info [ "recovery" ] ~docv:"POLICY"
+           ~doc:"Recovery policy for injected faults: retry (task retry with backoff), stage (restart the pipelined segment), or sync (also recompute checkpoints lost to resource outages).")
+
+let fault_seed =
+  Arg.(value & opt int 0
+       & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault-injection schedule.")
+
 let setup shape n nodes sql =
   let catalog, query =
     Parqo.Query_gen.generate (Parqo.Query_gen.default_spec shape n)
@@ -73,7 +95,7 @@ let setup shape n nodes sql =
   let machine = Parqo.Machine.shared_nothing ~nodes () in
   (Parqo.Env.create ~machine ~catalog ~query (), query, machine)
 
-let optimize_env env machine budget bushy =
+let optimize_env ?(fault_rate = 0.) env machine budget bushy =
   let config = Parqo.Space.parallel_config machine in
   let bound =
     match budget with
@@ -83,7 +105,16 @@ let optimize_env env machine budget bushy =
   let shape_opt =
     if bushy then Parqo.Optimizer.Bushy else Parqo.Optimizer.Left_deep
   in
-  Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound env
+  if fault_rate > 0. then
+    (* failure-aware: charge pipelined chains their expected
+       re-execution cost and rank by the expected makespan *)
+    Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound
+      ~metric:
+        (Parqo.Metric.with_ordering
+           (Parqo.Metric.expected_makespan env ~fault_rate))
+      ~rank:(Parqo.Faultcost.expected_response_time env ~fault_rate)
+      env
+  else Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound env
 
 let report_outcome query (o : Parqo.Optimizer.outcome) =
   Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
@@ -104,16 +135,23 @@ let report_outcome query (o : Parqo.Optimizer.outcome) =
 (* ------------------------------------------------------------------ *)
 (* subcommands                                                         *)
 
+(* fail-stop rates are per-attempt probabilities; 1 would retry forever *)
+let check_fault_rate fault_rate k =
+  if fault_rate < 0. || fault_rate >= 1. then
+    `Error (false, "--fault-rate must be in [0, 1)")
+  else k ()
+
 let optimize_cmd =
-  let run () shape n nodes sql budget bushy =
+  let run () shape n nodes sql budget bushy fault_rate =
+    check_fault_rate fault_rate @@ fun () ->
     let env, query, machine = setup shape n nodes sql in
-    report_outcome query (optimize_env env machine budget bushy)
+    report_outcome query (optimize_env ~fault_rate env machine budget bushy)
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Minimize response time subject to a work bound.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ fault_rate))
 
 (* either the optimizer's choice or an explicitly supplied plan *)
-let chosen_plan env query machine budget bushy plan_text =
+let chosen_plan ?fault_rate env query machine budget bushy plan_text =
   match plan_text with
   | Some text -> (
     match
@@ -122,7 +160,9 @@ let chosen_plan env query machine budget bushy plan_text =
     | Ok tree -> Ok (Parqo.Costmodel.evaluate env tree)
     | Error e -> Error ("bad plan: " ^ e))
   | None -> (
-    match (optimize_env env machine budget bushy).Parqo.Optimizer.best with
+    match
+      (optimize_env ?fault_rate env machine budget bushy).Parqo.Optimizer.best
+    with
     | Some b -> Ok b
     | None -> Error "no plan found")
 
@@ -142,14 +182,24 @@ let explain_cmd =
     Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text))
 
 let simulate_cmd =
-  let run () shape n nodes sql budget bushy plan_text =
+  let run () shape n nodes sql budget bushy plan_text fault_rate recovery
+      fault_seed =
+    check_fault_rate fault_rate @@ fun () ->
     let env, query, machine = setup shape n nodes sql in
-    match chosen_plan env query machine budget bushy plan_text with
+    match chosen_plan ~fault_rate env query machine budget bushy plan_text with
     | Error e -> `Error (false, e)
     | Ok b ->
       Printf.printf "query: %s\nplan : %s\n\n" (Parqo.Query.to_sql query)
         (Parqo.Join_tree.to_string b.Parqo.Costmodel.tree);
-      let sim = Parqo.Simulator.simulate_plan env b.Parqo.Costmodel.tree in
+      let faults =
+        if fault_rate > 0. then
+          Some (Parqo.Fault.default ~seed:fault_seed ~fault_rate ())
+        else None
+      in
+      let sim =
+        Parqo.Simulator.simulate_plan ?faults ~recovery env
+          b.Parqo.Costmodel.tree
+      in
       List.iter
         (fun (e : Parqo.Simulator.event) ->
           Printf.printf "  t=%10.2f  %s\n" e.Parqo.Simulator.at
@@ -160,10 +210,17 @@ let simulate_cmd =
         "\npredicted rt %.2f | simulated makespan %.2f | utilization %.0f%%\n"
         b.Parqo.Costmodel.response_time sim.Parqo.Simulator.makespan
         (100. *. Parqo.Simulator.utilization sim);
+      if fault_rate > 0. then
+        Printf.printf
+          "faults %d | retries %d | recovered makespan %.2f (policy %s, seed %d)\n"
+          sim.Parqo.Simulator.n_faults sim.Parqo.Simulator.n_retries
+          sim.Parqo.Simulator.recovered_makespan
+          (Parqo.Recovery.to_string recovery)
+          fault_seed;
       `Ok ()
   in
-  Cmd.v (Cmd.info "simulate" ~doc:"Simulate the chosen plan's parallel execution.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text))
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate the chosen plan's parallel execution, optionally under injected faults.")
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text $ fault_rate $ recovery $ fault_seed))
 
 let sweep_cmd =
   let run () shape n nodes sql bushy =

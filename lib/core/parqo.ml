@@ -25,6 +25,7 @@ module Combin = Parqo_util.Combin
 module Tableau = Parqo_util.Tableau
 module Statsu = Parqo_util.Statsu
 module Pqueue = Parqo_util.Pqueue
+module Parqo_error = Parqo_util.Parqo_error
 
 (* machine *)
 module Resource = Parqo_machine.Resource
@@ -61,6 +62,7 @@ module Rvec = Parqo_cost.Rvec
 module Tdesc = Parqo_cost.Tdesc
 module Descriptor = Parqo_cost.Descriptor
 module Opcost = Parqo_cost.Opcost
+module Faultcost = Parqo_cost.Faultcost
 module Placement = Parqo_cost.Placement
 module Env = Parqo_cost.Env
 module Costmodel = Parqo_cost.Costmodel
@@ -78,11 +80,14 @@ module Greedy = Parqo_search.Greedy
 module Twophase = Parqo_search.Twophase
 module Random_plans = Parqo_search.Random_plans
 module Bounds = Parqo_search.Bounds
+module Budget = Parqo_search.Budget
 module Optimizer = Parqo_search.Optimizer
 module Search_stats = Parqo_search.Search_stats
 
 (* execution *)
 module Task_graph = Parqo_sim.Task_graph
+module Fault = Parqo_sim.Fault
+module Recovery = Parqo_sim.Recovery
 module Simulator = Parqo_sim.Simulator
 module Batch = Parqo_exec.Batch
 module Executor = Parqo_exec.Executor

@@ -1,0 +1,36 @@
+module Op = Parqo_optree.Op
+
+let node_work (env : Env.t) node =
+  let d = Opcost.base env.Env.machine env.Env.estimator node in
+  Parqo_util.Vecf.sum (Descriptor.work_vector d)
+
+let segments (env : Env.t) root =
+  let out = ref [] in
+  (* accumulate (n, work) for the segment rooted at [node] *)
+  let rec assign (node : Op.node) (n, w) =
+    let acc = (n + 1, w +. node_work env node) in
+    let children =
+      if Opcost.nl_inner_is_free node then [ List.hd node.Op.children ]
+      else node.Op.children
+    in
+    List.fold_left
+      (fun acc (c : Op.node) ->
+        match c.Op.composition with
+        | Op.Pipelined -> assign c acc
+        | Op.Materialized ->
+          out := assign c (0, 0.) :: !out;
+          acc)
+      acc children
+  in
+  let root_segment = assign root (0, 0.) in
+  root_segment :: List.rev !out
+
+let expected_penalty env ~fault_rate root =
+  if fault_rate <= 0. then 0.
+  else
+    List.fold_left
+      (fun acc (n, w) -> acc +. (fault_rate *. float_of_int n *. w /. 2.))
+      0. (segments env root)
+
+let expected_response_time env ~fault_rate (e : Costmodel.eval) =
+  e.Costmodel.response_time +. expected_penalty env ~fault_rate e.Costmodel.optree

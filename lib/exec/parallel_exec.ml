@@ -55,10 +55,9 @@ let run_stream db query root =
   in
   let expect_degree label k (s : stream) =
     if Array.length s.parts <> k then
-      invalid_arg
-        (Printf.sprintf
-           "Parallel_exec: %s expected %d input partitions, got %d (missing exchange?)"
-           label k (Array.length s.parts))
+      Parqo_util.Parqo_error.failf ~subsystem:"parallel-exec" ~operator:label
+        "expected %d input partitions, got %d (missing exchange?)" k
+        (Array.length s.parts)
   in
   let rec eval (node : Op.node) : stream =
     let k = node.Op.clone in
@@ -128,9 +127,9 @@ let run_stream db query root =
         in
         of_batches (joined.(0)).Batch.layout joined
       | kind, children ->
-        invalid_arg
-          (Printf.sprintf "Parallel_exec: %s with %d children"
-             (Op.kind_name kind) (List.length children))
+        Parqo_util.Parqo_error.failf ~subsystem:"parallel-exec"
+          ~operator:(Op.kind_name kind) "unexpected shape: %d children"
+          (List.length children)
     in
     observe node result.parts;
     result

@@ -1,0 +1,22 @@
+type t = { max_expansions : int option; max_seconds : float option }
+
+let unlimited = { max_expansions = None; max_seconds = None }
+let expansions n = { unlimited with max_expansions = Some n }
+let seconds s = { unlimited with max_seconds = Some s }
+
+let is_unlimited b = b.max_expansions = None && b.max_seconds = None
+
+type tracker = { budget : t; mutable used : int; started : float }
+
+let start budget = { budget; used = 0; started = Sys.time () }
+let tick tr n = tr.used <- tr.used + n
+let spent tr = tr.used
+
+let exhausted tr =
+  (match tr.budget.max_expansions with
+  | Some cap -> tr.used >= cap
+  | None -> false)
+  ||
+  match tr.budget.max_seconds with
+  | Some cap -> Sys.time () -. tr.started >= cap
+  | None -> false

@@ -1,0 +1,38 @@
+(** Search budgets: bound the optimizer's effort.
+
+    The exact algorithms are exponential in the number of relations; a
+    production optimizer must never run unbounded.  A budget caps the
+    number of plan expansions (candidate evaluations) and/or wall-clock
+    time; when a budgeted search exhausts its budget it stops expanding
+    and reports {!exhausted}, and {!Optimizer.minimize_response_time}
+    degrades gracefully to the greedy result instead of failing. *)
+
+type t = {
+  max_expansions : int option;  (** candidate plans costed *)
+  max_seconds : float option;  (** processor seconds ([Sys.time]) *)
+}
+
+val unlimited : t
+
+val expansions : int -> t
+(** Cap expansions only. *)
+
+val seconds : float -> t
+(** Cap wall-clock only. *)
+
+val is_unlimited : t -> bool
+
+type tracker
+(** Mutable consumption state for one search run. *)
+
+val start : t -> tracker
+
+val tick : tracker -> int -> unit
+(** Record [n] expansions. *)
+
+val exhausted : tracker -> bool
+(** Whether either cap has been hit.  Cheap: the clock is consulted at
+    most once per call and only when a time cap is set. *)
+
+val spent : tracker -> int
+(** Expansions recorded so far. *)

@@ -57,6 +57,18 @@ let descriptor machine agg =
     refines = None;
   }
 
+let expected_makespan (env : Parqo_cost.Env.t) ~fault_rate =
+  {
+    name = Printf.sprintf "expected-makespan/f=%.3f" fault_rate;
+    dims =
+      (fun e ->
+        [|
+          Parqo_cost.Faultcost.expected_response_time env ~fault_rate e;
+          e.Cm.work;
+        |]);
+    refines = None;
+  }
+
 let with_partitioning m =
   let key (e : Cm.eval) =
     let root = e.Cm.optree in

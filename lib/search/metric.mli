@@ -45,6 +45,15 @@ val descriptor :
 (** The default: first-tuple time and work-vector plus residual time and
     work-vector, each aggregated per group ([l = 2 + 2*groups]). *)
 
+val expected_makespan : Parqo_cost.Env.t -> fault_rate:float -> t
+(** Failure-aware pruning: response time plus the expected re-execution
+    penalty of {!Parqo_cost.Faultcost} as the first dimension, total
+    work as the second.  At [fault_rate = 0.] the first dimension is the
+    plain response time, so the metric degenerates to response time ×
+    work.  Rank final candidates with
+    {!Parqo_cost.Faultcost.expected_response_time} to actually choose by
+    the failure-aware objective. *)
+
 val with_ordering : t -> t
 (** Adds interesting orders: [a] must also subsume [b]'s output ordering
     (§6.3, "tuple ordering may be incorporated as an additional

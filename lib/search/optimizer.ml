@@ -13,6 +13,7 @@ type outcome = {
   cover : Cm.eval list;
   stats : Search_stats.t;
   work_stats : Search_stats.t option;
+  gave_up : bool;
 }
 
 (* §6.3: keep the number of dimensions small.  The Single aggregation
@@ -34,6 +35,7 @@ let minimize_work ?(config = Space.default_config) ?(shape = Left_deep)
       cover = Option.to_list r.Dp.best;
       stats = r.Dp.stats;
       work_stats = None;
+      gave_up = false;
     }
   | Bushy ->
     let r = Bushy.optimize_scalar ~config env in
@@ -43,6 +45,7 @@ let minimize_work ?(config = Space.default_config) ?(shape = Left_deep)
       cover = r.Bushy.cover;
       stats = r.Bushy.stats;
       work_stats = None;
+      gave_up = false;
     }
 
 let minimize_work_with_orders ?(config = Space.default_config)
@@ -58,6 +61,7 @@ let minimize_work_with_orders ?(config = Space.default_config)
       cover = r.Podp.cover;
       stats = r.Podp.stats;
       work_stats = None;
+      gave_up = r.Podp.gave_up;
     }
   | Bushy ->
     let r = Bushy.optimize_po ~config ~metric ~rank env in
@@ -67,11 +71,18 @@ let minimize_work_with_orders ?(config = Space.default_config)
       cover = r.Bushy.cover;
       stats = r.Bushy.stats;
       work_stats = None;
+      gave_up = false;
     }
 
 let minimize_response_time ?(config = Space.default_config)
-    ?(shape = Left_deep) ?metric ?(bound = Bounds.Unbounded) (env : Env.t) =
+    ?(shape = Left_deep) ?metric ?(bound = Bounds.Unbounded) ?rank
+    ?(budget = Budget.unlimited) (env : Env.t) =
   let metric = match metric with Some m -> m | None -> default_metric env in
+  let rank =
+    match rank with
+    | Some r -> r
+    | None -> fun (e : Cm.eval) -> e.Cm.response_time
+  in
   let work_phase = minimize_work ~config ~shape env in
   let work_optimal = work_phase.work_optimal in
   (match work_optimal with
@@ -90,22 +101,42 @@ let minimize_response_time ?(config = Space.default_config)
       ( Bounds.partial_work_cap bound ~work_opt ~rt_opt,
         Bounds.admits bound ~work_opt ~rt_opt )
   in
-  let best, cover, stats =
+  let best, cover, stats, gave_up =
     match shape with
     | Left_deep ->
-      let r = Podp.optimize ~config ?work_cap ~final_filter ~metric env in
-      (r.Podp.best, r.Podp.cover, r.Podp.stats)
+      let r =
+        Podp.optimize ~config ?work_cap ~final_filter ~rank ~budget ~metric env
+      in
+      (r.Podp.best, r.Podp.cover, r.Podp.stats, r.Podp.gave_up)
     | Bushy ->
-      let r = Bushy.optimize_po ~config ?work_cap ~final_filter ~metric env in
-      (r.Bushy.best, r.Bushy.cover, r.Bushy.stats)
+      let r =
+        Bushy.optimize_po ~config ?work_cap ~final_filter ~rank ~metric env
+      in
+      (r.Bushy.best, r.Bushy.cover, r.Bushy.stats, false)
+  in
+  (* A truncated search may have missed (or degraded) the answer: degrade
+     gracefully to the greedy plan rather than failing or returning a
+     poor partial result. *)
+  let best =
+    if gave_up || best = None then begin
+      if gave_up then
+        Log.info (fun m ->
+            m "search budget exhausted: falling back to greedy");
+      let greedy = (Greedy.greedy ~config ~objective:rank env).Greedy.best in
+      match (best, greedy) with
+      | None, g -> g
+      | Some b, Some g when rank g < rank b -> Some g
+      | b, _ -> b
+    end
+    else best
   in
   (* The work-optimal plan is always admissible: fall back to it if the
      bounded search somehow lost every candidate, and prefer it when it
-     already has the best response time. *)
+     already ranks best. *)
   let best =
     match (best, work_optimal) with
     | None, wo -> wo
-    | Some b, Some wo when wo.Cm.response_time < b.Cm.response_time -> Some wo
+    | Some b, Some wo when rank wo < rank b -> Some wo
     | b, _ -> b
   in
   (* ORDER BY: re-price the final candidates with the required output
@@ -120,7 +151,8 @@ let minimize_response_time ?(config = Space.default_config)
   | None -> Log.warn (fun m -> m "response-time phase found no plan"));
   let required = Cm.required_order env in
   if required = Parqo_plan.Ordering.none then
-    { best; work_optimal; cover; stats; work_stats = Some work_phase.stats }
+    { best; work_optimal; cover; stats; work_stats = Some work_phase.stats;
+      gave_up }
   else begin
     let adjust (e : Cm.eval) = Cm.evaluate ~required_order:required env e.Cm.tree in
     let work_optimal = Option.map adjust work_optimal in
@@ -137,10 +169,10 @@ let minimize_response_time ?(config = Space.default_config)
            (fun acc e ->
              match acc with
              | None -> Some e
-             | Some b ->
-               if e.Cm.response_time < b.Cm.response_time then Some e else acc)
+             | Some b -> if rank e < rank b then Some e else acc)
            None
     in
     let best = (match best with None -> work_optimal | b -> b) in
-    { best; work_optimal; cover; stats; work_stats = Some work_phase.stats }
+    { best; work_optimal; cover; stats; work_stats = Some work_phase.stats;
+      gave_up }
   end

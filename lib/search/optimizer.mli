@@ -19,6 +19,9 @@ type outcome = {
       (** final cover set of the partial-order phase *)
   stats : Search_stats.t;  (** of the response-time phase *)
   work_stats : Search_stats.t option;  (** of the work phase, if run *)
+  gave_up : bool;
+      (** the search budget ran out and [best] came from (or was checked
+          against) the greedy fallback *)
 }
 
 val minimize_work :
@@ -39,10 +42,24 @@ val minimize_response_time :
   ?shape:tree_shape ->
   ?metric:Metric.t ->
   ?bound:Bounds.t ->
+  ?rank:(Parqo_cost.Costmodel.eval -> float) ->
+  ?budget:Budget.t ->
   Parqo_cost.Env.t ->
   outcome
 (** [metric] defaults to the descriptor metric with single-group
     aggregation plus interesting orders (§6.3 advises few dimensions);
-    [bound] to [Unbounded]. *)
+    [bound] to [Unbounded].
+
+    [rank] (default response time) selects among final candidates and is
+    the objective of every fallback comparison — pass
+    {!Parqo_cost.Faultcost.expected_response_time} together with
+    [~metric:(Metric.expected_makespan ...)] for failure-aware plan
+    choice.
+
+    [budget] (default unlimited) caps the partial-order phase (left-deep
+    shape); when exhausted the optimizer degrades gracefully to the
+    greedy plan — it always returns a valid plan and never raises, at
+    the price of optimality (and possibly of the work bound, which
+    greedy does not enforce). *)
 
 val default_metric : Parqo_cost.Env.t -> Metric.t

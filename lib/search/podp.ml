@@ -7,11 +7,15 @@ type result = {
   cover : Cm.eval list;
   stats : Search_stats.t;
   level_sizes : int array;
+  gave_up : bool;
 }
 
 let optimize ?(config = Space.default_config)
     ?(rank = fun (e : Cm.eval) -> e.Cm.response_time) ?work_cap
-    ?(final_filter = fun _ -> true) ?max_cover ~metric (env : Env.t) =
+    ?(final_filter = fun _ -> true) ?max_cover ?(budget = Budget.unlimited)
+    ~metric (env : Env.t) =
+  let tracker = Budget.start budget in
+  let gave_up = ref false in
   let apply_beam cover =
     match max_cover with
     | None -> ()
@@ -30,13 +34,15 @@ let optimize ?(config = Space.default_config)
     List.iter
       (fun tree ->
         Search_stats.generated stats 1;
+        Budget.tick tracker 1;
         let e = Cm.evaluate env tree in
         if admissible e then ignore (Cover.add cover e))
       candidates;
     apply_beam cover;
     cover
   in
-  (* accessPlans *)
+  (* accessPlans — always generated, so even an exhausted budget leaves
+     single-relation plans for the caller's fallback logic *)
   for rel = 0 to n - 1 do
     Search_stats.considered stats 1;
     let cover = cover_of (Space.access_plans env config rel) in
@@ -50,33 +56,37 @@ let optimize ?(config = Space.default_config)
     let subsets = Bitset.subsets_of_size n ~size in
     List.iter
       (fun s ->
-        let best_plans = Cover.create ~dominates in
-        let extend ~require_connection =
-          Bitset.iter
-            (fun j ->
-              let s_j = Bitset.remove j s in
-              if
-                (not require_connection)
-                || Space.connects env s_j (Bitset.singleton j)
-              then
-                List.iter
-                  (fun p ->
-                    Search_stats.considered stats 1;
-                    List.iter
-                      (fun tree ->
-                        Search_stats.generated stats 1;
-                        let e = Cm.evaluate env tree in
-                        if admissible e then ignore (Cover.add best_plans e))
-                      (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j))
-                  memo.(Bitset.to_int s_j))
-            s
-        in
-        extend ~require_connection:true;
-        if Cover.size best_plans = 0 then extend ~require_connection:false;
-        Search_stats.observe_cover stats (Cover.size best_plans);
-        apply_beam best_plans;
-        level_sizes.(size) <- level_sizes.(size) + Cover.size best_plans;
-        memo.(Bitset.to_int s) <- Cover.elements best_plans)
+        if Budget.exhausted tracker then gave_up := true
+        else begin
+          let best_plans = Cover.create ~dominates in
+          let extend ~require_connection =
+            Bitset.iter
+              (fun j ->
+                let s_j = Bitset.remove j s in
+                if
+                  (not require_connection)
+                  || Space.connects env s_j (Bitset.singleton j)
+                then
+                  List.iter
+                    (fun p ->
+                      Search_stats.considered stats 1;
+                      List.iter
+                        (fun tree ->
+                          Search_stats.generated stats 1;
+                          Budget.tick tracker 1;
+                          let e = Cm.evaluate env tree in
+                          if admissible e then ignore (Cover.add best_plans e))
+                        (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j))
+                    memo.(Bitset.to_int s_j))
+              s
+          in
+          extend ~require_connection:true;
+          if Cover.size best_plans = 0 then extend ~require_connection:false;
+          Search_stats.observe_cover stats (Cover.size best_plans);
+          apply_beam best_plans;
+          level_sizes.(size) <- level_sizes.(size) + Cover.size best_plans;
+          memo.(Bitset.to_int s) <- Cover.elements best_plans
+        end)
       subsets;
     Search_stats.observe_stored stats level_sizes.(size)
   done;
@@ -91,4 +101,4 @@ let optimize ?(config = Space.default_config)
            | Some b -> if rank e < rank b then Some e else Some b)
          None
   in
-  { best; cover; stats; level_sizes }
+  { best; cover; stats; level_sizes; gave_up = !gave_up }

@@ -13,6 +13,9 @@ type result = {
       (** final cover set for the full relation set *)
   stats : Search_stats.t;
   level_sizes : int array;  (** total plans stored per cardinality *)
+  gave_up : bool;
+      (** the budget ran out before the search completed; [best] may be
+          [None] or of poor quality — callers should fall back *)
 }
 
 val optimize :
@@ -21,6 +24,7 @@ val optimize :
   ?work_cap:float ->
   ?final_filter:(Parqo_cost.Costmodel.eval -> bool) ->
   ?max_cover:int ->
+  ?budget:Budget.t ->
   metric:Metric.t ->
   Parqo_cost.Env.t ->
   result
@@ -29,4 +33,6 @@ val optimize :
     that are valid only on complete plans (cost–benefit ratio);
     [max_cover] (default unbounded) beam-bounds each cover set by [rank],
     trading the exactness of Figure 2 for scalability on metrics with
-    many dimensions. *)
+    many dimensions; [budget] (default unlimited) stops expanding
+    subsets once exhausted and reports [gave_up] — access plans are
+    always generated, remaining subsets are skipped. *)

@@ -1,0 +1,127 @@
+module Rng = Parqo_util.Rng
+
+type kind = Task_failure | Straggler | Resource_outage
+
+let kind_name = function
+  | Task_failure -> "task-failure"
+  | Straggler -> "straggler"
+  | Resource_outage -> "resource-outage"
+
+type outage = { resource : int; at : float; duration : float; factor : float }
+
+type config = {
+  seed : int;
+  task_fail_rate : float;
+  max_fail_attempts : int;
+  straggler_rate : float;
+  straggler_factor : float;
+  outages : outage list;
+}
+
+let none =
+  {
+    seed = 0;
+    task_fail_rate = 0.;
+    max_fail_attempts = 0;
+    straggler_rate = 0.;
+    straggler_factor = 1.;
+    outages = [];
+  }
+
+let default ?(seed = 0) ?(straggler = false) ~fault_rate () =
+  {
+    seed;
+    task_fail_rate = fault_rate;
+    max_fail_attempts = 8;
+    straggler_rate = (if straggler then fault_rate /. 2. else 0.);
+    straggler_factor = 4.;
+    outages = [];
+  }
+
+let is_active c =
+  c.task_fail_rate > 0. || c.straggler_rate > 0. || c.outages <> []
+
+let validate c =
+  let in_unit ~strict_hi x = x >= 0. && if strict_hi then x < 1. else x <= 1. in
+  if not (in_unit ~strict_hi:true c.task_fail_rate) then
+    Error "task_fail_rate must be in [0, 1)"
+  else if not (in_unit ~strict_hi:false c.straggler_rate) then
+    Error "straggler_rate must be in [0, 1]"
+  else if c.straggler_factor < 1. then Error "straggler_factor must be >= 1"
+  else if c.max_fail_attempts < 0 then Error "max_fail_attempts must be >= 0"
+  else if
+    List.exists
+      (fun o ->
+        o.at < 0. || o.duration < 0. || o.factor < 0. || o.factor > 1.
+        || o.resource < 0)
+      c.outages
+  then Error "outage fields out of range"
+  else Ok ()
+
+type draw = { fails : bool; fail_point : float; slowdown : float }
+
+(* One independent generator per (seed, stage, task, attempt): the draw
+   depends only on the identity of the attempt, never on simulation
+   order.  The multipliers are large odd constants; Rng.create finishes
+   the job with a SplitMix64 mix. *)
+let draw c ~stage ~task ~attempt =
+  let key =
+    (((c.seed * 0x2545F491) + stage) * 0x9E3779B1)
+    + (task * 0x85EBCA77) + (attempt * 0xC2B2AE35)
+  in
+  let rng = Rng.create key in
+  let u_fail = Rng.float rng 1. in
+  let u_point = Rng.float rng 1. in
+  let u_strag = Rng.float rng 1. in
+  {
+    fails = attempt <= c.max_fail_attempts && u_fail < c.task_fail_rate;
+    fail_point = 0.05 +. (0.9 *. u_point);
+    slowdown =
+      (if u_strag < c.straggler_rate then c.straggler_factor else 1.);
+  }
+
+let random_outages rng ~n_resources ~horizon ~rate ~mean_duration =
+  if rate <= 0. then []
+  else begin
+    let out = ref [] in
+    for r = 0 to n_resources - 1 do
+      let t = ref (Rng.exponential rng ~mean:(horizon /. rate)) in
+      while !t < horizon do
+        let duration = Rng.exponential rng ~mean:mean_duration in
+        out := { resource = r; at = !t; duration; factor = 0. } :: !out;
+        t := !t +. duration +. Rng.exponential rng ~mean:(horizon /. rate)
+      done
+    done;
+    List.rev !out
+  end
+
+let capacity c ~time ~resource =
+  List.fold_left
+    (fun cap o ->
+      if
+        o.resource = resource && time >= o.at -. 1e-12
+        && time < o.at +. o.duration -. 1e-12
+      then cap *. o.factor
+      else cap)
+    1. c.outages
+  |> Float.max 0.
+
+let next_capacity_change c ~after =
+  List.fold_left
+    (fun acc o ->
+      let candidates = [ o.at; o.at +. o.duration ] in
+      List.fold_left
+        (fun acc t ->
+          if t > after +. 1e-12 then
+            match acc with
+            | None -> Some t
+            | Some best -> Some (Float.min best t)
+          else acc)
+        acc candidates)
+    None c.outages
+
+let pp ppf c =
+  Format.fprintf ppf
+    "faults{seed=%d fail=%.3f(max %d) straggler=%.3f(x%.1f) outages=%d}"
+    c.seed c.task_fail_rate c.max_fail_attempts c.straggler_rate
+    c.straggler_factor (List.length c.outages)

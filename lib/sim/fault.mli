@@ -1,0 +1,89 @@
+(** Deterministic, seed-driven fault injection for the execution
+    simulator.
+
+    Three fault kinds, mirroring the failure modes a shared-nothing
+    machine actually exhibits:
+
+    - {e fail-stop task faults}: a task attempt dies after completing a
+      random fraction of its work; the lost work must be re-executed
+      under a {!Recovery.policy};
+    - {e stragglers}: an attempt runs with all demands inflated by a
+      slowdown factor (a slow disk, a contended node);
+    - {e resource outages}: a whole resource loses (factor [0.]) or
+      degrades (factor in [(0,1)]) its capacity over a time window — an
+      injection {e schedule}, fixed before the run.
+
+    Every random decision is a pure function of [(seed, stage, task,
+    attempt)] via {!Parqo_util.Rng}, so the injected fault sequence is
+    independent of simulator event ordering: the same seed and config
+    reproduce the same faults, retries and makespan bit-for-bit. *)
+
+type kind = Task_failure | Straggler | Resource_outage
+
+val kind_name : kind -> string
+
+type outage = {
+  resource : int;
+  at : float;  (** onset time *)
+  duration : float;
+  factor : float;  (** remaining capacity in [0,1]; [0.] = full loss *)
+}
+
+type config = {
+  seed : int;
+  task_fail_rate : float;  (** per-attempt fail-stop probability, [0,1) *)
+  max_fail_attempts : int;
+      (** attempts beyond this never fail — bounds re-execution and
+          guarantees simulation termination *)
+  straggler_rate : float;  (** per-attempt straggler probability *)
+  straggler_factor : float;  (** demand inflation for straggler attempts, >= 1 *)
+  outages : outage list;  (** the resource-loss injection schedule *)
+}
+
+val none : config
+(** All rates zero, no outages: {!is_active} is [false]. *)
+
+val default : ?seed:int -> ?straggler:bool -> fault_rate:float -> unit -> config
+(** Fail-stop rate [fault_rate] with up to 8 failing attempts per task;
+    when [straggler] (default [false]), also stragglers at half that
+    rate with a 4x slowdown.  [seed] defaults to 0. *)
+
+val is_active : config -> bool
+(** Whether the config can inject anything at all. *)
+
+val validate : config -> (unit, string) result
+(** Rates in range, factor sanity, outage times non-negative. *)
+
+type draw = {
+  fails : bool;
+  fail_point : float;
+      (** fraction of the attempt's work completed when it dies, in
+          [(0.05, 0.95)]; meaningful only when [fails] *)
+  slowdown : float;  (** [1.] or [straggler_factor] *)
+}
+
+val draw : config -> stage:int -> task:int -> attempt:int -> draw
+(** The fault decision for one task attempt (attempts count from 1).
+    Pure: equal arguments give equal draws. *)
+
+val random_outages :
+  Parqo_util.Rng.t ->
+  n_resources:int ->
+  horizon:float ->
+  rate:float ->
+  mean_duration:float ->
+  outage list
+(** A Poisson-ish schedule: each resource suffers full-loss outages at
+    exponential inter-arrival times of mean [horizon /. rate] within
+    [[0, horizon)], each lasting an exponential [mean_duration]. *)
+
+val capacity : config -> time:float -> resource:int -> float
+(** Available capacity of [resource] at [time]: the product of the
+    factors of all outages covering [time] (clamped to [0]). [1.] when
+    no outage applies. *)
+
+val next_capacity_change : config -> after:float -> float option
+(** The earliest outage onset or expiry strictly later than [after] —
+    the simulator's piecewise-constant capacity boundaries. *)
+
+val pp : Format.formatter -> config -> unit

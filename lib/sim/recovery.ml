@@ -1,0 +1,28 @@
+type policy =
+  | Retry_task of { backoff : float; backoff_cap : float }
+  | Restart_stage
+  | Restart_from_sync
+
+let default = Restart_stage
+
+let retry_task ?(backoff = 1.) ?(backoff_cap = 64.) () =
+  Retry_task { backoff; backoff_cap }
+
+let backoff_delay policy ~attempt =
+  match policy with
+  | Restart_stage | Restart_from_sync -> 0.
+  | Retry_task { backoff; backoff_cap } ->
+    let attempt = max 1 attempt in
+    Float.min backoff_cap (backoff *. Float.pow 2. (float_of_int (attempt - 1)))
+
+let to_string = function
+  | Retry_task _ -> "retry"
+  | Restart_stage -> "stage"
+  | Restart_from_sync -> "sync"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "retry" | "retry-task" | "retry_task" -> Ok (retry_task ())
+  | "stage" | "restart-stage" | "restart_stage" -> Ok Restart_stage
+  | "sync" | "restart-from-sync" | "restart_from_sync" -> Ok Restart_from_sync
+  | other -> Error (Printf.sprintf "unknown recovery policy %S (expected retry|stage|sync)" other)

@@ -1,0 +1,45 @@
+(** Recovery policies: what re-executes after an injected fault.
+
+    The paper's composition annotation is read as a {e checkpoint}
+    choice: a [Materialized] edge persists its producer's output, so a
+    failure in the consuming pipeline never has to reach past it; a
+    [Pipelined] edge keeps data in flight, so losing any operator of the
+    pipeline can lose the whole segment.  In the lowered
+    {!Task_graph.t}, a stage {e is} a maximal pipeline and stage
+    dependencies {e are} the materialized (sync) edges, which makes the
+    policies exact:
+
+    - [Retry_task]: only the failed task restarts, after a capped
+      exponential backoff — the optimistic policy, assuming in-pipeline
+      channels can replay their streams;
+    - [Restart_stage]: the failed task's whole stage (the pipelined
+      segment) re-executes from its materialized inputs — in-flight
+      pipeline state is lost, checkpoints hold;
+    - [Restart_from_sync]: as [Restart_stage], and additionally a full
+      resource loss (outage factor [0.]) destroys checkpoints resident
+      on that resource: completed stages with demands there re-execute,
+      cascading through any dependents already running — recomputation
+      reaches back to the nearest {e surviving} sync point. *)
+
+type policy =
+  | Retry_task of { backoff : float; backoff_cap : float }
+      (** delay before attempt [n+1] is [min backoff_cap (backoff *.
+          2^(n-1))] *)
+  | Restart_stage
+  | Restart_from_sync
+
+val default : policy
+(** [Restart_stage] — pipelines hold no internal checkpoint. *)
+
+val retry_task : ?backoff:float -> ?backoff_cap:float -> unit -> policy
+(** [backoff] defaults to [1.], [backoff_cap] to [64.]. *)
+
+val backoff_delay : policy -> attempt:int -> float
+(** Delay charged before re-running a task that just failed its
+    [attempt]-th attempt; [0.] for the restart policies. *)
+
+val to_string : policy -> string
+
+val of_string : string -> (policy, string) result
+(** Accepts ["retry"], ["stage"], ["sync"] (and the [to_string]
+    renderings). *)

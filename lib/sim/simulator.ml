@@ -1,6 +1,17 @@
+module Parqo_error = Parqo_util.Parqo_error
+
 type mode = Concurrent | Serialized
 
 type event = { at : float; what : string }
+
+type fault_event = {
+  f_at : float;
+  f_kind : Fault.kind;
+  f_stage : int option;
+  f_task : string option;
+  f_resource : int option;
+  f_attempt : int;
+}
 
 type outcome = {
   makespan : float;
@@ -9,16 +20,20 @@ type outcome = {
   stage_start : (int * float) list;
   stage_finish : (int * float) list;
   trace : event list;
+  n_faults : int;
+  n_retries : int;
+  recovered_makespan : float;
+  faults : fault_event list;
 }
 
 type stage_status = Pending | Running | Done
 
 let eps = 1e-9
 
-let run ?(mode = Concurrent) (g : Task_graph.t) =
-  (match Task_graph.validate g with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Simulator.run: " ^ msg));
+(* ------------------------------------------------------------------ *)
+(* failure-free paths — the original simulator, bit-identical          *)
+
+let run_clean ~mode (g : Task_graph.t) =
   let n_stages = Array.length g.Task_graph.stages in
   let nr = g.Task_graph.n_resources in
   match mode with
@@ -66,6 +81,10 @@ let run ?(mode = Concurrent) (g : Task_graph.t) =
       stage_start = List.rev !stage_start;
       stage_finish = List.rev !stage_finish;
       trace = List.rev !trace;
+      n_faults = 0;
+      n_retries = 0;
+      recovered_makespan = !time;
+      faults = [];
     }
   | Concurrent ->
     let status = Array.make n_stages Pending in
@@ -198,7 +217,8 @@ let run ?(mode = Concurrent) (g : Task_graph.t) =
           g.Task_graph.stages
       end
     done;
-    if not (all_done ()) then failwith "Simulator.run: did not converge";
+    if not (all_done ()) then
+      Parqo_error.fail ~subsystem:"simulator" "did not converge";
     {
       makespan = !time;
       busy;
@@ -206,14 +226,505 @@ let run ?(mode = Concurrent) (g : Task_graph.t) =
       stage_start = List.rev !stage_start;
       stage_finish = List.rev !stage_finish;
       trace = List.rev !trace;
+      n_faults = 0;
+      n_retries = 0;
+      recovered_makespan = !time;
+      faults = [];
     }
 
-let simulate_plan ?mode (env : Parqo_cost.Env.t) tree =
+(* ------------------------------------------------------------------ *)
+(* fault-injected concurrent path                                      *)
+
+let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
+  let n_stages = Array.length g.Task_graph.stages in
+  let nr = g.Task_graph.n_resources in
+  let base =
+    Array.map
+      (fun (s : Task_graph.stage) ->
+        Array.of_list
+          (List.map (fun (t : Task_graph.task) -> t.Task_graph.demands)
+             s.Task_graph.tasks))
+      g.Task_graph.stages
+  in
+  let labels =
+    Array.map
+      (fun (s : Task_graph.stage) ->
+        Array.of_list
+          (List.map (fun (t : Task_graph.task) -> t.Task_graph.label)
+             s.Task_graph.tasks))
+      g.Task_graph.stages
+  in
+  let task_ids =
+    Array.map
+      (fun (s : Task_graph.stage) ->
+        Array.of_list
+          (List.map (fun (t : Task_graph.task) -> t.Task_graph.task_id)
+             s.Task_graph.tasks))
+      g.Task_graph.stages
+  in
+  let remaining = Array.map (Array.map Array.copy) base in
+  let attempt = Array.map (Array.map (fun _ -> 0)) base in
+  let attempt_total = Array.map (Array.map (fun _ -> 0.)) base in
+  (* work-done threshold at which the current attempt fail-stops *)
+  let fail_after : float option array array =
+    Array.map (Array.map (fun _ -> None)) base
+  in
+  let suspended_until = Array.map (Array.map (fun _ -> 0.)) base in
+  let status = Array.make n_stages Pending in
+  let start_t : float option array = Array.make n_stages None in
+  let finish_t : float option array = Array.make n_stages None in
+  let busy = Array.make nr 0. in
+  let time = ref 0. in
+  let trace = ref [] in
+  let faults_log = ref [] in
+  let n_faults = ref 0 in
+  let n_retries = ref 0 in
+  let emit what = trace := { at = !time; what } :: !trace in
+  let log_fault f_kind ?stage ?task ?resource f_attempt =
+    incr n_faults;
+    faults_log :=
+      {
+        f_at = !time;
+        f_kind;
+        f_stage = stage;
+        f_task = task;
+        f_resource = resource;
+        f_attempt;
+      }
+      :: !faults_log
+  in
+  let total_of = Array.fold_left ( +. ) 0. in
+  let start_attempt sid ti =
+    let a = attempt.(sid).(ti) + 1 in
+    attempt.(sid).(ti) <- a;
+    if a > 1 then incr n_retries;
+    let d = Fault.draw fc ~stage:sid ~task:task_ids.(sid).(ti) ~attempt:a in
+    let dem = Array.map (fun x -> x *. d.Fault.slowdown) base.(sid).(ti) in
+    remaining.(sid).(ti) <- dem;
+    let tot = total_of dem in
+    attempt_total.(sid).(ti) <- tot;
+    suspended_until.(sid).(ti) <- 0.;
+    fail_after.(sid).(ti) <-
+      (if d.Fault.fails && tot > eps then Some (d.Fault.fail_point *. tot)
+       else None);
+    if d.Fault.slowdown > 1. +. eps then begin
+      log_fault Fault.Straggler ~stage:sid ~task:labels.(sid).(ti) a;
+      emit
+        (Printf.sprintf "task %s straggles x%.1f (attempt %d)"
+           labels.(sid).(ti) d.Fault.slowdown a)
+    end
+  in
+  let stage_done id =
+    Array.for_all (fun dem -> Array.for_all (fun d -> d <= eps) dem) remaining.(id)
+  in
+  let deps_done id =
+    List.for_all
+      (fun d -> status.(d) = Done)
+      g.Task_graph.stages.(id).Task_graph.deps
+  in
+  let all_done () = Array.for_all (fun s -> s = Done) status in
+  let rec start_ready () =
+    for id = 0 to n_stages - 1 do
+      if status.(id) = Pending && deps_done id then begin
+        status.(id) <- Running;
+        (match start_t.(id) with
+        | None ->
+          start_t.(id) <- Some !time;
+          emit (Printf.sprintf "stage %d start" id)
+        | Some _ -> emit (Printf.sprintf "stage %d restart" id));
+        Array.iteri (fun ti _ -> start_attempt id ti) base.(id);
+        if stage_done id then complete id
+      end
+    done
+  and complete id =
+    status.(id) <- Done;
+    finish_t.(id) <- Some !time;
+    emit (Printf.sprintf "stage %d done" id);
+    start_ready ()
+  in
+  let work_done sid ti =
+    attempt_total.(sid).(ti) -. total_of remaining.(sid).(ti)
+  in
+  let due_failure sid ti =
+    match fail_after.(sid).(ti) with
+    | Some thresh -> work_done sid ti >= thresh -. 1e-9
+    | None -> false
+  in
+  let inject_due_failures () =
+    let fired = ref false in
+    for id = 0 to n_stages - 1 do
+      Array.iteri
+        (fun ti _ ->
+          if status.(id) = Running && due_failure id ti then begin
+            fired := true;
+            let a = attempt.(id).(ti) in
+            log_fault Fault.Task_failure ~stage:id ~task:labels.(id).(ti) a;
+            emit
+              (Printf.sprintf "task %s fault (attempt %d)" labels.(id).(ti) a);
+            match policy with
+            | Recovery.Retry_task _ ->
+              start_attempt id ti;
+              suspended_until.(id).(ti) <-
+                !time +. Recovery.backoff_delay policy ~attempt:a
+            | Recovery.Restart_stage | Recovery.Restart_from_sync ->
+              emit (Printf.sprintf "stage %d restart" id);
+              Array.iteri (fun tj _ -> start_attempt id tj) base.(id)
+          end)
+        base.(id)
+    done;
+    !fired
+  in
+  let uses_resource sid r =
+    Array.exists (fun dem -> r < Array.length dem && dem.(r) > eps) base.(sid)
+  in
+  let outages = Array.of_list fc.Fault.outages in
+  let onset_seen = Array.make (Array.length outages) false in
+  let expiry_seen = Array.make (Array.length outages) false in
+  let process_outage_boundaries () =
+    Array.iteri
+      (fun i (o : Fault.outage) ->
+        if (not onset_seen.(i)) && o.Fault.at <= !time +. 1e-12 then begin
+          onset_seen.(i) <- true;
+          emit
+            (Printf.sprintf "resource %d down x%.2f for %.1f" o.Fault.resource
+               o.Fault.factor o.Fault.duration);
+          log_fault Fault.Resource_outage ~resource:o.Fault.resource 0;
+          if o.Fault.factor <= eps && policy = Recovery.Restart_from_sync
+          then begin
+            (* full loss destroys checkpoints resident on the resource:
+               completed stages there re-execute, and running consumers
+               of a lost checkpoint restart with them *)
+            for id = 0 to n_stages - 1 do
+              if status.(id) = Done && uses_resource id o.Fault.resource
+              then begin
+                status.(id) <- Pending;
+                finish_t.(id) <- None;
+                emit
+                  (Printf.sprintf "stage %d checkpoint lost (resource %d)" id
+                     o.Fault.resource)
+              end
+            done;
+            for id = 0 to n_stages - 1 do
+              if
+                status.(id) = Running
+                && List.exists
+                     (fun d -> status.(d) = Pending)
+                     g.Task_graph.stages.(id).Task_graph.deps
+              then begin
+                status.(id) <- Pending;
+                emit (Printf.sprintf "stage %d waits (input lost)" id)
+              end
+            done;
+            start_ready ()
+          end
+        end;
+        if
+          (not expiry_seen.(i))
+          && o.Fault.at +. o.Fault.duration <= !time +. 1e-12
+        then begin
+          expiry_seen.(i) <- true;
+          emit (Printf.sprintf "resource %d restored" o.Fault.resource)
+        end)
+      outages
+  in
+  process_outage_boundaries ();
+  start_ready ();
+  let guard = ref 0 in
+  let max_events =
+    1000 * (1 + n_stages) * (1 + nr) * (2 + fc.Fault.max_fail_attempts)
+    + (10 * Array.length outages)
+  in
+  let starved = ref false in
+  while (not (all_done ())) && (not !starved) && !guard < max_events do
+    incr guard;
+    process_outage_boundaries ();
+    if inject_due_failures () then ()
+    else begin
+      (* complete exhausted stages before looking for timed events *)
+      let completed = ref false in
+      for id = 0 to n_stages - 1 do
+        if status.(id) = Running && stage_done id then begin
+          complete id;
+          completed := true
+        end
+      done;
+      if not !completed then begin
+        let cap =
+          Array.init nr (fun r -> Fault.capacity fc ~time:!time ~resource:r)
+        in
+        let active =
+          Array.mapi
+            (fun id tasks ->
+              Array.mapi
+                (fun ti dem ->
+                  status.(id) = Running
+                  && suspended_until.(id).(ti) <= !time +. 1e-12
+                  && Array.exists (fun d -> d > eps) dem)
+                tasks)
+            remaining
+        in
+        let count = Array.make nr 0 in
+        Array.iteri
+          (fun id tasks ->
+            Array.iteri
+              (fun ti dem ->
+                if active.(id).(ti) then
+                  Array.iteri
+                    (fun r d -> if d > eps then count.(r) <- count.(r) + 1)
+                    dem;
+                ignore ti)
+              tasks)
+          remaining;
+        let dt = ref infinity in
+        let consider x = if x > 1e-12 && x < !dt then dt := x in
+        Array.iteri
+          (fun id tasks ->
+            Array.iteri
+              (fun ti dem ->
+                if active.(id).(ti) then begin
+                  Array.iteri
+                    (fun r d ->
+                      if d > eps && cap.(r) > eps then
+                        consider (d *. float_of_int count.(r) /. cap.(r)))
+                    dem;
+                  match fail_after.(id).(ti) with
+                  | Some thresh ->
+                    let rate = ref 0. in
+                    Array.iteri
+                      (fun r d ->
+                        if d > eps && cap.(r) > eps then
+                          rate := !rate +. (cap.(r) /. float_of_int count.(r)))
+                      dem;
+                    if !rate > eps then
+                      consider ((thresh -. work_done id ti) /. !rate)
+                  | None -> ()
+                end
+                else if
+                  status.(id) = Running
+                  && suspended_until.(id).(ti) > !time +. 1e-12
+                  && Array.exists (fun d -> d > eps) dem
+                then consider (suspended_until.(id).(ti) -. !time))
+              tasks)
+          remaining;
+        (match Fault.next_capacity_change fc ~after:!time with
+        | Some t -> consider (t -. !time)
+        | None -> ());
+        if !dt = infinity then
+          (* remaining demand but no possible progress and no future
+             capacity change: a permanently lost resource *)
+          starved := true
+        else begin
+          let dt = !dt in
+          time := !time +. dt;
+          for r = 0 to nr - 1 do
+            if count.(r) > 0 && cap.(r) > eps then
+              busy.(r) <- busy.(r) +. (cap.(r) *. dt)
+          done;
+          Array.iteri
+            (fun id tasks ->
+              Array.iteri
+                (fun ti dem ->
+                  if active.(id).(ti) then begin
+                    Array.iteri
+                      (fun r d ->
+                        if d > eps && cap.(r) > eps then begin
+                          let d' =
+                            d -. (dt *. cap.(r) /. float_of_int count.(r))
+                          in
+                          dem.(r) <- (if d' <= eps then 0. else d')
+                        end)
+                      dem;
+                    if
+                      Array.for_all (fun d -> d <= eps) dem
+                      && not (due_failure id ti)
+                    then
+                      emit (Printf.sprintf "task %s done" labels.(id).(ti))
+                  end)
+                tasks)
+            remaining
+        end
+      end
+    end
+  done;
+  if !starved then
+    Parqo_error.failf ~subsystem:"simulator"
+      "starved at t=%.2f: demand on a permanently lost resource" !time;
+  if not (all_done ()) then
+    Parqo_error.fail ~subsystem:"simulator" "did not converge under faults";
+  let collect arr =
+    let entries = ref [] in
+    Array.iteri
+      (fun id t -> match t with Some t -> entries := (id, t) :: !entries | None -> ())
+      arr;
+    List.sort
+      (fun (i1, t1) (i2, t2) ->
+        match Float.compare t1 t2 with 0 -> compare i1 i2 | c -> c)
+      !entries
+  in
+  {
+    makespan = !time;
+    busy;
+    total_work = Task_graph.total_work g;
+    stage_start = collect start_t;
+    stage_finish = collect finish_t;
+    trace = List.rev !trace;
+    n_faults = !n_faults;
+    n_retries = !n_retries;
+    recovered_makespan = !time;
+    faults = List.rev !faults_log;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* fault-injected serialized path                                      *)
+
+(* One task at a time; a fail-stop attempt charges the lost partial work
+   and retries.  Under the restart policies the stage's already-finished
+   work is replayed (charged once per fault, fault-free — the serialized
+   baseline does not re-draw replayed attempts).  Resource outages do not
+   apply: there is no concurrent capacity to degrade. *)
+let run_faulty_serialized (g : Task_graph.t) (fc : Fault.config) policy =
+  let n_stages = Array.length g.Task_graph.stages in
+  let nr = g.Task_graph.n_resources in
+  let visited = Array.make n_stages false in
+  let order = ref [] in
+  let rec visit id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter visit g.Task_graph.stages.(id).Task_graph.deps;
+      order := id :: !order
+    end
+  in
+  for id = 0 to n_stages - 1 do
+    visit id
+  done;
+  let order = List.rev !order in
+  let busy = Array.make nr 0. in
+  let time = ref 0. in
+  let trace = ref [] in
+  let faults_log = ref [] in
+  let n_faults = ref 0 in
+  let n_retries = ref 0 in
+  let stage_start = ref [] in
+  let stage_finish = ref [] in
+  let emit what = trace := { at = !time; what } :: !trace in
+  let log_fault f_kind ?stage ?task f_attempt =
+    incr n_faults;
+    faults_log :=
+      {
+        f_at = !time;
+        f_kind;
+        f_stage = stage;
+        f_task = task;
+        f_resource = None;
+        f_attempt;
+      }
+      :: !faults_log
+  in
+  List.iter
+    (fun id ->
+      let stage = g.Task_graph.stages.(id) in
+      stage_start := (id, !time) :: !stage_start;
+      (* demands completed so far within this stage, for replay charges *)
+      let completed = Array.make nr 0. in
+      List.iter
+        (fun (t : Task_graph.task) ->
+          let attempt = ref 0 in
+          let finished = ref false in
+          while not !finished do
+            incr attempt;
+            if !attempt > 1 then incr n_retries;
+            let d =
+              Fault.draw fc ~stage:id ~task:t.Task_graph.task_id
+                ~attempt:!attempt
+            in
+            if d.Fault.slowdown > 1. +. eps then begin
+              log_fault Fault.Straggler ~stage:id ~task:t.Task_graph.label
+                !attempt;
+              emit
+                (Printf.sprintf "task %s straggles x%.1f (attempt %d)"
+                   t.Task_graph.label d.Fault.slowdown !attempt)
+            end;
+            let charge frac =
+              Array.iteri
+                (fun r dr ->
+                  let x = dr *. d.Fault.slowdown *. frac in
+                  busy.(r) <- busy.(r) +. x;
+                  time := !time +. x)
+                t.Task_graph.demands
+            in
+            if d.Fault.fails then begin
+              charge d.Fault.fail_point;
+              log_fault Fault.Task_failure ~stage:id ~task:t.Task_graph.label
+                !attempt;
+              emit
+                (Printf.sprintf "task %s fault (attempt %d)" t.Task_graph.label
+                   !attempt);
+              match policy with
+              | Recovery.Retry_task _ ->
+                time :=
+                  !time +. Recovery.backoff_delay policy ~attempt:!attempt
+              | Recovery.Restart_stage | Recovery.Restart_from_sync ->
+                emit (Printf.sprintf "stage %d restart" id);
+                Array.iteri
+                  (fun r w ->
+                    busy.(r) <- busy.(r) +. w;
+                    time := !time +. w)
+                  completed
+            end
+            else begin
+              charge 1.;
+              Array.iteri
+                (fun r dr ->
+                  completed.(r) <- completed.(r) +. (dr *. d.Fault.slowdown))
+                t.Task_graph.demands;
+              emit (Printf.sprintf "task %s done" t.Task_graph.label);
+              finished := true
+            end
+          done)
+        stage.Task_graph.tasks;
+      stage_finish := (id, !time) :: !stage_finish)
+    order;
+  {
+    makespan = !time;
+    busy;
+    total_work = Task_graph.total_work g;
+    stage_start = List.rev !stage_start;
+    stage_finish = List.rev !stage_finish;
+    trace = List.rev !trace;
+    n_faults = !n_faults;
+    n_retries = !n_retries;
+    recovered_makespan = !time;
+    faults = List.rev !faults_log;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(mode = Concurrent) ?faults ?(recovery = Recovery.default)
+    (g : Task_graph.t) =
+  (match Task_graph.validate g with
+  | Ok () -> ()
+  | Error msg ->
+    Parqo_error.fail ~subsystem:"simulator" ("invalid task graph: " ^ msg));
+  (match faults with
+  | None -> ()
+  | Some fc -> (
+    match Fault.validate fc with
+    | Ok () -> ()
+    | Error msg ->
+      Parqo_error.fail ~subsystem:"simulator" ("invalid fault config: " ^ msg)));
+  match faults with
+  | Some fc when Fault.is_active fc -> (
+    match mode with
+    | Concurrent -> run_faulty_concurrent g fc recovery
+    | Serialized -> run_faulty_serialized g fc recovery)
+  | _ -> run_clean ~mode g
+
+let simulate_plan ?mode ?faults ?recovery (env : Parqo_cost.Env.t) tree =
   let optree =
     Parqo_optree.Expand.expand ~config:env.Parqo_cost.Env.expand_config
       env.Parqo_cost.Env.estimator tree
   in
-  run ?mode (Task_graph.of_optree env optree)
+  run ?mode ?faults ?recovery (Task_graph.of_optree env optree)
 
 let utilization o =
   if o.makespan <= 0. then 1.
@@ -222,6 +733,9 @@ let utilization o =
 let timeline ?(width = 50) o =
   let span = Float.max 1e-9 o.makespan in
   let col t = int_of_float (float_of_int width *. t /. span) in
+  let stage_faults id =
+    List.length (List.filter (fun f -> f.f_stage = Some id) o.faults)
+  in
   let rows =
     List.filter_map
       (fun (id, start) ->
@@ -243,7 +757,13 @@ let timeline ?(width = 50) o =
             String.make (max 0 (width - f)) ' ';
           ]
       in
+      let annot =
+        match stage_faults id with
+        | 0 -> ""
+        | n -> Printf.sprintf "  (%d fault%s)" n (if n = 1 then "" else "s")
+      in
       Buffer.add_string buf
-        (Printf.sprintf "stage %-3d |%s| %.1f .. %.1f\n" id bar start finish))
+        (Printf.sprintf "stage %-3d |%s| %.1f .. %.1f%s\n" id bar start finish
+           annot))
     rows;
   Buffer.contents buf

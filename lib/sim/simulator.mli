@@ -1,4 +1,5 @@
-(** A fluid discrete-event simulator of parallel plan execution.
+(** A fluid discrete-event simulator of parallel plan execution, with
+    optional fault injection and recovery.
 
     Resources are preemptable and time-shared (the paper's §5.2.1
     assumptions, realized as processor sharing): at any instant, each
@@ -10,7 +11,15 @@
 
     [Serialized] mode executes stages and tasks one at a time — the
     sequential-execution baseline of the §5 desiderata, whose makespan is
-    exactly the total work. *)
+    exactly the total work.
+
+    With a {!Fault.config} the simulator injects fail-stop task faults,
+    stragglers and resource outages from a deterministic seed-driven
+    schedule, and recovers per the {!Recovery.policy}: a stage is a
+    pipelined segment, its dependency edges are materialized sync points,
+    so recovery re-executes the failed segment back to its nearest
+    checkpoint.  Without faults (or with an inactive config) behavior is
+    bit-identical to the failure-free simulator. *)
 
 type mode = Concurrent | Serialized
 
@@ -19,32 +28,62 @@ type event = {
   what : string;  (** e.g. ["task sort done"], ["stage 3 start"] *)
 }
 
-type outcome = {
-  makespan : float;
-  busy : float array;
-      (** per-resource busy time; equals per-resource demand totals *)
-  total_work : float;
-  stage_start : (int * float) list;  (** activation time per stage *)
-  stage_finish : (int * float) list;  (** completion time per stage *)
-  trace : event list;  (** chronological *)
+type fault_event = {
+  f_at : float;
+  f_kind : Fault.kind;
+  f_stage : int option;  (** the affected stage, for task-level faults *)
+  f_task : string option;  (** the affected task's label *)
+  f_resource : int option;  (** the lost resource, for outages *)
+  f_attempt : int;  (** which attempt faulted (from 1); [0] for outages *)
 }
 
-val run : ?mode:mode -> Task_graph.t -> outcome
-(** [mode] defaults to [Concurrent]. Raises [Invalid_argument] on an
-    invalid graph. *)
+type outcome = {
+  makespan : float;
+      (** end-to-end completion time; includes recovery re-execution when
+          faults were injected *)
+  busy : float array;
+      (** per-resource busy time; equals per-resource demand totals in a
+          failure-free run, and includes re-executed and inflated work
+          under faults *)
+  total_work : float;  (** failure-free work of the graph *)
+  stage_start : (int * float) list;
+      (** first activation time per stage (restarts do not move it) *)
+  stage_finish : (int * float) list;  (** final completion time per stage *)
+  trace : event list;  (** chronological; includes fault events *)
+  n_faults : int;
+      (** injected faults: fail-stops + stragglers + outages; [0] without
+          fault injection *)
+  n_retries : int;  (** task re-executions beyond each task's first attempt *)
+  recovered_makespan : float;
+      (** completion time including all recovery; equals [makespan] *)
+  faults : fault_event list;  (** chronological *)
+}
+
+val run :
+  ?mode:mode -> ?faults:Fault.config -> ?recovery:Recovery.policy ->
+  Task_graph.t -> outcome
+(** [mode] defaults to [Concurrent], [recovery] to {!Recovery.default}.
+    When [faults] is absent or inactive, the result is bit-identical to
+    the failure-free simulator (with the fault counters zero).  Raises
+    {!Parqo_util.Parqo_error.Error} on an invalid graph or fault config,
+    and when every remaining demand sits on a permanently lost
+    resource. *)
 
 val simulate_plan :
-  ?mode:mode -> Parqo_cost.Env.t -> Parqo_plan.Join_tree.t -> outcome
+  ?mode:mode -> ?faults:Fault.config -> ?recovery:Recovery.policy ->
+  Parqo_cost.Env.t -> Parqo_plan.Join_tree.t -> outcome
 (** Expand, lower and simulate a join tree in one call. *)
 
 val utilization : outcome -> float
 (** [total_work / (makespan * n_resources)] — the fraction of machine
-    capacity used; in (0, 1]. *)
+    capacity used; in (0, 1] for failure-free runs (re-execution under
+    faults can only lower it). *)
 
 val timeline : ?width:int -> outcome -> string
 (** An ASCII Gantt chart of stage lifetimes, one row per stage:
     {v
     stage 1  |   ======                  | 12.0 .. 48.3
-    stage 0  |         ================  | 48.3 .. 130.0
+    stage 0  |         ================  | 48.3 .. 130.0  (2 faults)
     v}
-    [width] (default 50) is the bar area in characters. *)
+    [width] (default 50) is the bar area in characters; rows of stages
+    that suffered faults are annotated with the fault count. *)

@@ -1,0 +1,31 @@
+type t = {
+  subsystem : string;
+  operator : string option;
+  stage : int option;
+  message : string;
+}
+
+exception Error of t
+
+let to_string e =
+  let ctx =
+    String.concat "/"
+      (e.subsystem
+       :: List.filter_map Fun.id
+            [
+              Option.map (fun op -> "op " ^ op) e.operator;
+              Option.map (fun s -> Printf.sprintf "stage %d" s) e.stage;
+            ])
+  in
+  Printf.sprintf "parqo[%s]: %s" ctx e.message
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (to_string e)
+    | _ -> None)
+
+let fail ~subsystem ?operator ?stage message =
+  raise (Error { subsystem; operator; stage; message })
+
+let failf ~subsystem ?operator ?stage fmt =
+  Printf.ksprintf (fail ~subsystem ?operator ?stage) fmt

@@ -1,0 +1,33 @@
+(** Structured runtime errors.
+
+    Validation and execution failures used to surface as bare
+    [Invalid_argument]/[Failure] strings, indistinguishable from stdlib
+    raises and carrying no context.  [Parqo_error.t] records which
+    subsystem detected the problem and, when known, the operator and
+    stage involved — so fault reports (injected, expected) and
+    validation errors (a malformed plan) can be told apart and rendered
+    uniformly. *)
+
+type t = {
+  subsystem : string;  (** e.g. ["simulator"], ["parallel-exec"] *)
+  operator : string option;  (** operator kind, e.g. ["hash_probe"] *)
+  stage : int option;  (** task-graph stage id, when applicable *)
+  message : string;
+}
+
+exception Error of t
+
+val fail : subsystem:string -> ?operator:string -> ?stage:int -> string -> 'a
+(** Raise {!Error} with the given context. *)
+
+val failf :
+  subsystem:string ->
+  ?operator:string ->
+  ?stage:int ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** [fail] with a format string. *)
+
+val to_string : t -> string
+(** ["parqo[simulator/stage 3]: message"] — also installed as the
+    [Printexc] printer for {!Error}. *)

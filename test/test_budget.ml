@@ -1,0 +1,107 @@
+module B = Parqo.Budget
+module Cm = Parqo.Costmodel
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_for n =
+  let catalog, query =
+    Parqo.Query_gen.generate (Parqo.Query_gen.default_spec Parqo.Query_gen.Chain n)
+  in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  Parqo.Env.create ~machine ~catalog ~query ()
+
+(* the accounting primitives *)
+let tracker_accounting () =
+  Alcotest.(check bool) "unlimited" true (B.is_unlimited B.unlimited);
+  Alcotest.(check bool) "capped" false (B.is_unlimited (B.expansions 5));
+  let tr = B.start (B.expansions 5) in
+  Alcotest.(check bool) "fresh not exhausted" false (B.exhausted tr);
+  B.tick tr 3;
+  Alcotest.(check int) "spent" 3 (B.spent tr);
+  Alcotest.(check bool) "under cap" false (B.exhausted tr);
+  B.tick tr 2;
+  Alcotest.(check bool) "at cap" true (B.exhausted tr);
+  let unl = B.start B.unlimited in
+  B.tick unl 1_000_000;
+  Alcotest.(check bool) "unlimited never exhausts" false (B.exhausted unl);
+  (* an elapsed time cap exhausts immediately *)
+  let timed = B.start (B.seconds 0.) in
+  Alcotest.(check bool) "zero-second cap" true (B.exhausted timed)
+
+(* Podp reports when it could not finish *)
+let podp_reports_gave_up () =
+  let env = env_for 5 in
+  let metric = Parqo.Optimizer.default_metric env in
+  let full = Parqo.Podp.optimize ~metric env in
+  Alcotest.(check bool) "unbudgeted completes" false full.Parqo.Podp.gave_up;
+  let starved = Parqo.Podp.optimize ~metric ~budget:(B.expansions 1) env in
+  Alcotest.(check bool) "starved gives up" true starved.Parqo.Podp.gave_up
+
+(* the optimizer always returns a valid plan, even on a hopeless budget *)
+let tiny_budget_still_plans () =
+  let env = env_for 5 in
+  let o =
+    Parqo.Optimizer.minimize_response_time ~budget:(B.expansions 1) env
+  in
+  Alcotest.(check bool) "gave up" true o.Parqo.Optimizer.gave_up;
+  match o.Parqo.Optimizer.best with
+  | None -> Alcotest.fail "budgeted optimizer returned no plan"
+  | Some b ->
+    Alcotest.(check bool) "positive response time" true
+      (b.Cm.response_time > 0.);
+    Alcotest.(check bool) "positive work" true (b.Cm.work > 0.)
+
+(* a generous budget changes nothing *)
+let generous_budget_is_exact () =
+  let env = env_for 4 in
+  let free = Parqo.Optimizer.minimize_response_time env in
+  let capped =
+    Parqo.Optimizer.minimize_response_time ~budget:(B.expansions 1_000_000) env
+  in
+  Alcotest.(check bool) "did not give up" false capped.Parqo.Optimizer.gave_up;
+  match (free.Parqo.Optimizer.best, capped.Parqo.Optimizer.best) with
+  | Some a, Some b ->
+    Helpers.check_float "same response time" a.Cm.response_time b.Cm.response_time;
+    Alcotest.(check string) "same plan"
+      (Parqo.Join_tree.to_string a.Cm.tree)
+      (Parqo.Join_tree.to_string b.Cm.tree)
+  | _ -> Alcotest.fail "optimizer returned no plan"
+
+(* the degraded result is never worse than the greedy fallback itself —
+   that is the guarantee the fallback provides (it may well BEAT the
+   unbudgeted partial-order search, whose metric pruning is not
+   rank-monotone) *)
+let budgeted_never_worse_than_greedy () =
+  let env = env_for 5 in
+  let greedy =
+    match
+      (Parqo.Greedy.greedy ~objective:(fun (e : Cm.eval) -> e.Cm.response_time)
+         env)
+        .Parqo.Greedy.best
+    with
+    | Some g -> g
+    | None -> Alcotest.fail "greedy returned no plan"
+  in
+  List.iter
+    (fun n ->
+      let capped =
+        Parqo.Optimizer.minimize_response_time ~budget:(B.expansions n) env
+      in
+      match capped.Parqo.Optimizer.best with
+      | Some b ->
+        Alcotest.(check bool)
+          (Printf.sprintf "budget %d: no worse than greedy" n)
+          true
+          (b.Cm.response_time <= greedy.Cm.response_time +. 1e-9)
+      | None -> Alcotest.fail "optimizer returned no plan")
+    [ 1; 10; 100 ]
+
+let suite =
+  ( "search budget",
+    [
+      t "tracker accounting" tracker_accounting;
+      t "podp reports gave-up" podp_reports_gave_up;
+      t "tiny budget still plans" tiny_budget_still_plans;
+      t "generous budget is exact" generous_budget_is_exact;
+      t "budgeted never worse than greedy" budgeted_never_worse_than_greedy;
+    ] )

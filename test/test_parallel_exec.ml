@@ -108,7 +108,8 @@ let missing_exchange_detected () =
     (try
        ignore (PE.run db query bad);
        false
-     with Invalid_argument _ -> true)
+     with Parqo.Parqo_error.Error e ->
+       e.Parqo.Parqo_error.subsystem = "parallel-exec")
 
 let suite =
   ( "parallel-exec",
