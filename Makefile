@@ -1,4 +1,4 @@
-.PHONY: all smoke test bench clean
+.PHONY: all smoke test bench bench-search bench-search-smoke clean
 
 all:
 	dune build @all
@@ -12,6 +12,15 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# domain-parallel search sweep: writes BENCH_search.json (full sweep:
+# domains 1/2/4/8 on 8-relation workloads; speedups need a multicore box)
+bench-search:
+	dune exec bench/main.exe -- --only e17
+
+# same experiment shrunk for CI gates (one small workload, domains 1-2)
+bench-search-smoke:
+	PARQO_SMOKE=1 dune exec bench/main.exe -- --only e17
 
 clean:
 	dune clean

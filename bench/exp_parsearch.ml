@@ -1,0 +1,151 @@
+(* E17 — domain-parallel partial-order DP search (the §6 hot path).
+
+   Sweeps the PODP search over domains ∈ {1, 2, 4, 8} on generated
+   workloads and verifies along the way that every parallel run returns
+   exactly the sequential plan, cover and level sizes (the deterministic
+   merge contract).  Wall-clock per run is the minimum over repeats;
+   results are appended to BENCH_search.json — the perf trajectory the
+   roadmap tracks.
+
+   PARQO_SMOKE=1 shrinks the sweep (one small workload, domains {1,2},
+   one repeat) so CI gates stay fast.  Speedups are only meaningful on a
+   multicore machine; the JSON records the core count alongside. *)
+
+module T = Parqo.Tableau
+module Cm = Parqo.Costmodel
+module Stats = Parqo.Search_stats
+
+let smoke = Sys.getenv_opt "PARQO_SMOKE" <> None
+
+let plan_string (e : Cm.eval) = Parqo.Join_tree.to_string e.Cm.tree
+
+type run = {
+  workload : string;
+  n_relations : int;
+  domains : int;
+  wall_ms : float;
+  speedup : float;
+  plans_expanded : int;
+}
+
+let json_of_run r =
+  Printf.sprintf
+    "  {\"workload\": %S, \"n_relations\": %d, \"domains\": %d, \
+     \"wall_ms\": %.3f, \"speedup\": %.3f, \"plans_expanded\": %d}"
+    r.workload r.n_relations r.domains r.wall_ms r.speedup r.plans_expanded
+
+let write_json path runs =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\"schema\": [\"workload\", \"n_relations\", \"domains\", \
+     \"wall_ms\", \"speedup\", \"plans_expanded\"],\n\
+     \"cores\": %d,\n\"smoke\": %b,\n\"runs\": [\n%s\n]}\n"
+    (Domain.recommended_domain_count ())
+    smoke
+    (String.concat ",\n" (List.map json_of_run runs));
+  close_out oc
+
+(* beam cap 8: the sweep measures the level loop's scaling, not cover
+   growth; the cap keeps one run in the tens of seconds at n = 8 *)
+let optimize ~domains env =
+  let config = Parqo.Space.parallel_config env.Parqo.Env.machine in
+  let metric = Parqo.Optimizer.default_metric env in
+  Parqo.Podp.optimize ~config ~metric ~max_cover:8 ~domains env
+
+let check_identical name (base : Parqo.Podp.result) (r : Parqo.Podp.result) =
+  let plan_of (res : Parqo.Podp.result) =
+    match res.Parqo.Podp.best with Some e -> plan_string e | None -> "<none>"
+  in
+  let same_best = String.equal (plan_of base) (plan_of r) in
+  let same_cover =
+    List.length base.Parqo.Podp.cover = List.length r.Parqo.Podp.cover
+    && List.for_all2
+         (fun a b -> String.equal (plan_string a) (plan_string b))
+         base.Parqo.Podp.cover r.Parqo.Podp.cover
+  in
+  let same_levels = base.Parqo.Podp.level_sizes = r.Parqo.Podp.level_sizes in
+  if not (same_best && same_cover && same_levels) then
+    failwith
+      (Printf.sprintf
+         "E17: %s parallel result diverged from sequential (best %b cover %b \
+          levels %b)"
+         name same_best same_cover same_levels)
+
+let time_run ~repeats ~domains env =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = optimize ~domains env in
+    let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let run () =
+  Common.header "E17 — domain-parallel partial-order DP search"
+    [
+      "PODP level loop partitioned across OCaml 5 domains; per-level";
+      "barriers, deterministic cover merge.  Wall-clock = min over repeats;";
+      "every parallel run is checked bit-identical to the sequential one.";
+      (Printf.sprintf "cores available: %d%s"
+         (Domain.recommended_domain_count ())
+         (if smoke then "  [smoke mode]" else ""));
+    ];
+  let workloads =
+    if smoke then [ (Parqo.Query_gen.Chain, 5) ]
+    else [ (Parqo.Query_gen.Chain, 8); (Parqo.Query_gen.Star, 8) ]
+  in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let repeats = 1 in
+  let tbl =
+    T.create ~title:"P17. PODP wall time vs domains"
+      ~columns:
+        [
+          ("workload", T.Left);
+          ("n", T.Right);
+          ("domains", T.Right);
+          ("wall ms", T.Right);
+          ("speedup", T.Right);
+          ("expanded", T.Right);
+        ]
+  in
+  let runs = ref [] in
+  List.iter
+    (fun (shape, n) ->
+      let name = Parqo.Query_gen.shape_to_string shape in
+      let env = Common.shape_env ~nodes:4 shape n in
+      let base, base_ms = time_run ~repeats ~domains:1 env in
+      List.iter
+        (fun domains ->
+          let r, wall_ms =
+            if domains = 1 then (base, base_ms)
+            else time_run ~repeats ~domains env
+          in
+          check_identical name base r;
+          let row =
+            {
+              workload = name;
+              n_relations = n;
+              domains;
+              wall_ms;
+              speedup = base_ms /. wall_ms;
+              plans_expanded = r.Parqo.Podp.stats.Stats.generated;
+            }
+          in
+          runs := row :: !runs;
+          T.add_row tbl
+            [
+              name;
+              Common.celli n;
+              Common.celli domains;
+              Common.cell ~decimals:1 wall_ms;
+              Common.cell ~decimals:2 row.speedup;
+              Common.celli row.plans_expanded;
+            ])
+        domain_counts)
+    workloads;
+  T.print tbl;
+  write_json "BENCH_search.json" (List.rev !runs);
+  Printf.printf "wrote BENCH_search.json (%d runs)\n\n" (List.length !runs)

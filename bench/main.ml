@@ -25,6 +25,7 @@ let experiments =
     ("e14", Exp_estimation.run);
     ("e15", Exp_robustness.run);
     ("e16", Exp_faults.run);
+    ("e17", Exp_parsearch.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

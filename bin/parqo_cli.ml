@@ -49,6 +49,11 @@ let budget =
        & info [ "k"; "budget" ] ~docv:"K"
            ~doc:"Throughput-degradation bound: admitted plans may use at most K times the optimal work.")
 
+let search_domains =
+  Arg.(value & opt int 1
+       & info [ "search-domains" ] ~docv:"N"
+           ~doc:"Worker domains for the partial-order DP search (default 1 = sequential). The chosen plan is bit-identical for every N; N should not exceed the machine's cores.")
+
 let bushy =
   Arg.(value & flag & info [ "bushy" ] ~doc:"Search bushy trees instead of left-deep.")
 
@@ -95,7 +100,7 @@ let setup shape n nodes sql =
   let machine = Parqo.Machine.shared_nothing ~nodes () in
   (Parqo.Env.create ~machine ~catalog ~query (), query, machine)
 
-let optimize_env ?(fault_rate = 0.) env machine budget bushy =
+let optimize_env ?(fault_rate = 0.) ?(domains = 1) env machine budget bushy =
   let config = Parqo.Space.parallel_config machine in
   let bound =
     match budget with
@@ -109,12 +114,15 @@ let optimize_env ?(fault_rate = 0.) env machine budget bushy =
     (* failure-aware: charge pipelined chains their expected
        re-execution cost and rank by the expected makespan *)
     Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound
+      ~domains
       ~metric:
         (Parqo.Metric.with_ordering
            (Parqo.Metric.expected_makespan env ~fault_rate))
       ~rank:(Parqo.Faultcost.expected_response_time env ~fault_rate)
       env
-  else Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound env
+  else
+    Parqo.Optimizer.minimize_response_time ~config ~shape:shape_opt ~bound
+      ~domains env
 
 let report_outcome query (o : Parqo.Optimizer.outcome) =
   Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
@@ -142,16 +150,17 @@ let check_fault_rate fault_rate k =
   else k ()
 
 let optimize_cmd =
-  let run () shape n nodes sql budget bushy fault_rate =
+  let run () shape n nodes sql budget bushy fault_rate domains =
     check_fault_rate fault_rate @@ fun () ->
     let env, query, machine = setup shape n nodes sql in
-    report_outcome query (optimize_env ~fault_rate env machine budget bushy)
+    report_outcome query
+      (optimize_env ~fault_rate ~domains env machine budget bushy)
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Minimize response time subject to a work bound.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ fault_rate))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ fault_rate $ search_domains))
 
 (* either the optimizer's choice or an explicitly supplied plan *)
-let chosen_plan ?fault_rate env query machine budget bushy plan_text =
+let chosen_plan ?fault_rate ?domains env query machine budget bushy plan_text =
   match plan_text with
   | Some text -> (
     match
@@ -161,15 +170,16 @@ let chosen_plan ?fault_rate env query machine budget bushy plan_text =
     | Error e -> Error ("bad plan: " ^ e))
   | None -> (
     match
-      (optimize_env ?fault_rate env machine budget bushy).Parqo.Optimizer.best
+      (optimize_env ?fault_rate ?domains env machine budget bushy)
+        .Parqo.Optimizer.best
     with
     | Some b -> Ok b
     | None -> Error "no plan found")
 
 let explain_cmd =
-  let run () shape n nodes sql budget bushy plan_text =
+  let run () shape n nodes sql budget bushy plan_text domains =
     let env, query, machine = setup shape n nodes sql in
-    match chosen_plan env query machine budget bushy plan_text with
+    match chosen_plan ~domains env query machine budget bushy plan_text with
     | Error e -> `Error (false, e)
     | Ok b ->
       Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
@@ -179,14 +189,16 @@ let explain_cmd =
       `Ok ()
   in
   Cmd.v (Cmd.info "explain" ~doc:"Show the chosen plan's operator tree and cost descriptor.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text $ search_domains))
 
 let simulate_cmd =
   let run () shape n nodes sql budget bushy plan_text fault_rate recovery
-      fault_seed =
+      fault_seed domains =
     check_fault_rate fault_rate @@ fun () ->
     let env, query, machine = setup shape n nodes sql in
-    match chosen_plan ~fault_rate env query machine budget bushy plan_text with
+    match
+      chosen_plan ~fault_rate ~domains env query machine budget bushy plan_text
+    with
     | Error e -> `Error (false, e)
     | Ok b ->
       Printf.printf "query: %s\nplan : %s\n\n" (Parqo.Query.to_sql query)
@@ -220,10 +232,10 @@ let simulate_cmd =
       `Ok ()
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate the chosen plan's parallel execution, optionally under injected faults.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text $ fault_rate $ recovery $ fault_seed))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text $ fault_rate $ recovery $ fault_seed $ search_domains))
 
 let sweep_cmd =
-  let run () shape n nodes sql bushy =
+  let run () shape n nodes sql bushy domains =
     let env, query, machine = setup shape n nodes sql in
     Printf.printf "query: %s\n\n" (Parqo.Query.to_sql query);
     let tbl =
@@ -238,7 +250,7 @@ let sweep_cmd =
     in
     List.iter
       (fun k ->
-        let o = optimize_env env machine (Some k) bushy in
+        let o = optimize_env ~domains env machine (Some k) bushy in
         match o.Parqo.Optimizer.best with
         | Some b ->
           Parqo.Tableau.add_row tbl
@@ -254,7 +266,7 @@ let sweep_cmd =
     `Ok ()
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Sweep the work budget and print the tradeoff table.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ bushy))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ bushy $ search_domains))
 
 let gen_cmd =
   let run () shape n =
@@ -278,7 +290,7 @@ let run_cmd =
     Arg.(value & opt int 10
          & info [ "limit" ] ~docv:"N" ~doc:"Rows to display.")
   in
-  let run () workload limit nodes budget =
+  let run () workload limit nodes budget domains =
     let pick = function
       | "tpch:q3" -> let w = Parqo.Workloads.tpch ~seed:7 () in Ok (w.Parqo.Workloads.db, w.Parqo.Workloads.q3)
       | "tpch:q5" -> let w = Parqo.Workloads.tpch ~seed:7 () in Ok (w.Parqo.Workloads.db, w.Parqo.Workloads.q5)
@@ -295,7 +307,7 @@ let run_cmd =
       let env =
         Parqo.Env.create ~machine ~catalog:db.Parqo.Datagen.catalog ~query ()
       in
-      let o = optimize_env env machine budget false in
+      let o = optimize_env ~domains env machine budget false in
       match o.Parqo.Optimizer.best with
       | None -> `Error (false, "no plan found")
       | Some b ->
@@ -326,7 +338,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Optimize and execute a query on a canned materialized workload.")
-    Term.(ret (const run $ setup_logs $ workload $ limit $ nodes $ budget))
+    Term.(ret (const run $ setup_logs $ workload $ limit $ nodes $ budget $ search_domains))
 
 let main =
   let doc = "parallel query optimizer (SIGMOD 1992 reproduction)" in

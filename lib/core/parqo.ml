@@ -26,6 +26,7 @@ module Tableau = Parqo_util.Tableau
 module Statsu = Parqo_util.Statsu
 module Pqueue = Parqo_util.Pqueue
 module Parqo_error = Parqo_util.Parqo_error
+module Domain_pool = Parqo_util.Domain_pool
 
 (* machine *)
 module Resource = Parqo_machine.Resource

@@ -2,12 +2,25 @@ module C = Parqo_catalog
 module Q = Parqo_query.Query
 module Bitset = Parqo_util.Bitset
 
+(* The cardinality memo must be safe to share across domains: the
+   parallel search evaluates plans concurrently against one Env.  For the
+   query sizes the search handles, a dense float array indexed by subset
+   mask works and makes races benign — every writer stores the same pure
+   function of the key, so a concurrent reader sees either the sentinel
+   (and recomputes) or the final value, never a torn structure.  Queries
+   too wide for a dense table fall back to a mutex-guarded hashtable. *)
+type memo =
+  | Dense of float array  (** [nan] = absent; idempotent writes *)
+  | Sparse of Mutex.t * (int, float) Hashtbl.t
+
+let max_dense_relations = 20  (* 2^20 floats = 8 MB *)
+
 type t = {
   catalog : C.Catalog.t;
   query : Q.t;
   tables : C.Table.t array;  (** by relation id *)
   base_cards : float array;  (** after selections *)
-  card_memo : (int, float) Hashtbl.t;
+  card_memo : memo;
 }
 
 let stats_of t (r : Q.column_ref) =
@@ -46,7 +59,11 @@ let create catalog query =
         in
         raw *. sel)
   in
-  { catalog; query; tables; base_cards; card_memo = Hashtbl.create 64 }
+  let card_memo =
+    if n <= max_dense_relations then Dense (Array.make (1 lsl n) Float.nan)
+    else Sparse (Mutex.create (), Hashtbl.create 64)
+  in
+  { catalog; query; tables; base_cards; card_memo }
 
 let catalog t = t.catalog
 let query t = t.query
@@ -58,23 +75,39 @@ let selection_selectivity t s = selection_selectivity_of t.tables s
 let join_selectivity t (j : Q.join_pred) =
   C.Stats.join_selectivity (stats_of t j.left) (stats_of t j.right)
 
+let compute_card t set =
+  let base = Bitset.fold (fun rel acc -> acc *. t.base_cards.(rel)) set 1. in
+  let sel =
+    List.fold_left
+      (fun acc j -> acc *. join_selectivity t j)
+      1.
+      (Q.joins_within t.query set)
+  in
+  base *. sel
+
 let card t set =
   let key = Bitset.to_int set in
-  match Hashtbl.find_opt t.card_memo key with
-  | Some c -> c
-  | None ->
-    let base =
-      Bitset.fold (fun rel acc -> acc *. t.base_cards.(rel)) set 1.
-    in
-    let sel =
-      List.fold_left
-        (fun acc j -> acc *. join_selectivity t j)
-        1.
-        (Q.joins_within t.query set)
-    in
-    let c = base *. sel in
-    Hashtbl.replace t.card_memo key c;
-    c
+  match t.card_memo with
+  | Dense a ->
+    let c = a.(key) in
+    if Float.is_nan c then begin
+      let c = compute_card t set in
+      a.(key) <- c;
+      c
+    end
+    else c
+  | Sparse (m, tbl) ->
+    Mutex.lock m;
+    let cached = Hashtbl.find_opt tbl key in
+    Mutex.unlock m;
+    (match cached with
+    | Some c -> c
+    | None ->
+      let c = compute_card t set in
+      Mutex.lock m;
+      Hashtbl.replace tbl key c;
+      Mutex.unlock m;
+      c)
 
 let width t set =
   Bitset.fold

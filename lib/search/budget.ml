@@ -6,17 +6,23 @@ let seconds s = { unlimited with max_seconds = Some s }
 
 let is_unlimited b = b.max_expansions = None && b.max_seconds = None
 
-type tracker = { budget : t; mutable used : int; started : float }
+(* Wall clock, not [Sys.time]: process CPU time accumulates across every
+   running domain, so a k-domain search would burn a time cap ~k times
+   too fast (and sleep/IO would not count at all). *)
+let now () = Unix.gettimeofday ()
 
-let start budget = { budget; used = 0; started = Sys.time () }
-let tick tr n = tr.used <- tr.used + n
-let spent tr = tr.used
+type tracker = { budget : t; used : int Atomic.t; started : float }
+
+let start budget = { budget; used = Atomic.make 0; started = now () }
+let tick tr n = ignore (Atomic.fetch_and_add tr.used n)
+let spent tr = Atomic.get tr.used
+let elapsed tr = now () -. tr.started
 
 let exhausted tr =
   (match tr.budget.max_expansions with
-  | Some cap -> tr.used >= cap
+  | Some cap -> Atomic.get tr.used >= cap
   | None -> false)
   ||
   match tr.budget.max_seconds with
-  | Some cap -> Sys.time () -. tr.started >= cap
+  | Some cap -> now () -. tr.started >= cap
   | None -> false

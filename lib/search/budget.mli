@@ -5,11 +5,17 @@
     number of plan expansions (candidate evaluations) and/or wall-clock
     time; when a budgeted search exhausts its budget it stops expanding
     and reports {!exhausted}, and {!Optimizer.minimize_response_time}
-    degrades gracefully to the greedy result instead of failing. *)
+    degrades gracefully to the greedy result instead of failing.
+
+    Trackers are domain-safe: the expansion counter is atomic and the
+    time cap is measured on a shared wall clock, so one tracker can be
+    ticked concurrently by every worker of a parallel search and the cap
+    still means "this much real time", not "this much summed CPU time
+    across domains". *)
 
 type t = {
   max_expansions : int option;  (** candidate plans costed *)
-  max_seconds : float option;  (** processor seconds ([Sys.time]) *)
+  max_seconds : float option;  (** elapsed wall-clock seconds *)
 }
 
 val unlimited : t
@@ -23,12 +29,12 @@ val seconds : float -> t
 val is_unlimited : t -> bool
 
 type tracker
-(** Mutable consumption state for one search run. *)
+(** Consumption state for one search run; safe to share across domains. *)
 
 val start : t -> tracker
 
 val tick : tracker -> int -> unit
-(** Record [n] expansions. *)
+(** Record [n] expansions (atomic). *)
 
 val exhausted : tracker -> bool
 (** Whether either cap has been hit.  Cheap: the clock is consulted at
@@ -36,3 +42,6 @@ val exhausted : tracker -> bool
 
 val spent : tracker -> int
 (** Expansions recorded so far. *)
+
+val elapsed : tracker -> float
+(** Wall-clock seconds since {!start}. *)

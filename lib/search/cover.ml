@@ -14,11 +14,16 @@ let add t x =
 let elements t = t.elements
 let size t = List.length t.elements
 
-let trim t ~keep ~rank =
+let trim ?(tie = fun _ _ -> 0) t ~keep ~rank =
   if keep < 1 then invalid_arg "Cover.trim: keep < 1";
   if List.length t.elements > keep then begin
     let sorted =
-      List.sort (fun a b -> Float.compare (rank a) (rank b)) t.elements
+      List.sort
+        (fun a b ->
+          match Float.compare (rank a) (rank b) with
+          | 0 -> tie a b
+          | c -> c)
+        t.elements
     in
     t.elements <- List.filteri (fun i _ -> i < keep) sorted
   end

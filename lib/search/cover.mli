@@ -23,11 +23,16 @@ val size : 'a t -> int
 
 val is_covered : 'a t -> 'a -> bool
 
-val trim : 'a t -> keep:int -> rank:('a -> float) -> unit
+val trim : ?tie:('a -> 'a -> int) -> 'a t -> keep:int -> rank:('a -> float) -> unit
 (** Beam bound: if the cover exceeds [keep] elements, retain the [keep]
     best (smallest) by [rank].  This deliberately breaks the exact-cover
     guarantee — Figure 2 with a practical size cap — and is only applied
-    when the caller opts in. *)
+    when the caller opts in.
+
+    [tie] (default: everything equal) breaks exact [rank] ties.  Pass a
+    total order on elements to make the cut deterministic: without it,
+    rank-tied elements at the beam boundary survive or die by list
+    position, so the pruned plan choice depends on insertion order. *)
 
 val of_list : dominates:('a -> 'a -> bool) -> 'a list -> 'a t
 

@@ -29,7 +29,11 @@ val minimize_work :
 (** Figure 1 (or its bushy analogue). [shape] defaults to [Left_deep]. *)
 
 val minimize_work_with_orders :
-  ?config:Space.config -> ?shape:tree_shape -> Parqo_cost.Env.t -> outcome
+  ?config:Space.config ->
+  ?shape:tree_shape ->
+  ?domains:int ->
+  Parqo_cost.Env.t ->
+  outcome
 (** The System R remedy for the interesting-order violation (§6.1.2):
     work as the ranking objective under the partial order "less work AND
     subsuming output ordering" — i.e. Figure 2 instantiated with
@@ -44,6 +48,7 @@ val minimize_response_time :
   ?bound:Bounds.t ->
   ?rank:(Parqo_cost.Costmodel.eval -> float) ->
   ?budget:Budget.t ->
+  ?domains:int ->
   Parqo_cost.Env.t ->
   outcome
 (** [metric] defaults to the descriptor metric with single-group
@@ -60,6 +65,11 @@ val minimize_response_time :
     shape); when exhausted the optimizer degrades gracefully to the
     greedy plan — it always returns a valid plan and never raises, at
     the price of optimality (and possibly of the work bound, which
-    greedy does not enforce). *)
+    greedy does not enforce).
+
+    [domains] (default 1) parallelizes the partial-order phase across an
+    OCaml 5 domain pool; the chosen plan is bit-identical to the
+    sequential run (see {!Podp.optimize}).  The work phase and bushy
+    search are unaffected. *)
 
 val default_metric : Parqo_cost.Env.t -> Metric.t

@@ -1,5 +1,6 @@
 module Cm = Parqo_cost.Costmodel
 module Bitset = Parqo_util.Bitset
+module Domain_pool = Parqo_util.Domain_pool
 module Env = Parqo_cost.Env
 
 type result = {
@@ -10,16 +11,37 @@ type result = {
   gave_up : bool;
 }
 
+(* Stable total key on plans: used to break exact rank ties so that beam
+   pruning and final-plan selection are deterministic — independent of
+   cover-list order, and therefore identical between the sequential and
+   the domain-parallel search. *)
+let plan_key (e : Cm.eval) = Parqo_plan.Join_tree.to_string e.Cm.tree
+let tie a b = String.compare (plan_key a) (plan_key b)
+
+(* Outcome of one subset's cover computation, produced by a worker domain
+   and merged by the coordinator.  Counters ride along instead of being
+   written to the shared stats record so the merge — not the scheduling —
+   decides accumulation order. *)
+type subset_result = {
+  elements : Cm.eval list;  (** post-beam cover, insertion order *)
+  considered : int;
+  generated : int;
+  cover_pre : int;  (** cover size before the beam cut *)
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
 let optimize ?(config = Space.default_config)
     ?(rank = fun (e : Cm.eval) -> e.Cm.response_time) ?work_cap
     ?(final_filter = fun _ -> true) ?max_cover ?(budget = Budget.unlimited)
-    ~metric (env : Env.t) =
+    ?(domains = 1) ~metric (env : Env.t) =
+  let pool = Domain_pool.create ~domains in
   let tracker = Budget.start budget in
   let gave_up = ref false in
   let apply_beam cover =
     match max_cover with
     | None -> ()
-    | Some keep -> Cover.trim cover ~keep ~rank
+    | Some keep -> Cover.trim ~tie cover ~keep ~rank
   in
   let n = Env.n_relations env in
   let stats = Search_stats.create () in
@@ -29,7 +51,25 @@ let optimize ?(config = Space.default_config)
   let admissible e =
     match work_cap with None -> true | Some cap -> e.Cm.work <= cap +. 1e-9
   in
-  let cover_of candidates =
+  let level_start = ref (now_ms ()) in
+  let finish_level ~level ~subsets ~cover_max ~used_domains =
+    let t = now_ms () in
+    Search_stats.observe_level stats
+      {
+        Search_stats.level;
+        subsets;
+        stored = level_sizes.(level);
+        cover_max;
+        wall_ms = t -. !level_start;
+        domains = used_domains;
+      };
+    level_start := t
+  in
+  (* accessPlans — always generated, so even an exhausted budget leaves
+     single-relation plans for the caller's fallback logic *)
+  let l1_cover_max = ref 0 in
+  for rel = 0 to n - 1 do
+    Search_stats.considered stats 1;
     let cover = Cover.create ~dominates in
     List.iter
       (fun tree ->
@@ -37,60 +77,85 @@ let optimize ?(config = Space.default_config)
         Budget.tick tracker 1;
         let e = Cm.evaluate env tree in
         if admissible e then ignore (Cover.add cover e))
-      candidates;
+      (Space.access_plans env config rel);
     apply_beam cover;
-    cover
-  in
-  (* accessPlans — always generated, so even an exhausted budget leaves
-     single-relation plans for the caller's fallback logic *)
-  for rel = 0 to n - 1 do
-    Search_stats.considered stats 1;
-    let cover = cover_of (Space.access_plans env config rel) in
     Search_stats.observe_cover stats (Cover.size cover);
+    if Cover.size cover > !l1_cover_max then l1_cover_max := Cover.size cover;
     memo.(Bitset.to_int (Bitset.singleton rel)) <- Cover.elements cover
   done;
   level_sizes.(1) <-
     List.fold_left ( + ) 0
       (List.init n (fun r -> List.length memo.(Bitset.to_int (Bitset.singleton r))));
+  (* stored sizes are recorded in level order, level 1 first *)
+  if n > 0 then begin
+    Search_stats.observe_stored stats level_sizes.(1);
+    finish_level ~level:1 ~subsets:n ~cover_max:!l1_cover_max ~used_domains:1
+  end;
+  (* The level loop: within a level every subset's cover depends only on
+     the memo entries of strictly smaller subsets, so the subsets of one
+     size are embarrassingly parallel and level boundaries are barriers.
+     Workers fill a per-subset slot; the coordinator merges the slots into
+     [memo] in increasing mask order, making the result bit-identical to
+     the sequential (domains = 1) run. *)
   for size = 2 to n do
-    let subsets = Bitset.subsets_of_size n ~size in
-    List.iter
-      (fun s ->
-        if Budget.exhausted tracker then gave_up := true
-        else begin
-          let best_plans = Cover.create ~dominates in
-          let extend ~require_connection =
-            Bitset.iter
-              (fun j ->
-                let s_j = Bitset.remove j s in
-                if
-                  (not require_connection)
-                  || Space.connects env s_j (Bitset.singleton j)
-                then
+    let subsets = Array.of_list (Bitset.subsets_of_size n ~size) in
+    let n_subsets = Array.length subsets in
+    let results : subset_result option array = Array.make n_subsets None in
+    let compute s =
+      let considered = ref 0 and generated = ref 0 in
+      let best_plans = Cover.create ~dominates in
+      let extend ~require_connection =
+        Bitset.iter
+          (fun j ->
+            let s_j = Bitset.remove j s in
+            if
+              (not require_connection)
+              || Space.connects env s_j (Bitset.singleton j)
+            then
+              List.iter
+                (fun p ->
+                  incr considered;
                   List.iter
-                    (fun p ->
-                      Search_stats.considered stats 1;
-                      List.iter
-                        (fun tree ->
-                          Search_stats.generated stats 1;
-                          Budget.tick tracker 1;
-                          let e = Cm.evaluate env tree in
-                          if admissible e then ignore (Cover.add best_plans e))
-                        (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j))
-                    memo.(Bitset.to_int s_j))
-              s
-          in
-          extend ~require_connection:true;
-          if Cover.size best_plans = 0 then extend ~require_connection:false;
-          Search_stats.observe_cover stats (Cover.size best_plans);
-          apply_beam best_plans;
-          level_sizes.(size) <- level_sizes.(size) + Cover.size best_plans;
-          memo.(Bitset.to_int s) <- Cover.elements best_plans
-        end)
-      subsets;
-    Search_stats.observe_stored stats level_sizes.(size)
+                    (fun tree ->
+                      incr generated;
+                      Budget.tick tracker 1;
+                      let e = Cm.evaluate env tree in
+                      if admissible e then ignore (Cover.add best_plans e))
+                    (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j))
+                memo.(Bitset.to_int s_j))
+          s
+      in
+      extend ~require_connection:true;
+      if Cover.size best_plans = 0 then extend ~require_connection:false;
+      let cover_pre = Cover.size best_plans in
+      apply_beam best_plans;
+      {
+        elements = Cover.elements best_plans;
+        considered = !considered;
+        generated = !generated;
+        cover_pre;
+      }
+    in
+    Domain_pool.run pool ~tasks:n_subsets (fun i ->
+        if not (Budget.exhausted tracker) then
+          results.(i) <- Some (compute subsets.(i)));
+    let cover_max = ref 0 in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | None -> gave_up := true
+        | Some r ->
+          Search_stats.considered stats r.considered;
+          Search_stats.generated stats r.generated;
+          Search_stats.observe_cover stats r.cover_pre;
+          if r.cover_pre > !cover_max then cover_max := r.cover_pre;
+          level_sizes.(size) <- level_sizes.(size) + List.length r.elements;
+          memo.(Bitset.to_int subsets.(i)) <- r.elements)
+      results;
+    Search_stats.observe_stored stats level_sizes.(size);
+    finish_level ~level:size ~subsets:n_subsets ~cover_max:!cover_max
+      ~used_domains:(min (Domain_pool.size pool) (max 1 n_subsets))
   done;
-  Search_stats.observe_stored stats level_sizes.(1);
   let cover = if n = 0 then [] else memo.(Bitset.to_int (Bitset.full n)) in
   let best =
     List.filter final_filter cover
@@ -98,7 +163,9 @@ let optimize ?(config = Space.default_config)
          (fun acc e ->
            match acc with
            | None -> Some e
-           | Some b -> if rank e < rank b then Some e else Some b)
+           | Some b ->
+             let c = Float.compare (rank e) (rank b) in
+             if c < 0 || (c = 0 && tie e b < 0) then Some e else Some b)
          None
   in
   { best; cover; stats; level_sizes; gave_up = !gave_up }

@@ -5,7 +5,15 @@
     the final answer is the best-ranked member of the cover for the full
     set.  An optional work cap (from {!Bounds}) prunes partial plans —
     work only grows along extensions, so the cap is admissible, and "in
-    fact cut[s] down the search space" (§6.4). *)
+    fact cut[s] down the search space" (§6.4).
+
+    The level loop is domain-parallel: a size-[k] subset's cover depends
+    only on size-[k-1] memo entries, so each level's subsets are
+    partitioned across a domain pool (levels are barriers) and the
+    per-subset covers are merged back in increasing mask order.  Exact
+    rank ties in beam pruning and final selection are broken by a stable
+    plan key, so the [domains > 1] result is bit-identical to the
+    sequential one. *)
 
 type result = {
   best : Parqo_cost.Costmodel.eval option;
@@ -25,6 +33,7 @@ val optimize :
   ?final_filter:(Parqo_cost.Costmodel.eval -> bool) ->
   ?max_cover:int ->
   ?budget:Budget.t ->
+  ?domains:int ->
   metric:Metric.t ->
   Parqo_cost.Env.t ->
   result
@@ -35,4 +44,11 @@ val optimize :
     trading the exactness of Figure 2 for scalability on metrics with
     many dimensions; [budget] (default unlimited) stops expanding
     subsets once exhausted and reports [gave_up] — access plans are
-    always generated, remaining subsets are skipped. *)
+    always generated, remaining subsets are skipped.
+
+    [domains] (default 1 — strictly sequential, no domain is spawned)
+    sizes the worker pool for the level loop.  With an unlimited budget
+    the result is bit-identical for every [domains] value; under a
+    budget the expansion counter is shared atomically, so the cap binds
+    globally but which subsets get skipped near exhaustion may differ
+    (an exhausted budget reports [gave_up] in every case). *)

@@ -1,16 +1,35 @@
+type level = {
+  level : int;
+  subsets : int;
+  stored : int;
+  cover_max : int;
+  wall_ms : float;
+  domains : int;
+}
+
 type t = {
   mutable considered : int;
   mutable generated : int;
   mutable stored_peak : int;
   mutable cover_max : int;
+  mutable levels : level list;  (* reverse recording order *)
 }
 
-let create () = { considered = 0; generated = 0; stored_peak = 0; cover_max = 0 }
+let create () =
+  { considered = 0; generated = 0; stored_peak = 0; cover_max = 0; levels = [] }
+
 let considered t n = t.considered <- t.considered + n
 let generated t n = t.generated <- t.generated + n
 let observe_stored t n = if n > t.stored_peak then t.stored_peak <- n
 let observe_cover t n = if n > t.cover_max then t.cover_max <- n
+let observe_level t l = t.levels <- l :: t.levels
+let levels t = List.rev t.levels
 
 let pp ppf t =
   Format.fprintf ppf "considered=%d generated=%d stored-peak=%d cover-max=%d"
     t.considered t.generated t.stored_peak t.cover_max
+
+let pp_level ppf l =
+  Format.fprintf ppf
+    "level=%d subsets=%d stored=%d cover-max=%d wall=%.2fms domains=%d"
+    l.level l.subsets l.stored l.cover_max l.wall_ms l.domains

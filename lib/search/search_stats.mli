@@ -1,7 +1,21 @@
 (** Instrumentation of the search algorithms, measured in the units of the
     paper's Table 1: "time complexity" is the number of plans considered
     (accessPlan/joinPlan invocations), "space complexity" the maximum
-    number of plans stored. *)
+    number of plans stored.
+
+    In addition to the global counters, the partial-order DP records one
+    {!level} entry per subset cardinality it completes, in level order —
+    the raw material for the parallel-search benchmark (per-level wall
+    time and the domain count that produced it). *)
+
+type level = {
+  level : int;  (** subset cardinality (1 = access plans) *)
+  subsets : int;  (** subsets processed at this level *)
+  stored : int;  (** plans stored across the level's cover sets *)
+  cover_max : int;  (** largest (pre-beam) cover set at this level *)
+  wall_ms : float;  (** wall-clock time spent on the level *)
+  domains : int;  (** domains that worked on the level *)
+}
 
 type t = {
   mutable considered : int;
@@ -14,6 +28,7 @@ type t = {
   mutable cover_max : int;
       (** largest cover set encountered (the paper's [k], bounded by
           [2^l] under Theorem 3) *)
+  mutable levels : level list;  (** internal; read via {!levels} *)
 }
 
 val create : unit -> t
@@ -28,4 +43,13 @@ val observe_stored : t -> int -> unit
 
 val observe_cover : t -> int -> unit
 
+val observe_level : t -> level -> unit
+(** Append a completed level's record.  Callers must observe levels in
+    increasing level order; {!levels} returns them in recording order. *)
+
+val levels : t -> level list
+(** Per-level records in the order they were observed. *)
+
 val pp : Format.formatter -> t -> unit
+
+val pp_level : Format.formatter -> level -> unit

@@ -42,7 +42,8 @@ let set_leaf idx ~clone tree =
   go tree
 
 let optimize ?(config = Space.default_config)
-    ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) (env : Env.t) =
+    ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) ?(domains = 1)
+    (env : Env.t) =
   let sequential_config =
     { config with Space.clone_degrees = [ 1 ]; materialize_choices = false }
   in
@@ -50,6 +51,7 @@ let optimize ?(config = Space.default_config)
   match phase1.Dp.best with
   | None -> { best = None; sequential = None; stats = phase1.Dp.stats; evaluated = 0 }
   | Some sequential ->
+    let pool = Parqo_util.Domain_pool.create ~domains in
     let evaluated = ref 0 in
     let eval tree =
       incr evaluated;
@@ -67,9 +69,14 @@ let optimize ?(config = Space.default_config)
     let keep e = if objective e < objective !best then best := e in
     if n_joins <= max_exhaustive_joins then begin
       (* exhaustive cross product over joins, then coordinate pass on
-         leaves (leaf degrees interact weakly with each other) *)
+         leaves (leaf degrees interact weakly with each other).  The
+         cross product is materialized and costed across the domain
+         pool; folding the per-slot results in enumeration order keeps
+         the winner identical to the sequential first-strictly-better
+         scan. *)
+      let assignments = ref [] in
       let rec assign_joins idx tree =
-        if idx >= n_joins then keep (eval tree)
+        if idx >= n_joins then assignments := tree :: !assignments
         else
           List.iter
             (fun (clone, materialize) ->
@@ -77,6 +84,12 @@ let optimize ?(config = Space.default_config)
             join_choices
       in
       assign_joins 0 tree;
+      let assignments = Array.of_list (List.rev !assignments) in
+      let evals = Array.map (fun _ -> None) assignments in
+      Parqo_util.Domain_pool.run pool ~tasks:(Array.length assignments)
+        (fun i -> evals.(i) <- Some (Cm.evaluate env assignments.(i)));
+      evaluated := !evaluated + Array.length assignments;
+      Array.iter (function Some e -> keep e | None -> ()) evals;
       let refined = ref !best in
       for leaf = 0 to n_leaves - 1 do
         List.iter

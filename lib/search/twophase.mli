@@ -24,6 +24,7 @@ type result = {
 val optimize :
   ?config:Space.config ->
   ?objective:(Parqo_cost.Costmodel.eval -> float) ->
+  ?domains:int ->
   Parqo_cost.Env.t ->
   result
 (** [config] bounds phase 2's annotation choices (clone degrees,
@@ -33,7 +34,12 @@ val optimize :
     cross product of per-join annotations exactly when the tree has at
     most {!max_exhaustive_joins} joins, and falls back to coordinate
     descent (optimize one join's annotation at a time to a fixed point)
-    beyond that. *)
+    beyond that.
+
+    [domains] (default 1) spreads the exhaustive enumeration's plan
+    costing across a domain pool; the chosen assignment is identical for
+    every pool size.  The coordinate-descent fallback is inherently
+    sequential and ignores [domains]. *)
 
 val max_exhaustive_joins : int
 (** 5: up to [(degrees × materialize)^5] assignments are enumerated. *)

@@ -55,11 +55,23 @@ let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
 
 let subsets_of_size n ~size =
   let all = full n in
-  let result = ref [] in
-  for mask = all downto 0 do
-    if subset mask all && cardinal mask = size then result := mask :: !result
-  done;
-  !result
+  if size < 0 then invalid_arg "Bitset.subsets_of_size";
+  if size = 0 then [ empty ]
+  else if size > n then []
+  else begin
+    (* Gosper's hack: from a size-k mask, the next larger size-k mask is
+       [r lor (((v lxor r) lsr 2) / c)] with [c] the lowest set bit and
+       [r = v + c] — O(C(n,k)) total instead of scanning all 2^n masks. *)
+    let rec loop v acc =
+      let acc = v :: acc in
+      let c = v land -v in
+      let r = v + c in
+      let v' = r lor (((v lxor r) lsr 2) / c) in
+      (* v' < v: the carry overflowed past the top bit — last subset *)
+      if v' > all || v' < v then List.rev acc else loop v' acc
+    in
+    loop ((1 lsl size) - 1) []
+  end
 
 let proper_nonempty_subsets s =
   (* Enumerate submasks of [s] with the standard (sub - 1) land s trick,

@@ -64,7 +64,8 @@ val exists : (int -> bool) -> t -> bool
 
 val subsets_of_size : int -> size:int -> t list
 (** [subsets_of_size n ~size] lists all subsets of [full n] with exactly
-    [size] elements, in increasing mask order. *)
+    [size] elements, in increasing mask order.  Enumerated with Gosper's
+    hack in O(C(n,size)) — no scan of the full 2^n mask space. *)
 
 val proper_nonempty_subsets : t -> t list
 (** All subsets of [s] that are neither empty nor [s] itself, in increasing

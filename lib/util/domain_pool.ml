@@ -1,0 +1,40 @@
+type t = { domains : int }
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  { domains }
+
+let size t = t.domains
+
+let run t ~tasks f =
+  if tasks < 0 then invalid_arg "Domain_pool.run: tasks < 0";
+  if t.domains = 1 || tasks <= 1 then
+    for i = 0 to tasks - 1 do
+      f i
+    done
+  else begin
+    (* Dynamic self-scheduling over a shared index: workers claim the next
+       task with an atomic fetch-and-add, so load imbalance between tasks
+       costs at most one task of idle time per worker.  Callers must write
+       results into per-task slots — which task runs on which domain is
+       not deterministic, only the task set is. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < tasks then begin
+          f i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init
+        (min (t.domains - 1) (tasks - 1))
+        (fun _ -> Domain.spawn worker)
+    in
+    (* the calling domain participates; join even if it raises so no
+       domain outlives the run *)
+    Fun.protect ~finally:(fun () -> Array.iter Domain.join spawned) worker
+  end

@@ -1,0 +1,29 @@
+(** A bounded pool of OCaml 5 domains for level-synchronous parallel
+    loops.
+
+    The optimizer's partial-order DP processes each subset size as one
+    parallel region: every task reads only state written by strictly
+    earlier regions, so {!run}'s return is a barrier.  Workers claim task
+    indices dynamically (atomic fetch-and-add); the caller stores each
+    task's output in a per-index slot and merges the slots afterwards in
+    index order, which makes the overall result independent of the
+    scheduling.
+
+    With [domains = 1] (or at most one task) {!run} degrades to a plain
+    sequential [for] loop on the calling domain — no domain is ever
+    spawned, so the default code path is exactly the pre-parallel one. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] sizes the pool: each {!run} uses the calling domain
+    plus at most [domains - 1] spawned workers.  Raises
+    [Invalid_argument] if [domains < 1]. *)
+
+val size : t -> int
+
+val run : t -> tasks:int -> (int -> unit) -> unit
+(** [run t ~tasks f] executes [f 0 .. f (tasks - 1)], each exactly once,
+    and returns when all are done (a barrier).  [f] must be safe to call
+    from any domain and must not assume any execution order.  Exceptions
+    raised by tasks are re-raised after all workers have been joined. *)

@@ -32,6 +32,45 @@ let subsets_of_size () =
   Alcotest.(check int) "distinct" 6
     (List.length (List.sort_uniq B.compare subsets))
 
+(* the pre-Gosper implementation: scan all 2^n masks, keep the size-k
+   ones in increasing mask order — the oracle the successor enumeration
+   must reproduce exactly *)
+let subsets_reference n size =
+  let popcount m =
+    let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+    go 0 m
+  in
+  let all = B.to_int (B.full n) in
+  let result = ref [] in
+  for mask = all downto 0 do
+    if popcount mask = size then result := B.of_int_unsafe mask :: !result
+  done;
+  !result
+
+let subsets_of_size_matches_reference () =
+  for n = 0 to 12 do
+    for size = 0 to n + 1 do
+      let got = B.subsets_of_size n ~size in
+      let want = subsets_reference n size in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d size=%d: same list" n size)
+        true
+        (List.length got = List.length want && List.for_all2 B.equal got want)
+    done
+  done
+
+let subsets_of_size_edges () =
+  Alcotest.(check (list (list int))) "size 0 = [empty]" [ [] ]
+    (List.map B.to_list (B.subsets_of_size 5 ~size:0));
+  Alcotest.(check int) "size > n is empty" 0
+    (List.length (B.subsets_of_size 3 ~size:4));
+  Alcotest.(check (list (list int))) "size = n = the full set" [ [ 0; 1; 2 ] ]
+    (List.map B.to_list (B.subsets_of_size 3 ~size:3));
+  Alcotest.(check (list (list int))) "n = 0" [ [] ]
+    (List.map B.to_list (B.subsets_of_size 0 ~size:0));
+  Alcotest.check_raises "negative size" (Invalid_argument "Bitset.subsets_of_size")
+    (fun () -> ignore (B.subsets_of_size 3 ~size:(-1)))
+
 let proper_subsets () =
   let s = B.of_list [ 0; 2; 5 ] in
   let subs = B.proper_nonempty_subsets s in
@@ -69,6 +108,8 @@ let suite =
       t "basics" basics;
       t "set algebra" set_algebra;
       t "subsets of size" subsets_of_size;
+      t "subsets of size = reference (n <= 12)" subsets_of_size_matches_reference;
+      t "subsets of size edge cases" subsets_of_size_edges;
       t "proper subsets" proper_subsets;
       t "errors" errors;
       prop_union_cardinal;

@@ -28,6 +28,25 @@ let tracker_accounting () =
   let timed = B.start (B.seconds 0.) in
   Alcotest.(check bool) "zero-second cap" true (B.exhausted timed)
 
+(* the time cap measures wall clock, not process CPU time: sleeping burns
+   the budget even though Sys.time barely advances (the pre-fix tracker
+   would not exhaust here, and under k domains it charged time k× over) *)
+let time_cap_is_wall_clock () =
+  let tr = B.start (B.seconds 0.05) in
+  Alcotest.(check bool) "fresh" false (B.exhausted tr);
+  Unix.sleepf 0.08;
+  Alcotest.(check bool) "sleep counts" true (B.exhausted tr);
+  Alcotest.(check bool) "elapsed >= slept" true (B.elapsed tr >= 0.05)
+
+(* concurrent ticks from worker domains must not lose updates *)
+let ticks_are_atomic () =
+  let tr = B.start B.unlimited in
+  let per_domain = 25_000 and n_domains = 4 in
+  let worker () = for _ = 1 to per_domain do B.tick tr 1 done in
+  let ds = Array.init n_domains (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no lost ticks" (per_domain * n_domains) (B.spent tr)
+
 (* Podp reports when it could not finish *)
 let podp_reports_gave_up () =
   let env = env_for 5 in
@@ -100,6 +119,8 @@ let suite =
   ( "search budget",
     [
       t "tracker accounting" tracker_accounting;
+      t "time cap is wall clock" time_cap_is_wall_clock;
+      t "ticks are atomic" ticks_are_atomic;
       t "podp reports gave-up" podp_reports_gave_up;
       t "tiny budget still plans" tiny_budget_still_plans;
       t "generous budget is exact" generous_budget_is_exact;

@@ -106,6 +106,28 @@ let two_dims_harmonic () =
     true
     (Float.abs (mean -. expected) < 0.6)
 
+(* constructed rank tie at the beam boundary: without a tie-break the
+   survivor depends on insertion order; with one it never does *)
+let trim_tie_break_deterministic () =
+  let incomparable _ _ = false in
+  let rank (_, r) = r in
+  let tie (a, _) (b, _) = String.compare a b in
+  let survivors order =
+    let c = C.create ~dominates:incomparable in
+    List.iter (fun x -> ignore (C.add c x)) order;
+    C.trim ~tie c ~keep:2 ~rank;
+    List.sort compare (C.elements c)
+  in
+  (* "a" and "b" tie at rank 1.0; only one fits beside "best" *)
+  let o1 = survivors [ ("a", 1.0); ("b", 1.0); ("best", 0.5) ] in
+  let o2 = survivors [ ("b", 1.0); ("a", 1.0); ("best", 0.5) ] in
+  Alcotest.(check (list (pair string (float 0.))))
+    "same survivors for both insertion orders" o1 o2;
+  Alcotest.(check (list (pair string (float 0.))))
+    "tie resolved toward the smaller key"
+    [ ("a", 1.0); ("best", 0.5) ]
+    o1
+
 let total_order_keeps_one () =
   (* l = 1: a total order; the cover collapses to the single best *)
   let rng = Parqo.Rng.create 3 in
@@ -123,5 +145,6 @@ let suite =
       t "coverage invariant" coverage_invariant;
       t "Theorem 3 Monte Carlo" theorem3_monte_carlo;
       t "2-dim harmonic cross-check" two_dims_harmonic;
+      t "trim tie-break deterministic" trim_tie_break_deterministic;
       t "total order keeps one" total_order_keeps_one;
     ] )

@@ -173,10 +173,102 @@ let cover_sizes_reasonable () =
       (beam.Cm.response_time <= exact.Cm.response_time *. 1.10 +. 1e-9)
   | _ -> Alcotest.fail "missing plan"
 
+let plan_str (e : Cm.eval) = Parqo.Join_tree.to_string e.Cm.tree
+
+let check_identical msg (a : Podp.result) (b : Podp.result) =
+  (match (a.Podp.best, b.Podp.best) with
+  | Some x, Some y ->
+    Alcotest.(check string) (msg ^ ": best plan") (plan_str x) (plan_str y);
+    Helpers.check_float (msg ^ ": best rt") x.Cm.response_time y.Cm.response_time
+  | None, None -> ()
+  | _ -> Alcotest.failf "%s: one run found a plan, the other did not" msg);
+  Alcotest.(check (list string))
+    (msg ^ ": cover")
+    (List.map plan_str a.Podp.cover)
+    (List.map plan_str b.Podp.cover);
+  Alcotest.(check (list int))
+    (msg ^ ": level sizes")
+    (Array.to_list a.Podp.level_sizes)
+    (Array.to_list b.Podp.level_sizes);
+  Alcotest.(check int) (msg ^ ": generated") a.Podp.stats.Stats.generated
+    b.Podp.stats.Stats.generated;
+  Alcotest.(check int) (msg ^ ": considered") a.Podp.stats.Stats.considered
+    b.Podp.stats.Stats.considered
+
+(* property: on random queries the domain-parallel search returns exactly
+   the sequential result — best plan, cover and level sizes (the
+   deterministic-merge contract of the level loop) *)
+let parallel_matches_sequential () =
+  let rng = Parqo.Rng.create 21 in
+  for _ = 1 to 4 do
+    let env = Helpers.random_env rng ~n:4 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let metric = metric_for env in
+    let seq = Podp.optimize ~config ~metric env in
+    List.iter
+      (fun k ->
+        let par = Podp.optimize ~config ~metric ~domains:k env in
+        check_identical (Printf.sprintf "domains=%d" k) seq par)
+      [ 2; 4 ]
+  done
+
+(* the beam path exercises the rank tie-break in Cover.trim; the pruned
+   choice must also be identical across domain counts *)
+let parallel_matches_sequential_beamed () =
+  let rng = Parqo.Rng.create 22 in
+  for _ = 1 to 2 do
+    let env = Helpers.random_env rng ~n:5 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let metric = metric_for env in
+    let seq = Podp.optimize ~config ~metric ~max_cover:4 env in
+    let par = Podp.optimize ~config ~metric ~max_cover:4 ~domains:4 env in
+    check_identical "beamed" seq par
+  done
+
+(* a starved budget reports gave_up no matter how many domains run *)
+let gave_up_consistent_across_domains () =
+  let env = env_of G.Chain 5 in
+  let metric = metric_for env in
+  List.iter
+    (fun k ->
+      let r =
+        Podp.optimize ~metric ~budget:(Parqo.Budget.expansions 1) ~domains:k env
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d gives up" k)
+        true r.Podp.gave_up)
+    [ 1; 2; 4 ]
+
+(* per-level stats are recorded in level order, level 1 (access plans)
+   first — the stored-size bookkeeping bug recorded level 1 last *)
+let level_stats_in_order () =
+  let env = env_of G.Chain 5 in
+  let r = Podp.optimize ~metric:(metric_for env) env in
+  let levels = Stats.levels r.Podp.stats in
+  Alcotest.(check (list int)) "levels 1..n in order" [ 1; 2; 3; 4; 5 ]
+    (List.map (fun (l : Stats.level) -> l.Stats.level) levels);
+  List.iter
+    (fun (l : Stats.level) ->
+      Alcotest.(check int)
+        (Printf.sprintf "level %d stored matches level_sizes" l.Stats.level)
+        r.Podp.level_sizes.(l.Stats.level)
+        l.Stats.stored;
+      Alcotest.(check bool)
+        (Printf.sprintf "level %d wall time non-negative" l.Stats.level)
+        true
+        (l.Stats.wall_ms >= 0.))
+    levels;
+  Alcotest.(check (list int)) "subset counts are C(5,k)" [ 5; 10; 10; 5; 1 ]
+    (List.map (fun (l : Stats.level) -> l.Stats.subsets) levels)
+
 let suite =
   ( "podp",
     [
       t "finds plans" finds_plans;
+      t "parallel matches sequential" parallel_matches_sequential;
+      t "parallel matches sequential (beamed)" parallel_matches_sequential_beamed;
+      t "gave-up consistent across domains" gave_up_consistent_across_domains;
+      t "level stats in order" level_stats_in_order;
       t "final cover incomparable" final_cover_incomparable;
       t "no worse than naive RT DP" no_worse_than_rt_dp;
       t "optimal vs brute (delta=0)" optimal_vs_brute_delta0;
