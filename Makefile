@@ -1,4 +1,4 @@
-.PHONY: all smoke test bench bench-search bench-search-smoke clean
+.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke clean
 
 all:
 	dune build @all
@@ -21,6 +21,20 @@ bench-search:
 # same experiment shrunk for CI gates (one small workload, domains 1-2)
 bench-search-smoke:
 	PARQO_SMOKE=1 dune exec bench/main.exe -- --only e17
+
+# incremental-costing micro-bench: cached vs uncached PODP, identity
+# checked, writes BENCH_cost.json (full: chain-8 and star-8)
+bench-cost:
+	dune exec bench/main.exe -- --only e18
+
+# same experiment shrunk for CI gates (chain-5, one repeat)
+bench-cost-smoke:
+	PARQO_SMOKE=1 dune exec bench/main.exe -- --only e18
+
+# the CI gate: full test suite plus the smoke micro-bench (which asserts
+# cached-vs-uncached bit-identity end to end)
+ci:
+	dune build @all && dune runtest && $(MAKE) bench-cost-smoke
 
 clean:
 	dune clean

@@ -1,0 +1,156 @@
+(* E18 — incremental costing in the PODP hot path.
+
+   Runs the sequential (domains = 1) partial-order DP search with the
+   sub-plan cache on and off, on the same workloads E17 sweeps, and
+   verifies along the way that both runs return exactly the same best
+   plan, cover, level sizes and expansion counts (the bit-identity
+   contract of Costmodel.evaluate_cached).  Wall-clock is the minimum
+   over repeats; results go to BENCH_cost.json.
+
+   PARQO_SMOKE=1 shrinks the sweep (one small workload, one repeat) so
+   CI gates stay fast. *)
+
+module T = Parqo.Tableau
+module Cm = Parqo.Costmodel
+module Stats = Parqo.Search_stats
+
+let smoke = Sys.getenv_opt "PARQO_SMOKE" <> None
+
+let plan_string (e : Cm.eval) = Parqo.Join_tree.to_string e.Cm.tree
+
+type run = {
+  workload : string;
+  n_relations : int;
+  plan_cache : bool;
+  wall_ms : float;
+  speedup : float;  (** uncached wall / this wall *)
+  plans_expanded : int;
+  us_per_plan : float;
+}
+
+let json_of_run r =
+  Printf.sprintf
+    "  {\"workload\": %S, \"n_relations\": %d, \"plan_cache\": %b, \
+     \"wall_ms\": %.3f, \"speedup\": %.3f, \"plans_expanded\": %d, \
+     \"us_per_plan\": %.3f}"
+    r.workload r.n_relations r.plan_cache r.wall_ms r.speedup r.plans_expanded
+    r.us_per_plan
+
+let write_json path runs =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\"schema\": [\"workload\", \"n_relations\", \"plan_cache\", \
+     \"wall_ms\", \"speedup\", \"plans_expanded\", \"us_per_plan\"],\n\
+     \"cores\": %d,\n\"smoke\": %b,\n\"runs\": [\n%s\n]}\n"
+    (Domain.recommended_domain_count ())
+    smoke
+    (String.concat ",\n" (List.map json_of_run runs));
+  close_out oc
+
+(* the E17 configuration: beam cap 8, parallel space, sequential loop *)
+let optimize ~plan_cache env =
+  let config = Parqo.Space.parallel_config env.Parqo.Env.machine in
+  let metric = Parqo.Optimizer.default_metric env in
+  Parqo.Podp.optimize ~config ~metric ~max_cover:8 ~domains:1 ~plan_cache env
+
+let check_identical name (base : Parqo.Podp.result) (r : Parqo.Podp.result) =
+  let plan_of (res : Parqo.Podp.result) =
+    match res.Parqo.Podp.best with Some e -> plan_string e | None -> "<none>"
+  in
+  let same_best = String.equal (plan_of base) (plan_of r) in
+  let same_cover =
+    List.length base.Parqo.Podp.cover = List.length r.Parqo.Podp.cover
+    && List.for_all2
+         (fun a b -> String.equal (plan_string a) (plan_string b))
+         base.Parqo.Podp.cover r.Parqo.Podp.cover
+  in
+  let same_levels = base.Parqo.Podp.level_sizes = r.Parqo.Podp.level_sizes in
+  let same_counts =
+    base.Parqo.Podp.stats.Stats.generated = r.Parqo.Podp.stats.Stats.generated
+    && base.Parqo.Podp.stats.Stats.considered
+       = r.Parqo.Podp.stats.Stats.considered
+  in
+  if not (same_best && same_cover && same_levels && same_counts) then
+    failwith
+      (Printf.sprintf
+         "E18: %s cached result diverged from uncached (best %b cover %b \
+          levels %b counts %b)"
+         name same_best same_cover same_levels same_counts)
+
+let time_run ~repeats ~plan_cache env =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = optimize ~plan_cache env in
+    let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let run () =
+  Common.header "E18 — incremental costing (sub-plan cache) in PODP"
+    [
+      "Sequential PODP with Costmodel.evaluate_cached on vs off: every";
+      "extension grafts the memoized outer sub-plan's expansion and pipes";
+      "its descriptor, so only the new root operators are costed.  Both";
+      "runs are checked bit-identical (plan, cover, levels, counts).";
+      (if smoke then "[smoke mode]" else "");
+    ];
+  let workloads =
+    if smoke then [ (Parqo.Query_gen.Chain, 5) ]
+    else [ (Parqo.Query_gen.Chain, 8); (Parqo.Query_gen.Star, 8) ]
+  in
+  let repeats = 1 in
+  let tbl =
+    T.create ~title:"P18. PODP wall time, cached vs uncached costing"
+      ~columns:
+        [
+          ("workload", T.Left);
+          ("n", T.Right);
+          ("cache", T.Left);
+          ("wall ms", T.Right);
+          ("speedup", T.Right);
+          ("expanded", T.Right);
+          ("us/plan", T.Right);
+        ]
+  in
+  let runs = ref [] in
+  List.iter
+    (fun (shape, n) ->
+      let name = Parqo.Query_gen.shape_to_string shape in
+      let env = Common.shape_env ~nodes:4 shape n in
+      let off, off_ms = time_run ~repeats ~plan_cache:false env in
+      let on, on_ms = time_run ~repeats ~plan_cache:true env in
+      check_identical name off on;
+      List.iter
+        (fun (plan_cache, r, wall_ms) ->
+          let expanded = (r : Parqo.Podp.result).Parqo.Podp.stats.Stats.generated in
+          let row =
+            {
+              workload = name;
+              n_relations = n;
+              plan_cache;
+              wall_ms;
+              speedup = off_ms /. wall_ms;
+              plans_expanded = expanded;
+              us_per_plan = wall_ms *. 1000. /. float_of_int (max 1 expanded);
+            }
+          in
+          runs := row :: !runs;
+          T.add_row tbl
+            [
+              name;
+              Common.celli n;
+              (if plan_cache then "on" else "off");
+              Common.cell ~decimals:1 wall_ms;
+              Common.cell ~decimals:2 row.speedup;
+              Common.celli expanded;
+              Common.cell ~decimals:2 row.us_per_plan;
+            ])
+        [ (false, off, off_ms); (true, on, on_ms) ])
+    workloads;
+  T.print tbl;
+  write_json "BENCH_cost.json" (List.rev !runs);
+  Printf.printf "wrote BENCH_cost.json (%d runs)\n\n" (List.length !runs)

@@ -26,6 +26,7 @@ let experiments =
     ("e15", Exp_robustness.run);
     ("e16", Exp_faults.run);
     ("e17", Exp_parsearch.run);
+    ("e18", Exp_cost.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

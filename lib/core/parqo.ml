@@ -27,6 +27,7 @@ module Statsu = Parqo_util.Statsu
 module Pqueue = Parqo_util.Pqueue
 module Parqo_error = Parqo_util.Parqo_error
 module Domain_pool = Parqo_util.Domain_pool
+module Plan_cache = Parqo_util.Plan_cache
 
 (* machine *)
 module Resource = Parqo_machine.Resource

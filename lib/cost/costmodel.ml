@@ -1,5 +1,7 @@
 module Op = Parqo_optree.Op
 module P = Parqo_plan
+module Plan_cache = Parqo_util.Plan_cache
+module Bitset = Parqo_util.Bitset
 
 type eval = {
   tree : P.Join_tree.t;
@@ -10,25 +12,35 @@ type eval = {
   ordering : P.Ordering.t;
 }
 
-let of_optree (env : Env.t) root =
+let rec reuse_find node = function
+  | [] -> None
+  | (k, d) :: rest -> if k == node then Some d else reuse_find node rest
+
+let of_optree ?(reuse = []) (env : Env.t) root =
   let p = env.dparams in
   let rec descr (node : Op.node) =
-    let base = Opcost.base env.machine env.estimator node in
-    let combined =
-      match node.Op.children with
-      | [] -> base
-      | [ c ] -> Descriptor.pipe p (descr c) base
-      | [ l; r ] ->
-        if Opcost.nl_inner_is_free node then
-          (* the inner index is probed, not scanned: only the outer feeds
-             the pipeline, probing cost is in [base] *)
-          Descriptor.pipe p (descr l) base
-        else Descriptor.tree p (descr l) (descr r) base
-      | _ -> invalid_arg "Costmodel: operator with more than two children"
-    in
-    match node.Op.composition with
-    | Op.Materialized -> Descriptor.sync combined
-    | Op.Pipelined -> combined
+    (* [reuse] holds grafted sub-trees (matched physically) whose
+       descriptors were computed by this same recursion earlier — the
+       incremental path stops here instead of re-walking them *)
+    match reuse_find node reuse with
+    | Some d -> d
+    | None -> (
+      let base = Opcost.base env.machine env.estimator node in
+      let combined =
+        match node.Op.children with
+        | [] -> base
+        | [ c ] -> Descriptor.pipe p (descr c) base
+        | [ l; r ] ->
+          if Opcost.nl_inner_is_free node then
+            (* the inner index is probed, not scanned: only the outer feeds
+               the pipeline, probing cost is in [base] *)
+            Descriptor.pipe p (descr l) base
+          else Descriptor.tree p (descr l) (descr r) base
+        | _ -> invalid_arg "Costmodel: operator with more than two children"
+      in
+      match node.Op.composition with
+      | Op.Materialized -> Descriptor.sync combined
+      | Op.Pipelined -> combined)
   in
   descr root
 
@@ -67,19 +79,7 @@ let add_final_sort (root : Op.node) key =
     out_width = merged.Op.out_width;
   }
 
-let evaluate ?(required_order = P.Ordering.none) (env : Env.t) tree =
-  let optree =
-    Parqo_optree.Expand.expand ~config:env.expand_config env.estimator tree
-  in
-  let ordering = P.Props.ordering (Env.query env) tree in
-  let optree =
-    if
-      required_order <> P.Ordering.none
-      && not (P.Ordering.satisfies ordering required_order)
-    then add_final_sort optree required_order
-    else optree
-  in
-  let descriptor = of_optree env optree in
+let of_descriptor ~tree ~optree ~ordering descriptor =
   {
     tree;
     optree;
@@ -88,6 +88,108 @@ let evaluate ?(required_order = P.Ordering.none) (env : Env.t) tree =
     work = Descriptor.work descriptor;
     ordering;
   }
+
+(* add the ORDER BY sort on top of an already-costed plan; the sort (and
+   merge) descriptors pipe onto the root's, exactly as a from-scratch
+   [of_optree] over the extended tree would compute them *)
+let with_final_sort (env : Env.t) required e =
+  let optree = add_final_sort e.optree required in
+  let descriptor = of_optree ~reuse:[ (e.optree, e.descriptor) ] env optree in
+  of_descriptor ~tree:e.tree ~optree ~ordering:e.ordering descriptor
+
+let evaluate ?(required_order = P.Ordering.none) (env : Env.t) tree =
+  let optree =
+    Parqo_optree.Expand.expand ~config:env.expand_config env.estimator tree
+  in
+  let ordering = P.Props.ordering (Env.query env) tree in
+  let e = of_descriptor ~tree ~optree ~ordering (of_optree env optree) in
+  if
+    required_order <> P.Ordering.none
+    && not (P.Ordering.satisfies ordering required_order)
+  then with_final_sort env required_order e
+  else e
+
+(* ---------------------------------------------------------------- *)
+(* Incremental costing (the PODP hot path).
+
+   The partial-order DP only ever evaluates joins of sub-plans whose
+   covers it already memoized, so the cache stores one entry per
+   remembered sub-plan — keyed by the tree's interned canonical key —
+   holding its expansion, descriptor and output ordering.  Evaluating a
+   join of two cached children then costs O(new root operators): the
+   child expansions are grafted under the new root operators
+   (Expand.expand_join), the new operators' descriptors pipe onto the
+   cached child descriptors (of_optree ~reuse), and only the node-id
+   renumbering walks the whole tree.  Every arithmetic operation runs on
+   the same values in the same order as the uncached path, so the result
+   is bit-identical.
+
+   Domain safety follows the Estimator memo pattern: the store is a
+   mutex-guarded table whose values are pure functions of the key, so
+   racing writers are benign.  [remember_all] suits annotation search
+   (two-phase), where revisited sub-trees are the common case; the DP
+   instead remembers exactly its memoized covers plus the access-plan
+   leaves, keeping the cache's footprint at the memo's size rather than
+   one entry per candidate. *)
+
+type cache = { store : eval Plan_cache.t; remember_all : bool }
+
+let create_cache ?(remember_all = false) () =
+  { store = Plan_cache.create (); remember_all }
+
+let remember cache e = Plan_cache.remember cache.store (P.Join_tree.key e.tree) e
+
+let cache_stats cache =
+  (Plan_cache.hits cache.store, Plan_cache.misses cache.store,
+   Plan_cache.length cache.store)
+
+let rec evaluate_sub cache (env : Env.t) (tree : P.Join_tree.t) =
+  match Plan_cache.find cache.store (P.Join_tree.key tree) with
+  | Some e -> e
+  | None ->
+    let e =
+      match tree with
+      | P.Join_tree.Access _ -> evaluate env tree
+      | P.Join_tree.Join j ->
+        let oe = evaluate_sub cache env j.outer in
+        let ie = evaluate_sub cache env j.inner in
+        (* children are well-formed (their own evaluation checked them);
+           the combination is iff their leaf sets are disjoint *)
+        if not (Bitset.disjoint (P.Join_tree.relations j.outer)
+                  (P.Join_tree.relations j.inner))
+        then invalid_arg "Costmodel: relation used more than once";
+        let root =
+          Parqo_optree.Expand.expand_join ~config:env.expand_config
+            env.estimator j ~outer:oe.optree ~inner:ie.optree
+            ~outer_ordering:(lazy oe.ordering)
+            ~inner_ordering:(lazy ie.ordering)
+        in
+        let descriptor =
+          of_optree
+            ~reuse:[ (oe.optree, oe.descriptor); (ie.optree, ie.descriptor) ]
+            env root
+        in
+        let optree = Parqo_optree.Expand.renumber root in
+        let ordering =
+          P.Props.ordering_of_join (Env.query env) j
+            ~outer:(fun () -> oe.ordering)
+        in
+        of_descriptor ~tree ~optree ~ordering descriptor
+    in
+    let keep =
+      cache.remember_all
+      || (match tree with P.Join_tree.Access _ -> true | P.Join_tree.Join _ -> false)
+    in
+    if keep then remember cache e;
+    e
+
+let evaluate_cached ?(required_order = P.Ordering.none) cache env tree =
+  let e = evaluate_sub cache env tree in
+  if
+    required_order <> P.Ordering.none
+    && not (P.Ordering.satisfies e.ordering required_order)
+  then with_final_sort env required_order e
+  else e
 
 let response_time env tree = (evaluate env tree).response_time
 let work env tree = (evaluate env tree).work

@@ -14,12 +14,21 @@ type eval = {
     expansion, the resource descriptor, and the derived response time,
     total work and output ordering. *)
 
-val of_optree : Env.t -> Parqo_optree.Op.node -> Descriptor.t
+val of_optree :
+  ?reuse:(Parqo_optree.Op.node * Descriptor.t) list ->
+  Env.t ->
+  Parqo_optree.Op.node ->
+  Descriptor.t
 (** Cost of an operator tree: leaves get their base descriptors; a unary
     node pipes its child into itself; a binary node combines its children
     with [tree]; a [Materialized] composition applies [sync].  A nested-
     loops join over a bare index scan absorbs the probing cost (see
-    {!Opcost.nl_inner_is_free}). *)
+    {!Opcost.nl_inner_is_free}).
+
+    [reuse] short-circuits the recursion at sub-trees (matched by
+    physical identity) whose descriptors are already known — the
+    incremental path of {!evaluate_cached} passes the grafted children
+    here so only the new root operators are costed. *)
 
 val evaluate :
   ?required_order:Parqo_plan.Ordering.t -> Env.t -> Parqo_plan.Join_tree.t -> eval
@@ -34,6 +43,41 @@ val evaluate :
 
 val required_order : Env.t -> Parqo_plan.Ordering.t
 (** The query's ORDER BY as an ordering (empty when absent). *)
+
+(** {2 Incremental costing}
+
+    A domain-safe sub-plan cache keyed by {!Parqo_plan.Join_tree.key}.
+    {!evaluate_cached} evaluates a join of cached children in O(new root
+    operators): the cached child expansions are grafted unchanged, the
+    new operators' descriptors pipe onto the cached child descriptors,
+    and the result is bit-identical to {!evaluate} (same arithmetic on
+    the same values in the same order). *)
+
+type cache
+
+val create_cache : ?remember_all:bool -> unit -> cache
+(** Access-plan leaves are always remembered on miss.  Join evaluations
+    are remembered only when [remember_all] is set (suits annotation
+    search, where sub-trees recur across variants) or via an explicit
+    {!remember} (the DP remembers exactly its memoized covers, bounding
+    the cache at the memo's size rather than one entry per candidate). *)
+
+val evaluate_cached :
+  ?required_order:Parqo_plan.Ordering.t ->
+  cache ->
+  Env.t ->
+  Parqo_plan.Join_tree.t ->
+  eval
+(** Like {!evaluate}, reusing cached sub-plan evaluations.  Raises
+    [Invalid_argument] when a relation appears on both sides of a join;
+    sub-trees not in the cache are checked by their own evaluation. *)
+
+val remember : cache -> eval -> unit
+(** Insert an evaluation under its plan's key (idempotent; values are
+    pure functions of the key, so races between domains are benign). *)
+
+val cache_stats : cache -> int * int * int
+(** [(hits, misses, entries)]. *)
 
 val response_time : Env.t -> Parqo_plan.Join_tree.t -> float
 

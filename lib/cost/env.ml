@@ -1,8 +1,12 @@
+module Q = Parqo_query.Query
+module Bitset = Parqo_util.Bitset
+
 type t = {
   machine : Parqo_machine.Machine.t;
   estimator : Parqo_plan.Estimator.t;
   expand_config : Parqo_optree.Expand.config;
   dparams : Descriptor.params;
+  adjacency : Bitset.t array;
 }
 
 let create ?(expand_config = Parqo_optree.Expand.default_config) ~machine
@@ -12,8 +16,13 @@ let create ?(expand_config = Parqo_optree.Expand.default_config) ~machine
     estimator = Parqo_plan.Estimator.create catalog query;
     expand_config;
     dparams = Descriptor.of_machine machine;
+    adjacency = Array.init (Q.n_relations query) (Q.neighbors query);
   }
 
 let query t = Parqo_plan.Estimator.query t.estimator
 let catalog t = Parqo_plan.Estimator.catalog t.estimator
 let n_relations t = Parqo_query.Query.n_relations (query t)
+let neighbors t rel = t.adjacency.(rel)
+
+let connects t s1 s2 =
+  Bitset.exists (fun r -> not (Bitset.disjoint t.adjacency.(r) s2)) s1

@@ -7,6 +7,9 @@ type t = {
   estimator : Parqo_plan.Estimator.t;
   expand_config : Parqo_optree.Expand.config;
   dparams : Descriptor.params;
+  adjacency : Parqo_util.Bitset.t array;
+      (** per-relation join-graph adjacency, precomputed once so the
+          search's connectivity probes never rescan the predicate list *)
 }
 
 val create :
@@ -25,3 +28,10 @@ val query : t -> Parqo_query.Query.t
 val catalog : t -> Parqo_catalog.Catalog.t
 
 val n_relations : t -> int
+
+val neighbors : t -> int -> Parqo_util.Bitset.t
+(** Relations joined to the given one — O(1), precomputed. *)
+
+val connects : t -> Parqo_util.Bitset.t -> Parqo_util.Bitset.t -> bool
+(** Some join predicate crosses the two sets — an adjacency-bitset probe,
+    O(|s1|) with early exit, never a scan of the predicate list. *)

@@ -28,3 +28,34 @@ val expand :
   ?config:config -> Parqo_plan.Estimator.t -> Parqo_plan.Join_tree.t -> Op.node
 (** Raises [Invalid_argument] if the join tree is not well-formed for the
     estimator's query. *)
+
+val expand_access : Parqo_plan.Estimator.t -> Parqo_plan.Join_tree.access -> Op.node
+(** The scan node for one access leaf (id 0; see {!renumber}). *)
+
+val expand_join :
+  ?config:config ->
+  Parqo_plan.Estimator.t ->
+  Parqo_plan.Join_tree.join ->
+  outer:Op.node ->
+  inner:Op.node ->
+  outer_ordering:Parqo_plan.Ordering.t Lazy.t ->
+  inner_ordering:Parqo_plan.Ordering.t Lazy.t ->
+  Op.node
+(** Expand one join over already-expanded children: the new root
+    operators (join, and any exchange / sort / build / create-index the
+    annotations require) are built on top of the given child operator
+    trees, which are grafted unchanged.  [outer_ordering] and
+    [inner_ordering] are the children's join-tree output orderings
+    ({!Parqo_plan.Props.ordering}), forced only when the sort-merge
+    sort-elision check needs them — incremental costing passes memoized
+    values, the full {!expand} passes lazy recomputations.
+
+    New nodes carry id 0; callers that need the canonical preorder ids of
+    {!expand} must {!renumber} the final tree.  Well-formedness of the
+    combination is the caller's responsibility. *)
+
+val renumber : Op.node -> Op.node
+(** Rewrite node ids to a preorder numbering from 0 — the id assignment
+    {!expand} performs.  Ids depend only on the tree shape, so grafting
+    already-renumbered subtrees and renumbering the result reproduces a
+    from-scratch expansion exactly. *)

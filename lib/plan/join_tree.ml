@@ -1,6 +1,6 @@
 module Bitset = Parqo_util.Bitset
 
-type access = { rel : int; path : Access_path.t; clone : int }
+type access = { rel : int; path : Access_path.t; clone : int; akey : string }
 
 type join = {
   method_ : Join_method.t;
@@ -8,21 +8,48 @@ type join = {
   inner : t;
   clone : int;
   materialize : bool;
+  jkey : string;
+  jrels : Bitset.t;
 }
 
 and t = Access of access | Join of join
 
+let method_abbrev = function
+  | Join_method.Nested_loops -> "NL"
+  | Join_method.Sort_merge -> "SM"
+  | Join_method.Hash_join -> "HJ"
+
+(* The canonical rendering doubles as the plan's identity: the search
+   breaks rank ties with it and the plan cache keys on it, so it is
+   hash-consed bottom-up at construction (a join's key concatenates its
+   children's keys) instead of being re-rendered on every comparison. *)
+let key = function Access a -> a.akey | Join j -> j.jkey
+
+let relations = function Access a -> Bitset.singleton a.rel | Join j -> j.jrels
+
+let access_key ~path ~clone rel =
+  let base =
+    match path with
+    | Access_path.Seq_scan -> Printf.sprintf "scan(r%d)" rel
+    | Access_path.Index_scan i ->
+      Printf.sprintf "idx(r%d:%s)" rel i.Parqo_catalog.Index.name
+  in
+  if clone > 1 then Printf.sprintf "%s/%d" base clone else base
+
 let access ?(path = Access_path.Seq_scan) ?(clone = 1) rel =
   if clone < 1 then invalid_arg "Join_tree.access: clone < 1";
-  Access { rel; path; clone }
+  Access { rel; path; clone; akey = access_key ~path ~clone rel }
 
 let join ?(clone = 1) ?(materialize = false) method_ ~outer ~inner =
   if clone < 1 then invalid_arg "Join_tree.join: clone < 1";
-  Join { method_; outer; inner; clone; materialize }
-
-let rec relations = function
-  | Access a -> Bitset.singleton a.rel
-  | Join j -> Bitset.union (relations j.outer) (relations j.inner)
+  let jkey =
+    Printf.sprintf "%s%s%s(%s, %s)" (method_abbrev method_)
+      (if clone > 1 then Printf.sprintf "/%d" clone else "")
+      (if materialize then "!" else "")
+      (key outer) (key inner)
+  in
+  let jrels = Bitset.union (relations outer) (relations inner) in
+  Join { method_; outer; inner; clone; materialize; jkey; jrels }
 
 let rec n_leaves = function
   | Access _ -> 1
@@ -73,24 +100,6 @@ let well_formed ~n_relations t =
   then Error "clone degree < 1"
   else Ok ()
 
-let method_abbrev = function
-  | Join_method.Nested_loops -> "NL"
-  | Join_method.Sort_merge -> "SM"
-  | Join_method.Hash_join -> "HJ"
-
-let rec to_string = function
-  | Access a ->
-    let base =
-      match a.path with
-      | Access_path.Seq_scan -> Printf.sprintf "scan(r%d)" a.rel
-      | Access_path.Index_scan i ->
-        Printf.sprintf "idx(r%d:%s)" a.rel i.Parqo_catalog.Index.name
-    in
-    if a.clone > 1 then Printf.sprintf "%s/%d" base a.clone else base
-  | Join j ->
-    Printf.sprintf "%s%s%s(%s, %s)" (method_abbrev j.method_)
-      (if j.clone > 1 then Printf.sprintf "/%d" j.clone else "")
-      (if j.materialize then "!" else "")
-      (to_string j.outer) (to_string j.inner)
+let to_string = key
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

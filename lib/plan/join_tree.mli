@@ -10,6 +10,7 @@ type access = {
   rel : int;  (** relation id in the query *)
   path : Access_path.t;
   clone : int;  (** degree of intra-operator parallelism, >= 1 *)
+  akey : string;  (** precomputed canonical key; use {!key} *)
 }
 
 type join = {
@@ -21,9 +22,17 @@ type join = {
       (** force the join's output to be materialized instead of pipelined
           into its parent — trades pipeline parallelism for freedom from
           the synchronization penalty delta(k) *)
+  jkey : string;  (** precomputed canonical key; use {!key} *)
+  jrels : Parqo_util.Bitset.t;  (** precomputed leaf set; use {!relations} *)
 }
 
 and t = Access of access | Join of join
+(** The key and relation-set fields are hash-consed by the smart
+    constructors (a join derives them from its children in O(1) extra
+    work), which is what makes {!key}, {!relations} and plan-cache
+    lookups cheap in the search hot path.  Always build trees through
+    {!access} and {!join} — never by record syntax or [{ j with ... }],
+    which would carry a stale key past a child replacement. *)
 
 val access : ?path:Access_path.t -> ?clone:int -> int -> t
 (** [path] defaults to [Seq_scan], [clone] to 1. *)
@@ -32,7 +41,12 @@ val join :
   ?clone:int -> ?materialize:bool -> Join_method.t -> outer:t -> inner:t -> t
 
 val relations : t -> Parqo_util.Bitset.t
-(** Set of relation ids at the leaves. *)
+(** Set of relation ids at the leaves — O(1), precomputed. *)
+
+val key : t -> string
+(** The precomputed canonical rendering (same string as {!to_string}) —
+    O(1).  Injective for trees over one catalog, so it is a sound cache
+    key and deterministic tie-breaker. *)
 
 val n_leaves : t -> int
 

@@ -18,15 +18,22 @@ let sort_key_inner query (j : Join_tree.join) =
   let inner = Join_tree.relations j.inner in
   List.map (fun p -> Ordering.of_join_pred_side (side_in inner p)) (join_preds query j)
 
+(* The output ordering of a join depends on its own annotations plus —
+   only for the order-preserving methods — the outer child's ordering,
+   supplied as a thunk so incremental costing can feed the memoized value
+   instead of re-walking the subtree. *)
+let ordering_of_join query (j : Join_tree.join) ~outer =
+  if j.clone > 1 then Ordering.none
+  else
+    match j.method_ with
+    | Join_method.Sort_merge -> sort_key_outer query j
+    | Join_method.Hash_join | Join_method.Nested_loops -> outer ()
+
 let rec ordering query = function
   | Join_tree.Access a ->
     if a.clone > 1 then Ordering.none else Access_path.ordering ~rel:a.rel a.path
   | Join_tree.Join j ->
-    if j.clone > 1 then Ordering.none
-    else (
-      match j.method_ with
-      | Join_method.Sort_merge -> sort_key_outer query j
-      | Join_method.Hash_join | Join_method.Nested_loops -> ordering query j.outer)
+    ordering_of_join query j ~outer:(fun () -> ordering query j.outer)
 
 let partition_column query = function
   | Join_tree.Access _ -> None

@@ -16,6 +16,16 @@ val sort_key_outer : Parqo_query.Query.t -> Join_tree.join -> Ordering.t
 
 val sort_key_inner : Parqo_query.Query.t -> Join_tree.join -> Ordering.t
 
+val ordering_of_join :
+  Parqo_query.Query.t ->
+  Join_tree.join ->
+  outer:(unit -> Ordering.t) ->
+  Ordering.t
+(** One step of {!ordering}: the join's output ordering given its outer
+    child's ordering as a thunk (forced only for the order-preserving
+    methods).  Incremental costing passes the memoized child ordering
+    here instead of re-walking the subtree. *)
+
 val ordering : Parqo_query.Query.t -> Join_tree.t -> Ordering.t
 (** Output ordering: access paths yield their index order; sort-merge
     yields the outer sort key; hash and nested-loops joins preserve the

@@ -11,6 +11,8 @@ type t = {
   selections : selection list;
   projection : column_ref list;
   order_by : column_ref list;
+  alias_ids : (string, int) Hashtbl.t;
+  neighbor_masks : Bitset.t array;
 }
 
 let create ~relations ~joins ?(selections = []) ?(projection = [])
@@ -33,26 +35,48 @@ let create ~relations ~joins ?(selections = []) ?(projection = [])
   List.iter (fun (s : selection) -> check_ref "selection" s.on) selections;
   List.iter (fun c -> check_ref "projection" c) projection;
   List.iter (fun c -> check_ref "order by" c) order_by;
-  { relations = Array.of_list relations; joins; selections; projection; order_by }
+  (* lookup structures for the search hot path: alias resolution and the
+     per-relation join-graph adjacency, both asked for per candidate *)
+  let alias_ids = Hashtbl.create (max 8 n) in
+  List.iteri (fun i (a, _) -> Hashtbl.replace alias_ids a i) relations;
+  let neighbor_masks = Array.make (max 1 n) Bitset.empty in
+  List.iter
+    (fun (j : join_pred) ->
+      neighbor_masks.(j.left.rel) <-
+        Bitset.add j.right.rel neighbor_masks.(j.left.rel);
+      neighbor_masks.(j.right.rel) <-
+        Bitset.add j.left.rel neighbor_masks.(j.right.rel))
+    joins;
+  {
+    relations = Array.of_list relations;
+    joins;
+    selections;
+    projection;
+    order_by;
+    alias_ids;
+    neighbor_masks;
+  }
 
 let n_relations q = Array.length q.relations
 let alias q i = fst q.relations.(i)
 let table_name q i = snd q.relations.(i)
 
 let relation_id q a =
-  let rec find i =
-    if i >= Array.length q.relations then raise Not_found
-    else if fst q.relations.(i) = a then i
-    else find (i + 1)
-  in
-  find 0
+  match Hashtbl.find_opt q.alias_ids a with
+  | Some i -> i
+  | None -> raise Not_found
+
+let connected_between q s1 s2 =
+  Bitset.exists (fun r -> not (Bitset.disjoint q.neighbor_masks.(r) s2)) s1
 
 let joins_between q s1 s2 =
-  List.filter
-    (fun (j : join_pred) ->
-      (Bitset.mem j.left.rel s1 && Bitset.mem j.right.rel s2)
-      || (Bitset.mem j.left.rel s2 && Bitset.mem j.right.rel s1))
-    q.joins
+  if not (connected_between q s1 s2) then []
+  else
+    List.filter
+      (fun (j : join_pred) ->
+        (Bitset.mem j.left.rel s1 && Bitset.mem j.right.rel s2)
+        || (Bitset.mem j.left.rel s2 && Bitset.mem j.right.rel s1))
+      q.joins
 
 let joins_within q s =
   List.filter
@@ -62,13 +86,7 @@ let joins_within q s =
 let selections_on q rel =
   List.filter (fun (s : selection) -> s.on.rel = rel) q.selections
 
-let neighbors q rel =
-  List.fold_left
-    (fun acc (j : join_pred) ->
-      if j.left.rel = rel then Bitset.add j.right.rel acc
-      else if j.right.rel = rel then Bitset.add j.left.rel acc
-      else acc)
-    Bitset.empty q.joins
+let neighbors q rel = q.neighbor_masks.(rel)
 
 let connected q s =
   if Bitset.cardinal s <= 1 then true

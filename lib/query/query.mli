@@ -23,6 +23,10 @@ type t = private {
   order_by : column_ref list;
       (** requested output ordering, most significant first; plans whose
           interesting order already satisfies it avoid a final sort *)
+  alias_ids : (string, int) Hashtbl.t;
+      (** precomputed alias → relation-id table; use {!relation_id} *)
+  neighbor_masks : Parqo_util.Bitset.t array;
+      (** precomputed per-relation join-graph adjacency; use {!neighbors} *)
 }
 
 val create :
@@ -43,7 +47,11 @@ val alias : t -> int -> string
 val table_name : t -> int -> string
 
 val relation_id : t -> string -> int
-(** Id of an alias. Raises [Not_found]. *)
+(** Id of an alias — O(1) hashtable lookup. Raises [Not_found]. *)
+
+val connected_between : t -> Parqo_util.Bitset.t -> Parqo_util.Bitset.t -> bool
+(** Some join predicate crosses the two (disjoint) sets — O(|s1|) on the
+    precomputed adjacency bitsets, no scan of the predicate list. *)
 
 val joins_between : t -> Parqo_util.Bitset.t -> Parqo_util.Bitset.t -> join_pred list
 (** Join predicates with one side in each (disjoint) set. *)

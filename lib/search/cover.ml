@@ -1,22 +1,35 @@
-type 'a t = { dominates : 'a -> 'a -> bool; mutable elements : 'a list }
+type 'a t = {
+  dominates : 'a -> 'a -> bool;
+  mutable elements : 'a list;
+  mutable n : int;  (* always [List.length elements] — size is O(1) *)
+}
 
-let create ~dominates = { dominates; elements = [] }
+let create ~dominates = { dominates; elements = []; n = 0 }
 
 let is_covered t x = List.exists (fun e -> t.dominates e x) t.elements
 
 let add t x =
   if is_covered t x then false
   else begin
-    t.elements <- x :: List.filter (fun e -> not (t.dominates x e)) t.elements;
+    let kept = ref 1 in
+    t.elements <-
+      x
+      :: List.filter
+           (fun e ->
+             let keep = not (t.dominates x e) in
+             if keep then incr kept;
+             keep)
+           t.elements;
+    t.n <- !kept;
     true
   end
 
 let elements t = t.elements
-let size t = List.length t.elements
+let size t = t.n
 
 let trim ?(tie = fun _ _ -> 0) t ~keep ~rank =
   if keep < 1 then invalid_arg "Cover.trim: keep < 1";
-  if List.length t.elements > keep then begin
+  if t.n > keep then begin
     let sorted =
       List.sort
         (fun a b ->
@@ -25,7 +38,8 @@ let trim ?(tie = fun _ _ -> 0) t ~keep ~rank =
           | c -> c)
         t.elements
     in
-    t.elements <- List.filteri (fun i _ -> i < keep) sorted
+    t.elements <- List.filteri (fun i _ -> i < keep) sorted;
+    t.n <- keep
   end
 
 let of_list ~dominates xs =

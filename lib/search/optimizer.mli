@@ -32,6 +32,7 @@ val minimize_work_with_orders :
   ?config:Space.config ->
   ?shape:tree_shape ->
   ?domains:int ->
+  ?plan_cache:bool ->
   Parqo_cost.Env.t ->
   outcome
 (** The System R remedy for the interesting-order violation (§6.1.2):
@@ -49,6 +50,7 @@ val minimize_response_time :
   ?rank:(Parqo_cost.Costmodel.eval -> float) ->
   ?budget:Budget.t ->
   ?domains:int ->
+  ?plan_cache:bool ->
   Parqo_cost.Env.t ->
   outcome
 (** [metric] defaults to the descriptor metric with single-group
@@ -70,6 +72,10 @@ val minimize_response_time :
     [domains] (default 1) parallelizes the partial-order phase across an
     OCaml 5 domain pool; the chosen plan is bit-identical to the
     sequential run (see {!Podp.optimize}).  The work phase and bushy
-    search are unaffected. *)
+    search are unaffected.
+
+    [plan_cache] (default on) enables incremental candidate costing in
+    the partial-order phase (see {!Podp.optimize}); results are
+    bit-identical either way. *)
 
 val default_metric : Parqo_cost.Env.t -> Metric.t

@@ -14,16 +14,23 @@ type result = {
 (* Stable total key on plans: used to break exact rank ties so that beam
    pruning and final-plan selection are deterministic — independent of
    cover-list order, and therefore identical between the sequential and
-   the domain-parallel search. *)
-let plan_key (e : Cm.eval) = Parqo_plan.Join_tree.to_string e.Cm.tree
+   the domain-parallel search.  [Join_tree.key] is precomputed at plan
+   construction, so a tie comparison costs no string building. *)
+let plan_key (e : Cm.eval) = Parqo_plan.Join_tree.key e.Cm.tree
 let tie a b = String.compare (plan_key a) (plan_key b)
+
+(* A costed plan with its pruning-metric coordinates computed once.
+   Dominance tests are the inner loop of cover maintenance — every [add]
+   compares against the whole cover — so the metric's dims (which
+   allocate aggregation arrays) must not be recomputed per comparison. *)
+type entry = { e : Cm.eval; dims : Parqo_util.Vecf.t }
 
 (* Outcome of one subset's cover computation, produced by a worker domain
    and merged by the coordinator.  Counters ride along instead of being
    written to the shared stats record so the merge — not the scheduling —
    decides accumulation order. *)
 type subset_result = {
-  elements : Cm.eval list;  (** post-beam cover, insertion order *)
+  elements : entry list;  (** post-beam cover, insertion order *)
   considered : int;
   generated : int;
   cover_pre : int;  (** cover size before the beam cut *)
@@ -34,20 +41,46 @@ let now_ms () = Unix.gettimeofday () *. 1000.
 let optimize ?(config = Space.default_config)
     ?(rank = fun (e : Cm.eval) -> e.Cm.response_time) ?work_cap
     ?(final_filter = fun _ -> true) ?max_cover ?(budget = Budget.unlimited)
-    ?(domains = 1) ~metric (env : Env.t) =
+    ?(domains = 1) ?(plan_cache = true) ~metric (env : Env.t) =
   let pool = Domain_pool.create ~domains in
   let tracker = Budget.start budget in
   let gave_up = ref false in
+  (* Incremental costing: every candidate at level l + 1 extends a
+     memoized level-l plan, so with its sub-plans cached the evaluation
+     only costs the new root operators.  Access-plan leaves self-cache on
+     first miss; join entries are remembered explicitly — winners only,
+     on the coordinator between level barriers — so the cache stays the
+     size of the memo, not of the candidate stream.  Workers share the
+     cache read-mostly (leaf insertion is mutex-guarded and idempotent);
+     results are bit-identical with the cache off. *)
+  let cache = if plan_cache then Some (Cm.create_cache ()) else None in
+  let evaluate tree =
+    match cache with
+    | Some c -> Cm.evaluate_cached c env tree
+    | None -> Cm.evaluate env tree
+  in
+  let remember e = match cache with Some c -> Cm.remember c e | None -> () in
+  let rank_e ent = rank ent.e in
+  let tie_e a b = tie a.e b.e in
   let apply_beam cover =
     match max_cover with
     | None -> ()
-    | Some keep -> Cover.trim ~tie cover ~keep ~rank
+    | Some keep -> Cover.trim ~tie:tie_e cover ~keep ~rank:rank_e
   in
   let n = Env.n_relations env in
   let stats = Search_stats.create () in
-  let dominates = Metric.dominates metric in
-  let memo : Cm.eval list array = Array.make (1 lsl n) [] in
+  let refines =
+    match metric.Metric.refines with None -> fun _ _ -> true | Some r -> r
+  in
+  let dominates a b =
+    Parqo_util.Vecf.dominates a.dims b.dims && refines a.e b.e
+  in
+  let entry e = { e; dims = Parqo_util.Vecf.of_array (metric.Metric.dims e) } in
+  let memo : entry list array = Array.make (1 lsl n) [] in
   let level_sizes = Array.make (n + 1) 0 in
+  (* per-relation access plans are annotation-independent of the level
+     loop: generate them once instead of per (sub-plan, relation) pair *)
+  let access_plans = Array.init n (Space.access_plans env config) in
   let admissible e =
     match work_cap with None -> true | Some cap -> e.Cm.work <= cap +. 1e-9
   in
@@ -75,9 +108,9 @@ let optimize ?(config = Space.default_config)
       (fun tree ->
         Search_stats.generated stats 1;
         Budget.tick tracker 1;
-        let e = Cm.evaluate env tree in
-        if admissible e then ignore (Cover.add cover e))
-      (Space.access_plans env config rel);
+        let e = evaluate tree in
+        if admissible e then ignore (Cover.add cover (entry e)))
+      access_plans.(rel);
     apply_beam cover;
     Search_stats.observe_cover stats (Cover.size cover);
     if Cover.size cover > !l1_cover_max then l1_cover_max := Cover.size cover;
@@ -116,12 +149,17 @@ let optimize ?(config = Space.default_config)
                 (fun p ->
                   incr considered;
                   List.iter
-                    (fun tree ->
-                      incr generated;
-                      Budget.tick tracker 1;
-                      let e = Cm.evaluate env tree in
-                      if admissible e then ignore (Cover.add best_plans e))
-                    (Space.join_candidates env config ~outer:p.Cm.tree ~rel:j))
+                    (fun inner ->
+                      List.iter
+                        (fun tree ->
+                          incr generated;
+                          Budget.tick tracker 1;
+                          let e = evaluate tree in
+                          if admissible e then
+                            ignore (Cover.add best_plans (entry e)))
+                        (Space.combine_candidates env config
+                           ~outer:p.e.Cm.tree ~inner))
+                    access_plans.(j))
                 memo.(Bitset.to_int s_j))
           s
       in
@@ -150,13 +188,17 @@ let optimize ?(config = Space.default_config)
           Search_stats.observe_cover stats r.cover_pre;
           if r.cover_pre > !cover_max then cover_max := r.cover_pre;
           level_sizes.(size) <- level_sizes.(size) + List.length r.elements;
+          List.iter (fun ent -> remember ent.e) r.elements;
           memo.(Bitset.to_int subsets.(i)) <- r.elements)
       results;
     Search_stats.observe_stored stats level_sizes.(size);
     finish_level ~level:size ~subsets:n_subsets ~cover_max:!cover_max
       ~used_domains:(min (Domain_pool.size pool) (max 1 n_subsets))
   done;
-  let cover = if n = 0 then [] else memo.(Bitset.to_int (Bitset.full n)) in
+  let cover =
+    if n = 0 then []
+    else List.map (fun ent -> ent.e) memo.(Bitset.to_int (Bitset.full n))
+  in
   let best =
     List.filter final_filter cover
     |> List.fold_left

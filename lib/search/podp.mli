@@ -34,6 +34,7 @@ val optimize :
   ?max_cover:int ->
   ?budget:Budget.t ->
   ?domains:int ->
+  ?plan_cache:bool ->
   metric:Metric.t ->
   Parqo_cost.Env.t ->
   result
@@ -51,4 +52,11 @@ val optimize :
     the result is bit-identical for every [domains] value; under a
     budget the expansion counter is shared atomically, so the cap binds
     globally but which subsets get skipped near exhaustion may differ
-    (an exhausted budget reports [gave_up] in every case). *)
+    (an exhausted budget reports [gave_up] in every case).
+
+    [plan_cache] (default on) evaluates candidates incrementally through
+    a {!Parqo_cost.Costmodel.cache}: every extension reuses the memoized
+    outer sub-plan's expansion and descriptor, so only the new root
+    operators are costed.  The cache holds the memo winners plus the
+    access-plan leaves — not the candidate stream — and the result is
+    bit-identical with the cache off. *)

@@ -58,7 +58,8 @@ let map_leaf idx f tree =
       (* evaluation order matters: the counter must walk left-to-right *)
       let outer = go j.J.outer in
       let inner = go j.J.inner in
-      J.Join { j with J.outer = outer; inner }
+      J.join ~clone:j.J.clone ~materialize:j.J.materialize j.J.method_ ~outer
+        ~inner
   in
   go tree
 
@@ -71,8 +72,12 @@ let map_join idx f tree =
       let outer = go j.J.outer in
       let inner = go j.J.inner in
       incr counter;
-      let j = { j with J.outer; inner } in
-      if !counter = idx then f j else J.Join j
+      let rebuilt =
+        J.join ~clone:j.J.clone ~materialize:j.J.materialize j.J.method_
+          ~outer ~inner
+      in
+      if !counter <> idx then rebuilt
+      else (match rebuilt with J.Join j -> f j | J.Access _ -> assert false)
   in
   go tree
 

@@ -57,8 +57,7 @@ let access_plans (env : Env.t) config rel =
       List.map (fun clone -> P.Join_tree.access ~path ~clone rel) config.clone_degrees)
     paths
 
-let connects (env : Env.t) s1 s2 =
-  Q.joins_between (Env.query env) s1 s2 <> []
+let connects = Env.connects
 
 let combine_candidates (env : Env.t) config ~outer ~inner =
   let joined =

@@ -22,7 +22,9 @@ let set_join idx ~clone ~materialize tree =
       incr counter;
       if !counter = idx then
         J.join ~clone ~materialize j.J.method_ ~outer ~inner
-      else J.Join { j with J.outer; inner }
+      else
+        J.join ~clone:j.J.clone ~materialize:j.J.materialize j.J.method_
+          ~outer ~inner
   in
   go tree
 
@@ -37,7 +39,8 @@ let set_leaf idx ~clone tree =
     | J.Join j ->
       let outer = go j.J.outer in
       let inner = go j.J.inner in
-      J.Join { j with J.outer; inner }
+      J.join ~clone:j.J.clone ~materialize:j.J.materialize j.J.method_ ~outer
+        ~inner
   in
   go tree
 
@@ -53,9 +56,13 @@ let optimize ?(config = Space.default_config)
   | Some sequential ->
     let pool = Parqo_util.Domain_pool.create ~domains in
     let evaluated = ref 0 in
+    (* annotation variants differ in a few slots, so whole sub-trees recur
+       across the enumeration: cache every evaluation (remember_all) and
+       cost only the changed spine of each variant *)
+    let cache = Cm.create_cache ~remember_all:true () in
     let eval tree =
       incr evaluated;
-      Cm.evaluate env tree
+      Cm.evaluate_cached cache env tree
     in
     let tree = sequential.Cm.tree in
     let n_joins = J.n_joins tree in
@@ -87,7 +94,7 @@ let optimize ?(config = Space.default_config)
       let assignments = Array.of_list (List.rev !assignments) in
       let evals = Array.map (fun _ -> None) assignments in
       Parqo_util.Domain_pool.run pool ~tasks:(Array.length assignments)
-        (fun i -> evals.(i) <- Some (Cm.evaluate env assignments.(i)));
+        (fun i -> evals.(i) <- Some (Cm.evaluate_cached cache env assignments.(i)));
       evaluated := !evaluated + Array.length assignments;
       Array.iter (function Some e -> keep e | None -> ()) evals;
       let refined = ref !best in

@@ -48,8 +48,15 @@ let fold f s init =
   iter (fun i -> acc := f i !acc) s;
   !acc
 
-let for_all p s = fold (fun i ok -> ok && p i) s true
-let exists p s = fold (fun i found -> found || p i) s false
+(* exists/for_all short-circuit: the search hot path probes adjacency
+   bitsets with these, so an early hit must not scan the remaining bits *)
+let exists p s =
+  let rec loop i s =
+    s <> 0 && ((s land 1 <> 0 && p i) || loop (i + 1) (s lsr 1))
+  in
+  loop 0 s
+
+let for_all p s = not (exists (fun i -> not (p i)) s)
 let of_list l = List.fold_left (fun s i -> add i s) empty l
 let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
 

@@ -1,0 +1,60 @@
+(* A domain-safe string-keyed memo table.
+
+   Values are pure functions of their key (a canonical plan rendering),
+   so concurrent writers can only ever store equal values — the mutex
+   exists to keep the hashtable's internal structure consistent, the same
+   discipline as the sparse Estimator memo.  Hit/miss counters are
+   atomics so bench code can report cache effectiveness without locks. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(size_hint = 1024) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create size_hint;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let find t key =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  (match r with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  r
+
+let remember t key v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table key v;
+  Mutex.unlock t.mutex
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    remember t key v;
+    v
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Mutex.unlock t.mutex;
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

@@ -1,0 +1,35 @@
+(** A domain-safe memo table keyed by canonical plan keys.
+
+    The incremental costing layer stores one entry per memoized sub-plan
+    (its operator-tree expansion, resource descriptor and output
+    ordering), keyed by the plan's interned canonical rendering
+    ({!Parqo_plan.Join_tree.key} — but this module is generic, any
+    injective string key works).
+
+    All operations are safe to call from concurrent domains: the table is
+    mutex-guarded and the hit/miss counters are atomic.  Callers must
+    only store values that are pure functions of the key, so a racing
+    insert can never change what a reader observes. *)
+
+type 'a t
+
+val create : ?size_hint:int -> unit -> 'a t
+
+val find : 'a t -> string -> 'a option
+(** Also bumps the hit or miss counter. *)
+
+val remember : 'a t -> string -> 'a -> unit
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [compute] runs outside the lock: two domains may race to compute the
+    same key, in which case both results (necessarily equal) are stored
+    in turn. *)
+
+val length : 'a t -> int
+
+val clear : 'a t -> unit
+(** Also resets the counters. *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int

@@ -137,10 +137,33 @@ let total_order_keeps_one () =
   Alcotest.(check int) "it is the min" (List.fold_left min max_int pts)
     (List.hd cover)
 
+(* [size] is a maintained counter, not a list traversal: it must track
+   [List.length (elements t)] through every add (with evictions) and trim *)
+let size_matches_length () =
+  let rng = Parqo.Rng.create 4 in
+  let dominates (a, b) (c, d) = a <= c && b <= d in
+  let t2 = C.create ~dominates in
+  for i = 1 to 500 do
+    let p = (Parqo.Rng.int rng 50, Parqo.Rng.int rng 50) in
+    ignore (C.add t2 p);
+    Alcotest.(check int)
+      (Printf.sprintf "size after add %d" i)
+      (List.length (C.elements t2))
+      (C.size t2);
+    if i mod 100 = 0 then begin
+      C.trim t2 ~keep:5 ~rank:(fun (a, b) -> float_of_int (a + b));
+      Alcotest.(check int)
+        (Printf.sprintf "size after trim %d" i)
+        (List.length (C.elements t2))
+        (C.size t2)
+    end
+  done
+
 let suite =
   ( "cover",
     [
       t "maintenance" maintenance;
+      t "size matches length" size_matches_length;
       t "incomparability invariant" incomparability_invariant;
       t "coverage invariant" coverage_invariant;
       t "Theorem 3 Monte Carlo" theorem3_monte_carlo;

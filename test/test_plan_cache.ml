@@ -1,0 +1,232 @@
+(* Incremental costing: the memoized evaluation path must be bit-identical
+   to the from-scratch one, on every field of the eval — the whole design
+   (grafted child expansions, descriptor reuse, shape-only renumbering)
+   stands on that equivalence. *)
+
+module Cm = Parqo.Costmodel
+module Op = Parqo.Op
+module Q = Parqo.Query
+module S = Parqo.Space
+module Podp = Parqo.Podp
+module Mt = Parqo.Metric
+module Stats = Parqo.Search_stats
+module Bitset = Parqo.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let bits = Int64.bits_of_float
+
+(* every float compared through its bit pattern: "close enough" would
+   hide a divergence that compounds over DP levels *)
+let check_eval_identical msg (a : Cm.eval) (b : Cm.eval) =
+  Alcotest.(check string)
+    (msg ^ ": tree")
+    (Parqo.Join_tree.to_string a.Cm.tree)
+    (Parqo.Join_tree.to_string b.Cm.tree);
+  Alcotest.(check string)
+    (msg ^ ": optree")
+    (Op.to_string a.Cm.optree) (Op.to_string b.Cm.optree);
+  let ids e = Op.fold (fun acc (n : Op.node) -> n.Op.id :: acc) [] e.Cm.optree in
+  Alcotest.(check (list int)) (msg ^ ": optree ids") (ids a) (ids b);
+  let cards e =
+    Op.fold (fun acc (n : Op.node) -> bits n.Op.out_card :: acc) [] e.Cm.optree
+  in
+  Alcotest.(check (list int64)) (msg ^ ": optree cards") (cards a) (cards b);
+  Alcotest.(check int64)
+    (msg ^ ": response_time")
+    (bits a.Cm.response_time) (bits b.Cm.response_time);
+  Alcotest.(check int64) (msg ^ ": work") (bits a.Cm.work) (bits b.Cm.work);
+  Alcotest.(check bool)
+    (msg ^ ": descriptor bit-identical")
+    true
+    (a.Cm.descriptor = b.Cm.descriptor);
+  Alcotest.(check string)
+    (msg ^ ": ordering")
+    (Parqo.Ordering.to_string a.Cm.ordering)
+    (Parqo.Ordering.to_string b.Cm.ordering)
+
+(* property: on random queries and random annotated trees, the cached
+   evaluator (cold cache, warm cache, remember_all cache) reproduces
+   [Cm.evaluate] exactly *)
+let cached_matches_uncached () =
+  let rng = Parqo.Rng.create 31 in
+  for _ = 1 to 20 do
+    let env = Helpers.random_env rng ~n:5 in
+    let cache = Cm.create_cache () in
+    let cache_all = Cm.create_cache ~remember_all:true () in
+    for _ = 1 to 10 do
+      let tree = Helpers.random_tree rng env in
+      let plain = Cm.evaluate env tree in
+      check_eval_identical "cold" (Cm.evaluate_cached cache env tree) plain;
+      (* warm: the same tree again, now hitting remembered leaves *)
+      check_eval_identical "warm" (Cm.evaluate_cached cache env tree) plain;
+      check_eval_identical "remember_all"
+        (Cm.evaluate_cached cache_all env tree)
+        plain;
+      (* second remember_all evaluation is a pure cache hit *)
+      check_eval_identical "remember_all hit"
+        (Cm.evaluate_cached cache_all env tree)
+        plain
+    done
+  done
+
+(* the ORDER BY path: a required ordering the plan does not deliver adds
+   the final sort identically on both paths *)
+let cached_matches_uncached_with_order () =
+  let rng = Parqo.Rng.create 32 in
+  for _ = 1 to 10 do
+    let env = Helpers.random_env rng ~n:4 in
+    (* a key no plan delivers (fresh column name) forces the sort *)
+    let required = [ { Parqo.Ordering.rel = 0; column = "__orderby" } ] in
+    let cache = Cm.create_cache ~remember_all:true () in
+    for _ = 1 to 5 do
+      let tree = Helpers.random_tree rng env in
+      check_eval_identical "forced sort"
+        (Cm.evaluate_cached ~required_order:required cache env tree)
+        (Cm.evaluate ~required_order:required env tree);
+      (* and once more with everything cached *)
+      check_eval_identical "forced sort, warm"
+        (Cm.evaluate_cached ~required_order:required cache env tree)
+        (Cm.evaluate ~required_order:required env tree)
+    done
+  done
+
+let evaluate_cached_rejects_duplicates () =
+  let env = Helpers.chain_env ~n:3 () in
+  let scan r = Parqo.Join_tree.access ~path:Parqo.Access_path.Seq_scan r in
+  let dup =
+    Parqo.Join_tree.join Parqo.Join_method.Hash_join
+      ~outer:(Parqo.Join_tree.join Parqo.Join_method.Hash_join ~outer:(scan 0)
+                ~inner:(scan 1))
+      ~inner:(scan 0)
+  in
+  let cache = Cm.create_cache () in
+  Alcotest.check_raises "duplicate relation"
+    (Invalid_argument "Costmodel: relation used more than once") (fun () ->
+      ignore (Cm.evaluate_cached cache env dup))
+
+let plan_str (e : Cm.eval) = Parqo.Join_tree.to_string e.Cm.tree
+
+let check_result_identical msg (a : Podp.result) (b : Podp.result) =
+  (match (a.Podp.best, b.Podp.best) with
+  | Some x, Some y -> check_eval_identical (msg ^ ": best") x y
+  | None, None -> ()
+  | _ -> Alcotest.failf "%s: one run found a plan, the other did not" msg);
+  Alcotest.(check (list string))
+    (msg ^ ": cover")
+    (List.map plan_str a.Podp.cover)
+    (List.map plan_str b.Podp.cover);
+  Alcotest.(check (list int))
+    (msg ^ ": level sizes")
+    (Array.to_list a.Podp.level_sizes)
+    (Array.to_list b.Podp.level_sizes);
+  Alcotest.(check int) (msg ^ ": generated") a.Podp.stats.Stats.generated
+    b.Podp.stats.Stats.generated;
+  Alcotest.(check int) (msg ^ ": considered") a.Podp.stats.Stats.considered
+    b.Podp.stats.Stats.considered
+
+(* property: the whole search is bit-identical with the plan cache on and
+   off — sequentially and across the domain pool *)
+let podp_identical_cache_on_off () =
+  let rng = Parqo.Rng.create 33 in
+  for _ = 1 to 3 do
+    let env = Helpers.random_env rng ~n:4 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let metric =
+      Mt.with_ordering (Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Single)
+    in
+    List.iter
+      (fun domains ->
+        let off =
+          Podp.optimize ~config ~metric ~domains ~plan_cache:false env
+        in
+        let on = Podp.optimize ~config ~metric ~domains ~plan_cache:true env in
+        check_result_identical
+          (Printf.sprintf "domains=%d" domains)
+          off on)
+      [ 1; 4 ]
+  done
+
+(* the beam tie-break exercises Join_tree.key as the total order *)
+let podp_identical_cache_on_off_beamed () =
+  let env = Helpers.chain_env ~n:5 () in
+  let config = S.parallel_config env.Parqo.Env.machine in
+  let metric =
+    Mt.with_ordering (Mt.descriptor env.Parqo.Env.machine Parqo.Machine.Single)
+  in
+  let off =
+    Podp.optimize ~config ~metric ~max_cover:4 ~plan_cache:false env
+  in
+  let on = Podp.optimize ~config ~metric ~max_cover:4 ~plan_cache:true env in
+  check_result_identical "beam=4" off on
+
+(* plan keys are canonical: equal strings iff equal trees, and identical
+   to the legacy to_string rendering *)
+let key_is_canonical () =
+  let rng = Parqo.Rng.create 34 in
+  let env = Helpers.random_env rng ~n:4 in
+  let trees = List.init 50 (fun _ -> Helpers.random_tree rng env) in
+  List.iter
+    (fun a ->
+      Alcotest.(check string) "key = to_string" (Parqo.Join_tree.to_string a)
+        (Parqo.Join_tree.key a);
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "key injective" (Parqo.Join_tree.equal a b)
+            (String.equal (Parqo.Join_tree.key a) (Parqo.Join_tree.key b)))
+        trees)
+    trees
+
+let plan_cache_counters () =
+  let c = Parqo.Plan_cache.create () in
+  Alcotest.(check (option int)) "miss" None (Parqo.Plan_cache.find c "a");
+  Parqo.Plan_cache.remember c "a" 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Parqo.Plan_cache.find c "a");
+  Alcotest.(check int) "one entry" 1 (Parqo.Plan_cache.length c);
+  Alcotest.(check int) "hits" 1 (Parqo.Plan_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Parqo.Plan_cache.misses c);
+  Alcotest.(check int) "find_or_add computes" 2
+    (Parqo.Plan_cache.find_or_add c "b" (fun () -> 2));
+  Alcotest.(check int) "find_or_add reuses" 2
+    (Parqo.Plan_cache.find_or_add c "b" (fun () -> 3));
+  Parqo.Plan_cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Parqo.Plan_cache.length c)
+
+(* adjacency bitsets agree with a direct scan of the predicate list *)
+let connected_between_oracle () =
+  let rng = Parqo.Rng.create 35 in
+  for _ = 1 to 20 do
+    let env = Helpers.random_env rng ~n:5 in
+    let q = Parqo.Env.query env in
+    let n = Q.n_relations q in
+    let oracle s1 s2 =
+      List.exists
+        (fun (p : Q.join_pred) ->
+          (Bitset.mem p.Q.left.Q.rel s1 && Bitset.mem p.Q.right.Q.rel s2)
+          || (Bitset.mem p.Q.right.Q.rel s1 && Bitset.mem p.Q.left.Q.rel s2))
+        q.Q.joins
+    in
+    for s1 = 0 to (1 lsl n) - 1 do
+      for s2 = 0 to (1 lsl n) - 1 do
+        let s1 = Bitset.of_int_unsafe s1 and s2 = Bitset.of_int_unsafe s2 in
+        Alcotest.(check bool) "connected_between = oracle" (oracle s1 s2)
+          (Q.connected_between q s1 s2);
+        Alcotest.(check bool) "joins_between nonempty iff connected"
+          (oracle s1 s2)
+          (Q.joins_between q s1 s2 <> [])
+      done
+    done
+  done
+
+let suite =
+  ( "plan_cache",
+    [
+      t "evaluate_cached = evaluate, bit for bit" cached_matches_uncached;
+      t "evaluate_cached honors required_order" cached_matches_uncached_with_order;
+      t "evaluate_cached rejects duplicate relations" evaluate_cached_rejects_duplicates;
+      t "podp identical with cache on/off, 1 and 4 domains" podp_identical_cache_on_off;
+      t "podp identical under beam trim" podp_identical_cache_on_off_beamed;
+      t "Join_tree.key is canonical" key_is_canonical;
+      t "Plan_cache counters" plan_cache_counters;
+      t "Query.connected_between matches predicate scan" connected_between_oracle;
+    ] )
