@@ -1,4 +1,4 @@
-.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke clean
+.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke clean
 
 all:
 	dune build @all
@@ -20,7 +20,7 @@ bench-search:
 
 # same experiment shrunk for CI gates (one small workload, domains 1-2)
 bench-search-smoke:
-	PARQO_SMOKE=1 dune exec bench/main.exe -- --only e17
+	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e17
 
 # incremental-costing micro-bench: cached vs uncached PODP, identity
 # checked, writes BENCH_cost.json (full: chain-8 and star-8)
@@ -29,12 +29,22 @@ bench-cost:
 
 # same experiment shrunk for CI gates (chain-5, one repeat)
 bench-cost-smoke:
-	PARQO_SMOKE=1 dune exec bench/main.exe -- --only e18
+	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e18
 
-# the CI gate: full test suite plus the smoke micro-bench (which asserts
-# cached-vs-uncached bit-identity end to end)
+# adaptive re-planning vs static recovery under engineered outages:
+# asserts fault-free bit-identity and that adaptive beats static on at
+# least one severity per workload; writes BENCH_replan.json
+bench-replan:
+	dune exec bench/main.exe -- --only e19
+
+# same experiment shrunk for CI gates (chain only, one severity)
+bench-replan-smoke:
+	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e19
+
+# the CI gate: full test suite plus the smoke micro-benches (which assert
+# cached-vs-uncached and replan bit-identity end to end)
 ci:
-	dune build @all && dune runtest && $(MAKE) bench-cost-smoke
+	dune build @all && dune runtest && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke
 
 clean:
 	dune clean

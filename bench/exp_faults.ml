@@ -36,7 +36,7 @@ let simulate env ~fault_rate (e : Cm.eval) =
               ~faults:(Parqo.Fault.default ~seed ~fault_rate ())
               ~recovery:Parqo.Recovery.Restart_stage env e.Cm.tree
           in
-          acc +. sim.Parqo.Simulator.recovered_makespan)
+          acc +. sim.Parqo.Simulator.makespan)
         0. seeds
     in
     total /. float_of_int (List.length seeds)

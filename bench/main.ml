@@ -27,6 +27,7 @@ let experiments =
     ("e16", Exp_faults.run);
     ("e17", Exp_parsearch.run);
     ("e18", Exp_cost.run);
+    ("e19", Exp_replan.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

@@ -87,11 +87,16 @@ let recovery_conv =
 let recovery =
   Arg.(value & opt recovery_conv Parqo.Recovery.default
        & info [ "recovery" ] ~docv:"POLICY"
-           ~doc:"Recovery policy for injected faults: retry (task retry with backoff), stage (restart the pipelined segment), or sync (also recompute checkpoints lost to resource outages).")
+           ~doc:"Recovery policy for injected faults: retry (task retry with backoff), stage (restart the pipelined segment), sync (also recompute checkpoints lost to resource outages), or replan (re-optimize the residual query on the degraded machine when recovery crosses a sync point).")
 
 let fault_seed =
   Arg.(value & opt int 0
        & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault-injection schedule.")
+
+let replan_threshold =
+  Arg.(value & opt float 0.5
+       & info [ "replan-threshold" ] ~docv:"R"
+           ~doc:"With --recovery replan: re-optimize once cumulative rework exceeds R times the plan's base work (checkpoint loss always triggers). Ignored for other policies.")
 
 let setup shape n nodes sql =
   let catalog, query =
@@ -200,7 +205,7 @@ let explain_cmd =
 
 let simulate_cmd =
   let run () shape n nodes sql budget bushy plan_text fault_rate recovery
-      fault_seed domains =
+      fault_seed replan_threshold domains =
     check_fault_rate fault_rate @@ fun () ->
     let env, query, machine = setup shape n nodes sql in
     match
@@ -215,10 +220,16 @@ let simulate_cmd =
           Some (Parqo.Fault.default ~seed:fault_seed ~fault_rate ())
         else None
       in
-      let sim =
-        Parqo.Simulator.simulate_plan ?faults ~recovery env
-          b.Parqo.Costmodel.tree
+      let recovery =
+        match recovery with
+        | Parqo.Recovery.Replan _ ->
+          Parqo.Recovery.replan ~threshold:replan_threshold ()
+        | other -> other
       in
+      let result =
+        Parqo.Adaptive.simulate ?faults ~recovery env b.Parqo.Costmodel.tree
+      in
+      let sim = result.Parqo.Adaptive.outcome in
       List.iter
         (fun (e : Parqo.Simulator.event) ->
           Printf.printf "  t=%10.2f  %s\n" e.Parqo.Simulator.at
@@ -229,17 +240,28 @@ let simulate_cmd =
         "\npredicted rt %.2f | simulated makespan %.2f | utilization %.0f%%\n"
         b.Parqo.Costmodel.response_time sim.Parqo.Simulator.makespan
         (100. *. Parqo.Simulator.utilization sim);
-      if fault_rate > 0. then
+      if fault_rate > 0. then begin
         Printf.printf
-          "faults %d | retries %d | recovered makespan %.2f (policy %s, seed %d)\n"
+          "faults %d | retries %d | replans %d (policy %s, seed %d)\n"
           sim.Parqo.Simulator.n_faults sim.Parqo.Simulator.n_retries
-          sim.Parqo.Simulator.recovered_makespan
+          sim.Parqo.Simulator.n_replans
           (Parqo.Recovery.to_string recovery)
           fault_seed;
+        List.iter
+          (fun (r : Parqo.Adaptive.replan_record) ->
+            Printf.printf
+              "  replan at %.2f (%s): %s — %d rels, %d checkpoints, %d considered%s\n"
+              r.Parqo.Adaptive.at
+              (Parqo.Simulator.trigger_to_string r.Parqo.Adaptive.trigger)
+              r.Parqo.Adaptive.plan_key r.Parqo.Adaptive.n_relations
+              r.Parqo.Adaptive.n_checkpoints r.Parqo.Adaptive.considered
+              (if r.Parqo.Adaptive.gave_up then " (greedy fallback)" else ""))
+          result.Parqo.Adaptive.records
+      end;
       `Ok ()
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate the chosen plan's parallel execution, optionally under injected faults.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text $ fault_rate $ recovery $ fault_seed $ search_domains))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ plan_text $ fault_rate $ recovery $ fault_seed $ replan_threshold $ search_domains))
 
 let sweep_cmd =
   let run () shape n nodes sql bushy domains =

@@ -1,0 +1,103 @@
+module Env = Parqo_cost.Env
+module Cm = Parqo_cost.Costmodel
+module Sim = Parqo_sim.Simulator
+module TG = Parqo_sim.Task_graph
+module Recovery = Parqo_sim.Recovery
+module Residual = Parqo_cost.Residual
+module Optimizer = Parqo_search.Optimizer
+module Stats = Parqo_search.Search_stats
+
+type replan_record = {
+  at : float;
+  trigger : Sim.replan_trigger;
+  plan_key : string;
+  considered : int;
+  gave_up : bool;
+  n_relations : int;
+  n_checkpoints : int;
+}
+
+type result = { outcome : Sim.outcome; records : replan_record list }
+
+let simulate ?mode ?faults ?(recovery = Recovery.replan ()) ?(domains = 1)
+    ?(max_replans = 4) (env : Env.t) tree =
+  let optree =
+    Parqo_optree.Expand.expand ~config:env.Env.expand_config
+      env.Env.estimator tree
+  in
+  let g = TG.of_optree env optree in
+  match recovery with
+  | Recovery.Replan { max_expansions; max_seconds; _ } ->
+    let records = ref [] in
+    (* the environment the current graph was planned in: survivors'
+       op roots speak its relation ids, so each round's residual is
+       built against the previous round's environment *)
+    let cur_env = ref env in
+    let down = ref [] in
+    let round = ref 0 in
+    let replanner (s : Sim.snapshot) =
+      if !round >= max_replans then None
+      else begin
+        (match s.Sim.s_trigger with
+        | Sim.Checkpoint_loss { resource } -> down := resource :: !down
+        | Sim.Work_inflation _ -> ());
+        let survivors =
+          List.filter_map
+            (fun id -> s.Sim.s_graph.TG.stages.(id).TG.op_root)
+            s.Sim.s_survivors
+        in
+        (* a graph not lowered from an operator tree cannot seed a
+           residual query; decline and let Restart_from_sync handle it *)
+        if List.length survivors <> List.length s.Sim.s_survivors then None
+        else
+          match
+            Residual.construct !cur_env ~survivors ~down:!down ~round:!round
+          with
+          | Error _ -> None
+          | Ok r -> (
+            let renv = r.Residual.env in
+            let budget = { Parqo_search.Budget.max_expansions; max_seconds } in
+            let config =
+              Parqo_search.Space.parallel_config renv.Env.machine
+            in
+            let outcome =
+              Optimizer.minimize_response_time ~config ~budget ~domains renv
+            in
+            match outcome.Optimizer.best with
+            | None -> None
+            | Some best ->
+              incr round;
+              cur_env := renv;
+              let plan_key = Parqo_plan.Join_tree.key best.Cm.tree in
+              let considered =
+                outcome.Optimizer.stats.Stats.considered
+              in
+              records :=
+                {
+                  at = s.Sim.s_at;
+                  trigger = s.Sim.s_trigger;
+                  plan_key;
+                  considered;
+                  gave_up = outcome.Optimizer.gave_up;
+                  n_relations = r.Residual.n_relations;
+                  n_checkpoints = List.length r.Residual.checkpoints;
+                }
+                :: !records;
+              Some
+                {
+                  Sim.new_graph = TG.of_optree renv best.Cm.optree;
+                  plan_key;
+                  info =
+                    Printf.sprintf
+                      "%d rels, %d checkpoints, %d considered%s"
+                      r.Residual.n_relations
+                      (List.length r.Residual.checkpoints)
+                      considered
+                      (if outcome.Optimizer.gave_up then ", greedy fallback"
+                       else "");
+                })
+      end
+    in
+    let outcome = Sim.run ?mode ?faults ~recovery ~replanner g in
+    { outcome; records = List.rev !records }
+  | _ -> { outcome = Sim.run ?mode ?faults ~recovery g; records = [] }

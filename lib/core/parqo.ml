@@ -91,6 +91,8 @@ module Task_graph = Parqo_sim.Task_graph
 module Fault = Parqo_sim.Fault
 module Recovery = Parqo_sim.Recovery
 module Simulator = Parqo_sim.Simulator
+module Residual = Parqo_cost.Residual
+module Adaptive = Adaptive
 module Batch = Parqo_exec.Batch
 module Executor = Parqo_exec.Executor
 module Parallel_exec = Parqo_exec.Parallel_exec

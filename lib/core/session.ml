@@ -5,6 +5,8 @@ type t = {
   db : D.database;
   machine : Parqo_machine.Machine.t;
   mutable bound : Parqo_search.Bounds.t;
+  mutable faults : Parqo_sim.Fault.config;
+  mutable recovery : Parqo_sim.Recovery.policy;
 }
 
 type answer = {
@@ -23,7 +25,13 @@ let create ?machine ?(bound = Parqo_search.Bounds.Throughput_degradation 2.0)
     | Some m -> m
     | None -> Parqo_machine.Machine.shared_nothing ~nodes:4 ()
   in
-  { db; machine; bound }
+  {
+    db;
+    machine;
+    bound;
+    faults = Parqo_sim.Fault.none;
+    recovery = Parqo_sim.Recovery.default;
+  }
 
 let of_workload ?(seed = 7) name =
   match String.lowercase_ascii name with
@@ -35,6 +43,10 @@ let of_workload ?(seed = 7) name =
 
 let set_bound t bound = t.bound <- bound
 let bound t = t.bound
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+let set_recovery t recovery = t.recovery <- recovery
+let recovery t = t.recovery
 let machine t = t.machine
 let catalog t = t.db.D.catalog
 
@@ -83,3 +95,23 @@ let explain t text =
   | Error e -> Error e
   | Ok (env, _query, plan, _) ->
     Ok (Parqo_cost.Explain.explain_plan env plan.Cm.tree)
+
+type sim_report = {
+  sim_plan : Cm.eval;
+  sim : Parqo_sim.Simulator.outcome;
+  sim_replans : Adaptive.replan_record list;
+}
+
+let simulate t text =
+  match optimize t text with
+  | Error e -> Error e
+  | Ok (env, _query, plan, _) ->
+    let result =
+      Adaptive.simulate ~faults:t.faults ~recovery:t.recovery env plan.Cm.tree
+    in
+    Ok
+      {
+        sim_plan = plan;
+        sim = result.Adaptive.outcome;
+        sim_replans = result.Adaptive.records;
+      }

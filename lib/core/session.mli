@@ -33,6 +33,20 @@ val set_bound : t -> Parqo_search.Bounds.t -> unit
 
 val bound : t -> Parqo_search.Bounds.t
 
+val set_faults : t -> Parqo_sim.Fault.config -> unit
+(** Fault schedule used by {!simulate}; defaults to
+    {!Parqo_sim.Fault.none}. *)
+
+val faults : t -> Parqo_sim.Fault.config
+
+val set_recovery : t -> Parqo_sim.Recovery.policy -> unit
+(** Recovery policy used by {!simulate}; defaults to
+    {!Parqo_sim.Recovery.default}.  With {!Parqo_sim.Recovery.Replan}
+    the simulation re-optimizes the residual query on trigger (see
+    {!Adaptive}). *)
+
+val recovery : t -> Parqo_sim.Recovery.policy
+
 val machine : t -> Parqo_machine.Machine.t
 
 val catalog : t -> Parqo_catalog.Catalog.t
@@ -45,3 +59,15 @@ val sql : t -> string -> (answer, string) result
 
 val explain : t -> string -> (string, string) result
 (** Parse and optimize only; the rendered operator-tree table. *)
+
+type sim_report = {
+  sim_plan : Parqo_cost.Costmodel.eval;  (** the plan that was simulated *)
+  sim : Parqo_sim.Simulator.outcome;
+  sim_replans : Adaptive.replan_record list;
+      (** re-plan splices, when the session policy is [Replan] *)
+}
+
+val simulate : t -> string -> (sim_report, string) result
+(** Parse, optimize, lower and simulate under the session's fault
+    schedule and recovery policy ({!set_faults}/{!set_recovery}) —
+    no tuples are executed. *)

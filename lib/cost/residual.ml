@@ -1,0 +1,95 @@
+module Q = Parqo_query.Query
+module C = Parqo_catalog
+module Op = Parqo_optree.Op
+module M = Parqo_machine.Machine
+module Bitset = Parqo_util.Bitset
+
+type t = {
+  env : Env.t;
+  checkpoints : (string * Op.node) list;
+  n_relations : int;
+}
+
+let mangle q rel col = Q.alias q rel ^ "__" ^ col
+
+(* keep maximal, pairwise-disjoint survivors: materialized subtrees of
+   one tree have nested-or-disjoint leaf sets, so sorting by descending
+   leaf count (then subtree size) and greedily keeping disjoint ones
+   retains exactly the outermost checkpoints *)
+let maximal survivors =
+  let keyed =
+    List.filter_map
+      (fun node ->
+        let rels = Op.base_relations node in
+        if Bitset.is_empty rels then None else Some (rels, node))
+      survivors
+    |> List.sort (fun (s1, n1) (s2, n2) ->
+           match compare (Bitset.cardinal s2) (Bitset.cardinal s1) with
+           | 0 -> compare (Op.size n2) (Op.size n1)
+           | c -> c)
+  in
+  List.fold_left
+    (fun kept (s, n) ->
+      if List.exists (fun (s', _) -> not (Bitset.disjoint s s')) kept then kept
+      else (s, n) :: kept)
+    [] keyed
+  |> List.rev
+
+let construct (env : Env.t) ~survivors ~down ~round =
+  match M.degrade env.Env.machine ~down with
+  | exception Invalid_argument msg -> Error msg
+  | machine -> (
+    let q = Env.query env in
+    let est = env.Env.estimator in
+    let n_disks = List.length (M.disk_ids machine) in
+    let ckpt_disks = List.init (max 1 n_disks) Fun.id in
+    let kept = maximal survivors in
+    let groups, catalog, checkpoints =
+      List.fold_left
+        (fun (groups, catalog, cks) (rels, (node : Op.node)) ->
+          let i = List.length groups in
+          let name = Printf.sprintf "__ckpt%d_%d" round i in
+          let alias = Printf.sprintf "__c%d_%d" round i in
+          let card = Float.max 1. node.Op.out_card in
+          (* the checkpoint inherits every covered relation's schema
+             under mangled names, so predicates that cross its boundary
+             keep resolving; distincts clamp to the checkpoint
+             cardinality, histograms are dropped (the intermediate's
+             value distribution is not tracked) *)
+          let columns =
+            Bitset.fold
+              (fun rel acc ->
+                let table = Parqo_plan.Estimator.table_of est rel in
+                let cols =
+                  Array.to_list table.C.Table.columns
+                  |> List.map (fun (cname, (st : C.Stats.column)) ->
+                         ( mangle q rel cname,
+                           {
+                             st with
+                             C.Stats.distinct =
+                               Float.max 1. (Float.min st.C.Stats.distinct card);
+                             hist = None;
+                           } ))
+                in
+                acc @ cols)
+              rels []
+          in
+          let table =
+            C.Table.create ~name ~columns ~cardinality:card ~disks:ckpt_disks ()
+          in
+          ( (Bitset.to_list rels, alias, name) :: groups,
+            C.Catalog.add_table catalog table,
+            (name, node) :: cks ))
+        ([], Env.catalog env, [])
+        kept
+    in
+    let groups = List.rev groups and checkpoints = List.rev checkpoints in
+    match
+      let query, _mapping = Q.contract q ~groups ~rename:(mangle q) in
+      Env.create ~expand_config:env.Env.expand_config ~machine ~catalog ~query
+        ()
+    with
+    | exception Invalid_argument msg -> Error ("residual query: " ^ msg)
+    | env' ->
+      Ok { env = env'; checkpoints; n_relations = Q.n_relations (Env.query env') }
+    )

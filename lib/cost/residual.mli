@@ -1,0 +1,37 @@
+(** Residual-query construction for adaptive re-planning.
+
+    When recovery crosses a sync point, the surviving materialized
+    intermediates (checkpoints) are still on disk — re-optimization
+    should treat them as base relations instead of recomputing them.
+    [construct] builds that residual environment: each maximal surviving
+    operator subtree becomes a synthetic catalog table (cardinality from
+    the subtree root's estimated [out_card], schema = the mangled union
+    of the covered relations' columns, declustered over every in-service
+    disk), the query is {!Parqo_query.Query.contract}ed over the covered
+    relation groups, and the machine is {!Parqo_machine.Machine.degrade}d
+    by the lost resources — so the optimizer re-plans exactly the work
+    that remains, on the machine that remains. *)
+
+type t = {
+  env : Env.t;
+      (** environment for the residual query on the degraded machine;
+          optimize this, then lower the winner with
+          {!Parqo_sim.Task_graph.of_optree} (dimensions are unchanged —
+          downed resources keep their ids) *)
+  checkpoints : (string * Parqo_optree.Op.node) list;
+      (** synthetic table name → the surviving subtree it stands for *)
+  n_relations : int;  (** relation count of the residual query *)
+}
+
+val construct :
+  Env.t ->
+  survivors:Parqo_optree.Op.node list ->
+  down:int list ->
+  round:int ->
+  (t, string) result
+(** [survivors] are the op roots of surviving materialized stages (in
+    any order; non-maximal ones — nested inside another survivor — are
+    dropped).  [down] lists resource ids out of service; [round] numbers
+    the re-plan so synthetic names stay unique across repeated
+    re-planning.  Errors (rather than raises) when no usable residual
+    environment exists, e.g. degrading would leave no resources. *)

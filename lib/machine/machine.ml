@@ -15,7 +15,12 @@ type params = {
   hash_memory_tuples : float;
 }
 
-type t = { resources : Resource.t array; nodes : int; params : params }
+type t = {
+  resources : Resource.t array;
+  nodes : int;
+  params : params;
+  down : int list;
+}
 
 let default_params =
   {
@@ -37,9 +42,11 @@ let default_params =
 
 let n_resources m = Array.length m.resources
 let resource m id = m.resources.(id)
+let available m id = not (List.mem id m.down)
 
 let by_kind m kind =
-  Array.to_list m.resources |> List.filter (fun r -> r.Resource.kind = kind)
+  Array.to_list m.resources
+  |> List.filter (fun r -> r.Resource.kind = kind && available m r.Resource.id)
 
 let cpus m = by_kind m Resource.Cpu
 let disks m = by_kind m Resource.Disk
@@ -56,7 +63,17 @@ let build ?(params = default_params) ~nodes specs =
       (fun id (kind, name, node) -> { Resource.id; kind; name; node })
       specs
   in
-  { resources = Array.of_list resources; nodes; params }
+  { resources = Array.of_list resources; nodes; params; down = [] }
+
+let degrade m ~down =
+  let n = Array.length m.resources in
+  let down =
+    List.filter (fun id -> id >= 0 && id < n) down
+    |> List.rev_append m.down
+    |> List.sort_uniq compare
+  in
+  if List.length down >= n then invalid_arg "Machine.degrade: no resource left";
+  { m with down }
 
 let shared_nothing ?params ~nodes () =
   if nodes < 1 then invalid_arg "Machine.shared_nothing";
@@ -87,7 +104,9 @@ let two_disks () =
 let node_resource m node kind =
   let found =
     Array.to_list m.resources
-    |> List.find_opt (fun r -> r.Resource.node = node && r.Resource.kind = kind)
+    |> List.find_opt (fun r ->
+           r.Resource.node = node && r.Resource.kind = kind
+           && available m r.Resource.id)
   in
   match found with Some r -> r | None -> raise Not_found
 
@@ -122,8 +141,13 @@ let aggregate m = function
         if node < 0 then 0 else node )
 
 let pp ppf m =
-  Format.fprintf ppf "machine(%d nodes: %a)" m.nodes
+  Format.fprintf ppf "machine(%d nodes: %a%s)" m.nodes
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        Resource.pp)
     (Array.to_list m.resources)
+    (match m.down with
+    | [] -> ""
+    | ids ->
+      Printf.sprintf "; down: %s"
+        (String.concat "," (List.map string_of_int ids)))

@@ -43,15 +43,34 @@ type t = {
   resources : Resource.t array;  (** indexed by [Resource.id] *)
   nodes : int;  (** number of sites *)
   params : params;
+  down : int list;
+      (** resource ids removed by {!degrade} — excluded from the
+          kind/node accessors (and hence from placement), but still
+          present in [resources] so ids and vector dimensions are
+          stable *)
 }
 
 val default_params : params
 
 val n_resources : t -> int
+(** Includes downed resources: resource-vector dimensions never change
+    under {!degrade}. *)
 
 val resource : t -> int -> Resource.t
 
+val available : t -> int -> bool
+(** False exactly for the ids in [down]. *)
+
+val degrade : t -> down:int list -> t
+(** A machine with the given resource ids (unioned with any already
+    down) removed from service: they keep their ids and dimensions but
+    disappear from {!cpus}/{!disks}/{!network}/{!node_cpu}/… so no new
+    plan places work on them.  Out-of-range ids are ignored; raises
+    [Invalid_argument] if nothing would remain in service. *)
+
 val cpus : t -> Resource.t list
+(** In-service CPUs only (see {!degrade}); likewise for the accessors
+    below. *)
 
 val disks : t -> Resource.t list
 

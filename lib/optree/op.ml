@@ -55,6 +55,15 @@ let rec fold f acc node =
 
 let size node = fold (fun n _ -> n + 1) 0 node
 
+let base_relations node =
+  fold
+    (fun acc n ->
+      match n.kind with
+      | Seq_scan { rel } | Index_scan { rel; _ } | Create_index { rel } ->
+        Parqo_util.Bitset.add rel acc
+      | _ -> acc)
+    Parqo_util.Bitset.empty node
+
 let find p node =
   let result = ref None in
   (try

@@ -52,6 +52,10 @@ val size : node -> int
 
 val find : (node -> bool) -> node -> node option
 
+val base_relations : node -> Parqo_util.Bitset.t
+(** Relation ids scanned (or indexed) anywhere in the subtree — the
+    leaf set of the plan fragment the node materializes. *)
+
 val materialized_front : node -> node list
 (** The "materialized front" of §5: the maximal subtrees whose roots carry
     the [Materialized] annotation — everything that must finish before the

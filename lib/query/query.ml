@@ -143,6 +143,59 @@ let validate catalog q =
     in
     check refs
 
+let contract q ~groups ~rename =
+  let n = n_relations q in
+  let in_group = Array.make n None in
+  List.iteri
+    (fun gi (rels, _, _) ->
+      if rels = [] then invalid_arg "Query.contract: empty group";
+      List.iter
+        (fun r ->
+          if r < 0 || r >= n then
+            invalid_arg "Query.contract: relation out of range";
+          if in_group.(r) <> None then
+            invalid_arg "Query.contract: overlapping groups";
+          in_group.(r) <- Some gi)
+        rels)
+    groups;
+  let kept = List.filter (fun r -> in_group.(r) = None) (List.init n Fun.id) in
+  let n_kept = List.length kept in
+  let new_id = Array.make n (-1) in
+  List.iteri (fun i r -> new_id.(r) <- i) kept;
+  List.iteri
+    (fun gi (rels, _, _) -> List.iter (fun r -> new_id.(r) <- n_kept + gi) rels)
+    groups;
+  let relations =
+    List.map (fun r -> q.relations.(r)) kept
+    @ List.map (fun (_, alias, table) -> (alias, table)) groups
+  in
+  let map_ref (c : column_ref) =
+    match in_group.(c.rel) with
+    | None -> { rel = new_id.(c.rel); column = c.column }
+    | Some _ -> { rel = new_id.(c.rel); column = rename c.rel c.column }
+  in
+  let joins =
+    List.filter_map
+      (fun (j : join_pred) ->
+        let l = map_ref j.left and r = map_ref j.right in
+        if l.rel = r.rel then None else Some { left = l; right = r })
+      q.joins
+  in
+  let selections =
+    List.filter_map
+      (fun (s : selection) ->
+        match in_group.(s.on.rel) with
+        | Some _ -> None (* already applied inside the contracted group *)
+        | None -> Some { s with on = map_ref s.on })
+      q.selections
+  in
+  let projection = List.map map_ref q.projection in
+  let order_by = List.map map_ref q.order_by in
+  ( create ~relations ~joins ~selections ~projection ~order_by (),
+    fun r ->
+      if r < 0 || r >= n then invalid_arg "Query.contract: relation out of range"
+      else new_id.(r) )
+
 let cmp_to_string = function
   | Eq -> "="
   | Ne -> "<>"

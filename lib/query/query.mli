@@ -72,6 +72,26 @@ val validate : Parqo_catalog.Catalog.t -> t -> (unit, string) result
 (** Every alias resolves to a catalog table and every referenced column
     exists. *)
 
+val contract :
+  t ->
+  groups:(int list * string * string) list ->
+  rename:(int -> string -> string) ->
+  t * (int -> int)
+(** [contract q ~groups ~rename] replaces each group [(rels, alias,
+    table)] of relation ids by a single relation [alias] bound to
+    [table] — the residual-query construction of adaptive re-planning,
+    where an already-materialized intermediate stands in for the
+    relations it joined.  Column references into a group are renamed
+    with [rename orig_rel column] (the caller names the corresponding
+    column of the stand-in table); join predicates internal to a group
+    and selections on group members are dropped (already applied inside
+    the intermediate), predicates crossing a group boundary are
+    remapped.  Kept relations come first (in original id order), then
+    one relation per group, in the given order; the returned function
+    maps original relation ids to contracted ones.  Raises
+    [Invalid_argument] on empty, overlapping or out-of-range groups (and
+    on duplicate aliases, via {!create}). *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_sql : t -> string

@@ -2,15 +2,26 @@ type policy =
   | Retry_task of { backoff : float; backoff_cap : float }
   | Restart_stage
   | Restart_from_sync
+  | Replan of {
+      threshold : float;
+      max_expansions : int option;
+      max_seconds : float option;
+    }
 
 let default = Restart_stage
 
 let retry_task ?(backoff = 1.) ?(backoff_cap = 64.) () =
   Retry_task { backoff; backoff_cap }
 
+let replan ?(threshold = 0.5) ?(max_expansions = Some 50_000) ?max_seconds () =
+  let threshold =
+    if Float.is_nan threshold then 0.5 else Float.max 0. threshold
+  in
+  Replan { threshold; max_expansions; max_seconds }
+
 let backoff_delay policy ~attempt =
   match policy with
-  | Restart_stage | Restart_from_sync -> 0.
+  | Restart_stage | Restart_from_sync | Replan _ -> 0.
   | Retry_task { backoff; backoff_cap } ->
     let attempt = max 1 attempt in
     Float.min backoff_cap (backoff *. Float.pow 2. (float_of_int (attempt - 1)))
@@ -19,10 +30,17 @@ let to_string = function
   | Retry_task _ -> "retry"
   | Restart_stage -> "stage"
   | Restart_from_sync -> "sync"
+  | Replan _ -> "replan"
+
+let valid_names = [ "retry"; "stage"; "sync"; "replan" ]
 
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "retry" | "retry-task" | "retry_task" -> Ok (retry_task ())
   | "stage" | "restart-stage" | "restart_stage" -> Ok Restart_stage
   | "sync" | "restart-from-sync" | "restart_from_sync" -> Ok Restart_from_sync
-  | other -> Error (Printf.sprintf "unknown recovery policy %S (expected retry|stage|sync)" other)
+  | "replan" | "re-plan" | "adaptive" -> Ok (replan ())
+  | other ->
+    Error
+      (Printf.sprintf "unknown recovery policy %S (expected %s)" other
+         (String.concat "|" valid_names))

@@ -19,7 +19,15 @@
       resource loss (outage factor [0.]) destroys checkpoints resident
       on that resource: completed stages with demands there re-execute,
       cascading through any dependents already running — recomputation
-      reaches back to the nearest {e surviving} sync point. *)
+      reaches back to the nearest {e surviving} sync point;
+    - [Replan]: as [Restart_from_sync], but when recovery crosses a
+      sync point (checkpoint loss, or cumulative rework exceeding
+      [threshold] × the plan's base work), the simulator asks a
+      re-planner for a new task graph over the {e residual} query —
+      surviving checkpoints become base relations, the degraded machine
+      is re-consulted — and splices it in.  Without a re-planner
+      callback (plain {!Simulator.run}), [Replan] degrades to
+      [Restart_from_sync] exactly. *)
 
 type policy =
   | Retry_task of { backoff : float; backoff_cap : float }
@@ -27,12 +35,34 @@ type policy =
           2^(n-1))] *)
   | Restart_stage
   | Restart_from_sync
+  | Replan of {
+      threshold : float;
+          (** re-plan when cumulative rework exceeds this fraction of
+              the current graph's base work (with at least one
+              checkpointed stage to anchor the residual);
+              [infinity] restricts re-planning to checkpoint loss *)
+      max_expansions : int option;
+          (** search budget for each re-optimization *)
+      max_seconds : float option;  (** wall-clock budget, if any *)
+    }
 
 val default : policy
 (** [Restart_stage] — pipelines hold no internal checkpoint. *)
 
 val retry_task : ?backoff:float -> ?backoff_cap:float -> unit -> policy
 (** [backoff] defaults to [1.], [backoff_cap] to [64.]. *)
+
+val replan :
+  ?threshold:float ->
+  ?max_expansions:int option ->
+  ?max_seconds:float ->
+  unit ->
+  policy
+(** [threshold] defaults to [0.5] (clamped to [>= 0.]),
+    [max_expansions] to [Some 50_000], [max_seconds] to [None]. *)
+
+val valid_names : string list
+(** The canonical policy names accepted by {!of_string}. *)
 
 val backoff_delay : policy -> attempt:int -> float
 (** Delay charged before re-running a task that just failed its
@@ -41,5 +71,5 @@ val backoff_delay : policy -> attempt:int -> float
 val to_string : policy -> string
 
 val of_string : string -> (policy, string) result
-(** Accepts ["retry"], ["stage"], ["sync"] (and the [to_string]
-    renderings). *)
+(** Accepts ["retry"], ["stage"], ["sync"], ["replan"] (and the
+    [to_string] renderings); the error message lists the valid names. *)

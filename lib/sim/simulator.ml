@@ -13,6 +13,27 @@ type fault_event = {
   f_attempt : int;
 }
 
+type replan_trigger =
+  | Checkpoint_loss of { resource : int }
+  | Work_inflation of { ratio : float }
+
+type replan_event = {
+  rp_at : float;
+  rp_trigger : replan_trigger;
+  rp_plan : string;
+  rp_info : string;
+}
+
+type snapshot = {
+  s_at : float;
+  s_trigger : replan_trigger;
+  s_graph : Task_graph.t;
+  s_survivors : int list;
+}
+
+type replan = { new_graph : Task_graph.t; plan_key : string; info : string }
+type replanner = snapshot -> replan option
+
 type outcome = {
   makespan : float;
   busy : float array;
@@ -22,11 +43,21 @@ type outcome = {
   trace : event list;
   n_faults : int;
   n_retries : int;
-  recovered_makespan : float;
+  n_replans : int;
+  replans : replan_event list;
   faults : fault_event list;
 }
 
 type stage_status = Pending | Running | Done
+
+let trigger_to_string = function
+  | Checkpoint_loss { resource } ->
+    Printf.sprintf "checkpoint loss (resource %d)" resource
+  | Work_inflation { ratio } -> Printf.sprintf "work inflation x%.2f" ratio
+
+(* at most this many splices per run, even if the replanner keeps
+   volunteering — a backstop against pathological callbacks *)
+let max_replans_hard = 32
 
 let eps = 1e-9
 
@@ -83,7 +114,8 @@ let run_clean ~mode (g : Task_graph.t) =
       trace = List.rev !trace;
       n_faults = 0;
       n_retries = 0;
-      recovered_makespan = !time;
+      n_replans = 0;
+      replans = [];
       faults = [];
     }
   | Concurrent ->
@@ -228,16 +260,64 @@ let run_clean ~mode (g : Task_graph.t) =
       trace = List.rev !trace;
       n_faults = 0;
       n_retries = 0;
-      recovered_makespan = !time;
+      n_replans = 0;
+      replans = [];
       faults = [];
     }
 
 (* ------------------------------------------------------------------ *)
 (* fault-injected concurrent path                                      *)
 
-let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
+(* The faulty concurrent path runs as a sequence of {e segments}: one
+   task graph simulated until it either completes or — under the
+   [Replan] policy, with a [replanner] callback — a fault crosses a
+   sync point and a new graph for the residual query is spliced in.
+   The clock, per-resource busy times, traces, fault logs and outage
+   boundary bookkeeping carry across segments; task/stage state is
+   per-segment.  When no splice happens the control flow and float
+   operations are exactly the single-graph simulator's, so every other
+   policy — and [Replan] when it never triggers — is bit-identical to
+   it. *)
+let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
+    policy =
+  let nr = g0.Task_graph.n_resources in
+  let is_replan, replan_threshold =
+    match policy with
+    | Recovery.Replan { threshold; _ } -> (true, threshold)
+    | _ -> (false, infinity)
+  in
+  (* state shared across segments *)
+  let busy = Array.make nr 0. in
+  let time = ref 0. in
+  let trace = ref [] in
+  let faults_log = ref [] in
+  let n_faults = ref 0 in
+  let n_retries = ref 0 in
+  let n_replans = ref 0 in
+  let replans_log = ref [] in
+  let total_base = ref (Task_graph.total_work g0) in
+  let outages = Array.of_list fc.Fault.outages in
+  let onset_seen = Array.make (Array.length outages) false in
+  let expiry_seen = Array.make (Array.length outages) false in
+  let emit what = trace := { at = !time; what } :: !trace in
+  let log_fault f_kind ?stage ?task ?resource f_attempt =
+    incr n_faults;
+    faults_log :=
+      {
+        f_at = !time;
+        f_kind;
+        f_stage = stage;
+        f_task = task;
+        f_resource = resource;
+        f_attempt;
+      }
+      :: !faults_log
+  in
+  let total_of = Array.fold_left ( +. ) 0. in
+  let exception Splice of Task_graph.t in
+  (* one segment; body shared verbatim with the pre-replan simulator *)
+  let run_segment (g : Task_graph.t) =
   let n_stages = Array.length g.Task_graph.stages in
-  let nr = g.Task_graph.n_resources in
   let base =
     Array.map
       (fun (s : Task_graph.stage) ->
@@ -262,6 +342,13 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
              s.Task_graph.tasks))
       g.Task_graph.stages
   in
+  (* a fixed absolute epsilon breaks down when demands dwarf float
+     precision: at 1e11 units of work one ulp is ~1e-5, so a 1e-9
+     done/failure tolerance can never be met and the event loop spins
+     on sub-ulp steps until the guard trips.  Scale the tolerance to
+     the segment (one part in 1e12), floored at the global [eps] so
+     graphs of ordinary magnitude behave bit-identically. *)
+  let eps_w = Float.max eps (1e-12 *. Task_graph.total_work g) in
   let remaining = Array.map (Array.map Array.copy) base in
   let attempt = Array.map (Array.map (fun _ -> 0)) base in
   let attempt_total = Array.map (Array.map (fun _ -> 0.)) base in
@@ -273,27 +360,47 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
   let status = Array.make n_stages Pending in
   let start_t : float option array = Array.make n_stages None in
   let finish_t : float option array = Array.make n_stages None in
-  let busy = Array.make nr 0. in
-  let time = ref 0. in
-  let trace = ref [] in
-  let faults_log = ref [] in
-  let n_faults = ref 0 in
-  let n_retries = ref 0 in
-  let emit what = trace := { at = !time; what } :: !trace in
-  let log_fault f_kind ?stage ?task ?resource f_attempt =
-    incr n_faults;
-    faults_log :=
-      {
-        f_at = !time;
-        f_kind;
-        f_stage = stage;
-        f_task = task;
-        f_resource = resource;
-        f_attempt;
-      }
-      :: !faults_log
+  (* cumulative rework this segment: straggler inflation plus work lost
+     to fail-stops — feeds the [Replan] inflation trigger only *)
+  let rework = ref 0. in
+  let seg_base = Task_graph.total_work g in
+  let stage_base_work id =
+    List.fold_left
+      (fun acc (t : Task_graph.task) -> acc +. total_of t.Task_graph.demands)
+      0. g.Task_graph.stages.(id).Task_graph.tasks
   in
-  let total_of = Array.fold_left ( +. ) 0. in
+  let try_replan s_trigger ~survivors =
+    match replanner with
+    | Some rp when !n_replans < max_replans_hard -> (
+      match
+        rp { s_at = !time; s_trigger; s_graph = g; s_survivors = survivors }
+      with
+      | Some { new_graph; plan_key; info } ->
+        incr n_replans;
+        replans_log :=
+          {
+            rp_at = !time;
+            rp_trigger = s_trigger;
+            rp_plan = plan_key;
+            rp_info = info;
+          }
+          :: !replans_log;
+        emit
+          (Printf.sprintf "replan %d after %s -> %s" !n_replans
+             (trigger_to_string s_trigger) plan_key);
+        (* keep only the surviving checkpoints' work in the useful-work
+           total; the residual graph replaces the rest *)
+        let survived =
+          List.fold_left (fun acc id -> acc +. stage_base_work id) 0. survivors
+        in
+        total_base :=
+          !total_base
+          -. (Task_graph.total_work g -. survived)
+          +. Task_graph.total_work new_graph;
+        raise (Splice new_graph)
+      | None -> ())
+    | _ -> ()
+  in
   let start_attempt sid ti =
     let a = attempt.(sid).(ti) + 1 in
     attempt.(sid).(ti) <- a;
@@ -303,9 +410,11 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
     remaining.(sid).(ti) <- dem;
     let tot = total_of dem in
     attempt_total.(sid).(ti) <- tot;
+    let base_tot = total_of base.(sid).(ti) in
+    if tot > base_tot +. eps_w then rework := !rework +. (tot -. base_tot);
     suspended_until.(sid).(ti) <- 0.;
     fail_after.(sid).(ti) <-
-      (if d.Fault.fails && tot > eps then Some (d.Fault.fail_point *. tot)
+      (if d.Fault.fails && tot > eps_w then Some (d.Fault.fail_point *. tot)
        else None);
     if d.Fault.slowdown > 1. +. eps then begin
       log_fault Fault.Straggler ~stage:sid ~task:labels.(sid).(ti) a;
@@ -315,7 +424,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
     end
   in
   let stage_done id =
-    Array.for_all (fun dem -> Array.for_all (fun d -> d <= eps) dem) remaining.(id)
+    Array.for_all (fun dem -> Array.for_all (fun d -> d <= eps_w) dem) remaining.(id)
   in
   let deps_done id =
     List.for_all
@@ -347,7 +456,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
   in
   let due_failure sid ti =
     match fail_after.(sid).(ti) with
-    | Some thresh -> work_done sid ti >= thresh -. 1e-9
+    | Some thresh -> work_done sid ti >= thresh -. eps_w
     | None -> false
   in
   let inject_due_failures () =
@@ -363,10 +472,15 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
               (Printf.sprintf "task %s fault (attempt %d)" labels.(id).(ti) a);
             match policy with
             | Recovery.Retry_task _ ->
+              rework := !rework +. work_done id ti;
               start_attempt id ti;
               suspended_until.(id).(ti) <-
                 !time +. Recovery.backoff_delay policy ~attempt:a
-            | Recovery.Restart_stage | Recovery.Restart_from_sync ->
+            | Recovery.Restart_stage | Recovery.Restart_from_sync
+            | Recovery.Replan _ ->
+              Array.iteri
+                (fun tj _ -> rework := !rework +. work_done id tj)
+                base.(id);
               emit (Printf.sprintf "stage %d restart" id);
               Array.iteri (fun tj _ -> start_attempt id tj) base.(id)
           end)
@@ -375,11 +489,8 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
     !fired
   in
   let uses_resource sid r =
-    Array.exists (fun dem -> r < Array.length dem && dem.(r) > eps) base.(sid)
+    Array.exists (fun dem -> r < Array.length dem && dem.(r) > eps_w) base.(sid)
   in
-  let outages = Array.of_list fc.Fault.outages in
-  let onset_seen = Array.make (Array.length outages) false in
-  let expiry_seen = Array.make (Array.length outages) false in
   let process_outage_boundaries () =
     Array.iteri
       (fun i (o : Fault.outage) ->
@@ -389,11 +500,29 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
             (Printf.sprintf "resource %d down x%.2f for %.1f" o.Fault.resource
                o.Fault.factor o.Fault.duration);
           log_fault Fault.Resource_outage ~resource:o.Fault.resource 0;
-          if o.Fault.factor <= eps && policy = Recovery.Restart_from_sync
+          if
+            o.Fault.factor <= eps
+            && (policy = Recovery.Restart_from_sync || is_replan)
           then begin
+            (if is_replan then begin
+               (* recovery is about to cross a sync point: offer the
+                  surviving checkpoint frontier to the re-planner *)
+               let destroyed = ref [] and survivors = ref [] in
+               for id = n_stages - 1 downto 0 do
+                 if status.(id) = Done then
+                   if uses_resource id o.Fault.resource then
+                     destroyed := id :: !destroyed
+                   else survivors := id :: !survivors
+               done;
+               if !destroyed <> [] then
+                 try_replan
+                   (Checkpoint_loss { resource = o.Fault.resource })
+                   ~survivors:!survivors
+             end);
             (* full loss destroys checkpoints resident on the resource:
                completed stages there re-execute, and running consumers
-               of a lost checkpoint restart with them *)
+               of a lost checkpoint restart with them (also the [Replan]
+               fallback when the re-planner declines) *)
             for id = 0 to n_stages - 1 do
               if status.(id) = Done && uses_resource id o.Fault.resource
               then begin
@@ -427,6 +556,26 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
         end)
       outages
   in
+  let maybe_inflation_replan () =
+    if
+      is_replan
+      && Option.is_some replanner
+      && replan_threshold < infinity
+      && seg_base > eps_w
+      && !rework > replan_threshold *. seg_base
+    then begin
+      let survivors = ref [] in
+      for id = n_stages - 1 downto 0 do
+        if status.(id) = Done then survivors := id :: !survivors
+      done;
+      (* at least one checkpoint must anchor the residual — otherwise
+         the restart policies already do the best possible thing *)
+      if !survivors <> [] then
+        try_replan
+          (Work_inflation { ratio = !rework /. seg_base })
+          ~survivors:!survivors
+    end
+  in
   process_outage_boundaries ();
   start_ready ();
   let guard = ref 0 in
@@ -438,6 +587,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
   while (not (all_done ())) && (not !starved) && !guard < max_events do
     incr guard;
     process_outage_boundaries ();
+    maybe_inflation_replan ();
     if inject_due_failures () then ()
     else begin
       (* complete exhausted stages before looking for timed events *)
@@ -459,7 +609,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
                 (fun ti dem ->
                   status.(id) = Running
                   && suspended_until.(id).(ti) <= !time +. 1e-12
-                  && Array.exists (fun d -> d > eps) dem)
+                  && Array.exists (fun d -> d > eps_w) dem)
                 tasks)
             remaining
         in
@@ -470,7 +620,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
               (fun ti dem ->
                 if active.(id).(ti) then
                   Array.iteri
-                    (fun r d -> if d > eps then count.(r) <- count.(r) + 1)
+                    (fun r d -> if d > eps_w then count.(r) <- count.(r) + 1)
                     dem;
                 ignore ti)
               tasks)
@@ -484,7 +634,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
                 if active.(id).(ti) then begin
                   Array.iteri
                     (fun r d ->
-                      if d > eps && cap.(r) > eps then
+                      if d > eps_w && cap.(r) > eps then
                         consider (d *. float_of_int count.(r) /. cap.(r)))
                     dem;
                   match fail_after.(id).(ti) with
@@ -492,7 +642,7 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
                     let rate = ref 0. in
                     Array.iteri
                       (fun r d ->
-                        if d > eps && cap.(r) > eps then
+                        if d > eps_w && cap.(r) > eps then
                           rate := !rate +. (cap.(r) /. float_of_int count.(r)))
                       dem;
                     if !rate > eps then
@@ -527,15 +677,15 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
                   if active.(id).(ti) then begin
                     Array.iteri
                       (fun r d ->
-                        if d > eps && cap.(r) > eps then begin
+                        if d > eps_w && cap.(r) > eps then begin
                           let d' =
                             d -. (dt *. cap.(r) /. float_of_int count.(r))
                           in
-                          dem.(r) <- (if d' <= eps then 0. else d')
+                          dem.(r) <- (if d' <= eps_w then 0. else d')
                         end)
                       dem;
                     if
-                      Array.for_all (fun d -> d <= eps) dem
+                      Array.for_all (fun d -> d <= eps_w) dem
                       && not (due_failure id ti)
                     then
                       emit (Printf.sprintf "task %s done" labels.(id).(ti))
@@ -551,6 +701,23 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
       "starved at t=%.2f: demand on a permanently lost resource" !time;
   if not (all_done ()) then
     Parqo_error.fail ~subsystem:"simulator" "did not converge under faults";
+  (start_t, finish_t)
+  in
+  let rec drive g =
+    match run_segment g with
+    | res -> res
+    | exception Splice g' ->
+      if g'.Task_graph.n_resources <> nr then
+        Parqo_error.fail ~subsystem:"simulator"
+          "replanned graph resource-dimension mismatch";
+      (match Task_graph.validate g' with
+      | Ok () -> ()
+      | Error msg ->
+        Parqo_error.fail ~subsystem:"simulator"
+          ("invalid replanned task graph: " ^ msg));
+      drive g'
+  in
+  let start_t, finish_t = drive g0 in
   let collect arr =
     let entries = ref [] in
     Array.iteri
@@ -564,13 +731,14 @@ let run_faulty_concurrent (g : Task_graph.t) (fc : Fault.config) policy =
   {
     makespan = !time;
     busy;
-    total_work = Task_graph.total_work g;
+    total_work = !total_base;
     stage_start = collect start_t;
     stage_finish = collect finish_t;
     trace = List.rev !trace;
     n_faults = !n_faults;
     n_retries = !n_retries;
-    recovered_makespan = !time;
+    n_replans = !n_replans;
+    replans = List.rev !replans_log;
     faults = List.rev !faults_log;
   }
 
@@ -663,7 +831,8 @@ let run_faulty_serialized (g : Task_graph.t) (fc : Fault.config) policy =
               | Recovery.Retry_task _ ->
                 time :=
                   !time +. Recovery.backoff_delay policy ~attempt:!attempt
-              | Recovery.Restart_stage | Recovery.Restart_from_sync ->
+              | Recovery.Restart_stage | Recovery.Restart_from_sync
+              | Recovery.Replan _ ->
                 emit (Printf.sprintf "stage %d restart" id);
                 Array.iteri
                   (fun r w ->
@@ -693,13 +862,14 @@ let run_faulty_serialized (g : Task_graph.t) (fc : Fault.config) policy =
     trace = List.rev !trace;
     n_faults = !n_faults;
     n_retries = !n_retries;
-    recovered_makespan = !time;
+    n_replans = 0;
+    replans = [];
     faults = List.rev !faults_log;
   }
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(mode = Concurrent) ?faults ?(recovery = Recovery.default)
+let run ?(mode = Concurrent) ?faults ?(recovery = Recovery.default) ?replanner
     (g : Task_graph.t) =
   (match Task_graph.validate g with
   | Ok () -> ()
@@ -715,7 +885,7 @@ let run ?(mode = Concurrent) ?faults ?(recovery = Recovery.default)
   match faults with
   | Some fc when Fault.is_active fc -> (
     match mode with
-    | Concurrent -> run_faulty_concurrent g fc recovery
+    | Concurrent -> run_faulty_concurrent ?replanner g fc recovery
     | Serialized -> run_faulty_serialized g fc recovery)
   | _ -> run_clean ~mode g
 
@@ -766,4 +936,10 @@ let timeline ?(width = 50) o =
         (Printf.sprintf "stage %-3d |%s| %.1f .. %.1f%s\n" id bar start finish
            annot))
     rows;
+  List.iter
+    (fun rp ->
+      Buffer.add_string buf
+        (Printf.sprintf "replan at %.1f after %s -> %s\n" rp.rp_at
+           (trigger_to_string rp.rp_trigger) rp.rp_plan))
+    o.replans;
   Buffer.contents buf

@@ -19,7 +19,17 @@
     pipelined segment, its dependency edges are materialized sync points,
     so recovery re-executes the failed segment back to its nearest
     checkpoint.  Without faults (or with an inactive config) behavior is
-    bit-identical to the failure-free simulator. *)
+    bit-identical to the failure-free simulator.
+
+    Under the {!Recovery.Replan} policy a [replanner] callback can be
+    supplied: when recovery crosses a sync point (a full-loss outage
+    destroys checkpoints, or cumulative rework exceeds the policy
+    threshold), the simulator snapshots the surviving checkpoint
+    frontier and asks the callback for a task graph of the {e residual}
+    query; if one is returned it is spliced in and simulation continues
+    on it, on the same clock and busy counters.  When the callback
+    declines (or none is given), [Replan] behaves exactly like
+    [Restart_from_sync]. *)
 
 type mode = Concurrent | Serialized
 
@@ -37,6 +47,42 @@ type fault_event = {
   f_attempt : int;  (** which attempt faulted (from 1); [0] for outages *)
 }
 
+type replan_trigger =
+  | Checkpoint_loss of { resource : int }
+      (** a full-loss outage destroyed checkpoints on [resource] *)
+  | Work_inflation of { ratio : float }
+      (** cumulative rework reached [ratio] × the graph's base work *)
+
+val trigger_to_string : replan_trigger -> string
+(** e.g. ["checkpoint loss (resource 3)"], ["work inflation (0.62x)"] *)
+
+type replan_event = {
+  rp_at : float;  (** simulation time of the splice *)
+  rp_trigger : replan_trigger;
+  rp_plan : string;  (** canonical key of the chosen residual plan *)
+  rp_info : string;  (** re-optimization summary (expansions, fallback…) *)
+}
+
+type snapshot = {
+  s_at : float;  (** current simulation time *)
+  s_trigger : replan_trigger;
+  s_graph : Task_graph.t;  (** the graph being abandoned *)
+  s_survivors : int list;
+      (** stage ids of [s_graph] whose materialized outputs survive —
+          the checkpoint frontier the residual query may build on *)
+}
+
+type replan = {
+  new_graph : Task_graph.t;
+      (** residual graph; must have the same [n_resources] *)
+  plan_key : string;
+  info : string;
+}
+
+type replanner = snapshot -> replan option
+(** Returning [None] declines — the simulator falls back to
+    [Restart_from_sync] semantics for this trigger. *)
+
 type outcome = {
   makespan : float;
       (** end-to-end completion time; includes recovery re-execution when
@@ -45,29 +91,36 @@ type outcome = {
       (** per-resource busy time; equals per-resource demand totals in a
           failure-free run, and includes re-executed and inflated work
           under faults *)
-  total_work : float;  (** failure-free work of the graph *)
+  total_work : float;
+      (** failure-free work of the graph; after a re-plan splice, the
+          surviving checkpoints' work plus the residual graph's work *)
   stage_start : (int * float) list;
-      (** first activation time per stage (restarts do not move it) *)
+      (** first activation time per stage (restarts do not move it);
+          stages of the {e final} graph when re-planning spliced one in *)
   stage_finish : (int * float) list;  (** final completion time per stage *)
   trace : event list;  (** chronological; includes fault events *)
   n_faults : int;
       (** injected faults: fail-stops + stragglers + outages; [0] without
           fault injection *)
   n_retries : int;  (** task re-executions beyond each task's first attempt *)
-  recovered_makespan : float;
-      (** completion time including all recovery; equals [makespan] *)
+  n_replans : int;  (** re-plan splices performed (0 unless [Replan]) *)
+  replans : replan_event list;  (** chronological *)
   faults : fault_event list;  (** chronological *)
 }
 
 val run :
   ?mode:mode -> ?faults:Fault.config -> ?recovery:Recovery.policy ->
-  Task_graph.t -> outcome
+  ?replanner:replanner -> Task_graph.t -> outcome
 (** [mode] defaults to [Concurrent], [recovery] to {!Recovery.default}.
     When [faults] is absent or inactive, the result is bit-identical to
-    the failure-free simulator (with the fault counters zero).  Raises
-    {!Parqo_util.Parqo_error.Error} on an invalid graph or fault config,
-    and when every remaining demand sits on a permanently lost
-    resource. *)
+    the failure-free simulator (with the fault counters zero).
+    [replanner] is consulted only under the [Replan] policy in
+    [Concurrent] mode; in [Serialized] mode (no concurrent capacity to
+    re-balance) [Replan] behaves like [Restart_stage].  Raises
+    {!Parqo_util.Parqo_error.Error} on an invalid graph or fault config
+    (task-graph validation per {!Task_graph.validate} also covers every
+    spliced residual graph), and when every remaining demand sits on a
+    permanently lost resource. *)
 
 val simulate_plan :
   ?mode:mode -> ?faults:Fault.config -> ?recovery:Recovery.policy ->
@@ -86,4 +139,5 @@ val timeline : ?width:int -> outcome -> string
     stage 0  |         ================  | 48.3 .. 130.0  (2 faults)
     v}
     [width] (default 50) is the bar area in characters; rows of stages
-    that suffered faults are annotated with the fault count. *)
+    that suffered faults are annotated with the fault count, and one
+    trailing line per re-plan splice records when and why it fired. *)

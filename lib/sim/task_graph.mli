@@ -18,6 +18,10 @@ type stage = {
   stage_id : int;
   tasks : task list;
   deps : int list;  (** stage ids that must complete first *)
+  op_root : Parqo_optree.Op.node option;
+      (** the operator subtree this stage materializes — its root's
+          [out_card]/[out_width] size the checkpoint.  [None] for
+          hand-built graphs. *)
 }
 
 type t = {
@@ -35,5 +39,9 @@ val of_optree : Parqo_cost.Env.t -> Parqo_optree.Op.node -> t
 val total_work : t -> float
 
 val validate : t -> (unit, string) result
-(** Dependency ids in range and acyclic (it is a DAG by construction;
-    this guards future editing). *)
+(** Structural well-formedness, checked at simulator entry: [stage_id]
+    equals the array index, dependency ids in range, demand vectors no
+    longer than [n_resources] with only finite nonnegative entries, and
+    the dependency graph acyclic.  Violations that would otherwise
+    surface as index crashes or non-termination deep inside the
+    simulator are reported here instead. *)

@@ -1,0 +1,271 @@
+(* Adaptive mid-query re-optimization (Recovery.Replan): identity
+   guarantees when it never fires, policy equivalences, and an
+   engineered checkpoint-loss scenario where the splice both fires and
+   beats static recovery. *)
+
+module Sim = Parqo.Simulator
+module TG = Parqo.Task_graph
+module F = Parqo.Fault
+module R = Parqo.Recovery
+module A = Parqo.Adaptive
+module J = Parqo.Join_tree
+module M = Parqo.Join_method
+
+let t name f = Alcotest.test_case name `Quick f
+
+let bits = Int64.bits_of_float
+
+let check_bits msg a b = Alcotest.(check int64) msg (bits a) (bits b)
+
+(* bit-for-bit outcome equality: makespan, busy, total work and the
+   full trace, via Int64.bits_of_float (no epsilon) *)
+let check_identical msg (a : Sim.outcome) (b : Sim.outcome) =
+  check_bits (msg ^ ": makespan") a.Sim.makespan b.Sim.makespan;
+  check_bits (msg ^ ": total_work") a.Sim.total_work b.Sim.total_work;
+  Alcotest.(check (array int64))
+    (msg ^ ": busy")
+    (Array.map bits a.Sim.busy)
+    (Array.map bits b.Sim.busy);
+  Alcotest.(check (list (pair int64 string)))
+    (msg ^ ": trace")
+    (List.map (fun (e : Sim.event) -> (bits e.Sim.at, e.Sim.what)) a.Sim.trace)
+    (List.map (fun (e : Sim.event) -> (bits e.Sim.at, e.Sim.what)) b.Sim.trace)
+
+(* a join tree with materialized sync points on every join: sort-merge
+   producers checkpoint their outputs, which is what re-planning feeds on *)
+let sorted_tree n =
+  let rec go acc i =
+    if i >= n then acc
+    else go (J.join M.Sort_merge ~outer:acc ~inner:(J.access i)) (i + 1)
+  in
+  go (J.access 0) 1
+
+let lower (env : Parqo.Env.t) tree =
+  TG.of_optree env
+    (Parqo.Expand.expand ~config:env.Parqo.Env.expand_config
+       env.Parqo.Env.estimator tree)
+
+(* earliest-finished non-root checkpointed stage and a disk it used *)
+let pick_target machine (g : TG.t) (clean : Sim.outcome) =
+  let disk_ids = Parqo.Machine.disk_ids machine in
+  let stage_disk (s : TG.stage) =
+    List.find_opt
+      (fun d ->
+        List.exists
+          (fun (tk : TG.task) ->
+            Array.length tk.TG.demands > d && tk.TG.demands.(d) > 0.)
+          s.TG.tasks)
+      disk_ids
+  in
+  List.filter_map
+    (fun (sid, fin) ->
+      if sid = g.TG.root_stage then None
+      else
+        let s = g.TG.stages.(sid) in
+        if s.TG.op_root = None then None
+        else Option.map (fun d -> (fin, d)) (stage_disk s))
+    clean.Sim.stage_finish
+  |> List.sort compare |> List.hd
+
+(* an outage schedule that destroys that checkpoint mid-run and keeps
+   the disk dead long enough that waiting it out is clearly worse *)
+let engineered () =
+  let env = Helpers.chain_env ~n:4 () in
+  let tree = sorted_tree 4 in
+  let g = lower env tree in
+  let clean = Sim.run g in
+  let fin, disk = pick_target env.Parqo.Env.machine g clean in
+  let outage =
+    {
+      F.resource = disk;
+      at = fin +. (0.01 *. clean.Sim.makespan);
+      duration = 5. *. clean.Sim.makespan;
+      factor = 0.;
+    }
+  in
+  (env, tree, g, clean, { F.none with F.outages = [ outage ] })
+
+(* without faults, every policy — including Replan with a live
+   replanner — is bit-identical to the clean simulator *)
+let fault_free_identity () =
+  List.iter
+    (fun shape ->
+      let env = Helpers.chain_env ~n:4 ~shape () in
+      let tree = sorted_tree 4 in
+      let clean = Sim.run (lower env tree) in
+      List.iter
+        (fun (name, recovery) ->
+          let r = A.simulate ~recovery env tree in
+          check_identical (name ^ ": fault-free") clean r.A.outcome;
+          Alcotest.(check int) (name ^ ": no splices") 0 r.A.outcome.Sim.n_replans;
+          Alcotest.(check int) (name ^ ": no records") 0 (List.length r.A.records))
+        [
+          ("retry", R.retry_task ());
+          ("stage", R.Restart_stage);
+          ("sync", R.Restart_from_sync);
+          ("replan", R.replan ());
+        ])
+    [ Parqo.Query_gen.Chain; Parqo.Query_gen.Star ]
+
+(* fail-stops and stragglers alone never cross a sync point: with no
+   full-loss outage and an unreachable inflation threshold, Replan is
+   bit-identical to Restart_from_sync under the same injected faults *)
+let untriggered_replan_is_sync () =
+  let env = Helpers.chain_env ~n:4 () in
+  let tree = sorted_tree 4 in
+  List.iter
+    (fun seed ->
+      let faults = F.default ~seed ~straggler:true ~fault_rate:0.5 () in
+      let sync =
+        (A.simulate ~faults ~recovery:R.Restart_from_sync env tree).A.outcome
+      in
+      let rp =
+        A.simulate ~faults ~recovery:(R.replan ~threshold:1e18 ()) env tree
+      in
+      check_identical (Printf.sprintf "seed %d" seed) sync rp.A.outcome;
+      Alcotest.(check int) "no splices" 0 rp.A.outcome.Sim.n_replans)
+    [ 1; 2; 3; 4; 5 ]
+
+(* the same hand-built graph generator as test_fault *)
+let random_graph rng =
+  let n_stages = 1 + Parqo.Rng.int rng 4 in
+  let stages =
+    List.init n_stages (fun i ->
+        let tasks =
+          List.init
+            (1 + Parqo.Rng.int rng 3)
+            (fun j ->
+              {
+                TG.task_id = (i * 100) + j;
+                label = Printf.sprintf "t%d_%d" i j;
+                demands = Array.init 3 (fun _ -> 1. +. Parqo.Rng.float rng 10.);
+              })
+        in
+        let deps =
+          if i < n_stages - 1 && Parqo.Rng.bool rng then [ i + 1 ] else []
+        in
+        { TG.stage_id = i; tasks; deps; op_root = None })
+  in
+  { TG.stages = Array.of_list stages; n_resources = 3; root_stage = 0 }
+
+(* a degraded (factor > 0) outage never destroys checkpoints, so
+   Restart_from_sync adds nothing over Restart_stage: bit-identical on
+   randomized graphs and schedules (MODEL.md section 7) *)
+let sync_equals_stage_on_degraded_outages () =
+  let rng = Parqo.Rng.create 1234 in
+  for i = 1 to 25 do
+    let g = random_graph rng in
+    let outages =
+      List.init
+        (1 + Parqo.Rng.int rng 2)
+        (fun _ ->
+          {
+            F.resource = Parqo.Rng.int rng 3;
+            at = Parqo.Rng.float rng 20.;
+            duration = 0.5 +. Parqo.Rng.float rng 20.;
+            factor = 0.1 +. Parqo.Rng.float rng 0.85;
+          })
+    in
+    let faults =
+      { (F.default ~seed:i ~straggler:true ~fault_rate:0.3 ()) with F.outages }
+    in
+    let stage = Sim.run ~faults ~recovery:R.Restart_stage g in
+    let sync = Sim.run ~faults ~recovery:R.Restart_from_sync g in
+    check_identical (Printf.sprintf "graph %d" i) stage sync
+  done
+
+(* the engineered outage fires the replanner: the splice is recorded in
+   the outcome, the trace and the timeline, and the adaptive makespan
+   strictly beats static Restart_from_sync recovery *)
+let checkpoint_loss_triggers_replan () =
+  let env, tree, g, _clean, faults = engineered () in
+  let static_sim = Sim.run ~faults ~recovery:R.Restart_from_sync g in
+  let r = A.simulate ~faults ~recovery:(R.replan ()) env tree in
+  let o = r.A.outcome in
+  Alcotest.(check bool) "replanned" true (o.Sim.n_replans >= 1);
+  Alcotest.(check int) "one record per splice" o.Sim.n_replans
+    (List.length r.A.records);
+  List.iter2
+    (fun (ev : Sim.replan_event) (rec_ : A.replan_record) ->
+      Alcotest.(check string) "plan keys agree" ev.Sim.rp_plan rec_.A.plan_key;
+      check_bits "splice times agree" ev.Sim.rp_at rec_.A.at;
+      Alcotest.(check bool) "residual is non-trivial" true
+        (rec_.A.n_relations >= 1))
+    o.Sim.replans r.A.records;
+  (match (List.hd r.A.records).A.trigger with
+  | Sim.Checkpoint_loss _ -> ()
+  | Sim.Work_inflation _ -> Alcotest.fail "expected a checkpoint-loss trigger");
+  Alcotest.(check bool) "adaptive strictly beats static" true
+    (o.Sim.makespan < static_sim.Sim.makespan);
+  Alcotest.(check bool) "utilization sound" true (Sim.utilization o <= 1. +. 1e-9);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "timeline annotates the splice" true
+    (contains (Sim.timeline o) "replan at")
+
+(* re-optimization under 1 and 4 search domains picks the same residual
+   plan (deterministic merge), so the spliced simulation is bit-identical *)
+let domains_do_not_change_the_splice () =
+  let env, tree, _g, _clean, faults = engineered () in
+  let d1 = A.simulate ~faults ~recovery:(R.replan ()) ~domains:1 env tree in
+  let d4 = A.simulate ~faults ~recovery:(R.replan ()) ~domains:4 env tree in
+  Alcotest.(check bool) "replanned" true (d1.A.outcome.Sim.n_replans >= 1);
+  check_identical "domains 1 vs 4" d1.A.outcome d4.A.outcome;
+  Alcotest.(check (list string))
+    "same residual plans"
+    (List.map (fun (r : A.replan_record) -> r.A.plan_key) d1.A.records)
+    (List.map (fun (r : A.replan_record) -> r.A.plan_key) d4.A.records)
+
+(* the max_replans cap declines further triggers (Restart_from_sync
+   fallback) instead of splicing forever *)
+let replan_cap_respected () =
+  let env, tree, _g, _clean, faults = engineered () in
+  let r = A.simulate ~faults ~recovery:(R.replan ()) ~max_replans:0 env tree in
+  Alcotest.(check int) "no splice under a zero cap" 0
+    r.A.outcome.Sim.n_replans;
+  let sync = A.simulate ~faults ~recovery:R.Restart_from_sync env tree in
+  check_identical "declined replan = sync" sync.A.outcome r.A.outcome
+
+(* of_string: aliases accepted, errors list every valid name *)
+let recovery_of_string () =
+  List.iter
+    (fun (s, expect) ->
+      match R.of_string s with
+      | Ok p -> Alcotest.(check string) s expect (R.to_string p)
+      | Error e -> Alcotest.failf "%s rejected: %s" s e)
+    [
+      ("retry", "retry");
+      ("stage", "stage");
+      ("sync", "sync");
+      ("replan", "replan");
+      ("re-plan", "replan");
+      ("adaptive", "replan");
+      ("  REPLAN  ", "replan");
+    ];
+  match R.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun name ->
+        Alcotest.(check bool) ("error lists " ^ name) true (contains e name))
+      R.valid_names
+
+let suite =
+  ( "adaptive replanning",
+    [
+      t "fault-free identity, all policies" fault_free_identity;
+      t "untriggered replan = sync" untriggered_replan_is_sync;
+      t "sync = stage on degraded outages" sync_equals_stage_on_degraded_outages;
+      t "checkpoint loss triggers replan" checkpoint_loss_triggers_replan;
+      t "domains do not change the splice" domains_do_not_change_the_splice;
+      t "replan cap respected" replan_cap_respected;
+      t "recovery of_string" recovery_of_string;
+    ] )

@@ -1,0 +1,66 @@
+(* The installed CLI surface, driven as a subprocess (the binary is a
+   declared test dependency, built into ../bin).  Bad flag values must
+   exit nonzero with the list of valid choices and no backtrace; the
+   replan policy must run end to end. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cli = Filename.concat Filename.parent_dir_name "bin/parqo_cli.exe"
+
+let run_cli args =
+  let out = Filename.temp_file "parqo_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s >%s 2>&1" (Filename.quote cli) args
+         (Filename.quote out))
+  in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let skip_unless_built k = if Sys.file_exists cli then k () else ()
+
+let bad_recovery_listed () =
+  skip_unless_built @@ fun () ->
+  let code, text =
+    run_cli "simulate --shape chain -n 3 --recovery bogus"
+  in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("lists " ^ name) true (contains text name))
+    Parqo.Recovery.valid_names;
+  Alcotest.(check bool) "no backtrace" false (contains text "Raised at")
+
+let bad_fault_rate_rejected () =
+  skip_unless_built @@ fun () ->
+  let code, text = run_cli "simulate --shape chain -n 3 --fault-rate 1.5" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool) "explains the range" true (contains text "[0, 1)");
+  Alcotest.(check bool) "no backtrace" false (contains text "Raised at")
+
+let replan_policy_runs () =
+  skip_unless_built @@ fun () ->
+  let code, text =
+    run_cli
+      "simulate --shape chain -n 3 --fault-rate 0.3 --recovery replan \
+       --fault-seed 1"
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports makespan" true (contains text "makespan");
+  Alcotest.(check bool) "reports replans" true (contains text "replans")
+
+let suite =
+  ( "cli",
+    [
+      t "bad recovery lists choices" bad_recovery_listed;
+      t "bad fault rate rejected" bad_fault_rate_rejected;
+      t "replan policy runs" replan_policy_runs;
+    ] )

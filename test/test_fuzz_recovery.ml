@@ -1,0 +1,112 @@
+(* Recovery fuzzing: random queries x random plans x random fault
+   schedules (fail-stops, stragglers, full- and partial-loss outages)
+   under every recovery policy.  The simulator must never raise, keep
+   utilization at or below 1, and — when no re-plan splice rewrites the
+   graph — never finish before the failure-free run.  All draws are
+   seed-driven, so a failure reproduces from the case number. *)
+
+module Sim = Parqo.Simulator
+module F = Parqo.Fault
+module R = Parqo.Recovery
+module A = Parqo.Adaptive
+
+let t name f = Alcotest.test_case name `Quick f
+
+let policies =
+  [
+    ("retry", R.retry_task ());
+    ("stage", R.Restart_stage);
+    ("sync", R.Restart_from_sync);
+    ("replan", R.replan ());
+  ]
+
+let is_replan = function R.Replan _ -> true | _ -> false
+
+let random_schedule rng ~n_resources ~horizon =
+  let fail = Parqo.Rng.float rng 0.6 in
+  let base =
+    F.default ~seed:(Parqo.Rng.int rng 10_000) ~straggler:(Parqo.Rng.bool rng)
+      ~fault_rate:fail ()
+  in
+  let outages =
+    if Parqo.Rng.bool rng then
+      F.random_outages rng ~n_resources ~horizon
+        ~rate:(0.5 +. Parqo.Rng.float rng 2.)
+        ~mean_duration:(0.1 *. horizon)
+    else []
+  in
+  (* mix in partial-loss outages so degradation paths are covered too *)
+  let outages =
+    List.map
+      (fun (o : F.outage) ->
+        if Parqo.Rng.bool rng then { o with F.factor = Parqo.Rng.float rng 0.9 }
+        else o)
+      outages
+  in
+  { base with F.outages }
+
+let check_run ~case ~name ~clean ~spliced (o : Sim.outcome) =
+  let ctx fmt = Printf.sprintf ("case %d %s: " ^^ fmt) case name in
+  Alcotest.(check bool)
+    (ctx "makespan finite positive")
+    true
+    (Float.is_finite o.Sim.makespan && o.Sim.makespan > 0.);
+  Alcotest.(check bool)
+    (ctx "utilization <= 1")
+    true
+    (Sim.utilization o <= 1. +. 1e-9);
+  Alcotest.(check bool)
+    (ctx "busy finite")
+    true
+    (Array.for_all Float.is_finite o.Sim.busy);
+  (* a re-plan splice may legitimately beat the original plan; every
+     other run only adds recovery work on top of the clean makespan.
+     The tolerance is relative: recovery replays work at different
+     times, so rounding differs from the clean run by a few ulps *)
+  if not spliced then
+    Alcotest.(check bool)
+      (ctx "no faster than failure-free")
+      true
+      (o.Sim.makespan +. 1e-9 +. (1e-9 *. clean) >= clean)
+
+let fuzz () =
+  let rng = Parqo.Rng.create 20260806 in
+  let cases = ref 0 in
+  for case = 1 to 25 do
+    let n = 3 + Parqo.Rng.int rng 3 in
+    let env = Helpers.random_env rng ~n in
+    let tree = Helpers.random_tree rng env in
+    let clean = (A.simulate env tree).A.outcome in
+    let n_resources =
+      Parqo.Machine.n_resources env.Parqo.Env.machine
+    in
+    for _schedule = 1 to 2 do
+      let faults =
+        random_schedule rng ~n_resources ~horizon:clean.Sim.makespan
+      in
+      List.iter
+        (fun (name, recovery) ->
+          incr cases;
+          match A.simulate ~faults ~recovery env tree with
+          | r ->
+            let o = r.A.outcome in
+            check_run ~case ~name ~clean:clean.Sim.makespan
+              ~spliced:(o.Sim.n_replans > 0) o;
+            (* the re-optimizations are domain-parallel but merge
+               deterministically: 4 domains replay the run bit-for-bit *)
+            if is_replan recovery && o.Sim.n_replans > 0 then begin
+              let d4 = A.simulate ~faults ~recovery ~domains:4 env tree in
+              Alcotest.(check int64)
+                (Printf.sprintf "case %d: domains 1 vs 4 makespan bits" case)
+                (Int64.bits_of_float o.Sim.makespan)
+                (Int64.bits_of_float d4.A.outcome.Sim.makespan)
+            end
+          | exception e ->
+            Alcotest.failf "case %d %s: raised %s" case name
+              (Printexc.to_string e))
+        policies
+    done
+  done;
+  Alcotest.(check bool) "at least 200 cases" true (!cases >= 200)
+
+let suite = ("recovery fuzz", [ t "fuzz all policies" fuzz ])

@@ -81,6 +81,41 @@ let sql_errors_propagate () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected parse error"
 
+let simulate_under_faults () =
+  let s = session () in
+  let q =
+    "SELECT c.c_key, o.o_total FROM customer c, orders o WHERE c.c_key = \
+     o.c_key"
+  in
+  Alcotest.(check bool) "default faults inactive" false
+    (Parqo.Fault.is_active (S.faults s));
+  Alcotest.(check string) "default recovery" "stage"
+    (Parqo.Recovery.to_string (S.recovery s));
+  let clean =
+    match S.simulate s q with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "clean makespan positive" true
+    (clean.S.sim.Parqo.Simulator.makespan > 0.);
+  Alcotest.(check int) "no faults injected" 0
+    clean.S.sim.Parqo.Simulator.n_faults;
+  Alcotest.(check int) "no replans" 0 (List.length clean.S.sim_replans);
+  S.set_faults s (Parqo.Fault.default ~seed:3 ~fault_rate:0.9 ());
+  S.set_recovery s (Parqo.Recovery.replan ());
+  Alcotest.(check string) "recovery updated" "replan"
+    (Parqo.Recovery.to_string (S.recovery s));
+  Alcotest.(check bool) "faults updated" true
+    (Parqo.Fault.is_active (S.faults s));
+  match S.simulate s q with
+  | Error e -> Alcotest.fail e
+  | Ok faulty ->
+    Alcotest.(check bool) "faults observed" true
+      (faulty.S.sim.Parqo.Simulator.n_faults > 0);
+    Alcotest.(check int) "records match outcome"
+      faulty.S.sim.Parqo.Simulator.n_replans
+      (List.length faulty.S.sim_replans);
+    Alcotest.(check bool) "utilization sound" true
+      (Parqo.Simulator.utilization faulty.S.sim <= 1. +. 1e-9)
+
 let suite =
   ( "session",
     [
@@ -90,4 +125,5 @@ let suite =
       t "budget respected" budget_respected;
       t "explain text" explain_text;
       t "errors propagate" sql_errors_propagate;
+      t "simulate under faults" simulate_under_faults;
     ] )

@@ -21,6 +21,7 @@ let graph ~n_resources stages =
                      { TG.task_id = (i * 100) + j; label = Printf.sprintf "t%d_%d" i j; demands })
                    tasks;
                deps;
+               op_root = None;
              })
            stages);
     n_resources;

@@ -58,14 +58,15 @@ let demands_match_cost_model () =
   Helpers.check_float ~eps:1e-6 "work agrees" e.Parqo.Costmodel.work
     (TG.total_work g)
 
+let stage ?(tasks = []) ?(deps = []) stage_id =
+  { TG.stage_id; tasks; deps; op_root = None }
+
+let task ?(label = "t") task_id demands = { TG.task_id; label; demands }
+
 let validate_catches_cycles () =
   let bad =
     {
-      TG.stages =
-        [|
-          { TG.stage_id = 0; tasks = []; deps = [ 1 ] };
-          { TG.stage_id = 1; tasks = []; deps = [ 0 ] };
-        |];
+      TG.stages = [| stage 0 ~deps:[ 1 ]; stage 1 ~deps:[ 0 ] |];
       n_resources = 1;
       root_stage = 0;
     }
@@ -73,6 +74,81 @@ let validate_catches_cycles () =
   match TG.validate bad with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "expected cycle error"
+
+let expect_error name g =
+  match TG.validate g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail ("expected validation error: " ^ name)
+
+(* the extended structural checks: stage-id mismatch, dangling deps,
+   oversized/negative/NaN demand vectors *)
+let validate_catches_malformed () =
+  expect_error "stage_id mismatch"
+    { TG.stages = [| stage 1 |]; n_resources = 1; root_stage = 0 };
+  expect_error "dep out of range"
+    { TG.stages = [| stage 0 ~deps:[ 3 ] |]; n_resources = 1; root_stage = 0 };
+  expect_error "demand vector longer than n_resources"
+    {
+      TG.stages = [| stage 0 ~tasks:[ task 0 [| 1.; 1. |] ] |];
+      n_resources = 1;
+      root_stage = 0;
+    };
+  expect_error "negative demand"
+    {
+      TG.stages = [| stage 0 ~tasks:[ task 0 [| -1. |] ] |];
+      n_resources = 1;
+      root_stage = 0;
+    };
+  expect_error "NaN demand"
+    {
+      TG.stages = [| stage 0 ~tasks:[ task 0 [| Float.nan |] ] |];
+      n_resources = 1;
+      root_stage = 0;
+    };
+  (* and a well-formed graph passes *)
+  match
+    TG.validate
+      {
+        TG.stages = [| stage 0 ~tasks:[ task 0 [| 1. |] ] |];
+        n_resources = 1;
+        root_stage = 0;
+      }
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("well-formed graph rejected: " ^ e)
+
+(* malformed graphs are rejected at simulator entry with a structured
+   error, not an index crash deep inside the event loop *)
+let simulator_rejects_malformed () =
+  let bad =
+    {
+      TG.stages = [| stage 0 ~tasks:[ task 0 [| -2.; 1. |] ] |];
+      n_resources = 2;
+      root_stage = 0;
+    }
+  in
+  let raised =
+    try
+      ignore (Parqo.Simulator.run bad);
+      false
+    with Parqo.Parqo_error.Error e ->
+      e.Parqo.Parqo_error.subsystem = "simulator"
+  in
+  Alcotest.(check bool) "Parqo_error from the simulator" true raised
+
+(* lowering records the materialized subtree on every stage, so the
+   replanner can size surviving checkpoints *)
+let lowering_records_op_roots () =
+  let env = env () in
+  let g = lower env (J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1)) in
+  Array.iter
+    (fun (s : TG.stage) ->
+      match s.TG.op_root with
+      | Some _ -> ()
+      | None ->
+        Alcotest.fail
+          (Printf.sprintf "stage %d lowered without an op_root" s.TG.stage_id))
+    g.TG.stages
 
 let suite =
   ( "task-graph",
@@ -82,4 +158,7 @@ let suite =
       t "NL index inner has no task" nl_index_inner_has_no_task;
       t "demands match cost model" demands_match_cost_model;
       t "validate catches cycles" validate_catches_cycles;
+      t "validate catches malformed" validate_catches_malformed;
+      t "simulator rejects malformed" simulator_rejects_malformed;
+      t "lowering records op roots" lowering_records_op_roots;
     ] )
