@@ -1,4 +1,4 @@
-.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke clean
+.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke bench-serve bench-serve-smoke clean
 
 all:
 	dune build @all
@@ -41,10 +41,18 @@ bench-replan:
 bench-replan-smoke:
 	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e19
 
+# serving bench: request streams with deadlines, shedding and chaos;
+# asserts no request is lost and the in-flight cap holds
+bench-serve:
+	dune exec bench/main.exe -- --only e20
+
+bench-serve-smoke:
+	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e20
+
 # the CI gate: full test suite plus the smoke micro-benches (which assert
 # cached-vs-uncached and replan bit-identity end to end)
 ci:
-	dune build @all && dune runtest && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke
+	dune build @all && dune runtest && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke
 
 clean:
 	dune clean

@@ -28,6 +28,7 @@ let experiments =
     ("e17", Exp_parsearch.run);
     ("e18", Exp_cost.run);
     ("e19", Exp_replan.run);
+    ("e20", Exp_serve.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

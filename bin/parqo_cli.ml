@@ -369,9 +369,134 @@ let run_cmd =
        ~doc:"Optimize and execute a query on a canned materialized workload.")
     Term.(ret (const run $ setup_logs $ workload $ limit $ nodes $ budget $ search_domains))
 
+(* the optimizer as a service: a synthetic request stream against a
+   query pool, with deadlines, load shedding and optional chaos *)
+let serve_cmd =
+  let module Server = Parqo_serve.Server in
+  let module Chaos = Parqo_serve.Chaos in
+  let tables =
+    Arg.(value & opt int 6
+         & info [ "tables" ] ~docv:"N" ~doc:"Tables in the serving catalog.")
+  in
+  let pool =
+    Arg.(value & opt int 24
+         & info [ "pool" ] ~docv:"N" ~doc:"Distinct queries in the pool.")
+  in
+  let n_requests =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests in the stream.")
+  in
+  let arrival =
+    Arg.(value
+         & opt (enum [ ("uniform", `Uniform); ("poisson", `Poisson); ("burst", `Burst) ]) `Poisson
+         & info [ "arrival" ] ~docv:"PROCESS"
+             ~doc:"Arrival process: $(b,uniform), $(b,poisson) or $(b,burst).")
+  in
+  let rate =
+    Arg.(value & opt float 100.
+         & info [ "rate" ] ~docv:"QPS"
+             ~doc:"Arrival rate for uniform/poisson, queries per second.")
+  in
+  let burst_size =
+    Arg.(value & opt int 20
+         & info [ "burst-size" ] ~docv:"N" ~doc:"Arrivals per burst.")
+  in
+  let burst_period =
+    Arg.(value & opt float 0.2
+         & info [ "burst-period" ] ~docv:"S" ~doc:"Seconds between bursts.")
+  in
+  let deadline_ms =
+    Arg.(value & opt float 100.
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"Per-request deadline in milliseconds; expired requests degrade to the greedy plan.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 32
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Max requests in flight; arrivals beyond it are shed.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Simulated optimizer workers.")
+  in
+  let chaos =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Inject server-side chaos: slow requests, transient failures, mid-request catalog epoch bumps.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 0
+         & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the chaos schedule.")
+  in
+  let seed =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the pool and the stream.")
+  in
+  let run () tables pool n arrival rate burst_size burst_period deadline_ms
+      queue_cap workers chaos chaos_seed seed nodes =
+    if deadline_ms <= 0. then `Error (false, "--deadline must be > 0")
+    else begin
+      let catalog, queries =
+        Parqo.Workloads.serving_pool ~n_tables:tables ~pool ~seed ()
+      in
+      let process =
+        match arrival with
+        | `Uniform -> Parqo.Workloads.Uniform rate
+        | `Poisson -> Parqo.Workloads.Poisson rate
+        | `Burst ->
+          Parqo.Workloads.Burst { size = burst_size; period = burst_period }
+      in
+      let rng = Parqo.Rng.create seed in
+      let arrivals = Parqo.Workloads.arrivals rng ~process ~n in
+      let reqs =
+        Server.requests rng ~pool:queries ~arrivals
+          ~deadline:(deadline_ms /. 1000.) ()
+      in
+      let config =
+        {
+          Server.default_config with
+          Server.queue_cap;
+          workers;
+          chaos =
+            (if chaos then Chaos.default ~seed:chaos_seed () else Chaos.none);
+        }
+      in
+      let machine = Parqo.Machine.shared_nothing ~nodes () in
+      let server = Server.create ~config ~machine ~catalog () in
+      let r = Server.run server reqs in
+      let s = r.Server.stats in
+      Printf.printf
+        "served %d requests (%s, pool %d, %d workers, queue cap %d%s)\n"
+        s.Server.n_requests
+        (Parqo.Workloads.arrival_to_string process)
+        pool workers queue_cap
+        (if chaos then ", chaos on" else "");
+      Printf.printf "  planned %d | degraded %d | rejected %d\n"
+        s.Server.planned s.Server.degraded s.Server.rejected;
+      Printf.printf "  retries %d | epoch bumps %d | cache %d hits / %d misses\n"
+        s.Server.retries s.Server.epoch_bumps s.Server.cache_hits
+        s.Server.cache_misses;
+      Printf.printf
+        "  throughput %.1f qps | max in flight %d | latency p50 %.1fms p95 %.1fms p99 %.1fms\n"
+        s.Server.throughput_qps s.Server.max_in_flight
+        (1000. *. s.Server.p50) (1000. *. s.Server.p95) (1000. *. s.Server.p99);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a synthetic optimization-request stream with deadlines, load shedding and optional chaos.")
+    Term.(ret (const run $ setup_logs $ tables $ pool $ n_requests $ arrival $ rate $ burst_size $ burst_period $ deadline_ms $ queue_cap $ workers $ chaos $ chaos_seed $ seed $ nodes))
+
 let main =
   let doc = "parallel query optimizer (SIGMOD 1992 reproduction)" in
   Cmd.group (Cmd.info "parqo" ~doc)
-    [ optimize_cmd; explain_cmd; simulate_cmd; sweep_cmd; gen_cmd; run_cmd ]
+    [ optimize_cmd; explain_cmd; simulate_cmd; sweep_cmd; gen_cmd; run_cmd;
+      serve_cmd ]
 
-let () = exit (Cmd.eval main)
+(* structured runtime errors print as one line, never as a backtrace *)
+let () =
+  try exit (Cmd.eval main)
+  with Parqo.Parqo_error.Error e ->
+    prerr_endline (Parqo.Parqo_error.to_string e);
+    exit 3

@@ -46,7 +46,7 @@ let answer_line (a : Parqo.Session.answer) =
     a.Parqo.Session.plan.Parqo.Costmodel.response_time speedup
     a.Parqo.Session.verified
 
-let () =
+let main () =
   let initial = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tpch" in
   let session =
     match Parqo.Session.of_workload initial with
@@ -93,3 +93,10 @@ let () =
          | Error e -> print_endline ("error: " ^ e)
      done
    with Exit | End_of_file -> print_endline "bye")
+
+(* structured runtime errors print as one line, never as a backtrace *)
+let () =
+  try main ()
+  with Parqo.Parqo_error.Error e ->
+    prerr_endline (Parqo.Parqo_error.to_string e);
+    exit 3

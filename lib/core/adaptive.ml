@@ -56,7 +56,9 @@ let simulate ?mode ?faults ?(recovery = Recovery.replan ()) ?(domains = 1)
           | Error _ -> None
           | Ok r -> (
             let renv = r.Residual.env in
-            let budget = { Parqo_search.Budget.max_expansions; max_seconds } in
+            let budget =
+              { Parqo_search.Budget.max_expansions; max_seconds; deadline = None }
+            in
             let config =
               Parqo_search.Space.parallel_config renv.Env.machine
             in

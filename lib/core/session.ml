@@ -70,6 +70,19 @@ let optimize t text =
     | Some plan ->
       Ok (env, query, plan, outcome.Parqo_search.Optimizer.work_optimal))
 
+let optimize_query ?budget t query =
+  let env =
+    Parqo_cost.Env.create ~machine:t.machine ~catalog:(catalog t) ~query ()
+  in
+  let config = Parqo_search.Space.parallel_config t.machine in
+  let outcome =
+    Parqo_search.Optimizer.minimize_response_time ~config ~bound:t.bound
+      ?budget env
+  in
+  match outcome.Parqo_search.Optimizer.best with
+  | None -> Error "no plan found"
+  | Some plan -> Ok (plan, outcome.Parqo_search.Optimizer.gave_up)
+
 let sql t text =
   let t0 = Unix.gettimeofday () in
   match optimize t text with

@@ -53,6 +53,16 @@ val catalog : t -> Parqo_catalog.Catalog.t
 
 val tables : t -> string list
 
+val optimize_query :
+  ?budget:Parqo_search.Budget.t ->
+  t ->
+  Parqo_query.Query.t ->
+  (Parqo_cost.Costmodel.eval * bool, string) result
+(** Optimize an already-parsed query under the session's bound and an
+    optional search budget — the programmatic entry the serving layer
+    builds on.  The boolean is the optimizer's [gave_up] flag: the
+    budget expired and the plan is the greedy fallback. *)
+
 val sql : t -> string -> (answer, string) result
 (** The full pipeline on one SQL string. Errors are parse/validation
     messages. *)

@@ -260,6 +260,104 @@ let tpch ?(scale = 1) ~seed () =
   in
   { db; q3; q5; q10 }
 
+(* ---------------------------------------------------------------- *)
+(* query streams for the serving layer                               *)
+
+type arrival =
+  | Uniform of float
+  | Poisson of float
+  | Burst of { size : int; period : float }
+
+let arrival_to_string = function
+  | Uniform rate -> Printf.sprintf "uniform(%.1f qps)" rate
+  | Poisson rate -> Printf.sprintf "poisson(%.1f qps)" rate
+  | Burst { size; period } ->
+    Printf.sprintf "burst(%d every %.2fs)" size period
+
+let arrivals rng ~process ~n =
+  if n < 0 then invalid_arg "Workloads.arrivals: n < 0";
+  match process with
+  | Uniform rate ->
+    if rate <= 0. then invalid_arg "Workloads.arrivals: rate <= 0";
+    Array.init n (fun i -> float_of_int i /. rate)
+  | Poisson rate ->
+    if rate <= 0. then invalid_arg "Workloads.arrivals: rate <= 0";
+    let t = ref 0. in
+    Array.init n (fun _ ->
+        let at = !t in
+        t := !t +. Rng.exponential rng ~mean:(1. /. rate);
+        at)
+  | Burst { size; period } ->
+    if size <= 0 then invalid_arg "Workloads.arrivals: burst size <= 0";
+    if period <= 0. then invalid_arg "Workloads.arrivals: period <= 0";
+    Array.init n (fun i -> float_of_int (i / size) *. period)
+
+let serving_pool ?(n_tables = 6) ?(max_relations = 4) ?(pool = 24)
+    ?(base_card = 1000.) ~seed () =
+  if n_tables < 2 then invalid_arg "Workloads.serving_pool: n_tables < 2";
+  if max_relations < 2 then
+    invalid_arg "Workloads.serving_pool: max_relations < 2";
+  if pool < 1 then invalid_arg "Workloads.serving_pool: pool < 1";
+  (* a clique catalog has a join column between every table pair, so any
+     subset of tables supports any connected sub-query; [base_card] is
+     the knob a "catalog change" turns without touching the schema, so
+     the same pool remains valid across epochs *)
+  let spec =
+    {
+      (Parqo_query.Query_gen.default_spec Parqo_query.Query_gen.Clique n_tables)
+      with
+      Parqo_query.Query_gen.base_card;
+    }
+  in
+  let catalog, _clique = Parqo_query.Query_gen.generate spec in
+  let rng = Rng.create seed in
+  let ids = Array.init n_tables Fun.id in
+  let queries =
+    Array.init pool (fun _ ->
+        let k = 2 + Rng.int rng (min max_relations n_tables - 1) in
+        Rng.shuffle rng ids;
+        (* ascending table order canonicalizes relation ids, so distinct
+           draws of the same table set share a fingerprint (cache hits) *)
+        let chosen = Array.sub ids 0 k in
+        Array.sort compare chosen;
+        let col i j = Printf.sprintf "j%d_%d" (min i j) (max i j) in
+        let pred a b =
+          {
+            Q.left = { Q.rel = a; column = col chosen.(a) chosen.(b) };
+            right = { Q.rel = b; column = col chosen.(a) chosen.(b) };
+          }
+        in
+        let joins = ref [] in
+        for a = 0 to k - 1 do
+          for b = a + 1 to k - 1 do
+            (* spanning path over the sorted subset, plus random extras *)
+            if b = a + 1 || Rng.float rng 1. < 0.3 then
+              joins := pred a b :: !joins
+          done
+        done;
+        let selections =
+          if Rng.bool rng then
+            [
+              {
+                Q.on = { Q.rel = Rng.int rng k; column = "val" };
+                cmp = Q.Le;
+                value = C.Value.Int (100 * (1 + Rng.int rng 9));
+              };
+            ]
+          else []
+        in
+        Q.create
+          ~relations:
+            (Array.to_list
+               (Array.map
+                  (fun i ->
+                    let t = Printf.sprintf "t%d" i in
+                    (t, t))
+                  chosen))
+          ~joins:(List.rev !joins) ~selections ())
+  in
+  (catalog, queries)
+
 let chain_db ?(n = 4) ?(rows = 300) ~seed () =
   if n < 1 then invalid_arg "Workloads.chain_db: n < 1";
   let rng = Rng.create seed in

@@ -53,3 +53,38 @@ val tpch : ?scale:int -> seed:int -> unit -> tpch
 (** [scale = 1] (default) materializes ~8k rows total (lineitem 6000,
     orders 1500, customer 300, part 200, supplier 100, nation 25,
     region 5), placed across four disks with clustered key indexes. *)
+
+(** {1 Query streams for the serving layer} *)
+
+type arrival =
+  | Uniform of float  (** fixed rate, queries per second *)
+  | Poisson of float  (** exponential inter-arrivals, mean rate in qps *)
+  | Burst of { size : int; period : float }
+      (** [size] simultaneous arrivals every [period] seconds *)
+
+val arrival_to_string : arrival -> string
+
+val arrivals : Parqo_util.Rng.t -> process:arrival -> n:int -> float array
+(** [n] non-decreasing arrival instants (seconds from stream start)
+    drawn from the process; deterministic in the rng state.  Raises
+    [Invalid_argument] on [n < 0] or non-positive rate/size/period. *)
+
+val serving_pool :
+  ?n_tables:int ->
+  ?max_relations:int ->
+  ?pool:int ->
+  ?base_card:float ->
+  seed:int ->
+  unit ->
+  Parqo_catalog.Catalog.t * Parqo_query.Query.t array
+(** A clique catalog of [n_tables] (default 6) tables and a pool of
+    [pool] (default 24) random connected SPJ queries over 2 to
+    [max_relations] (default 4) of them — the query population a
+    serving benchmark samples from.  Queries keep their relations in
+    ascending table order, so re-draws of the same table set share a
+    {!Parqo_query.Query.fingerprint} and hit the serving plan cache.
+    [base_card] (default 1000.) scales every cardinality: two pools
+    from the same seed and different [base_card] share schema and
+    queries but disagree on statistics — the "catalog changed, bump the
+    epoch" scenario.  Raises [Invalid_argument] when [n_tables < 2],
+    [max_relations < 2] or [pool < 1]. *)

@@ -57,7 +57,14 @@ let int_lit st =
 
 (* [/k] and [!] suffixes *)
 let annots st =
-  let clone = if literal st "/" then int_lit st else 1 in
+  let clone =
+    if literal st "/" then begin
+      let v = int_lit st in
+      if v < 1 then fail "clone degree must be >= 1, found %d" v;
+      v
+    end
+    else 1
+  in
   let materialize = literal st "!" in
   (clone, materialize)
 

@@ -13,7 +13,50 @@ type t = {
   order_by : column_ref list;
   alias_ids : (string, int) Hashtbl.t;
   neighbor_masks : Bitset.t array;
+  fingerprint : string;
 }
+
+(* Canonical whole-query key, the cross-query analogue of the interned
+   [Join_tree.key]: table names by relation id (aliases are display-only
+   — plans speak relation ids, so alias renamings must share a cache
+   line), join predicates each normalized to put the lower (rel, column)
+   side first and then sorted and deduplicated (conjunction order is
+   semantically void), selections sorted likewise.  Projection and ORDER
+   BY keep their order — both are position-significant.  Computed once at
+   construction, like the adjacency bitsets. *)
+let compute_fingerprint ~relations ~joins ~selections ~projection ~order_by =
+  let buf = Buffer.create 128 in
+  let col (c : column_ref) = Printf.sprintf "%d.%s" c.rel c.column in
+  let join (j : join_pred) =
+    let a = col j.left and b = col j.right in
+    if a <= b then a ^ "=" ^ b else b ^ "=" ^ a
+  in
+  Buffer.add_string buf "T:";
+  List.iteri
+    (fun i (_, table) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf table)
+    relations;
+  Buffer.add_string buf "|J:";
+  Buffer.add_string buf
+    (String.concat "," (List.sort_uniq String.compare (List.map join joins)));
+  Buffer.add_string buf "|S:";
+  Buffer.add_string buf
+    (String.concat ","
+       (List.sort_uniq String.compare
+          (List.map
+             (fun (s : selection) ->
+               Printf.sprintf "%s%s%s" (col s.on)
+                 (match s.cmp with
+                 | Eq -> "=" | Ne -> "<>" | Lt -> "<"
+                 | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+                 (Parqo_catalog.Value.to_string s.value))
+             selections)));
+  Buffer.add_string buf "|P:";
+  Buffer.add_string buf (String.concat "," (List.map col projection));
+  Buffer.add_string buf "|O:";
+  Buffer.add_string buf (String.concat "," (List.map col order_by));
+  Buffer.contents buf
 
 let create ~relations ~joins ?(selections = []) ?(projection = [])
     ?(order_by = []) () =
@@ -55,7 +98,11 @@ let create ~relations ~joins ?(selections = []) ?(projection = [])
     order_by;
     alias_ids;
     neighbor_masks;
+    fingerprint =
+      compute_fingerprint ~relations ~joins ~selections ~projection ~order_by;
   }
+
+let fingerprint q = q.fingerprint
 
 let n_relations q = Array.length q.relations
 let alias q i = fst q.relations.(i)

@@ -27,6 +27,8 @@ type t = private {
       (** precomputed alias → relation-id table; use {!relation_id} *)
   neighbor_masks : Parqo_util.Bitset.t array;
       (** precomputed per-relation join-graph adjacency; use {!neighbors} *)
+  fingerprint : string;
+      (** precomputed canonical query key; use {!fingerprint} *)
 }
 
 val create :
@@ -48,6 +50,18 @@ val table_name : t -> int -> string
 
 val relation_id : t -> string -> int
 (** Id of an alias — O(1) hashtable lookup. Raises [Not_found]. *)
+
+val fingerprint : t -> string
+(** The canonical whole-query key, precomputed at construction — the
+    cross-query extension of {!Parqo_plan.Join_tree.key} interning, and
+    what the serving layer's plan cache is keyed by.  Two queries share a
+    fingerprint iff they denote the same optimization problem against
+    the same catalog: table names by relation id (aliases are ignored —
+    plans reference relation ids), join predicates and selections as
+    normalized sorted sets, projection and ORDER BY verbatim (both are
+    position-significant).  Queries whose relations are permuted get
+    different fingerprints: relation ids are load-bearing in plans, so a
+    permutation is a different (if equivalent) problem. *)
 
 val connected_between : t -> Parqo_util.Bitset.t -> Parqo_util.Bitset.t -> bool
 (** Some join predicate crosses the two (disjoint) sets — O(|s1|) on the

@@ -1,10 +1,17 @@
-type t = { max_expansions : int option; max_seconds : float option }
+type t = {
+  max_expansions : int option;
+  max_seconds : float option;
+  deadline : float option;
+}
 
-let unlimited = { max_expansions = None; max_seconds = None }
+let unlimited = { max_expansions = None; max_seconds = None; deadline = None }
 let expansions n = { unlimited with max_expansions = Some n }
 let seconds s = { unlimited with max_seconds = Some s }
+let deadline at = { unlimited with deadline = Some at }
+let until at b = { b with deadline = Some at }
 
-let is_unlimited b = b.max_expansions = None && b.max_seconds = None
+let is_unlimited b =
+  b.max_expansions = None && b.max_seconds = None && b.deadline = None
 
 (* Wall clock, not [Sys.time]: process CPU time accumulates across every
    running domain, so a k-domain search would burn a time cap ~k times
@@ -22,7 +29,28 @@ let exhausted tr =
   (match tr.budget.max_expansions with
   | Some cap -> Atomic.get tr.used >= cap
   | None -> false)
-  ||
-  match tr.budget.max_seconds with
-  | Some cap -> now () -. tr.started >= cap
-  | None -> false
+  || (match (tr.budget.max_seconds, tr.budget.deadline) with
+     | None, None -> false
+     | cap, dl ->
+       (* one clock read covers both time caps *)
+       let t = now () in
+       (match cap with Some c -> t -. tr.started >= c | None -> false)
+       || match dl with Some d -> t >= d | None -> false)
+
+let remaining_seconds tr =
+  let of_cap = function
+    | None -> None
+    | Some limit -> Some (Float.max 0. limit)
+  in
+  let t = now () in
+  let candidates =
+    List.filter_map Fun.id
+      [
+        of_cap
+          (Option.map (fun c -> tr.started +. c -. t) tr.budget.max_seconds);
+        of_cap (Option.map (fun d -> d -. t) tr.budget.deadline);
+      ]
+  in
+  match candidates with
+  | [] -> None
+  | xs -> Some (List.fold_left Float.min infinity xs)

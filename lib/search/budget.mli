@@ -16,6 +16,13 @@
 type t = {
   max_expansions : int option;  (** candidate plans costed *)
   max_seconds : float option;  (** elapsed wall-clock seconds *)
+  deadline : float option;
+      (** absolute wall-clock instant ([Unix.gettimeofday] scale) after
+          which the search must stop — how a serving-layer request
+          deadline is threaded into the optimizer.  Unlike
+          [max_seconds] it is independent of when the tracker starts,
+          so one deadline can bound several searches (retries, the
+          greedy fallback) for the same request. *)
 }
 
 val unlimited : t
@@ -25,6 +32,14 @@ val expansions : int -> t
 
 val seconds : float -> t
 (** Cap wall-clock only. *)
+
+val deadline : float -> t
+(** Cap by an absolute wall-clock deadline only.  A deadline already in
+    the past makes every tracker {!exhausted} immediately. *)
+
+val until : float -> t -> t
+(** [until at b] is [b] with its deadline (re)set to [at] — compose a
+    per-request deadline with a standing expansion/time cap. *)
 
 val is_unlimited : t -> bool
 
@@ -45,3 +60,8 @@ val spent : tracker -> int
 
 val elapsed : tracker -> float
 (** Wall-clock seconds since {!start}. *)
+
+val remaining_seconds : tracker -> float option
+(** Wall-clock seconds until the tightest time cap (relative cap or
+    absolute deadline) expires, clamped at [0.]; [None] when the budget
+    has no time component. *)

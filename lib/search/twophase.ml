@@ -7,6 +7,7 @@ type result = {
   sequential : Cm.eval option;
   stats : Search_stats.t;
   evaluated : int;
+  gave_up : bool;
 }
 
 let max_exhaustive_joins = 5
@@ -46,22 +47,43 @@ let set_leaf idx ~clone tree =
 
 let optimize ?(config = Space.default_config)
     ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) ?(domains = 1)
-    (env : Env.t) =
+    ?(budget = Budget.unlimited) (env : Env.t) =
   let sequential_config =
     { config with Space.clone_degrees = [ 1 ]; materialize_choices = false }
   in
   let phase1 = Dp.optimize ~config:sequential_config env in
   match phase1.Dp.best with
-  | None -> { best = None; sequential = None; stats = phase1.Dp.stats; evaluated = 0 }
+  | None ->
+    { best = None; sequential = None; stats = phase1.Dp.stats; evaluated = 0;
+      gave_up = false }
   | Some sequential ->
     let pool = Parqo_util.Domain_pool.create ~domains in
     let evaluated = ref 0 in
+    (* Phase 2 can enumerate (degrees × mats)^joins assignments, each a
+       full costing pass — sparse [Budget.tick]s alone would honor a
+       deadline only between whole enumeration rounds.  Every annotation
+       slot therefore checks the wall clock cooperatively ([out_of_time])
+       before costing; on expiry the enumeration stops where it stands
+       and the best assignment seen so far (at worst the phase-1 plan
+       itself, which is always costed first) is returned with
+       [gave_up = true]. *)
+    let tracker = Budget.start budget in
+    let skipped = Atomic.make false in
+    (* called from pool workers too: the flag must be an atomic *)
+    let out_of_time () =
+      if Budget.exhausted tracker then begin
+        Atomic.set skipped true;
+        true
+      end
+      else false
+    in
     (* annotation variants differ in a few slots, so whole sub-trees recur
        across the enumeration: cache every evaluation (remember_all) and
        cost only the changed spine of each variant *)
     let cache = Cm.create_cache ~remember_all:true () in
     let eval tree =
       incr evaluated;
+      Budget.tick tracker 1;
       Cm.evaluate_cached cache env tree
     in
     let tree = sequential.Cm.tree in
@@ -83,7 +105,8 @@ let optimize ?(config = Space.default_config)
          scan. *)
       let assignments = ref [] in
       let rec assign_joins idx tree =
-        if idx >= n_joins then assignments := tree :: !assignments
+        if out_of_time () then ()
+        else if idx >= n_joins then assignments := tree :: !assignments
         else
           List.iter
             (fun (clone, materialize) ->
@@ -94,15 +117,26 @@ let optimize ?(config = Space.default_config)
       let assignments = Array.of_list (List.rev !assignments) in
       let evals = Array.map (fun _ -> None) assignments in
       Parqo_util.Domain_pool.run pool ~tasks:(Array.length assignments)
-        (fun i -> evals.(i) <- Some (Cm.evaluate_cached cache env assignments.(i)));
-      evaluated := !evaluated + Array.length assignments;
-      Array.iter (function Some e -> keep e | None -> ()) evals;
+        (fun i ->
+          if not (out_of_time ()) then begin
+            Budget.tick tracker 1;
+            evals.(i) <- Some (Cm.evaluate_cached cache env assignments.(i))
+          end);
+      Array.iter
+        (function
+          | Some e ->
+            incr evaluated;
+            keep e
+          | None -> ())
+        evals;
       let refined = ref !best in
       for leaf = 0 to n_leaves - 1 do
         List.iter
           (fun clone ->
-            let e = eval (set_leaf leaf ~clone !refined.Cm.tree) in
-            if objective e < objective !refined then refined := e)
+            if not (out_of_time ()) then begin
+              let e = eval (set_leaf leaf ~clone !refined.Cm.tree) in
+              if objective e < objective !refined then refined := e
+            end)
           degrees
       done;
       keep !refined
@@ -111,26 +145,30 @@ let optimize ?(config = Space.default_config)
       (* coordinate descent over all annotation slots to a fixed point *)
       let improved = ref true in
       let rounds = ref 0 in
-      while !improved && !rounds < 5 do
+      while (!improved && !rounds < 5) && not (out_of_time ()) do
         improved := false;
         incr rounds;
         for idx = 0 to n_joins - 1 do
           List.iter
             (fun (clone, materialize) ->
-              let e = eval (set_join idx ~clone ~materialize !best.Cm.tree) in
-              if objective e < objective !best then begin
-                best := e;
-                improved := true
+              if not (out_of_time ()) then begin
+                let e = eval (set_join idx ~clone ~materialize !best.Cm.tree) in
+                if objective e < objective !best then begin
+                  best := e;
+                  improved := true
+                end
               end)
             join_choices
         done;
         for leaf = 0 to n_leaves - 1 do
           List.iter
             (fun clone ->
-              let e = eval (set_leaf leaf ~clone !best.Cm.tree) in
-              if objective e < objective !best then begin
-                best := e;
-                improved := true
+              if not (out_of_time ()) then begin
+                let e = eval (set_leaf leaf ~clone !best.Cm.tree) in
+                if objective e < objective !best then begin
+                  best := e;
+                  improved := true
+                end
               end)
             degrees
         done
@@ -141,4 +179,5 @@ let optimize ?(config = Space.default_config)
       sequential = Some sequential;
       stats = phase1.Dp.stats;
       evaluated = !evaluated;
+      gave_up = Atomic.get skipped;
     }

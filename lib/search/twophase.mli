@@ -19,12 +19,16 @@ type result = {
       (** the phase-1 plan, costed with its sequential annotations *)
   stats : Search_stats.t;  (** phase-1 counters *)
   evaluated : int;  (** phase-2 annotation assignments costed *)
+  gave_up : bool;
+      (** the budget ran out mid-enumeration; [best] is the best
+          assignment seen before expiry (at worst the phase-1 tree) *)
 }
 
 val optimize :
   ?config:Space.config ->
   ?objective:(Parqo_cost.Costmodel.eval -> float) ->
   ?domains:int ->
+  ?budget:Budget.t ->
   Parqo_cost.Env.t ->
   result
 (** [config] bounds phase 2's annotation choices (clone degrees,
@@ -39,7 +43,15 @@ val optimize :
     [domains] (default 1) spreads the exhaustive enumeration's plan
     costing across a domain pool; the chosen assignment is identical for
     every pool size.  The coordinate-descent fallback is inherently
-    sequential and ignores [domains]. *)
+    sequential and ignores [domains].
+
+    [budget] (default unlimited) bounds phase 2 with cooperative
+    wall-clock checks at every annotation slot — a 1 ms deadline stops a
+    clique-5 enumeration within that slot's costing pass rather than
+    after the full cross product.  Under a budget the set of assignments
+    costed depends on the wall clock, so the result is no longer
+    deterministic across runs; [gave_up] reports any truncation.  Phase 1
+    is never truncated (it provides the fallback plan). *)
 
 val max_exhaustive_joins : int
 (** 5: up to [(degrees × materialize)^5] assignments are enumerated. *)

@@ -1,0 +1,62 @@
+module Rng = Parqo_util.Rng
+
+type config = {
+  seed : int;
+  slow_rate : float;
+  slow_seconds : float;
+  poison_rate : float;
+  epoch_bump_every : int;
+}
+
+let none =
+  {
+    seed = 0;
+    slow_rate = 0.;
+    slow_seconds = 0.;
+    poison_rate = 0.;
+    epoch_bump_every = 0;
+  }
+
+let default ?(seed = 0) () =
+  {
+    seed;
+    slow_rate = 0.05;
+    slow_seconds = 0.02;
+    poison_rate = 0.05;
+    epoch_bump_every = 100;
+  }
+
+let is_active c =
+  c.slow_rate > 0. || c.poison_rate > 0. || c.epoch_bump_every > 0
+
+let validate c =
+  if c.slow_rate < 0. || c.slow_rate > 1. then
+    Error "slow_rate must be in [0, 1]"
+  else if c.slow_seconds < 0. then Error "slow_seconds must be >= 0"
+  else if c.poison_rate < 0. || c.poison_rate >= 1. then
+    Error "poison_rate must be in [0, 1)"
+  else if c.epoch_bump_every < 0 then Error "epoch_bump_every must be >= 0"
+  else Ok ()
+
+type draw = { poisoned : bool; slow : bool; bump_epoch : bool }
+
+(* One independent generator per (seed, request, attempt), after
+   [Fault.draw]: the draw depends only on the identity of the attempt,
+   never on serving order, so a trace replays bit-identically.  The
+   multipliers are large odd constants; Rng.create finishes the job
+   with a SplitMix64 mix.  Epoch bumps fire on the first attempt only:
+   a retry of a bumped request must be able to terminate. *)
+let draw c ~request ~attempt =
+  let key =
+    ((c.seed * 0x2545F491) + (request * 0x9E3779B1)) + (attempt * 0x85EBCA77)
+  in
+  let rng = Rng.create key in
+  let u_poison = Rng.float rng 1. in
+  let u_slow = Rng.float rng 1. in
+  {
+    poisoned = u_poison < c.poison_rate;
+    slow = u_slow < c.slow_rate;
+    bump_epoch =
+      c.epoch_bump_every > 0 && attempt = 1
+      && request mod c.epoch_bump_every = c.epoch_bump_every - 1;
+  }

@@ -1,0 +1,43 @@
+(** Server-side chaos injection for the serving layer.
+
+    The simulator's {!Parqo_sim.Fault} perturbs plan {e execution}; this
+    module perturbs the {e optimizer service} itself — the failure modes
+    a long-running optimizer-as-a-service actually sees: requests that
+    take anomalously long (a slow metadata fetch, a GC pause), requests
+    that fail transiently ("poisoned" — a caught exception the retry
+    layer must absorb), and catalog changes landing mid-request (an
+    epoch bump that invalidates the plan cache under the request's
+    feet).
+
+    All draws are pure functions of [(seed, request, attempt)], so a
+    chaos trace replays bit-identically regardless of serving order —
+    the same construction as {!Parqo_sim.Fault.draw}. *)
+
+type config = {
+  seed : int;
+  slow_rate : float;  (** fraction of attempts delayed *)
+  slow_seconds : float;  (** added service delay when slow *)
+  poison_rate : float;
+      (** fraction of attempts that raise a transient [Parqo_error];
+          must be [< 1] so retries can succeed *)
+  epoch_bump_every : int;
+      (** a catalog epoch bump lands mid-request every this many
+          requests; [0] disables *)
+}
+
+val none : config
+(** All chaos off. *)
+
+val default : ?seed:int -> unit -> config
+(** 5% slow (+20 ms), 5% poisoned, an epoch bump every 100 requests. *)
+
+val is_active : config -> bool
+
+val validate : config -> (unit, string) result
+
+type draw = { poisoned : bool; slow : bool; bump_epoch : bool }
+
+val draw : config -> request:int -> attempt:int -> draw
+(** The chaos outcome for one serving attempt ([attempt] is 1-based).
+    [bump_epoch] only ever fires on attempt 1, so a retried request
+    cannot be re-bumped forever. *)

@@ -1,0 +1,323 @@
+module Cm = Parqo_cost.Costmodel
+module Budget = Parqo_search.Budget
+module Plan_cache = Parqo_util.Plan_cache
+module Parqo_error = Parqo_util.Parqo_error
+module Statsu = Parqo_util.Statsu
+module Rng = Parqo_util.Rng
+module Q = Parqo_query.Query
+
+type config = {
+  queue_cap : int;
+  workers : int;
+  default_deadline : float option;
+  budget : Budget.t;
+  max_attempts : int;
+  backoff : float;
+  backoff_cap : float;
+  chaos : Chaos.config;
+}
+
+let default_config =
+  {
+    queue_cap = 32;
+    workers = 2;
+    default_deadline = Some 0.25;
+    budget = Budget.unlimited;
+    max_attempts = 3;
+    backoff = 0.005;
+    backoff_cap = 0.05;
+    chaos = Chaos.none;
+  }
+
+let validate_config c =
+  if c.queue_cap < 1 then Error "queue_cap must be >= 1"
+  else if c.workers < 1 then Error "workers must be >= 1"
+  else if
+    match c.default_deadline with Some d -> d <= 0. | None -> false
+  then Error "default_deadline must be > 0"
+  else if c.max_attempts < 1 then Error "max_attempts must be >= 1"
+  else if c.backoff < 0. then Error "backoff must be >= 0"
+  else if c.backoff_cap < c.backoff then Error "backoff_cap must be >= backoff"
+  else Chaos.validate c.chaos
+
+type request = {
+  id : int;
+  arrival : float;
+  query : Q.t;
+  deadline : float option;
+}
+
+let requests rng ~pool ~arrivals ?deadline () =
+  if Array.length pool = 0 then invalid_arg "Server.requests: empty pool";
+  Array.mapi
+    (fun i at -> { id = i; arrival = at; query = Rng.pick rng pool; deadline })
+    arrivals
+
+type disposition = Planned | Degraded of string | Rejected of string
+
+let disposition_label = function
+  | Planned -> "planned"
+  | Degraded _ -> "degraded"
+  | Rejected _ -> "rejected"
+
+type completion = {
+  request : request;
+  disposition : disposition;
+  plan : Cm.eval option;
+  fingerprint : string;
+  started : float;
+  finished : float;
+  latency : float;
+  attempts : int;
+  cache_hit : bool;
+}
+
+type stats = {
+  n_requests : int;
+  planned : int;
+  degraded : int;
+  rejected : int;
+  retries : int;
+  epoch_bumps : int;
+  cache_hits : int;
+  cache_misses : int;
+  max_in_flight : int;
+  makespan : float;
+  throughput_qps : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type run_result = { completions : completion array; stats : stats }
+
+type t = {
+  machine : Parqo_machine.Machine.t;
+  mutable catalog : Parqo_catalog.Catalog.t;
+  config : config;
+  cache : Cm.eval Plan_cache.t;
+}
+
+let create ?(config = default_config) ~machine ~catalog () =
+  (match validate_config config with
+  | Ok () -> ()
+  | Error e -> Parqo_error.failf ~subsystem:"serve" ~phase:"config" "%s" e);
+  { machine; catalog; config; cache = Plan_cache.create () }
+
+let epoch t = Plan_cache.epoch t.cache
+let bump_epoch t = Plan_cache.bump t.cache
+
+let update_catalog t catalog =
+  t.catalog <- catalog;
+  Plan_cache.bump t.cache
+
+let cache_stats t = (Plan_cache.hits t.cache, Plan_cache.misses t.cache)
+
+(* The full optimizer under the given budget; never raises on a valid
+   query — an exhausted budget degrades to greedy inside the optimizer
+   and reports [gave_up]. *)
+let optimize t ~budget query =
+  let env =
+    Parqo_cost.Env.create ~machine:t.machine ~catalog:t.catalog ~query ()
+  in
+  let config = Parqo_search.Space.parallel_config t.machine in
+  let outcome =
+    Parqo_search.Optimizer.minimize_response_time ~config ~budget env
+  in
+  match outcome.Parqo_search.Optimizer.best with
+  | Some plan -> (plan, outcome.Parqo_search.Optimizer.gave_up)
+  | None ->
+    Parqo_error.fail ~subsystem:"serve" ~phase:"optimize"
+      ~query:(Q.fingerprint query) "optimizer returned no plan"
+
+(* The cheap fallback: a greedy plan, no search.  Used when the deadline
+   has already passed or every attempt failed — the request degrades,
+   it does not error. *)
+let greedy_plan t query =
+  let env =
+    Parqo_cost.Env.create ~machine:t.machine ~catalog:t.catalog ~query ()
+  in
+  let config = Parqo_search.Space.parallel_config t.machine in
+  match (Parqo_search.Greedy.greedy ~config env).Parqo_search.Greedy.best with
+  | Some plan -> plan
+  | None ->
+    Parqo_error.fail ~subsystem:"serve" ~phase:"fallback"
+      ~query:(Q.fingerprint query) "greedy fallback returned no plan"
+
+(* Serve one admitted request starting at virtual instant [start].
+   Returns the disposition plus the virtual service time: real measured
+   optimizer seconds, plus virtual chaos slowdowns and retry backoffs
+   (no actual sleeping — a trace simulates in much less than it
+   denotes).  Never raises: chaos poisons are retried with capped
+   exponential backoff and surviving failures degrade to greedy. *)
+let serve_one t (req : request) ~start =
+  let fp = Q.fingerprint req.query in
+  let deadline =
+    match req.deadline with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline
+  in
+  (* seconds of deadline left at virtual instant [start + service] *)
+  let left service =
+    Option.map (fun d -> req.arrival +. d -. start -. service) deadline
+  in
+  let service = ref 0. in
+  let bumps = ref 0 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    service := !service +. (Unix.gettimeofday () -. t0);
+    v
+  in
+  let degrade reason =
+    let plan = timed (fun () -> greedy_plan t req.query) in
+    (Degraded reason, Some plan, false)
+  in
+  let used = ref 0 in
+  let rec attempt n last_err =
+    if n > t.config.max_attempts then
+      degrade (Printf.sprintf "retries exhausted: %s" last_err)
+    else begin
+      used := n;
+      let d = Chaos.draw t.config.chaos ~request:req.id ~attempt:n in
+      if d.Chaos.slow then
+        service := !service +. t.config.chaos.Chaos.slow_seconds;
+      (* observe the epoch BEFORE any mid-request bump: a bump between
+         observation and [remember_at] must drop the write *)
+      let epoch0 = Plan_cache.epoch t.cache in
+      if d.Chaos.bump_epoch then begin
+        Plan_cache.bump t.cache;
+        incr bumps
+      end;
+      match Plan_cache.find t.cache fp with
+      | Some plan -> (Planned, Some plan, true)
+      | None -> (
+        match left !service with
+        | Some l when l <= 0. -> degrade "deadline expired"
+        | remaining -> (
+          try
+            if d.Chaos.poisoned then
+              Parqo_error.fail ~subsystem:"serve" ~phase:"optimize" ~query:fp
+                ?deadline_left:remaining "chaos: transient optimizer failure";
+            let budget =
+              match remaining with
+              | None -> t.config.budget
+              | Some l ->
+                Budget.until (Unix.gettimeofday () +. l) t.config.budget
+            in
+            let plan, gave_up = timed (fun () -> optimize t ~budget req.query) in
+            if gave_up then (Degraded "budget expired mid-search", Some plan, false)
+            else begin
+              Plan_cache.remember_at t.cache ~epoch:epoch0 fp plan;
+              (Planned, Some plan, false)
+            end
+          with Parqo_error.Error e ->
+            let pause =
+              Float.min t.config.backoff_cap
+                (t.config.backoff *. Float.pow 2. (float_of_int (n - 1)))
+            in
+            service := !service +. pause;
+            attempt (n + 1) e.Parqo_error.message))
+    end
+  in
+  let disposition, plan, cache_hit = attempt 1 "no attempt made" in
+  (disposition, plan, cache_hit, !service, !bumps, !used, fp)
+
+let run t (reqs : request array) =
+  let n = Array.length reqs in
+  let reqs = Array.copy reqs in
+  Array.stable_sort (fun a b -> compare a.arrival b.arrival) reqs;
+  let hits0, misses0 = cache_stats t in
+  let free_at = Array.make t.config.workers 0. in
+  (* finish instants of admitted-but-unfinished requests; the in-flight
+     set is bounded by queue_cap so a list scan is fine *)
+  let in_flight = ref [] in
+  let max_in_flight = ref 0 in
+  let retries = ref 0 in
+  let bumps = ref 0 in
+  let completions =
+    Array.map
+      (fun req ->
+        in_flight := List.filter (fun f -> f > req.arrival) !in_flight;
+        if List.length !in_flight >= t.config.queue_cap then
+          {
+            request = req;
+            disposition =
+              Rejected
+                (Printf.sprintf "queue full (%d in flight)" t.config.queue_cap);
+            plan = None;
+            fingerprint = Q.fingerprint req.query;
+            started = req.arrival;
+            finished = req.arrival;
+            latency = 0.;
+            attempts = 0;
+            cache_hit = false;
+          }
+        else begin
+          (* earliest-free worker; head-of-line in arrival order *)
+          let w = ref 0 in
+          Array.iteri (fun i f -> if f < free_at.(!w) then w := i) free_at;
+          let start = Float.max req.arrival free_at.(!w) in
+          let disposition, plan, cache_hit, service, req_bumps, attempts, fp =
+            serve_one t req ~start
+          in
+          let finished = start +. service in
+          free_at.(!w) <- finished;
+          in_flight := finished :: !in_flight;
+          max_in_flight := max !max_in_flight (List.length !in_flight);
+          retries := !retries + (attempts - 1);
+          bumps := !bumps + req_bumps;
+          {
+            request = req;
+            disposition;
+            plan;
+            fingerprint = fp;
+            started = start;
+            finished;
+            latency = finished -. req.arrival;
+            attempts;
+            cache_hit;
+          }
+        end)
+      reqs
+  in
+  let hits1, misses1 = cache_stats t in
+  let count p = Array.fold_left (fun a c -> if p c then a + 1 else a) 0 completions in
+  let planned = count (fun c -> c.disposition = Planned) in
+  let rejected =
+    count (fun c -> match c.disposition with Rejected _ -> true | _ -> false)
+  in
+  let degraded = n - planned - rejected in
+  let latencies =
+    Array.to_list completions
+    |> List.filter_map (fun c ->
+           match c.disposition with
+           | Rejected _ -> None
+           | _ -> Some c.latency)
+  in
+  let makespan =
+    Array.fold_left (fun a c -> Float.max a c.finished) 0. completions
+  in
+  let quantile q = match latencies with [] -> 0. | l -> Statsu.quantile q l in
+  {
+    completions;
+    stats =
+      {
+        n_requests = n;
+        planned;
+        degraded;
+        rejected;
+        retries = !retries;
+        epoch_bumps = !bumps;
+        cache_hits = hits1 - hits0;
+        cache_misses = misses1 - misses0;
+        max_in_flight = !max_in_flight;
+        makespan;
+        throughput_qps =
+          (if makespan > 0. then float_of_int (n - rejected) /. makespan
+           else 0.);
+        p50 = quantile 0.5;
+        p95 = quantile 0.95;
+        p99 = quantile 0.99;
+      };
+  }

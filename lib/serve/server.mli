@@ -1,0 +1,134 @@
+(** The optimizer as a long-running service: a stream of optimization
+    requests with per-request wall-clock deadlines, admission control
+    with load shedding, transient-failure retry with capped exponential
+    backoff, and a cross-query plan cache with epoch invalidation.
+
+    The serving loop is a {e virtual-time} simulation over real
+    optimizer work: arrivals and queueing delays live on a virtual
+    clock (seconds from stream start), while each optimization is
+    actually run and its real wall-clock cost charged as that request's
+    service time.  Chaos slowdowns and retry backoffs are added as
+    virtual delays — a trace denoting minutes of load simulates in the
+    time the optimizations themselves take, and latency percentiles
+    still mean what they would under real concurrency.
+
+    Every admitted request terminates in [Planned] or [Degraded]; every
+    shed request in [Rejected]; {!run} never raises on a valid request
+    stream.  Degradation means the request still got a valid plan — the
+    greedy fallback, or the best plan found before its budget expired —
+    never an error. *)
+
+type config = {
+  queue_cap : int;  (** max requests in flight (queued + running) *)
+  workers : int;  (** simulated optimizer workers draining the queue *)
+  default_deadline : float option;
+      (** deadline (seconds after arrival) for requests that carry none *)
+  budget : Parqo_search.Budget.t;
+      (** standing per-request search budget; a request's deadline is
+          composed onto it with {!Parqo_search.Budget.until} *)
+  max_attempts : int;  (** total tries per request, first one included *)
+  backoff : float;  (** base retry pause, seconds; doubles per retry *)
+  backoff_cap : float;  (** pause ceiling *)
+  chaos : Chaos.config;
+}
+
+val default_config : config
+(** queue cap 32, 2 workers, 250 ms default deadline, unlimited budget,
+    3 attempts, 5 ms backoff capped at 50 ms, chaos off. *)
+
+val validate_config : config -> (unit, string) result
+
+type request = {
+  id : int;  (** unique; chaos draws key on it *)
+  arrival : float;  (** virtual seconds from stream start *)
+  query : Parqo_query.Query.t;
+  deadline : float option;  (** seconds after [arrival]; [None] = default *)
+}
+
+val requests :
+  Parqo_util.Rng.t ->
+  pool:Parqo_query.Query.t array ->
+  arrivals:float array ->
+  ?deadline:float ->
+  unit ->
+  request array
+(** One request per arrival instant, each drawing a random query from
+    the pool (see {!Parqo.Workloads.serving_pool}).  Raises
+    [Invalid_argument] on an empty pool. *)
+
+type disposition =
+  | Planned  (** optimized in full (or served from the plan cache) *)
+  | Degraded of string
+      (** valid plan, reduced effort: deadline expired (greedy), budget
+          ran out mid-search (best-so-far), or retries exhausted
+          (greedy); the string says which *)
+  | Rejected of string  (** shed at admission; no plan *)
+
+val disposition_label : disposition -> string
+(** ["planned"] / ["degraded"] / ["rejected"]. *)
+
+type completion = {
+  request : request;
+  disposition : disposition;
+  plan : Parqo_cost.Costmodel.eval option;  (** [None] iff [Rejected] *)
+  fingerprint : string;
+  started : float;  (** virtual instant service began *)
+  finished : float;
+  latency : float;  (** [finished - arrival]: queueing + service *)
+  attempts : int;  (** serving attempts consumed; 0 iff [Rejected] *)
+  cache_hit : bool;
+}
+
+type stats = {
+  n_requests : int;
+  planned : int;
+  degraded : int;
+  rejected : int;  (** the three always sum to [n_requests] *)
+  retries : int;  (** attempts beyond each request's first *)
+  epoch_bumps : int;  (** chaos-injected mid-request catalog bumps *)
+  cache_hits : int;
+  cache_misses : int;
+  max_in_flight : int;  (** never exceeds [queue_cap] *)
+  makespan : float;  (** virtual seconds, stream start to last finish *)
+  throughput_qps : float;  (** non-rejected completions per virtual second *)
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** latency quantiles over non-rejected requests, seconds *)
+}
+
+type run_result = { completions : completion array; stats : stats }
+
+type t
+
+val create :
+  ?config:config ->
+  machine:Parqo_machine.Machine.t ->
+  catalog:Parqo_catalog.Catalog.t ->
+  unit ->
+  t
+(** Raises {!Parqo_util.Parqo_error.Error} (subsystem ["serve"], phase
+    ["config"]) on an invalid config. *)
+
+val epoch : t -> int
+(** Current plan-cache epoch (see {!Parqo_util.Plan_cache.epoch}). *)
+
+val bump_epoch : t -> unit
+(** Invalidate every cached plan — call after any catalog statistics
+    change the server can't see. *)
+
+val update_catalog : t -> Parqo_catalog.Catalog.t -> unit
+(** Replace the catalog and {!bump_epoch} atomically with respect to
+    the cache: no post-update lookup can return a pre-update plan. *)
+
+val cache_stats : t -> int * int
+(** Lifetime (hits, misses) of the plan cache. *)
+
+val run : t -> request array -> run_result
+(** Serve a request trace (sorted by arrival internally).  Admission:
+    a request arriving while [queue_cap] admitted requests are still
+    unfinished is [Rejected]; otherwise it is served by the earliest
+    free worker in arrival order.  Serving: plan-cache lookup by query
+    fingerprint, then the budgeted optimizer under the request's
+    remaining deadline; chaos poisons retry with capped exponential
+    backoff; deadline expiry, budget exhaustion and surviving failures
+    degrade to the greedy plan.  Never raises on valid requests. *)

@@ -2,6 +2,9 @@ type t = {
   subsystem : string;
   operator : string option;
   stage : int option;
+  query : string option;
+  phase : string option;
+  deadline_left : float option;
   message : string;
 }
 
@@ -13,19 +16,34 @@ let to_string e =
       (e.subsystem
        :: List.filter_map Fun.id
             [
+              e.phase;
               Option.map (fun op -> "op " ^ op) e.operator;
               Option.map (fun s -> Printf.sprintf "stage %d" s) e.stage;
             ])
   in
-  Printf.sprintf "parqo[%s]: %s" ctx e.message
+  let extras =
+    List.filter_map Fun.id
+      [
+        Option.map (fun q -> "query " ^ q) e.query;
+        Option.map
+          (fun d ->
+            if d <= 0. then "deadline exceeded"
+            else Printf.sprintf "deadline left %.0fms" (1000. *. d))
+          e.deadline_left;
+      ]
+  in
+  Printf.sprintf "parqo[%s]: %s%s" ctx e.message
+    (if extras = [] then ""
+     else " (" ^ String.concat ", " extras ^ ")")
 
 let () =
   Printexc.register_printer (function
     | Error e -> Some (to_string e)
     | _ -> None)
 
-let fail ~subsystem ?operator ?stage message =
-  raise (Error { subsystem; operator; stage; message })
+let fail ~subsystem ?operator ?stage ?query ?phase ?deadline_left message =
+  raise
+    (Error { subsystem; operator; stage; query; phase; deadline_left; message })
 
-let failf ~subsystem ?operator ?stage fmt =
-  Printf.ksprintf (fail ~subsystem ?operator ?stage) fmt
+let failf ~subsystem ?operator ?stage ?query ?phase ?deadline_left fmt =
+  Printf.ksprintf (fail ~subsystem ?operator ?stage ?query ?phase ?deadline_left) fmt

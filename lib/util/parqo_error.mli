@@ -3,31 +3,52 @@
     Validation and execution failures used to surface as bare
     [Invalid_argument]/[Failure] strings, indistinguishable from stdlib
     raises and carrying no context.  [Parqo_error.t] records which
-    subsystem detected the problem and, when known, the operator and
-    stage involved — so fault reports (injected, expected) and
-    validation errors (a malformed plan) can be told apart and rendered
-    uniformly. *)
+    subsystem detected the problem and, when known, the operator, stage,
+    query and serving phase involved — so fault reports (injected,
+    expected), validation errors (a malformed plan) and serving failures
+    (a poisoned request) can be told apart and rendered uniformly.  Every
+    [bin/] entry point prints {!to_string} and exits nonzero instead of
+    dumping a backtrace. *)
 
 type t = {
-  subsystem : string;  (** e.g. ["simulator"], ["parallel-exec"] *)
+  subsystem : string;  (** e.g. ["simulator"], ["parallel-exec"], ["serve"] *)
   operator : string option;  (** operator kind, e.g. ["hash_probe"] *)
   stage : int option;  (** task-graph stage id, when applicable *)
+  query : string option;
+      (** canonical query fingerprint ({!Parqo_query.Query.fingerprint})
+          of the request being served, when applicable *)
+  phase : string option;
+      (** serving phase, e.g. ["optimize"], ["admission"] *)
+  deadline_left : float option;
+      (** wall-clock seconds remaining until the request's deadline when
+          the error was raised; non-positive means it had already passed *)
   message : string;
 }
 
 exception Error of t
 
-val fail : subsystem:string -> ?operator:string -> ?stage:int -> string -> 'a
+val fail :
+  subsystem:string ->
+  ?operator:string ->
+  ?stage:int ->
+  ?query:string ->
+  ?phase:string ->
+  ?deadline_left:float ->
+  string ->
+  'a
 (** Raise {!Error} with the given context. *)
 
 val failf :
   subsystem:string ->
   ?operator:string ->
   ?stage:int ->
+  ?query:string ->
+  ?phase:string ->
+  ?deadline_left:float ->
   ('a, unit, string, 'b) format4 ->
   'a
 (** [fail] with a format string. *)
 
 val to_string : t -> string
-(** ["parqo[simulator/stage 3]: message"] — also installed as the
-    [Printexc] printer for {!Error}. *)
+(** ["parqo[serve/optimize]: message (query <fp>, deadline left 12ms)"] —
+    also installed as the [Printexc] printer for {!Error}. *)

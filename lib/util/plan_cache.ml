@@ -11,6 +11,7 @@ type 'a t = {
   table : (string, 'a) Hashtbl.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  epoch : int Atomic.t;
 }
 
 let create ?(size_hint = 1024) () =
@@ -19,6 +20,7 @@ let create ?(size_hint = 1024) () =
     table = Hashtbl.create size_hint;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    epoch = Atomic.make 0;
   }
 
 let find t key =
@@ -33,6 +35,22 @@ let find t key =
 let remember t key v =
   Mutex.lock t.mutex;
   Hashtbl.replace t.table key v;
+  Mutex.unlock t.mutex
+
+let epoch t = Atomic.get t.epoch
+
+(* The clear and the epoch increment happen under the same lock, so no
+   entry computed against the old epoch can survive into the new one, and
+   [remember_at] below can never interleave a stale insert between them. *)
+let bump t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  Atomic.incr t.epoch;
+  Mutex.unlock t.mutex
+
+let remember_at t ~epoch key v =
+  Mutex.lock t.mutex;
+  if Atomic.get t.epoch = epoch then Hashtbl.replace t.table key v;
   Mutex.unlock t.mutex
 
 let find_or_add t key compute =

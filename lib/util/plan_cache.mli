@@ -20,6 +20,24 @@ val find : 'a t -> string -> 'a option
 
 val remember : 'a t -> string -> 'a -> unit
 
+val epoch : 'a t -> int
+(** Current invalidation epoch, starting at 0.  Values are pure functions
+    of (key, epoch): whenever what the keys denote may have changed
+    (a catalog or machine update), {!bump} the epoch instead of trusting
+    callers to stop reading. *)
+
+val bump : 'a t -> unit
+(** Invalidate every entry and increment {!epoch}, atomically: a reader
+    can never observe a pre-bump value under the post-bump epoch.
+    Hit/miss counters are preserved (unlike {!clear}). *)
+
+val remember_at : 'a t -> epoch:int -> string -> 'a -> unit
+(** [remember_at t ~epoch key v] stores [v] only if [t] is still at
+    [epoch] — the write path for values computed before a possible
+    concurrent {!bump}.  A stale write is silently dropped, which makes
+    post-bump staleness impossible by construction: compute, then call
+    this with the epoch observed {e before} the computation started. *)
+
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [compute] runs outside the lock: two domains may race to compute the
     same key, in which case both results (necessarily equal) are stored

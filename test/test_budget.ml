@@ -28,6 +28,40 @@ let tracker_accounting () =
   let timed = B.start (B.seconds 0.) in
   Alcotest.(check bool) "zero-second cap" true (B.exhausted timed)
 
+(* absolute deadlines: the serving layer's way in.  Unlike max_seconds a
+   deadline is independent of when the tracker starts *)
+let deadline_budget () =
+  let now = Unix.gettimeofday () in
+  let future = B.start (B.deadline (now +. 60.)) in
+  Alcotest.(check bool) "future deadline not exhausted" false
+    (B.exhausted future);
+  let past = B.start (B.deadline (now -. 1.)) in
+  Alcotest.(check bool) "past deadline exhausted at start" true
+    (B.exhausted past);
+  Alcotest.(check bool) "deadline is not unlimited" false
+    (B.is_unlimited (B.deadline (now +. 60.)));
+  (* [until] composes a deadline onto a standing cap, keeping the cap *)
+  let composed = B.until (now -. 1.) (B.expansions 5) in
+  Alcotest.(check (option int)) "until keeps the expansion cap" (Some 5)
+    composed.B.max_expansions;
+  Alcotest.(check bool) "composed deadline exhausts" true
+    (B.exhausted (B.start composed));
+  let replaced = B.until (now +. 60.) (B.deadline (now -. 1.)) in
+  Alcotest.(check bool) "until replaces an earlier deadline" false
+    (B.exhausted (B.start replaced))
+
+let remaining_seconds () =
+  let now = Unix.gettimeofday () in
+  Alcotest.(check (option int)) "no time component" None
+    (Option.map int_of_float
+       (B.remaining_seconds (B.start (B.expansions 5))));
+  (match B.remaining_seconds (B.start (B.deadline (now +. 60.))) with
+  | Some r -> Alcotest.(check bool) "about a minute left" true (r > 50. && r <= 60.)
+  | None -> Alcotest.fail "deadline has a time component");
+  match B.remaining_seconds (B.start (B.deadline (now -. 5.))) with
+  | Some r -> Alcotest.(check bool) "clamped at zero" true (r = 0.)
+  | None -> Alcotest.fail "past deadline has a time component"
+
 (* the time cap measures wall clock, not process CPU time: sleeping burns
    the budget even though Sys.time barely advances (the pre-fix tracker
    would not exhaust here, and under k domains it charged time k× over) *)
@@ -119,6 +153,8 @@ let suite =
   ( "search budget",
     [
       t "tracker accounting" tracker_accounting;
+      t "deadline budgets" deadline_budget;
+      t "remaining seconds" remaining_seconds;
       t "time cap is wall clock" time_cap_is_wall_clock;
       t "ticks are atomic" ticks_are_atomic;
       t "podp reports gave-up" podp_reports_gave_up;

@@ -57,10 +57,42 @@ let replan_policy_runs () =
   Alcotest.(check bool) "reports makespan" true (contains text "makespan");
   Alcotest.(check bool) "reports replans" true (contains text "replans")
 
+let serve_runs () =
+  skip_unless_built @@ fun () ->
+  let code, text =
+    run_cli
+      "serve --tables 4 --pool 6 --requests 15 --rate 200 --deadline 50 \
+       --chaos"
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports dispositions" true (contains text "planned");
+  Alcotest.(check bool) "reports latency" true (contains text "p99");
+  Alcotest.(check bool) "chaos noted" true (contains text "chaos on")
+
+let bad_arrival_listed () =
+  skip_unless_built @@ fun () ->
+  let code, text = run_cli "serve --requests 5 --arrival bogus" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("lists " ^ name) true (contains text name))
+    [ "uniform"; "poisson"; "burst" ];
+  Alcotest.(check bool) "no backtrace" false (contains text "Raised at")
+
+let bad_deadline_rejected () =
+  skip_unless_built @@ fun () ->
+  let code, text = run_cli "serve --requests 5 --deadline=-3" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  Alcotest.(check bool) "explains the constraint" true (contains text "> 0");
+  Alcotest.(check bool) "no backtrace" false (contains text "Raised at")
+
 let suite =
   ( "cli",
     [
       t "bad recovery lists choices" bad_recovery_listed;
       t "bad fault rate rejected" bad_fault_rate_rejected;
       t "replan policy runs" replan_policy_runs;
+      t "serve runs end to end" serve_runs;
+      t "bad arrival process lists choices" bad_arrival_listed;
+      t "bad deadline rejected" bad_deadline_rejected;
     ] )

@@ -109,4 +109,84 @@ let fuzz () =
   done;
   Alcotest.(check bool) "at least 200 cases" true (!cases >= 200)
 
-let suite = ("recovery fuzz", [ t "fuzz all policies" fuzz ])
+(* Server-mode fuzzing: random arrival traces x deadlines x chaos
+   configs through the serving layer.  The server must never raise,
+   never exceed the in-flight cap, and account for every request as
+   Planned, Degraded or Rejected. *)
+let server_fuzz () =
+  let module Server = Parqo_serve.Server in
+  let module Chaos = Parqo_serve.Chaos in
+  let rng = Parqo.Rng.create 20260809 in
+  let machine = Parqo.Machine.shared_nothing ~nodes:4 () in
+  (* one small pool for every case keeps the real optimizer work low *)
+  let catalog, pool =
+    Parqo.Workloads.serving_pool ~n_tables:4 ~max_relations:3 ~pool:6 ~seed:3 ()
+  in
+  for case = 1 to 30 do
+    let rate = 20. +. Parqo.Rng.float rng 480. in
+    let process =
+      match Parqo.Rng.int rng 3 with
+      | 0 -> Parqo.Workloads.Uniform rate
+      | 1 -> Parqo.Workloads.Poisson rate
+      | _ ->
+        Parqo.Workloads.Burst
+          {
+            size = 1 + Parqo.Rng.int rng 10;
+            period = 0.01 +. Parqo.Rng.float rng 0.2;
+          }
+    in
+    let n = 10 + Parqo.Rng.int rng 30 in
+    let deadline =
+      if Parqo.Rng.bool rng then Some (0.001 +. Parqo.Rng.float rng 0.1)
+      else None
+    in
+    let chaos =
+      if Parqo.Rng.bool rng then
+        {
+          Chaos.seed = Parqo.Rng.int rng 1000;
+          slow_rate = Parqo.Rng.float rng 0.5;
+          slow_seconds = Parqo.Rng.float rng 0.05;
+          poison_rate = Parqo.Rng.float rng 0.8;
+          epoch_bump_every = Parqo.Rng.int rng 20;
+        }
+      else Chaos.none
+    in
+    let config =
+      {
+        Server.default_config with
+        Server.queue_cap = 1 + Parqo.Rng.int rng 8;
+        workers = 1 + Parqo.Rng.int rng 2;
+        max_attempts = 1 + Parqo.Rng.int rng 3;
+        budget = Parqo.Budget.expansions (1 + Parqo.Rng.int rng 2000);
+        chaos;
+      }
+    in
+    let ctx fmt = Printf.sprintf ("server case %d: " ^^ fmt) case in
+    match
+      let arrivals = Parqo.Workloads.arrivals rng ~process ~n in
+      let reqs = Server.requests rng ~pool ~arrivals ?deadline () in
+      let server = Server.create ~config ~machine ~catalog () in
+      Server.run server reqs
+    with
+    | r ->
+      let s = r.Server.stats in
+      Alcotest.(check int) (ctx "dispositions partition") n
+        (s.Server.planned + s.Server.degraded + s.Server.rejected);
+      Alcotest.(check bool) (ctx "in-flight cap held") true
+        (s.Server.max_in_flight <= config.Server.queue_cap);
+      Array.iter
+        (fun (c : Server.completion) ->
+          match (c.Server.disposition, c.Server.plan) with
+          | (Server.Planned | Server.Degraded _), Some _ -> ()
+          | Server.Rejected _, None -> ()
+          | _ ->
+            Alcotest.failf "case %d: request %d plan/disposition mismatch"
+              case c.Server.request.Server.id)
+        r.Server.completions
+    | exception e ->
+      Alcotest.failf "server case %d raised %s" case (Printexc.to_string e)
+  done
+
+let suite =
+  ( "recovery fuzz",
+    [ t "fuzz all policies" fuzz; t "fuzz server mode" server_fuzz ] )

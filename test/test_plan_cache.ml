@@ -192,6 +192,28 @@ let plan_cache_counters () =
   Parqo.Plan_cache.clear c;
   Alcotest.(check int) "cleared" 0 (Parqo.Plan_cache.length c)
 
+(* epoch invalidation: bump empties the table, keeps the counters, and
+   makes writes observed under an older epoch vanish *)
+let plan_cache_epochs () =
+  let c = Parqo.Plan_cache.create () in
+  Alcotest.(check int) "initial epoch" 0 (Parqo.Plan_cache.epoch c);
+  Parqo.Plan_cache.remember c "a" 1;
+  ignore (Parqo.Plan_cache.find c "a");
+  let hits = Parqo.Plan_cache.hits c in
+  Parqo.Plan_cache.bump c;
+  Alcotest.(check int) "epoch advanced" 1 (Parqo.Plan_cache.epoch c);
+  Alcotest.(check int) "table emptied" 0 (Parqo.Plan_cache.length c);
+  Alcotest.(check int) "counters preserved" hits (Parqo.Plan_cache.hits c);
+  Alcotest.(check (option int)) "old entry gone" None (Parqo.Plan_cache.find c "a");
+  (* a write computed under the old epoch is silently dropped *)
+  Parqo.Plan_cache.remember_at c ~epoch:0 "stale" 7;
+  Alcotest.(check (option int)) "stale write dropped" None
+    (Parqo.Plan_cache.find c "stale");
+  (* one computed under the current epoch lands *)
+  Parqo.Plan_cache.remember_at c ~epoch:1 "fresh" 8;
+  Alcotest.(check (option int)) "current write lands" (Some 8)
+    (Parqo.Plan_cache.find c "fresh")
+
 (* adjacency bitsets agree with a direct scan of the predicate list *)
 let connected_between_oracle () =
   let rng = Parqo.Rng.create 35 in
@@ -228,5 +250,6 @@ let suite =
       t "podp identical under beam trim" podp_identical_cache_on_off_beamed;
       t "Join_tree.key is canonical" key_is_canonical;
       t "Plan_cache counters" plan_cache_counters;
+      t "Plan_cache epochs" plan_cache_epochs;
       t "Query.connected_between matches predicate scan" connected_between_oracle;
     ] )

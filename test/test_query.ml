@@ -122,6 +122,77 @@ let order_by_field () =
        false
      with Invalid_argument _ -> true)
 
+(* whole-query fingerprints: the serving plan cache's key.  Two queries
+   share one iff they denote the same optimization problem — aliases and
+   conjunct order are noise, relation order and projection order are
+   load-bearing *)
+let fingerprints () =
+  let j a ca b cb =
+    { Q.left = { Q.rel = a; column = ca }; right = { Q.rel = b; column = cb } }
+  in
+  let base =
+    Q.create
+      ~relations:[ ("a", "t0"); ("b", "t1"); ("c", "t2") ]
+      ~joins:[ j 0 "x" 1 "x"; j 1 "y" 2 "y" ]
+      ~selections:[ { Q.on = { Q.rel = 0; column = "v" }; cmp = Q.Le;
+                      value = Parqo.Value.Int 5 } ]
+      ()
+  in
+  let fp = Q.fingerprint base in
+  (* aliases are display-only *)
+  let renamed =
+    Q.create
+      ~relations:[ ("x1", "t0"); ("x2", "t1"); ("x3", "t2") ]
+      ~joins:[ j 0 "x" 1 "x"; j 1 "y" 2 "y" ]
+      ~selections:[ { Q.on = { Q.rel = 0; column = "v" }; cmp = Q.Le;
+                      value = Parqo.Value.Int 5 } ]
+      ()
+  in
+  Alcotest.(check string) "alias-insensitive" fp (Q.fingerprint renamed);
+  (* conjunct order and predicate side are normalized away *)
+  let shuffled =
+    Q.create
+      ~relations:[ ("a", "t0"); ("b", "t1"); ("c", "t2") ]
+      ~joins:[ j 2 "y" 1 "y"; j 1 "x" 0 "x" ]
+      ~selections:[ { Q.on = { Q.rel = 0; column = "v" }; cmp = Q.Le;
+                      value = Parqo.Value.Int 5 } ]
+      ()
+  in
+  Alcotest.(check string) "join-order- and side-insensitive" fp
+    (Q.fingerprint shuffled);
+  (* different selection constant: different problem *)
+  let tighter =
+    Q.create
+      ~relations:[ ("a", "t0"); ("b", "t1"); ("c", "t2") ]
+      ~joins:[ j 0 "x" 1 "x"; j 1 "y" 2 "y" ]
+      ~selections:[ { Q.on = { Q.rel = 0; column = "v" }; cmp = Q.Le;
+                      value = Parqo.Value.Int 4 } ]
+      ()
+  in
+  Alcotest.(check bool) "selection constant matters" false
+    (String.equal fp (Q.fingerprint tighter));
+  (* permuted relations: relation ids are load-bearing in plans *)
+  let permuted =
+    Q.create
+      ~relations:[ ("b", "t1"); ("a", "t0"); ("c", "t2") ]
+      ~joins:[ j 0 "x" 1 "x"; j 1 "y" 2 "y" ]
+      ~selections:[ { Q.on = { Q.rel = 1; column = "v" }; cmp = Q.Le;
+                      value = Parqo.Value.Int 5 } ]
+      ()
+  in
+  Alcotest.(check bool) "relation order matters" false
+    (String.equal fp (Q.fingerprint permuted));
+  (* projection order is position-significant *)
+  let proj cols =
+    Q.fingerprint
+      (Q.create ~relations:[ ("a", "t0"); ("b", "t1") ]
+         ~joins:[ j 0 "x" 1 "x" ] ~projection:cols ())
+  in
+  Alcotest.(check bool) "projection order matters" false
+    (String.equal
+       (proj [ { Q.rel = 0; column = "p" }; { Q.rel = 1; column = "q" } ])
+       (proj [ { Q.rel = 1; column = "q" }; { Q.rel = 0; column = "p" } ]))
+
 let suite =
   ( "query",
     [
@@ -132,4 +203,5 @@ let suite =
       t "create errors" create_errors;
       t "sql rendering" sql_rendering;
       t "catalog validation" validate_against_catalog;
+      t "fingerprints" fingerprints;
     ] )

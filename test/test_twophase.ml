@@ -67,6 +67,31 @@ let singleton () =
   Alcotest.(check bool) "single relation handled" true
     ((TP.optimize env).TP.best <> None)
 
+(* a 1 ms deadline on clique-5 must stop the phase-2 enumeration within
+   that slot's costing pass — promptly, with the phase-1 plan as the
+   guaranteed fallback — not after the full cross product (which takes
+   seconds at these clone degrees) *)
+let deadline_stops_enumeration () =
+  let env = env_of G.Clique 5 in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    TP.optimize ~config:(config env)
+      ~budget:(Parqo.Budget.deadline (t0 +. 0.001))
+      env
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "gave up" true r.TP.gave_up;
+  Alcotest.(check bool) "still returned a plan" true (r.TP.best <> None);
+  (* generous margin over 1 ms: one costing pass, not the cross product *)
+  Alcotest.(check bool)
+    (Printf.sprintf "prompt (%.3fs)" elapsed)
+    true (elapsed < 2.)
+
+let unbudgeted_never_gives_up () =
+  let env = env_of G.Chain 4 in
+  Alcotest.(check bool) "no budget, no give-up" false
+    (TP.optimize ~config:(config env) env).TP.gave_up
+
 let suite =
   ( "twophase",
     [
@@ -74,4 +99,6 @@ let suite =
       t "never beats one-phase" never_beats_one_phase;
       t "coordinate descent" coordinate_descent_path;
       t "singleton" singleton;
+      t "deadline stops enumeration" deadline_stops_enumeration;
+      t "unbudgeted never gives up" unbudgeted_never_gives_up;
     ] )

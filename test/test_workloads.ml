@@ -87,6 +87,65 @@ let deterministic () =
   Alcotest.(check bool) "same seed, same data" true
     (Parqo.Datagen.rows_of a "trade" = Parqo.Datagen.rows_of b "trade")
 
+(* arrival processes: non-decreasing, deterministic in the seed, and
+   validated *)
+let arrivals () =
+  List.iter
+    (fun process ->
+      let label = W.arrival_to_string process in
+      let draw () =
+        W.arrivals (Parqo.Rng.create 3) ~process ~n:100
+      in
+      let a = draw () in
+      Alcotest.(check int) (label ^ ": count") 100 (Array.length a);
+      Alcotest.(check bool) (label ^ ": starts at origin") true (a.(0) = 0.);
+      Array.iteri
+        (fun i at ->
+          if i > 0 then
+            Alcotest.(check bool)
+              (label ^ ": non-decreasing")
+              true (at >= a.(i - 1)))
+        a;
+      Alcotest.(check bool) (label ^ ": deterministic") true (draw () = a))
+    [ W.Uniform 50.; W.Poisson 50.; W.Burst { size = 10; period = 0.5 } ];
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative n rejected" true
+    (bad (fun () -> W.arrivals (Parqo.Rng.create 0) ~process:(W.Uniform 1.) ~n:(-1)));
+  Alcotest.(check bool) "zero rate rejected" true
+    (bad (fun () -> W.arrivals (Parqo.Rng.create 0) ~process:(W.Poisson 0.) ~n:1));
+  Alcotest.(check bool) "zero burst rejected" true
+    (bad (fun () ->
+         W.arrivals (Parqo.Rng.create 0)
+           ~process:(W.Burst { size = 0; period = 1. })
+           ~n:1))
+
+(* the serving pool: every query validates against its catalog, the
+   pool repeats fingerprints (the cache has something to hit), and
+   base_card changes statistics without changing the queries *)
+let serving_pool () =
+  let catalog, pool = W.serving_pool ~seed:11 () in
+  Alcotest.(check int) "pool size" 24 (Array.length pool);
+  Array.iter
+    (fun q ->
+      match Q.validate catalog q with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "pool query invalid: %s" e)
+    pool;
+  let fps = Array.map Q.fingerprint pool in
+  let distinct =
+    List.length (List.sort_uniq String.compare (Array.to_list fps))
+  in
+  Alcotest.(check bool) "fingerprints repeat across the pool" true
+    (distinct < Array.length pool);
+  let _, pool' = W.serving_pool ~seed:11 ~base_card:200. () in
+  Alcotest.(check bool) "base_card leaves the queries alone" true
+    (Array.for_all2
+       (fun a b -> String.equal (Q.fingerprint a) (Q.fingerprint b))
+       pool pool');
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "tiny pool rejected" true
+    (bad (fun () -> W.serving_pool ~pool:0 ~seed:1 ()))
+
 let suite =
   ( "workloads",
     [
@@ -96,4 +155,6 @@ let suite =
       t "tpch" tpch;
       t "tpch q3 executes" tpch_q3_executes;
       t "deterministic" deterministic;
+      t "arrivals" arrivals;
+      t "serving pool" serving_pool;
     ] )
