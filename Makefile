@@ -18,7 +18,8 @@ bench:
 bench-search:
 	dune exec bench/main.exe -- --only e17
 
-# same experiment shrunk for CI gates (one small workload, domains 1-2)
+# same experiment shrunk for CI gates (one small workload, domains 1/2/4);
+# fails loudly if parallel overhead exceeds 1.3x sequential
 bench-search-smoke:
 	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e17
 
@@ -50,9 +51,10 @@ bench-serve-smoke:
 	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e20
 
 # the CI gate: full test suite plus the smoke micro-benches (which assert
-# cached-vs-uncached and replan bit-identity end to end)
+# cached-vs-uncached and replan bit-identity end to end, and that the
+# parallel search machinery costs at most 1.3x the sequential path)
 ci:
-	dune build @all && dune runtest && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke
+	dune build @all && dune runtest && $(MAKE) bench-search-smoke && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke
 
 clean:
 	dune clean

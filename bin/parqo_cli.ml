@@ -52,7 +52,7 @@ let budget =
 let search_domains =
   Arg.(value & opt int 1
        & info [ "search-domains" ] ~docv:"N"
-           ~doc:"Worker domains for the partial-order DP search (default 1 = sequential). The chosen plan is bit-identical for every N; N should not exceed the machine's cores.")
+           ~doc:"Worker domains for the partial-order DP search (default 1 = sequential). The chosen plan is bit-identical for every N; the pool clamps N to the machine's cores, so oversized values are safe.")
 
 let bushy =
   Arg.(value & flag & info [ "bushy" ] ~doc:"Search bushy trees instead of left-deep.")

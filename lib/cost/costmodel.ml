@@ -124,18 +124,28 @@ let evaluate ?(required_order = P.Ordering.none) (env : Env.t) tree =
    the same values in the same order as the uncached path, so the result
    is bit-identical.
 
-   Domain safety follows the Estimator memo pattern: the store is a
-   mutex-guarded table whose values are pure functions of the key, so
-   racing writers are benign.  [remember_all] suits annotation search
-   (two-phase), where revisited sub-trees are the common case; the DP
-   instead remembers exactly its memoized covers plus the access-plan
-   leaves, keeping the cache's footprint at the memo's size rather than
-   one entry per candidate. *)
+   Domain safety is by ownership, not locking: a cache handle belongs to
+   one domain; parallel regions give each worker a [shard_cache] (private
+   overlay over the shared published snapshot, lock-free reads), the
+   coordinator [absorb_cache]s the shards after the barrier and
+   [publish_cache]es its writes before the next region.  Values are pure
+   functions of the key, so independently computed entries are
+   interchangeable.  [remember_all] suits annotation search (two-phase),
+   where revisited sub-trees are the common case; the DP instead
+   remembers exactly its memoized covers plus the access-plan leaves,
+   keeping the cache's footprint at the memo's size rather than one
+   entry per candidate. *)
 
 type cache = { store : eval Plan_cache.t; remember_all : bool }
 
 let create_cache ?(remember_all = false) () =
   { store = Plan_cache.create (); remember_all }
+
+let shard_cache cache =
+  { store = Plan_cache.shard cache.store; remember_all = cache.remember_all }
+
+let absorb_cache cache shard = Plan_cache.absorb cache.store shard.store
+let publish_cache cache = Plan_cache.publish cache.store
 
 let remember cache e = Plan_cache.remember cache.store (P.Join_tree.key e.tree) e
 

@@ -46,12 +46,18 @@ val required_order : Env.t -> Parqo_plan.Ordering.t
 
 (** {2 Incremental costing}
 
-    A domain-safe sub-plan cache keyed by {!Parqo_plan.Join_tree.key}.
+    A sub-plan cache keyed by {!Parqo_plan.Join_tree.key}.
     {!evaluate_cached} evaluates a join of cached children in O(new root
     operators): the cached child expansions are grafted unchanged, the
     new operators' descriptors pipe onto the cached child descriptors,
     and the result is bit-identical to {!evaluate} (same arithmetic on
-    the same values in the same order). *)
+    the same values in the same order).
+
+    A cache handle is owned by one domain (its read path takes no lock);
+    parallel regions derive one {!shard_cache} per worker over the same
+    published snapshot, {!absorb_cache} them after the barrier, and
+    {!publish_cache} the coordinator's writes before the next region —
+    see {!Parqo_util.Plan_cache}. *)
 
 type cache
 
@@ -74,10 +80,24 @@ val evaluate_cached :
 
 val remember : cache -> eval -> unit
 (** Insert an evaluation under its plan's key (idempotent; values are
-    pure functions of the key, so races between domains are benign). *)
+    pure functions of the key, so independently computed entries are
+    interchangeable). *)
+
+val shard_cache : cache -> cache
+(** A worker-private handle over the same published snapshot — one per
+    worker of a parallel region; see {!Parqo_util.Plan_cache.shard}. *)
+
+val absorb_cache : cache -> cache -> unit
+(** [absorb_cache parent shard] merges a quiesced shard's private writes
+    and hit/miss counters back into [parent] (post-barrier). *)
+
+val publish_cache : cache -> unit
+(** Fold the owner's private writes into the shared snapshot, making
+    them visible to shards derived afterwards. *)
 
 val cache_stats : cache -> int * int * int
-(** [(hits, misses, entries)]. *)
+(** [(hits, misses, entries)] — counters observed through this handle
+    (absorbed shards included). *)
 
 val response_time : Env.t -> Parqo_plan.Join_tree.t -> float
 

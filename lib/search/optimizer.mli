@@ -32,6 +32,7 @@ val minimize_work_with_orders :
   ?config:Space.config ->
   ?shape:tree_shape ->
   ?domains:int ->
+  ?pool:Parqo_util.Domain_pool.t ->
   ?plan_cache:bool ->
   Parqo_cost.Env.t ->
   outcome
@@ -50,6 +51,7 @@ val minimize_response_time :
   ?rank:(Parqo_cost.Costmodel.eval -> float) ->
   ?budget:Budget.t ->
   ?domains:int ->
+  ?pool:Parqo_util.Domain_pool.t ->
   ?plan_cache:bool ->
   Parqo_cost.Env.t ->
   outcome
@@ -70,7 +72,8 @@ val minimize_response_time :
     greedy does not enforce).
 
     [domains] (default 1) parallelizes the partial-order phase across an
-    OCaml 5 domain pool; the chosen plan is bit-identical to the
+    OCaml 5 domain pool; [pool] supplies a persistent pool instead of
+    creating one per call.  The chosen plan is bit-identical to the
     sequential run (see {!Podp.optimize}).  The work phase and bushy
     search are unaffected.
 

@@ -38,11 +38,16 @@ type subset_result = {
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
-let optimize ?(config = Space.default_config)
-    ?(rank = fun (e : Cm.eval) -> e.Cm.response_time) ?work_cap
-    ?(final_filter = fun _ -> true) ?max_cover ?(budget = Budget.unlimited)
-    ?(domains = 1) ?(plan_cache = true) ~metric (env : Env.t) =
-  let pool = Domain_pool.create ~domains in
+(* Shared counters are touched per batch, not per candidate: each worker
+   accumulates its expansion ticks locally and flushes them to the atomic
+   budget tracker every [tick_grain] candidates (and at chunk end), so
+   the cap can overshoot by at most [width × tick_grain] expansions in
+   exchange for an uncontended hot loop. *)
+let tick_grain = 1024
+
+let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
+    ~pool_stats0 ~plan_cache ~metric (env : Env.t) =
+  let width = Domain_pool.width pool in
   let tracker = Budget.start budget in
   let gave_up = ref false in
   (* Incremental costing: every candidate at level l + 1 extends a
@@ -50,16 +55,28 @@ let optimize ?(config = Space.default_config)
      only costs the new root operators.  Access-plan leaves self-cache on
      first miss; join entries are remembered explicitly — winners only,
      on the coordinator between level barriers — so the cache stays the
-     size of the memo, not of the candidate stream.  Workers share the
-     cache read-mostly (leaf insertion is mutex-guarded and idempotent);
-     results are bit-identical with the cache off. *)
+     size of the memo, not of the candidate stream.  Workers read the
+     published snapshot lock-free through per-worker shards (shard 0 is
+     the coordinator's own handle); the coordinator publishes each
+     level's writes at the barrier.  Results are bit-identical with the
+     cache off. *)
   let cache = if plan_cache then Some (Cm.create_cache ()) else None in
-  let evaluate tree =
-    match cache with
+  let shards =
+    Array.init width (fun i ->
+        if i = 0 then cache else Option.map Cm.shard_cache cache)
+  in
+  let evaluate_with shard tree =
+    match shard with
     | Some c -> Cm.evaluate_cached c env tree
     | None -> Cm.evaluate env tree
   in
+  let evaluate tree = evaluate_with cache tree in
   let remember e = match cache with Some c -> Cm.remember c e | None -> () in
+  (* make this level's winners (and any leaf self-caching) visible to the
+     worker shards of the next level; pointless when no worker exists *)
+  let publish () =
+    if width > 1 then Option.iter Cm.publish_cache cache
+  in
   let rank_e ent = rank ent.e in
   let tie_e a b = tie a.e b.e in
   let apply_beam cover =
@@ -101,13 +118,14 @@ let optimize ?(config = Space.default_config)
   (* accessPlans — always generated, so even an exhausted budget leaves
      single-relation plans for the caller's fallback logic *)
   let l1_cover_max = ref 0 in
+  let l1_ticks = ref 0 in
   for rel = 0 to n - 1 do
     Search_stats.considered stats 1;
     let cover = Cover.create ~dominates in
     List.iter
       (fun tree ->
         Search_stats.generated stats 1;
-        Budget.tick tracker 1;
+        incr l1_ticks;
         let e = evaluate tree in
         if admissible e then ignore (Cover.add cover (entry e)))
       access_plans.(rel);
@@ -116,13 +134,15 @@ let optimize ?(config = Space.default_config)
     if Cover.size cover > !l1_cover_max then l1_cover_max := Cover.size cover;
     memo.(Bitset.to_int (Bitset.singleton rel)) <- Cover.elements cover
   done;
+  Budget.tick tracker !l1_ticks;
   level_sizes.(1) <-
     List.fold_left ( + ) 0
       (List.init n (fun r -> List.length memo.(Bitset.to_int (Bitset.singleton r))));
   (* stored sizes are recorded in level order, level 1 first *)
   if n > 0 then begin
     Search_stats.observe_stored stats level_sizes.(1);
-    finish_level ~level:1 ~subsets:n ~cover_max:!l1_cover_max ~used_domains:1
+    finish_level ~level:1 ~subsets:n ~cover_max:!l1_cover_max ~used_domains:1;
+    publish ()
   end;
   (* The level loop: within a level every subset's cover depends only on
      the memo entries of strictly smaller subsets, so the subsets of one
@@ -134,7 +154,7 @@ let optimize ?(config = Space.default_config)
     let subsets = Array.of_list (Bitset.subsets_of_size n ~size) in
     let n_subsets = Array.length subsets in
     let results : subset_result option array = Array.make n_subsets None in
-    let compute s =
+    let compute ~evaluate ~ticks s =
       let considered = ref 0 and generated = ref 0 in
       let best_plans = Cover.create ~dominates in
       let extend ~require_connection =
@@ -153,7 +173,11 @@ let optimize ?(config = Space.default_config)
                       List.iter
                         (fun tree ->
                           incr generated;
-                          Budget.tick tracker 1;
+                          incr ticks;
+                          if !ticks >= tick_grain then begin
+                            Budget.tick tracker !ticks;
+                            ticks := 0
+                          end;
                           let e = evaluate tree in
                           if admissible e then
                             ignore (Cover.add best_plans (entry e)))
@@ -174,9 +198,22 @@ let optimize ?(config = Space.default_config)
         cover_pre;
       }
     in
-    Domain_pool.run pool ~tasks:n_subsets (fun i ->
-        if not (Budget.exhausted tracker) then
-          results.(i) <- Some (compute subsets.(i)));
+    (* One budget check (a clock read under time caps) per claimed chunk,
+       not per subset: an exhausted budget skips the chunk whole, leaving
+       its result slots empty — same semantics as the per-subset check at
+       a coarser cancellation granularity. *)
+    let used_domains =
+      Domain_pool.run_ranged pool ~tasks:n_subsets
+        (fun ~worker ~lo ~hi ->
+          if not (Budget.exhausted tracker) then begin
+            let evaluate = evaluate_with shards.(worker) in
+            let ticks = ref 0 in
+            for i = lo to hi - 1 do
+              results.(i) <- Some (compute ~evaluate ~ticks subsets.(i))
+            done;
+            if !ticks > 0 then Budget.tick tracker !ticks
+          end)
+    in
     let cover_max = ref 0 in
     Array.iteri
       (fun i r ->
@@ -193,8 +230,18 @@ let optimize ?(config = Space.default_config)
       results;
     Search_stats.observe_stored stats level_sizes.(size);
     finish_level ~level:size ~subsets:n_subsets ~cover_max:!cover_max
-      ~used_domains:(min (Domain_pool.size pool) (max 1 n_subsets))
+      ~used_domains;
+    publish ()
   done;
+  Array.iteri
+    (fun i shard ->
+      if i > 0 then
+        match (cache, shard) with
+        | Some c, Some s -> Cm.absorb_cache c s
+        | _ -> ())
+    shards;
+  Search_stats.observe_pool stats
+    (Domain_pool.diff_stats pool_stats0 (Domain_pool.stats pool));
   let cover =
     if n = 0 then []
     else List.map (fun ent -> ent.e) memo.(Bitset.to_int (Bitset.full n))
@@ -211,3 +258,18 @@ let optimize ?(config = Space.default_config)
          None
   in
   { best; cover; stats; level_sizes; gave_up = !gave_up }
+
+let optimize ?(config = Space.default_config)
+    ?(rank = fun (e : Cm.eval) -> e.Cm.response_time) ?work_cap
+    ?(final_filter = fun _ -> true) ?max_cover ?(budget = Budget.unlimited)
+    ?(domains = 1) ?pool ?(plan_cache = true) ~metric (env : Env.t) =
+  let go ~pool_stats0 pool =
+    search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
+      ~pool_stats0 ~plan_cache ~metric env
+  in
+  match pool with
+  (* a persistent pool's spawns belong to whoever created it; an
+     internal pool's whole lifetime belongs to this search *)
+  | Some pool -> go ~pool_stats0:(Domain_pool.stats pool) pool
+  | None ->
+    Domain_pool.with_pool ~domains (go ~pool_stats0:Domain_pool.no_stats)

@@ -34,6 +34,7 @@ val optimize :
   ?max_cover:int ->
   ?budget:Budget.t ->
   ?domains:int ->
+  ?pool:Parqo_util.Domain_pool.t ->
   ?plan_cache:bool ->
   metric:Metric.t ->
   Parqo_cost.Env.t ->
@@ -48,11 +49,17 @@ val optimize :
     always generated, remaining subsets are skipped.
 
     [domains] (default 1 — strictly sequential, no domain is spawned)
-    sizes the worker pool for the level loop.  With an unlimited budget
-    the result is bit-identical for every [domains] value; under a
-    budget the expansion counter is shared atomically, so the cap binds
-    globally but which subsets get skipped near exhaustion may differ
-    (an exhausted budget reports [gave_up] in every case).
+    sizes the worker pool for the level loop; the pool clamps it to the
+    machine's cores (see {!Parqo_util.Domain_pool.create}).  [pool]
+    supplies a persistent pool instead — the pool is reused as-is
+    (workers stay parked between searches, [domains] is ignored) and the
+    caller keeps ownership; without it a pool is created and shut down
+    around this search.  With an unlimited budget the result is
+    bit-identical for every [domains] value and pool width; under a
+    budget workers flush expansion ticks in batches and check exhaustion
+    once per claimed chunk, so the cap binds globally but which subsets
+    get skipped near exhaustion may differ (an exhausted budget reports
+    [gave_up] in every case).
 
     [plan_cache] (default on) evaluates candidates incrementally through
     a {!Parqo_cost.Costmodel.cache}: every extension reuses the memoized

@@ -13,10 +13,18 @@ type t = {
   mutable stored_peak : int;
   mutable cover_max : int;
   mutable levels : level list;  (* reverse recording order *)
+  mutable pool : Parqo_util.Domain_pool.stats;
 }
 
 let create () =
-  { considered = 0; generated = 0; stored_peak = 0; cover_max = 0; levels = [] }
+  {
+    considered = 0;
+    generated = 0;
+    stored_peak = 0;
+    cover_max = 0;
+    levels = [];
+    pool = Parqo_util.Domain_pool.no_stats;
+  }
 
 let considered t n = t.considered <- t.considered + n
 let generated t n = t.generated <- t.generated + n
@@ -24,10 +32,17 @@ let observe_stored t n = if n > t.stored_peak then t.stored_peak <- n
 let observe_cover t n = if n > t.cover_max then t.cover_max <- n
 let observe_level t l = t.levels <- l :: t.levels
 let levels t = List.rev t.levels
+let observe_pool t s = t.pool <- s
 
 let pp ppf t =
-  Format.fprintf ppf "considered=%d generated=%d stored-peak=%d cover-max=%d"
+  Format.fprintf ppf
+    "considered=%d generated=%d stored-peak=%d cover-max=%d \
+     pool: spawned=%d parallel-runs=%d sequential-runs=%d parks=%d"
     t.considered t.generated t.stored_peak t.cover_max
+    t.pool.Parqo_util.Domain_pool.spawned
+    t.pool.Parqo_util.Domain_pool.parallel_runs
+    t.pool.Parqo_util.Domain_pool.sequential_runs
+    t.pool.Parqo_util.Domain_pool.parks
 
 let pp_level ppf l =
   Format.fprintf ppf

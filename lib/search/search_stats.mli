@@ -29,6 +29,12 @@ type t = {
       (** largest cover set encountered (the paper's [k], bounded by
           [2^l] under Theorem 3) *)
   mutable levels : level list;  (** internal; read via {!levels} *)
+  mutable pool : Parqo_util.Domain_pool.stats;
+      (** what the domain pool actually did for this search: worker
+          domains spawned (0 when the search reused a persistent pool or
+          ran sequentially), parallel vs. fast-pathed regions, and worker
+          parks — the honest counterpart of each level's [domains]
+          field. *)
 }
 
 val create : unit -> t
@@ -49,6 +55,10 @@ val observe_level : t -> level -> unit
 
 val levels : t -> level list
 (** Per-level records in the order they were observed. *)
+
+val observe_pool : t -> Parqo_util.Domain_pool.stats -> unit
+(** Record the pool counters this search contributed (already
+    differenced when the pool persists across searches). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -47,7 +47,7 @@ let set_leaf idx ~clone tree =
 
 let optimize ?(config = Space.default_config)
     ?(objective = fun (e : Cm.eval) -> e.Cm.response_time) ?(domains = 1)
-    ?(budget = Budget.unlimited) (env : Env.t) =
+    ?pool ?(budget = Budget.unlimited) (env : Env.t) =
   let sequential_config =
     { config with Space.clone_degrees = [ 1 ]; materialize_choices = false }
   in
@@ -57,7 +57,7 @@ let optimize ?(config = Space.default_config)
     { best = None; sequential = None; stats = phase1.Dp.stats; evaluated = 0;
       gave_up = false }
   | Some sequential ->
-    let pool = Parqo_util.Domain_pool.create ~domains in
+    let phase2 pool =
     let evaluated = ref 0 in
     (* Phase 2 can enumerate (degrees × mats)^joins assignments, each a
        full costing pass — sparse [Budget.tick]s alone would honor a
@@ -116,12 +116,29 @@ let optimize ?(config = Space.default_config)
       assign_joins 0 tree;
       let assignments = Array.of_list (List.rev !assignments) in
       let evals = Array.map (fun _ -> None) assignments in
-      Parqo_util.Domain_pool.run pool ~tasks:(Array.length assignments)
-        (fun i ->
-          if not (out_of_time ()) then begin
-            Budget.tick tracker 1;
-            evals.(i) <- Some (Cm.evaluate_cached cache env assignments.(i))
-          end);
+      (* workers read the published snapshot (which holds the shared
+         sub-trees cached so far) lock-free and keep private overlays;
+         the budget stays a per-task check — each task is a whole
+         costing pass, so responsiveness beats batching here *)
+      let width = Parqo_util.Domain_pool.width pool in
+      let shards =
+        Array.init width (fun i -> if i = 0 then cache else Cm.shard_cache cache)
+      in
+      Cm.publish_cache cache;
+      ignore
+        (Parqo_util.Domain_pool.run_ranged pool
+           ~tasks:(Array.length assignments)
+           (fun ~worker ~lo ~hi ->
+             for i = lo to hi - 1 do
+               if not (out_of_time ()) then begin
+                 Budget.tick tracker 1;
+                 evals.(i) <-
+                   Some (Cm.evaluate_cached shards.(worker) env assignments.(i))
+               end
+             done));
+      Array.iteri
+        (fun i shard -> if i > 0 then Cm.absorb_cache cache shard)
+        shards;
       Array.iter
         (function
           | Some e ->
@@ -181,3 +198,7 @@ let optimize ?(config = Space.default_config)
       evaluated = !evaluated;
       gave_up = Atomic.get skipped;
     }
+    in
+    (match pool with
+    | Some p -> phase2 p
+    | None -> Parqo_util.Domain_pool.with_pool ~domains phase2)

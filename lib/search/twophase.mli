@@ -28,6 +28,7 @@ val optimize :
   ?config:Space.config ->
   ?objective:(Parqo_cost.Costmodel.eval -> float) ->
   ?domains:int ->
+  ?pool:Parqo_util.Domain_pool.t ->
   ?budget:Budget.t ->
   Parqo_cost.Env.t ->
   result
@@ -41,9 +42,11 @@ val optimize :
     beyond that.
 
     [domains] (default 1) spreads the exhaustive enumeration's plan
-    costing across a domain pool; the chosen assignment is identical for
-    every pool size.  The coordinate-descent fallback is inherently
-    sequential and ignores [domains].
+    costing across a domain pool (clamped to the machine's cores); the
+    chosen assignment is identical for every pool size.  [pool] reuses a
+    persistent pool instead of creating one per call (the caller keeps
+    ownership, [domains] is ignored).  The coordinate-descent fallback is
+    inherently sequential and ignores both.
 
     [budget] (default unlimited) bounds phase 2 with cooperative
     wall-clock checks at every annotation slot — a 1 ms deadline stops a

@@ -214,6 +214,63 @@ let plan_cache_epochs () =
   Alcotest.(check (option int)) "current write lands" (Some 8)
     (Parqo.Plan_cache.find c "fresh")
 
+(* shards: private overlays over a shared published snapshot — the
+   visibility rules the PODP level loop is built on *)
+let plan_cache_shards () =
+  let c = Parqo.Plan_cache.create () in
+  Parqo.Plan_cache.remember c "base" 1;
+  let s = Parqo.Plan_cache.shard c in
+  Alcotest.(check (option int)) "unpublished parent write invisible" None
+    (Parqo.Plan_cache.find s "base");
+  Parqo.Plan_cache.publish c;
+  Alcotest.(check (option int)) "published entry visible to shard" (Some 1)
+    (Parqo.Plan_cache.find s "base");
+  Parqo.Plan_cache.remember s "w" 2;
+  Alcotest.(check (option int)) "shard write private until absorbed" None
+    (Parqo.Plan_cache.find c "w");
+  Alcotest.(check (option int)) "shard reads own write" (Some 2)
+    (Parqo.Plan_cache.find s "w");
+  Parqo.Plan_cache.absorb c s;
+  Alcotest.(check (option int)) "absorbed into parent" (Some 2)
+    (Parqo.Plan_cache.find c "w");
+  (* shard counters (1 miss on "base" pre-publish; hits on "base"
+     post-publish and on its own "w") fold into the parent's: parent saw
+     1 miss ("w" pre-absorb) + 1 hit ("w" post-absorb) of its own *)
+  Alcotest.(check int) "hits absorbed" 3 (Parqo.Plan_cache.hits c);
+  Alcotest.(check int) "misses absorbed" 2 (Parqo.Plan_cache.misses c);
+  Alcotest.(check int) "shard counters drained" 0
+    (Parqo.Plan_cache.hits s + Parqo.Plan_cache.misses s);
+  (* epoch is shared across shards *)
+  let s2 = Parqo.Plan_cache.shard c in
+  Parqo.Plan_cache.bump c;
+  Alcotest.(check int) "bump visible through shard" 1
+    (Parqo.Plan_cache.epoch s2)
+
+(* the published snapshot really is read in parallel: every domain reads
+   every key through its own shard while the parent sleeps on nothing *)
+let plan_cache_parallel_reads () =
+  let c = Parqo.Plan_cache.create () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Parqo.Plan_cache.remember c (string_of_int i) i
+  done;
+  Parqo.Plan_cache.publish c;
+  let readers =
+    List.init 4 (fun _ ->
+        let s = Parqo.Plan_cache.shard c in
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for i = 0 to n - 1 do
+              match Parqo.Plan_cache.find s (string_of_int i) with
+              | Some v when v = i -> ()
+              | _ -> ok := false
+            done;
+            !ok))
+  in
+  List.iter
+    (fun d -> Alcotest.(check bool) "reader saw every entry" true (Domain.join d))
+    readers
+
 (* adjacency bitsets agree with a direct scan of the predicate list *)
 let connected_between_oracle () =
   let rng = Parqo.Rng.create 35 in
@@ -251,5 +308,7 @@ let suite =
       t "Join_tree.key is canonical" key_is_canonical;
       t "Plan_cache counters" plan_cache_counters;
       t "Plan_cache epochs" plan_cache_epochs;
+      t "Plan_cache shards and publish" plan_cache_shards;
+      t "Plan_cache parallel snapshot reads" plan_cache_parallel_reads;
       t "Query.connected_between matches predicate scan" connected_between_oracle;
     ] )

@@ -195,21 +195,30 @@ let check_identical msg (a : Podp.result) (b : Podp.result) =
   Alcotest.(check int) (msg ^ ": considered") a.Podp.stats.Stats.considered
     b.Podp.stats.Stats.considered
 
+(* The pool clamps [~domains] to the machine's cores, so on a one-core CI
+   box plain [~domains:k] never leaves the calling domain.  The
+   determinism properties must exercise REAL cross-domain execution:
+   every parallel run here goes through an oversubscribed persistent
+   pool, which forces k domains regardless of the core count. *)
+let with_forced_pool k f = Parqo.Domain_pool.with_pool ~oversubscribe:true ~domains:k f
+
 (* property: on random queries the domain-parallel search returns exactly
    the sequential result — best plan, cover and level sizes (the
-   deterministic-merge contract of the level loop) *)
+   deterministic-merge contract of the level loop) — for pool widths
+   below, at, and above the subset counts involved *)
 let parallel_matches_sequential () =
   let rng = Parqo.Rng.create 21 in
-  for _ = 1 to 4 do
+  for _ = 1 to 3 do
     let env = Helpers.random_env rng ~n:4 in
     let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
     let metric = metric_for env in
     let seq = Podp.optimize ~config ~metric env in
     List.iter
       (fun k ->
-        let par = Podp.optimize ~config ~metric ~domains:k env in
-        check_identical (Printf.sprintf "domains=%d" k) seq par)
-      [ 2; 4 ]
+        with_forced_pool k (fun pool ->
+            let par = Podp.optimize ~config ~metric ~pool env in
+            check_identical (Printf.sprintf "domains=%d" k) seq par))
+      [ 2; 3; 8 ]
   done
 
 (* the beam path exercises the rank tie-break in Cover.trim; the pruned
@@ -221,23 +230,82 @@ let parallel_matches_sequential_beamed () =
     let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
     let metric = metric_for env in
     let seq = Podp.optimize ~config ~metric ~max_cover:4 env in
-    let par = Podp.optimize ~config ~metric ~max_cover:4 ~domains:4 env in
-    check_identical "beamed" seq par
+    List.iter
+      (fun k ->
+        with_forced_pool k (fun pool ->
+            let par = Podp.optimize ~config ~metric ~max_cover:4 ~pool env in
+            check_identical (Printf.sprintf "beamed domains=%d" k) seq par))
+      [ 3; 8 ]
   done
 
-(* a starved budget reports gave_up no matter how many domains run *)
+(* one persistent pool across several searches: results identical to
+   fresh-pool runs, and the reuse spawns no new domains *)
+let persistent_pool_reuse () =
+  let rng = Parqo.Rng.create 23 in
+  with_forced_pool 3 (fun pool ->
+      for _ = 1 to 3 do
+        let env = Helpers.random_env rng ~n:4 in
+        let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+        let metric = metric_for env in
+        let seq = Podp.optimize ~config ~metric env in
+        let par = Podp.optimize ~config ~metric ~pool env in
+        check_identical "persistent pool" seq par;
+        Alcotest.(check int) "reuse spawned nothing" 0
+          par.Podp.stats.Stats.pool.Parqo.Domain_pool.spawned;
+        Alcotest.(check bool) "parallel regions ran" true
+          (par.Podp.stats.Stats.pool.Parqo.Domain_pool.parallel_runs
+           + par.Podp.stats.Stats.pool.Parqo.Domain_pool.sequential_runs
+          > 0)
+      done)
+
+(* a starved budget reports gave_up no matter how many domains run — with
+   both a tiny and a merely insufficient expansion cap *)
 let gave_up_consistent_across_domains () =
   let env = env_of G.Chain 5 in
   let metric = metric_for env in
   List.iter
-    (fun k ->
-      let r =
-        Podp.optimize ~metric ~budget:(Parqo.Budget.expansions 1) ~domains:k env
-      in
-      Alcotest.(check bool)
-        (Printf.sprintf "domains=%d gives up" k)
-        true r.Podp.gave_up)
-    [ 1; 2; 4 ]
+    (fun budget ->
+      (* sequential baseline *)
+      let r = Podp.optimize ~metric ~budget env in
+      Alcotest.(check bool) "domains=1 gives up" true r.Podp.gave_up;
+      List.iter
+        (fun k ->
+          with_forced_pool k (fun pool ->
+              let r = Podp.optimize ~metric ~budget ~pool env in
+              Alcotest.(check bool)
+                (Printf.sprintf "domains=%d gives up" k)
+                true r.Podp.gave_up))
+        [ 2; 4 ])
+    [ Parqo.Budget.expansions 1; Parqo.Budget.expansions 40 ]
+
+(* level stats report what actually ran: never more lanes than the pool
+   has, and exactly one lane for one-subset levels (the pool fast-paths
+   them to the calling domain) *)
+let used_domains_honest () =
+  let env = env_of G.Chain 5 in
+  let metric = metric_for env in
+  with_forced_pool 3 (fun pool ->
+      let r = Podp.optimize ~metric ~pool env in
+      let levels = Stats.levels r.Podp.stats in
+      List.iter
+        (fun (l : Stats.level) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "level %d: 1 <= domains <= width" l.Stats.level)
+            true
+            (l.Stats.domains >= 1 && l.Stats.domains <= 3);
+          if l.Stats.subsets <= 1 then
+            Alcotest.(check int)
+              (Printf.sprintf "level %d fast-paths sequentially" l.Stats.level)
+              1 l.Stats.domains)
+        levels);
+  (* sequential search: every level reports exactly one domain *)
+  let seq = Podp.optimize ~metric env in
+  List.iter
+    (fun (l : Stats.level) ->
+      Alcotest.(check int)
+        (Printf.sprintf "sequential level %d" l.Stats.level)
+        1 l.Stats.domains)
+    (Stats.levels seq.Podp.stats)
 
 (* per-level stats are recorded in level order, level 1 (access plans)
    first — the stored-size bookkeeping bug recorded level 1 last *)
@@ -267,7 +335,9 @@ let suite =
       t "finds plans" finds_plans;
       t "parallel matches sequential" parallel_matches_sequential;
       t "parallel matches sequential (beamed)" parallel_matches_sequential_beamed;
+      t "persistent pool reuse" persistent_pool_reuse;
       t "gave-up consistent across domains" gave_up_consistent_across_domains;
+      t "used_domains reports what ran" used_domains_honest;
       t "level stats in order" level_stats_in_order;
       t "final cover incomparable" final_cover_incomparable;
       t "no worse than naive RT DP" no_worse_than_rt_dp;
