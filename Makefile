@@ -1,4 +1,4 @@
-.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke bench-serve bench-serve-smoke clean
+.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke bench-serve bench-serve-smoke bench-sched bench-sched-smoke clean
 
 all:
 	dune build @all
@@ -50,11 +50,22 @@ bench-serve:
 bench-serve-smoke:
 	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e20
 
+# workload co-scheduling bench: policies x arrival intensities plus the
+# contention crossover; asserts utilization <= 1, busy conservation,
+# single-query bit-identity with the simulator, SRW <= fair-share at
+# heavy load, and that the low-work plan wins under contention; writes
+# BENCH_sched.json
+bench-sched:
+	dune exec bench/main.exe -- --only e22
+
+bench-sched-smoke:
+	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e22
+
 # the CI gate: full test suite plus the smoke micro-benches (which assert
 # cached-vs-uncached and replan bit-identity end to end, and that the
 # parallel search machinery costs at most 1.3x the sequential path)
 ci:
-	dune build @all && dune runtest && $(MAKE) bench-search-smoke && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke
+	dune build @all && dune runtest && $(MAKE) bench-search-smoke && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke && $(MAKE) bench-sched-smoke
 
 clean:
 	dune clean

@@ -29,6 +29,7 @@ let experiments =
     ("e18", Exp_cost.run);
     ("e19", Exp_replan.run);
     ("e20", Exp_serve.run);
+    ("e22", Exp_sched.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

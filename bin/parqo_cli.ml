@@ -488,11 +488,188 @@ let serve_cmd =
        ~doc:"Serve a synthetic optimization-request stream with deadlines, load shedding and optional chaos.")
     Term.(ret (const run $ setup_logs $ tables $ pool $ n_requests $ arrival $ rate $ burst_size $ burst_period $ deadline_ms $ queue_cap $ workers $ chaos $ chaos_seed $ seed $ nodes))
 
+(* co-schedule a workload of optimized plans on one machine and report
+   per-query response times under a scheduling policy *)
+let sched_cmd =
+  let module Sched = Parqo.Scheduler in
+  let tables =
+    Arg.(value & opt int 6
+         & info [ "tables" ] ~docv:"N" ~doc:"Tables in the workload catalog.")
+  in
+  let pool =
+    Arg.(value & opt int 24
+         & info [ "pool" ] ~docv:"N" ~doc:"Distinct queries in the pool.")
+  in
+  let n_queries =
+    Arg.(value & opt int 20
+         & info [ "queries" ] ~docv:"N" ~doc:"Queries in the workload.")
+  in
+  let arrival =
+    Arg.(value
+         & opt (enum [ ("uniform", `Uniform); ("poisson", `Poisson); ("burst", `Burst) ]) `Poisson
+         & info [ "arrival" ] ~docv:"PROCESS"
+             ~doc:"Arrival process: $(b,uniform), $(b,poisson) or $(b,burst).")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Arrival rate in queries per simulated second. Default: one arrival per mean solo makespan (moderate load).")
+  in
+  let burst_size =
+    Arg.(value & opt int 8
+         & info [ "burst-size" ] ~docv:"N" ~doc:"Arrivals per burst.")
+  in
+  let burst_period =
+    Arg.(value & opt (some float) None
+         & info [ "burst-period" ] ~docv:"S"
+             ~doc:"Simulated seconds between bursts. Default: one mean solo makespan.")
+  in
+  let policy =
+    let policy_conv =
+      let parse s =
+        if String.lowercase_ascii s = "all" then Ok None
+        else
+          match Sched.policy_of_string s with
+          | Ok p -> Ok (Some p)
+          | Error e -> Error (`Msg e)
+      in
+      Arg.conv
+        ( parse,
+          fun ppf -> function
+            | None -> Fmt.string ppf "all"
+            | Some p -> Fmt.string ppf (Sched.policy_to_string p) )
+    in
+    Arg.(value & opt policy_conv None
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Scheduling policy: $(b,fair), $(b,priority), $(b,srw) or $(b,all) (default).")
+  in
+  let contention =
+    Arg.(value & flag
+         & info [ "contention" ]
+             ~doc:"Also re-optimize the pool under the workload's expected pressure and report which queries switch to lower-work plans.")
+  in
+  let seed =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the pool and the stream.")
+  in
+  let run () tables pool n arrival rate burst_size burst_period policy
+      contention seed nodes =
+    if n <= 0 then `Error (false, "--queries must be > 0")
+    else begin
+      let machine = Parqo.Machine.shared_nothing ~nodes () in
+      let catalog, queries =
+        Parqo.Workloads.serving_pool ~n_tables:tables ~pool ~seed ()
+      in
+      let budget = Parqo.Budget.expansions 20_000 in
+      let config = Parqo.Space.parallel_config machine in
+      let plans = Hashtbl.create 32 in
+      let plan_of q =
+        let fp = Parqo.Query.fingerprint q in
+        match Hashtbl.find_opt plans fp with
+        | Some p -> p
+        | None ->
+          let env = Parqo.Env.create ~machine ~catalog ~query:q () in
+          (match
+             (Parqo.Optimizer.minimize_response_time ~config ~budget env)
+               .Parqo.Optimizer.best
+           with
+          | None -> Parqo.Parqo_error.failf ~subsystem:"cli" "no plan for %s" fp
+          | Some best ->
+            let p = (env, best) in
+            Hashtbl.add plans fp p;
+            p)
+      in
+      let rng = Parqo.Rng.create seed in
+      let picks = Array.init n (fun _ -> Parqo.Rng.pick rng queries) in
+      let graphs =
+        Array.map
+          (fun q ->
+            let env, best = plan_of q in
+            Parqo.Task_graph.of_optree env best.Parqo.Costmodel.optree)
+          picks
+      in
+      let mean_solo =
+        Array.fold_left
+          (fun acc g -> acc +. (Parqo.Simulator.run g).Parqo.Simulator.makespan)
+          0. graphs
+        /. float_of_int n
+      in
+      let rate = match rate with Some r -> r | None -> 1. /. mean_solo in
+      let process =
+        match arrival with
+        | `Uniform -> Parqo.Workloads.Uniform rate
+        | `Poisson -> Parqo.Workloads.Poisson rate
+        | `Burst ->
+          let period =
+            match burst_period with Some p -> p | None -> mean_solo
+          in
+          Parqo.Workloads.Burst { size = burst_size; period }
+      in
+      let arrivals = Parqo.Workloads.arrivals rng ~process ~n in
+      let jobs =
+        Array.mapi
+          (fun i g ->
+            Sched.job ~arrival:arrivals.(i) ~priority:(Parqo.Rng.int rng 3)
+              ~job_id:i g)
+          graphs
+      in
+      let policies =
+        match policy with Some p -> [ p ] | None -> Sched.all_policies
+      in
+      Printf.printf
+        "workload: %d queries over a %d-query pool (%s, %d-node machine)\n"
+        n pool
+        (Parqo.Workloads.arrival_to_string process)
+        nodes;
+      List.iter
+        (fun p ->
+          let o = Sched.run ~policy:p jobs in
+          let s = Sched.summarize o in
+          Printf.printf
+            "  %-8s mean %10.1f | p95 %10.1f | p99 %10.1f | makespan %10.1f | util %.3f\n"
+            (Sched.policy_to_string p) s.Sched.mean s.Sched.p95 s.Sched.p99
+            s.Sched.makespan s.Sched.utilization)
+        policies;
+      if contention then begin
+        let nr = Parqo.Machine.n_resources machine in
+        let pressure = Sched.expected_pressure ~n_resources:nr jobs in
+        let peak = Array.fold_left Float.max 0. pressure in
+        let switched = ref 0 and total = ref 0 in
+        Hashtbl.iter
+          (fun _ (env, (solo : Parqo.Costmodel.eval)) ->
+            incr total;
+            match
+              (Parqo.Optimizer.minimize_under_contention ~config ~budget
+                 ~pressure env)
+                .Parqo.Optimizer.best
+            with
+            | Some c when c.Parqo.Costmodel.work < solo.Parqo.Costmodel.work ->
+              incr switched;
+              if !switched = 1 then
+                Printf.printf
+                  "  e.g. work %.1f -> %.1f (solo response %.1f -> %.1f)\n"
+                  solo.Parqo.Costmodel.work c.Parqo.Costmodel.work
+                  solo.Parqo.Costmodel.response_time
+                  c.Parqo.Costmodel.response_time
+            | _ -> ())
+          plans;
+        Printf.printf
+          "contention-aware re-optimization (peak pressure %.2f): %d/%d pool queries switch to lower-work plans\n"
+          peak !switched !total
+      end;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Co-schedule a workload of optimized queries on one machine under fair-share, strict-priority or shortest-remaining-work.")
+    Term.(ret (const run $ setup_logs $ tables $ pool $ n_queries $ arrival $ rate $ burst_size $ burst_period $ policy $ contention $ seed $ nodes))
+
 let main =
   let doc = "parallel query optimizer (SIGMOD 1992 reproduction)" in
   Cmd.group (Cmd.info "parqo" ~doc)
     [ optimize_cmd; explain_cmd; simulate_cmd; sweep_cmd; gen_cmd; run_cmd;
-      serve_cmd ]
+      serve_cmd; sched_cmd ]
 
 (* structured runtime errors print as one line, never as a backtrace *)
 let () =

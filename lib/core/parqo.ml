@@ -91,6 +91,7 @@ module Task_graph = Parqo_sim.Task_graph
 module Fault = Parqo_sim.Fault
 module Recovery = Parqo_sim.Recovery
 module Simulator = Parqo_sim.Simulator
+module Scheduler = Parqo_sim.Scheduler
 module Residual = Parqo_cost.Residual
 module Adaptive = Adaptive
 module Batch = Parqo_exec.Batch

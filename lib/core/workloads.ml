@@ -263,34 +263,17 @@ let tpch ?(scale = 1) ~seed () =
 (* ---------------------------------------------------------------- *)
 (* query streams for the serving layer                               *)
 
-type arrival =
+(* Arrival processes live in [Parqo_sim.Workload] so the workload
+   scheduler and the serving layer share one stream implementation;
+   this module re-exports them under the historical names. *)
+
+type arrival = Parqo_sim.Workload.arrival =
   | Uniform of float
   | Poisson of float
   | Burst of { size : int; period : float }
 
-let arrival_to_string = function
-  | Uniform rate -> Printf.sprintf "uniform(%.1f qps)" rate
-  | Poisson rate -> Printf.sprintf "poisson(%.1f qps)" rate
-  | Burst { size; period } ->
-    Printf.sprintf "burst(%d every %.2fs)" size period
-
-let arrivals rng ~process ~n =
-  if n < 0 then invalid_arg "Workloads.arrivals: n < 0";
-  match process with
-  | Uniform rate ->
-    if rate <= 0. then invalid_arg "Workloads.arrivals: rate <= 0";
-    Array.init n (fun i -> float_of_int i /. rate)
-  | Poisson rate ->
-    if rate <= 0. then invalid_arg "Workloads.arrivals: rate <= 0";
-    let t = ref 0. in
-    Array.init n (fun _ ->
-        let at = !t in
-        t := !t +. Rng.exponential rng ~mean:(1. /. rate);
-        at)
-  | Burst { size; period } ->
-    if size <= 0 then invalid_arg "Workloads.arrivals: burst size <= 0";
-    if period <= 0. then invalid_arg "Workloads.arrivals: period <= 0";
-    Array.init n (fun i -> float_of_int (i / size) *. period)
+let arrival_to_string = Parqo_sim.Workload.arrival_to_string
+let arrivals = Parqo_sim.Workload.arrivals
 
 let serving_pool ?(n_tables = 6) ?(max_relations = 4) ?(pool = 24)
     ?(base_card = 1000.) ~seed () =

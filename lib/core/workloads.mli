@@ -56,7 +56,7 @@ val tpch : ?scale:int -> seed:int -> unit -> tpch
 
 (** {1 Query streams for the serving layer} *)
 
-type arrival =
+type arrival = Parqo_sim.Workload.arrival =
   | Uniform of float  (** fixed rate, queries per second *)
   | Poisson of float  (** exponential inter-arrivals, mean rate in qps *)
   | Burst of { size : int; period : float }

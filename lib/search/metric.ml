@@ -69,6 +69,23 @@ let expected_makespan (env : Parqo_cost.Env.t) ~fault_rate =
     refines = None;
   }
 
+let contention_rank ~pressure (e : Cm.eval) =
+  let w = Parqo_cost.Descriptor.work_vector e.Cm.descriptor in
+  let n = min (Array.length pressure) (Vecf.dim w) in
+  let acc = ref e.Cm.response_time in
+  for r = 0 to n - 1 do
+    acc := !acc +. (pressure.(r) *. Vecf.get w r)
+  done;
+  !acc
+
+let contended ~pressure =
+  let peak = Array.fold_left Float.max 0. pressure in
+  {
+    name = Printf.sprintf "contended/%.2f" peak;
+    dims = (fun e -> [| contention_rank ~pressure e; e.Cm.work |]);
+    refines = None;
+  }
+
 let with_partitioning m =
   let key (e : Cm.eval) =
     let root = e.Cm.optree in

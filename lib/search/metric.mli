@@ -54,6 +54,22 @@ val expected_makespan : Parqo_cost.Env.t -> fault_rate:float -> t
     {!Parqo_cost.Faultcost.expected_response_time} to actually choose by
     the failure-aware objective. *)
 
+val contention_rank :
+  pressure:float array -> Parqo_cost.Costmodel.eval -> float
+(** Response time on a {e loaded} machine: the solo response time plus
+    the plan's per-resource work priced at the ambient load
+    ([Σ_r pressure_r · work_r], pressure from
+    [Parqo_sim.Scheduler.expected_pressure]).  At zero pressure this is
+    exactly the solo response time; as pressure grows the work term
+    dominates and the ranking flips toward low-work plans — the
+    work-bound dual of §2 under contention.  Dimensions beyond
+    [pressure]'s length contribute nothing. *)
+
+val contended : pressure:float array -> t
+(** Pruning metric for a loaded machine: {!contention_rank} as the first
+    dimension and total work as the second (pair with
+    [~rank:(contention_rank ~pressure)] when searching). *)
+
 val with_ordering : t -> t
 (** Adds interesting orders: [a] must also subsume [b]'s output ordering
     (§6.3, "tuple ordering may be incorporated as an additional

@@ -178,3 +178,11 @@ let minimize_response_time ?(config = Space.default_config)
     { best; work_optimal; cover; stats; work_stats = Some work_phase.stats;
       gave_up }
   end
+
+let minimize_under_contention ?config ?shape ?bound ?budget ?domains ?pool
+    ?plan_cache ~pressure (env : Env.t) =
+  minimize_response_time ?config ?shape
+    ~metric:(Metric.with_ordering (Metric.contended ~pressure))
+    ?bound
+    ~rank:(Metric.contention_rank ~pressure)
+    ?budget ?domains ?pool ?plan_cache env

@@ -82,3 +82,23 @@ val minimize_response_time :
     bit-identical either way. *)
 
 val default_metric : Parqo_cost.Env.t -> Metric.t
+
+val minimize_under_contention :
+  ?config:Space.config ->
+  ?shape:tree_shape ->
+  ?bound:Bounds.t ->
+  ?budget:Budget.t ->
+  ?domains:int ->
+  ?pool:Parqo_util.Domain_pool.t ->
+  ?plan_cache:bool ->
+  pressure:float array ->
+  Parqo_cost.Env.t ->
+  outcome
+(** {!minimize_response_time} for a {e loaded} machine: candidates are
+    pruned under [Metric.contended ~pressure] (with interesting orders)
+    and ranked by [Metric.contention_rank ~pressure] — solo response
+    time plus per-resource work priced at the ambient load.  At zero
+    pressure the objective coincides with plain response time; as
+    pressure grows the ranking flips toward low-work plans (the §2
+    work-bound dual made operational; pressure comes from
+    [Parqo_sim.Scheduler.expected_pressure] over the active set). *)

@@ -92,17 +92,20 @@ type stats = {
 type run_result = { completions : completion array; stats : stats }
 
 type t = {
-  machine : Parqo_machine.Machine.t;
+  mutable machine : Parqo_machine.Machine.t;
   mutable catalog : Parqo_catalog.Catalog.t;
   config : config;
   cache : Cm.eval Plan_cache.t;
+  pool : Parqo_util.Domain_pool.t option;
+      (* one persistent pool shared by every request this server plans;
+         per-request searches reuse its workers instead of spawning *)
 }
 
-let create ?(config = default_config) ~machine ~catalog () =
+let create ?(config = default_config) ?pool ~machine ~catalog () =
   (match validate_config config with
   | Ok () -> ()
   | Error e -> Parqo_error.failf ~subsystem:"serve" ~phase:"config" "%s" e);
-  { machine; catalog; config; cache = Plan_cache.create () }
+  { machine; catalog; config; cache = Plan_cache.create (); pool }
 
 let epoch t = Plan_cache.epoch t.cache
 let bump_epoch t = Plan_cache.bump t.cache
@@ -110,6 +113,17 @@ let bump_epoch t = Plan_cache.bump t.cache
 let update_catalog t catalog =
   t.catalog <- catalog;
   Plan_cache.bump t.cache
+
+let machine t = t.machine
+
+let update_machine t machine =
+  (* a topology change invalidates every cached plan: demand vectors,
+     clone placements and declustering all assumed the old machine.
+     Structural equality spares the epoch when nothing changed. *)
+  if machine <> t.machine then begin
+    t.machine <- machine;
+    Plan_cache.bump t.cache
+  end
 
 let cache_stats t = (Plan_cache.hits t.cache, Plan_cache.misses t.cache)
 
@@ -122,7 +136,8 @@ let optimize t ~budget query =
   in
   let config = Parqo_search.Space.parallel_config t.machine in
   let outcome =
-    Parqo_search.Optimizer.minimize_response_time ~config ~budget env
+    Parqo_search.Optimizer.minimize_response_time ~config ~budget
+      ?pool:t.pool env
   in
   match outcome.Parqo_search.Optimizer.best with
   | Some plan -> (plan, outcome.Parqo_search.Optimizer.gave_up)
@@ -226,7 +241,16 @@ let serve_one t (req : request) ~start =
 let run t (reqs : request array) =
   let n = Array.length reqs in
   let reqs = Array.copy reqs in
-  Array.stable_sort (fun a b -> compare a.arrival b.arrival) reqs;
+  (* burst streams emit tied arrivals: break ties by request id so the
+     served order — and everything downstream of it (cache warm-up,
+     worker assignment, chaos draws) — is reproducible however the
+     caller happened to order the trace *)
+  Array.sort
+    (fun a b ->
+      match Float.compare a.arrival b.arrival with
+      | 0 -> compare a.id b.id
+      | c -> c)
+    reqs;
   let hits0, misses0 = cache_stats t in
   let free_at = Array.make t.config.workers 0. in
   (* finish instants of admitted-but-unfinished requests; the in-flight

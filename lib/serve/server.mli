@@ -102,12 +102,19 @@ type t
 
 val create :
   ?config:config ->
+  ?pool:Parqo_util.Domain_pool.t ->
   machine:Parqo_machine.Machine.t ->
   catalog:Parqo_catalog.Catalog.t ->
   unit ->
   t
 (** Raises {!Parqo_util.Parqo_error.Error} (subsystem ["serve"], phase
-    ["config"]) on an invalid config. *)
+    ["config"]) on an invalid config.  [pool] is one persistent
+    {!Parqo_util.Domain_pool.t} shared by every request this server
+    plans: each request's search reuses its workers instead of spawning
+    per call ([Search_stats] reports [spawned = 0] on warm requests),
+    and the chosen plans are bit-identical to serving without a pool.
+    The caller keeps ownership and must shut it down after the server
+    is done. *)
 
 val epoch : t -> int
 (** Current plan-cache epoch (see {!Parqo_util.Plan_cache.epoch}). *)
@@ -120,11 +127,21 @@ val update_catalog : t -> Parqo_catalog.Catalog.t -> unit
 (** Replace the catalog and {!bump_epoch} atomically with respect to
     the cache: no post-update lookup can return a pre-update plan. *)
 
+val machine : t -> Parqo_machine.Machine.t
+
+val update_machine : t -> Parqo_machine.Machine.t -> unit
+(** Replace the machine; any topology change (degrade, growth, speed
+    re-spec) bumps the epoch exactly like {!update_catalog} — plans
+    cached against the old machine assumed its demand vectors and
+    placements, so a degraded-machine request never sees a pre-degrade
+    plan.  A structurally identical machine leaves the epoch alone. *)
+
 val cache_stats : t -> int * int
 (** Lifetime (hits, misses) of the plan cache. *)
 
 val run : t -> request array -> run_result
-(** Serve a request trace (sorted by arrival internally).  Admission:
+(** Serve a request trace (sorted by arrival internally, ties broken by
+    request id so burst streams serve reproducibly).  Admission:
     a request arriving while [queue_cap] admitted requests are still
     unfinished is [Rejected]; otherwise it is served by the earliest
     free worker in arrival order.  Serving: plan-cache lookup by query

@@ -1,0 +1,557 @@
+module Parqo_error = Parqo_util.Parqo_error
+module Statsu = Parqo_util.Statsu
+
+type policy = Fair_share | Strict_priority | Shortest_remaining_work
+
+let policy_to_string = function
+  | Fair_share -> "fair"
+  | Strict_priority -> "priority"
+  | Shortest_remaining_work -> "srw"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "fair" | "fair-share" | "fair_share" | "ps" -> Ok Fair_share
+  | "priority" | "strict-priority" | "strict_priority" -> Ok Strict_priority
+  | "srw" | "srpt" | "shortest-remaining-work" | "shortest_remaining_work" ->
+    Ok Shortest_remaining_work
+  | _ ->
+    Error
+      (Printf.sprintf "unknown policy %S (valid: fair, priority, srw)" s)
+
+let all_policies = [ Fair_share; Strict_priority; Shortest_remaining_work ]
+
+type job = {
+  job_id : int;
+  label : string;
+  arrival : float;
+  priority : int;
+  graph : Task_graph.t;
+}
+
+let job ?(label = "") ?(priority = 0) ?(arrival = 0.) ~job_id graph =
+  { job_id; label; arrival; priority; graph }
+
+type event = { at : float; what : string }
+
+type job_outcome = {
+  job_id : int;
+  label : string;
+  arrival : float;
+  started : float;
+  finished : float;
+  response : float;
+  work : float;
+  stage_start : (int * float) list;
+  stage_finish : (int * float) list;
+}
+
+type outcome = {
+  policy : policy;
+  jobs : job_outcome array;
+  makespan : float;
+  busy : float array;
+  total_work : float;
+  trace : event list;
+}
+
+type summary = {
+  n_jobs : int;
+  makespan : float;
+  utilization : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let eps = 1e-9
+
+let utilization (o : outcome) =
+  if o.makespan <= 0. then 1.
+  else o.total_work /. (o.makespan *. float_of_int (Array.length o.busy))
+
+let summarize (o : outcome) =
+  let rs = Array.to_list (Array.map (fun j -> j.response) o.jobs) in
+  let quantile q = match rs with [] -> 0. | l -> Statsu.quantile q l in
+  {
+    n_jobs = Array.length o.jobs;
+    makespan = o.makespan;
+    utilization = utilization o;
+    mean =
+      (match rs with
+      | [] -> 0.
+      | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l));
+    p50 = quantile 0.5;
+    p95 = quantile 0.95;
+    p99 = quantile 0.99;
+    max = List.fold_left Float.max 0. rs;
+  }
+
+let expected_pressure ?horizon ~n_resources (jobs : job array) =
+  let totals = Array.make n_resources 0. in
+  Array.iter
+    (fun j ->
+      Array.iter
+        (fun (s : Task_graph.stage) ->
+          List.iter
+            (fun (t : Task_graph.task) ->
+              Array.iteri
+                (fun r d ->
+                  if r < n_resources then totals.(r) <- totals.(r) +. d)
+                t.Task_graph.demands)
+            s.Task_graph.tasks)
+        j.graph.Task_graph.stages)
+    jobs;
+  if Array.length jobs = 0 then totals
+  else begin
+    let h =
+      match horizon with
+      | Some h ->
+        if h <= 0. then
+          invalid_arg "Scheduler.expected_pressure: horizon <= 0";
+        h
+      | None ->
+        (* arrival span plus the mean job's solo drain time: the window
+           over which the offered work actually lands on the machine *)
+        let lo = ref infinity and hi = ref neg_infinity in
+        Array.iter
+          (fun (j : job) ->
+            lo := Float.min !lo j.arrival;
+            hi := Float.max !hi j.arrival)
+          jobs;
+        let total = Array.fold_left ( +. ) 0. totals in
+        let mean_work = total /. float_of_int (Array.length jobs) in
+        Float.max eps (!hi -. !lo +. mean_work)
+    in
+    Array.map (fun w -> w /. h) totals
+  end
+
+type stage_status = Pending | Running | Done
+
+let validate_jobs (jobs : job array) =
+  let nj = Array.length jobs in
+  if nj = 0 then
+    Parqo_error.fail ~subsystem:"scheduler" "empty job set";
+  let nr = jobs.(0).graph.Task_graph.n_resources in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (j : job) ->
+      if Hashtbl.mem seen j.job_id then
+        Parqo_error.failf ~subsystem:"scheduler" "duplicate job id %d" j.job_id;
+      Hashtbl.add seen j.job_id ();
+      if j.graph.Task_graph.n_resources <> nr then
+        Parqo_error.failf ~subsystem:"scheduler"
+          "job %d resource-dimension mismatch (%d vs %d)" j.job_id
+          j.graph.Task_graph.n_resources nr;
+      if (not (Float.is_finite j.arrival)) || j.arrival < 0. then
+        Parqo_error.failf ~subsystem:"scheduler"
+          "job %d has invalid arrival" j.job_id;
+      match Task_graph.validate j.graph with
+      | Ok () -> ()
+      | Error msg ->
+        Parqo_error.failf ~subsystem:"scheduler" "invalid task graph (job %d): %s"
+          j.job_id msg)
+    jobs;
+  nr
+
+(* The event loop is [Simulator.run_clean ~mode:Concurrent] lifted to a
+   set of jobs.  Per resource and instant, the policy selects the
+   {e eligible} jobs among those demanding it; a running task of an
+   eligible job drains at rate [1 / (count * n)], where [count] is its
+   own job's demanding-task count on the resource (processor sharing
+   within the job, as in the single-query simulator) and [n] is the
+   number of eligible jobs (processor sharing — or preemption — across
+   jobs).  The per-task slowdown factor is [f = count * n]: candidate
+   next-event times are [d *. f] and advances [d -. dt /. f], so with a
+   single job [n = 1] and multiplication by [1.0] being IEEE-exact the
+   arithmetic is bit-for-bit the single-query simulator's — the
+   degenerate case is Int64-identical by construction, and the total
+   drain rate on a demanded resource is exactly 1, so per-resource busy
+   time equals delivered work (busy conservation). *)
+let run ?(policy = Fair_share) (jobs_in : job array) =
+  let nr = validate_jobs jobs_in in
+  let nj = Array.length jobs_in in
+  let jobs = Array.copy jobs_in in
+  (* deterministic processing order: (arrival, job_id) *)
+  let order = Array.init nj Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare jobs.(a).arrival jobs.(b).arrival with
+      | 0 -> compare jobs.(a).job_id jobs.(b).job_id
+      | c -> c)
+    order;
+  let n_stages =
+    Array.map (fun (j : job) -> Array.length j.graph.Task_graph.stages) jobs
+  in
+  let status =
+    Array.map
+      (fun (j : job) -> Array.make (Array.length j.graph.Task_graph.stages) Pending)
+      jobs
+  in
+  let remaining_deps =
+    Array.map
+      (fun (j : job) ->
+        Array.map
+          (fun (s : Task_graph.stage) -> ref (List.length s.Task_graph.deps))
+          j.graph.Task_graph.stages)
+      jobs
+  in
+  let dependents =
+    Array.map
+      (fun (j : job) -> Array.make (Array.length j.graph.Task_graph.stages) [])
+      jobs
+  in
+  Array.iteri
+    (fun p (j : job) ->
+      Array.iter
+        (fun (s : Task_graph.stage) ->
+          List.iter
+            (fun d ->
+              dependents.(p).(d) <- s.Task_graph.stage_id :: dependents.(p).(d))
+            s.Task_graph.deps)
+        j.graph.Task_graph.stages)
+    jobs;
+  let remaining =
+    Array.map
+      (fun (j : job) ->
+        Array.map
+          (fun (s : Task_graph.stage) ->
+            Array.of_list
+              (List.map
+                 (fun (t : Task_graph.task) -> Array.copy t.Task_graph.demands)
+                 s.Task_graph.tasks))
+          j.graph.Task_graph.stages)
+      jobs
+  in
+  let labels =
+    Array.map
+      (fun (j : job) ->
+        Array.map
+          (fun (s : Task_graph.stage) ->
+            Array.of_list
+              (List.map
+                 (fun (t : Task_graph.task) -> t.Task_graph.label)
+                 s.Task_graph.tasks))
+          j.graph.Task_graph.stages)
+      jobs
+  in
+  let busy = Array.make nr 0. in
+  let time = ref 0. in
+  let trace = ref [] in
+  let emit what = trace := { at = !time; what } :: !trace in
+  let jname p =
+    if jobs.(p).label <> "" then jobs.(p).label
+    else Printf.sprintf "q%d" jobs.(p).job_id
+  in
+  let arrived = Array.make nj false in
+  let finished_at = Array.make nj nan in
+  let finished p = not (Float.is_nan finished_at.(p)) in
+  let active p = arrived.(p) && not (finished p) in
+  let stage_start = Array.make nj [] in
+  let stage_finish = Array.make nj [] in
+  let stage_done p id =
+    Array.for_all
+      (fun demands -> Array.for_all (fun d -> d <= eps) demands)
+      remaining.(p).(id)
+  in
+  let rec start_ready p =
+    Array.iteri
+      (fun id s ->
+        if status.(p).(id) = Pending && !(remaining_deps.(p).(id)) = 0 then begin
+          status.(p).(id) <- Running;
+          stage_start.(p) <- (id, !time) :: stage_start.(p);
+          emit (Printf.sprintf "%s stage %d start" (jname p) id);
+          if stage_done p id then complete p id
+        end;
+        ignore s)
+      jobs.(p).graph.Task_graph.stages
+  and complete p id =
+    status.(p).(id) <- Done;
+    stage_finish.(p) <- (id, !time) :: stage_finish.(p);
+    emit (Printf.sprintf "%s stage %d done" (jname p) id);
+    List.iter (fun dep -> decr remaining_deps.(p).(dep)) dependents.(p).(id);
+    start_ready p
+  in
+  let job_done p = Array.for_all (fun s -> s = Done) status.(p) in
+  let finish_jobs () =
+    Array.iter
+      (fun p ->
+        if active p && job_done p then begin
+          finished_at.(p) <- !time;
+          emit (jname p ^ " done")
+        end)
+      order
+  in
+  let activate p =
+    arrived.(p) <- true;
+    emit (jname p ^ " arrives");
+    start_ready p
+  in
+  (* next arrival instant strictly in the future, if any *)
+  let next_arrival () =
+    Array.fold_left
+      (fun acc p ->
+        if not arrived.(p) then Float.min acc jobs.(p).arrival else acc)
+      infinity order
+  in
+  (* remaining work of an active job, for shortest-remaining-work *)
+  let remaining_work p =
+    let acc = ref 0. in
+    for id = 0 to n_stages.(p) - 1 do
+      if status.(p).(id) <> Done then
+        Array.iter
+          (fun demands -> Array.iter (fun d -> acc := !acc +. d) demands)
+          remaining.(p).(id)
+    done;
+    !acc
+  in
+  (* counts.(p).(r): running tasks of job p demanding r — the
+     within-job sharing degree, exactly run_clean's [count] *)
+  let counts = Array.make_matrix nj nr 0 in
+  (* factor.(p).(r): per-task slowdown [count * n_eligible]; 0. when
+     job p is not eligible on r (its tasks neither drain nor propose
+     next-event candidates there) *)
+  let factor = Array.make_matrix nj nr 0. in
+  (* contended.(r): some eligible job demands r this step *)
+  let contended = Array.make nr false in
+  let compute_shares () =
+    Array.iter
+      (fun p ->
+        Array.fill counts.(p) 0 nr 0;
+        Array.fill factor.(p) 0 nr 0.)
+      order;
+    Array.fill contended 0 nr false;
+    Array.iter
+      (fun p ->
+        if active p then
+          for id = 0 to n_stages.(p) - 1 do
+            if status.(p).(id) = Running then
+              Array.iter
+                (fun demands ->
+                  Array.iteri
+                    (fun r d ->
+                      if d > eps then counts.(p).(r) <- counts.(p).(r) + 1)
+                    demands)
+                remaining.(p).(id)
+          done)
+      order;
+    let srw =
+      match policy with
+      | Shortest_remaining_work ->
+        Array.map (fun p -> if active p then remaining_work p else infinity)
+          (Array.init nj Fun.id)
+      | _ -> [||]
+    in
+    for r = 0 to nr - 1 do
+      (* contenders on r, in deterministic order *)
+      let contenders =
+        Array.to_list order
+        |> List.filter (fun p -> active p && counts.(p).(r) > 0)
+      in
+      match contenders with
+      | [] -> ()
+      | _ ->
+        contended.(r) <- true;
+        let eligible =
+          match policy with
+          | Fair_share -> contenders
+          | Strict_priority ->
+            let best =
+              List.fold_left
+                (fun acc p -> max acc jobs.(p).priority)
+                min_int contenders
+            in
+            List.filter (fun p -> jobs.(p).priority = best) contenders
+          | Shortest_remaining_work ->
+            let winner =
+              List.fold_left
+                (fun acc p ->
+                  match acc with
+                  | None -> Some p
+                  | Some q ->
+                    if
+                      srw.(p) < srw.(q)
+                      || (srw.(p) = srw.(q) && jobs.(p).job_id < jobs.(q).job_id)
+                    then Some p
+                    else acc)
+                None contenders
+            in
+            (match winner with Some p -> [ p ] | None -> [])
+        in
+        let n_elig = float_of_int (List.length eligible) in
+        List.iter
+          (fun p -> factor.(p).(r) <- float_of_int counts.(p).(r) *. n_elig)
+          eligible
+    done
+  in
+  let all_jobs_done () =
+    Array.for_all (fun p -> finished p) order
+  in
+  let total_stages = Array.fold_left ( + ) 0 n_stages in
+  let guard = ref 0 in
+  let max_events = (1000 * (1 + total_stages) * (1 + nr)) + (10 * nj) in
+  while (not (all_jobs_done ())) && !guard < max_events do
+    incr guard;
+    (* activate everything due at the current instant *)
+    Array.iter
+      (fun p ->
+        if (not arrived.(p)) && jobs.(p).arrival <= !time +. 1e-12 then
+          activate p)
+      order;
+    finish_jobs ();
+    if not (all_jobs_done ()) then begin
+      compute_shares ();
+      (* next demand exhaustion among eligible tasks *)
+      let dt = ref infinity in
+      Array.iter
+        (fun p ->
+          if active p then
+            for id = 0 to n_stages.(p) - 1 do
+              if status.(p).(id) = Running then
+                Array.iter
+                  (fun demands ->
+                    Array.iteri
+                      (fun r d ->
+                        if d > eps && factor.(p).(r) > 0. then
+                          dt := Float.min !dt (d *. factor.(p).(r)))
+                      demands)
+                  remaining.(p).(id)
+            done)
+        order;
+      let na = next_arrival () in
+      if na -. !time < !dt then begin
+        (* the next event is an arrival: drain the gap, then land
+           exactly on the arrival instant *)
+        let dt = na -. !time in
+        if dt > 0. then begin
+          for r = 0 to nr - 1 do
+            if contended.(r) then busy.(r) <- busy.(r) +. dt
+          done;
+          Array.iter
+            (fun p ->
+              if active p then
+                for id = 0 to n_stages.(p) - 1 do
+                  if status.(p).(id) = Running then
+                    Array.iteri
+                      (fun ti demands ->
+                        Array.iteri
+                          (fun r d ->
+                            if d > eps && factor.(p).(r) > 0. then begin
+                              let d' = d -. (dt /. factor.(p).(r)) in
+                              demands.(r) <- (if d' <= eps then 0. else d');
+                              if
+                                d' <= eps
+                                && Array.for_all (fun x -> x <= eps) demands
+                              then
+                                emit
+                                  (Printf.sprintf "task %s done"
+                                     labels.(p).(id).(ti))
+                            end)
+                          demands)
+                      remaining.(p).(id)
+                done)
+            order
+        end;
+        time := na;
+        Array.iter
+          (fun p ->
+            if active p then
+              Array.iteri
+                (fun id s ->
+                  ignore s;
+                  if status.(p).(id) = Running && stage_done p id then
+                    complete p id)
+                jobs.(p).graph.Task_graph.stages)
+          order;
+        finish_jobs ()
+      end
+      else if !dt = infinity then begin
+        (* running stages but no drainable demand: finish them (a stage
+           whose tasks all carry zero work, as in run_clean) *)
+        Array.iter
+          (fun p ->
+            if active p then
+              Array.iteri
+                (fun id s ->
+                  ignore s;
+                  if status.(p).(id) = Running && stage_done p id then
+                    complete p id)
+                jobs.(p).graph.Task_graph.stages)
+          order;
+        finish_jobs ()
+      end
+      else begin
+        let dt = !dt in
+        time := !time +. dt;
+        for r = 0 to nr - 1 do
+          if contended.(r) then busy.(r) <- busy.(r) +. dt
+        done;
+        Array.iter
+          (fun p ->
+            if active p then
+              for id = 0 to n_stages.(p) - 1 do
+                if status.(p).(id) = Running then
+                  Array.iteri
+                    (fun ti demands ->
+                      Array.iteri
+                        (fun r d ->
+                          if d > eps && factor.(p).(r) > 0. then begin
+                            let d' = d -. (dt /. factor.(p).(r)) in
+                            demands.(r) <- (if d' <= eps then 0. else d');
+                            if
+                              d' <= eps
+                              && Array.for_all (fun x -> x <= eps) demands
+                            then
+                              emit
+                                (Printf.sprintf "task %s done"
+                                   labels.(p).(id).(ti))
+                          end)
+                        demands)
+                    remaining.(p).(id)
+              done)
+          order;
+        Array.iter
+          (fun p ->
+            if active p then
+              Array.iteri
+                (fun id s ->
+                  ignore s;
+                  if status.(p).(id) = Running && stage_done p id then
+                    complete p id)
+                jobs.(p).graph.Task_graph.stages)
+          order;
+        finish_jobs ()
+      end
+    end
+  done;
+  if not (all_jobs_done ()) then
+    Parqo_error.fail ~subsystem:"scheduler" "did not converge";
+  let by_id = Array.copy order in
+  Array.sort (fun a b -> compare jobs.(a).job_id jobs.(b).job_id) by_id;
+  let job_outcomes =
+    Array.map
+      (fun p ->
+        {
+          job_id = jobs.(p).job_id;
+          label = jobs.(p).label;
+          arrival = jobs.(p).arrival;
+          started = jobs.(p).arrival;
+          finished = finished_at.(p);
+          response = finished_at.(p) -. jobs.(p).arrival;
+          work = Task_graph.total_work jobs.(p).graph;
+          stage_start = List.rev stage_start.(p);
+          stage_finish = List.rev stage_finish.(p);
+        })
+      by_id
+  in
+  {
+    policy;
+    jobs = job_outcomes;
+    makespan = !time;
+    busy;
+    total_work =
+      Array.fold_left (fun acc (j : job) -> acc +. Task_graph.total_work j.graph)
+        0. jobs;
+    trace = List.rev !trace;
+  }

@@ -1,0 +1,113 @@
+(** Workload co-scheduling: many task graphs sharing one machine.
+
+    The single-query simulator ({!Simulator}) prices one plan against an
+    idle machine; this module runs a {e workload} — jobs with arrival
+    instants drawn from a {!Workload.arrival} process — through the same
+    processor-sharing event loop, under a scheduling policy, and reports
+    per-query response times plus workload-level statistics.  That makes
+    the work-bound dual of the paper's §2 measurable: under contention,
+    response time is governed by total work, so low-work plans beat
+    solo-optimal (low-response-time) plans — see {!expected_pressure}
+    and [Optimizer.minimize_under_contention].
+
+    Model: per resource and instant, the policy selects the {e eligible}
+    jobs among those demanding the resource; eligible jobs split its
+    unit capacity evenly, and within a job the share splits evenly over
+    its demanding tasks (the single-query simulator's processor
+    sharing).  Ineligible jobs are preempted on that resource.  With one
+    job every policy degenerates to {!Simulator.run}, bit-identically
+    (Int64-bit float equality) — the per-task slowdown factor is
+    [count * n_eligible] and multiplication by [1.0] is IEEE-exact.
+    On every demanded resource the eligible class drains exactly at
+    capacity, so per-resource busy time equals delivered work (busy
+    conservation) and utilization never exceeds 1. *)
+
+type policy =
+  | Fair_share
+      (** processor sharing across all jobs demanding the resource *)
+  | Strict_priority
+      (** only the highest-priority demanding class runs (larger
+          {!job.priority} wins); the class shares the resource evenly *)
+  | Shortest_remaining_work
+      (** the single demanding job with the least total remaining work
+          (ties by lowest [job_id]) owns the resource — SRPT lifted to
+          multi-resource DAGs *)
+
+val policy_to_string : policy -> string
+(** ["fair"] / ["priority"] / ["srw"]. *)
+
+val policy_of_string : string -> (policy, string) result
+(** Accepts the names above plus common aliases ([fair-share], [ps],
+    [strict-priority], [srpt], [shortest-remaining-work]); the error
+    lists valid names. *)
+
+val all_policies : policy list
+
+type job = {
+  job_id : int;  (** unique within the workload *)
+  label : string;  (** for traces; [""] shows as [q<id>] *)
+  arrival : float;  (** time units from workload start; finite, >= 0 *)
+  priority : int;  (** larger = more urgent; only [Strict_priority] reads it *)
+  graph : Task_graph.t;
+}
+
+val job :
+  ?label:string -> ?priority:int -> ?arrival:float -> job_id:int ->
+  Task_graph.t -> job
+(** [label] defaults to [""], [priority] to [0], [arrival] to [0.]. *)
+
+type event = { at : float; what : string }
+
+type job_outcome = {
+  job_id : int;
+  label : string;
+  arrival : float;
+  started : float;  (** instant the job was admitted (its arrival) *)
+  finished : float;  (** instant its last stage completed *)
+  response : float;  (** [finished - arrival] *)
+  work : float;  (** total work of its task graph *)
+  stage_start : (int * float) list;
+  stage_finish : (int * float) list;
+}
+
+type outcome = {
+  policy : policy;
+  jobs : job_outcome array;  (** ascending [job_id] *)
+  makespan : float;  (** workload start to last completion *)
+  busy : float array;  (** per-resource busy time *)
+  total_work : float;  (** sum over jobs *)
+  trace : event list;
+}
+
+type summary = {
+  n_jobs : int;
+  makespan : float;
+  utilization : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** response-time quantiles over all jobs *)
+  max : float;
+}
+
+val run : ?policy:policy -> job array -> outcome
+(** Co-schedule the jobs.  [policy] defaults to [Fair_share].  Raises
+    {!Parqo_util.Parqo_error.Error} (subsystem ["scheduler"]) on an
+    empty workload, duplicate job ids, resource-dimension mismatches,
+    invalid arrivals, or graphs rejected by {!Task_graph.validate};
+    never raises on a valid workload. *)
+
+val summarize : outcome -> summary
+
+val utilization : outcome -> float
+(** [total_work / (makespan * n_resources)]; [1.] for an empty span. *)
+
+val expected_pressure : ?horizon:float -> n_resources:int -> job array -> float array
+(** The contention signal: per-resource offered load of the active set —
+    total demanded work on each resource divided by [horizon].  The
+    default horizon is the arrival span plus the mean job's solo drain
+    time (the window over which that work lands on the machine), so a
+    burst of [k] unit jobs yields pressure ~[k ×] each job's per-resource
+    share.  Feed it to [Metric.contention_rank] /
+    [Optimizer.minimize_under_contention] to re-rank plans for a loaded
+    machine.  Raises [Invalid_argument] on a non-positive [horizon]. *)

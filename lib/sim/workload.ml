@@ -1,0 +1,30 @@
+module Rng = Parqo_util.Rng
+
+type arrival =
+  | Uniform of float
+  | Poisson of float
+  | Burst of { size : int; period : float }
+
+let arrival_to_string = function
+  | Uniform rate -> Printf.sprintf "uniform(%.1f qps)" rate
+  | Poisson rate -> Printf.sprintf "poisson(%.1f qps)" rate
+  | Burst { size; period } ->
+    Printf.sprintf "burst(%d every %.2fs)" size period
+
+let arrivals rng ~process ~n =
+  if n < 0 then invalid_arg "Workloads.arrivals: n < 0";
+  match process with
+  | Uniform rate ->
+    if rate <= 0. then invalid_arg "Workloads.arrivals: rate <= 0";
+    Array.init n (fun i -> float_of_int i /. rate)
+  | Poisson rate ->
+    if rate <= 0. then invalid_arg "Workloads.arrivals: rate <= 0";
+    let t = ref 0. in
+    Array.init n (fun _ ->
+        let at = !t in
+        t := !t +. Rng.exponential rng ~mean:(1. /. rate);
+        at)
+  | Burst { size; period } ->
+    if size <= 0 then invalid_arg "Workloads.arrivals: burst size <= 0";
+    if period <= 0. then invalid_arg "Workloads.arrivals: period <= 0";
+    Array.init n (fun i -> float_of_int (i / size) *. period)

@@ -1,0 +1,20 @@
+(** Arrival processes shared by the workload scheduler ({!Scheduler})
+    and the serving layer ([Parqo.Workloads] re-exports this module, so
+    sim and serve draw streams from one implementation).
+
+    Instants are abstract time units: virtual seconds in the serving
+    loop, cost-calculus work units in the scheduler — the process only
+    fixes the {e shape} of the stream. *)
+
+type arrival =
+  | Uniform of float  (** fixed rate, queries per time unit *)
+  | Poisson of float  (** exponential inter-arrivals, mean rate *)
+  | Burst of { size : int; period : float }
+      (** [size] simultaneous arrivals every [period] time units *)
+
+val arrival_to_string : arrival -> string
+
+val arrivals : Parqo_util.Rng.t -> process:arrival -> n:int -> float array
+(** [n] non-decreasing arrival instants (time units from stream start)
+    drawn from the process; deterministic in the rng state.  Raises
+    [Invalid_argument] on [n < 0] or non-positive rate/size/period. *)

@@ -1,0 +1,290 @@
+module Sim = Parqo.Simulator
+module Sched = Parqo.Scheduler
+module TG = Parqo.Task_graph
+module Cm = Parqo.Costmodel
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* hand-built graphs exercise policies in isolation *)
+let graph ~n_resources stages =
+  {
+    TG.stages =
+      Array.of_list
+        (List.mapi
+           (fun i (tasks, deps) ->
+             {
+               TG.stage_id = i;
+               tasks =
+                 List.mapi
+                   (fun j demands ->
+                     {
+                       TG.task_id = (i * 100) + j;
+                       label = Printf.sprintf "t%d_%d" i j;
+                       demands;
+                     })
+                   tasks;
+               deps;
+               op_root = None;
+             })
+           stages);
+    n_resources;
+    root_stage = 0;
+  }
+
+let unit_job ?(arrival = 0.) ?(priority = 0) ~job_id () =
+  Sched.job ~arrival ~priority ~job_id
+    (graph ~n_resources:1 [ ([ [| 1. |] ], []) ])
+
+let response o id =
+  let j = Array.get o.Sched.jobs id in
+  Alcotest.(check int) "job id position" id j.Sched.job_id;
+  j.Sched.response
+
+(* two identical unit jobs splitting one resource *)
+let fair_share_splits () =
+  let o =
+    Sched.run ~policy:Sched.Fair_share
+      [| unit_job ~job_id:0 (); unit_job ~job_id:1 () |]
+  in
+  Helpers.check_float "j0 response" 2. (response o 0);
+  Helpers.check_float "j1 response" 2. (response o 1);
+  Helpers.check_float "makespan" 2. o.Sched.makespan;
+  Helpers.check_float "busy conserves" 2. o.Sched.busy.(0)
+
+let srw_serializes () =
+  let o =
+    Sched.run ~policy:Sched.Shortest_remaining_work
+      [| unit_job ~job_id:0 (); unit_job ~job_id:1 () |]
+  in
+  (* tie on remaining work: lowest id owns the resource *)
+  Helpers.check_float "j0 first" 1. (response o 0);
+  Helpers.check_float "j1 queued" 2. (response o 1);
+  Helpers.check_float "busy conserves" 2. o.Sched.busy.(0)
+
+let srw_prefers_short () =
+  let long =
+    Sched.job ~job_id:0 (graph ~n_resources:1 [ ([ [| 3. |] ], []) ])
+  in
+  let short = unit_job ~job_id:1 () in
+  let o = Sched.run ~policy:Sched.Shortest_remaining_work [| long; short |] in
+  Helpers.check_float "short first" 1. (response o 1);
+  Helpers.check_float "long preempted" 4. (response o 0)
+
+let priority_preempts () =
+  let o =
+    Sched.run ~policy:Sched.Strict_priority
+      [| unit_job ~job_id:0 ~priority:0 (); unit_job ~job_id:1 ~priority:7 () |]
+  in
+  Helpers.check_float "high first" 1. (response o 1);
+  Helpers.check_float "low waits" 2. (response o 0)
+
+let idle_gap () =
+  let o =
+    Sched.run
+      [| unit_job ~job_id:0 (); unit_job ~job_id:1 ~arrival:5. () |]
+  in
+  Helpers.check_float "j0 solo" 1. (response o 0);
+  Helpers.check_float "j1 after gap" 1. (response o 1);
+  Helpers.check_float "makespan spans gap" 6. o.Sched.makespan;
+  Helpers.check_float "busy skips gap" 2. o.Sched.busy.(0);
+  Helpers.check_float "utilization" (2. /. 6.) (Sched.utilization o)
+
+let policy_names () =
+  List.iter
+    (fun p ->
+      match Sched.policy_of_string (Sched.policy_to_string p) with
+      | Ok p' -> Alcotest.(check bool) "round trip" true (p = p')
+      | Error e -> Alcotest.fail e)
+    Sched.all_policies;
+  match Sched.policy_of_string "nope" with
+  | Ok _ -> Alcotest.fail "accepted junk"
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "error lists names" true (contains e "fair")
+
+let rejects_invalid () =
+  let raises f =
+    match f () with
+    | (_ : Sched.outcome) -> false
+    | exception Parqo.Parqo_error.Error _ -> true
+  in
+  Alcotest.(check bool) "empty set" true (raises (fun () -> Sched.run [||]));
+  Alcotest.(check bool) "duplicate ids" true
+    (raises (fun () ->
+         Sched.run [| unit_job ~job_id:3 (); unit_job ~job_id:3 () |]));
+  Alcotest.(check bool) "dimension mismatch" true
+    (raises (fun () ->
+         Sched.run
+           [|
+             unit_job ~job_id:0 ();
+             Sched.job ~job_id:1 (graph ~n_resources:2 [ ([ [| 1.; 1. |] ], []) ]);
+           |]));
+  Alcotest.(check bool) "negative arrival" true
+    (raises (fun () -> Sched.run [| unit_job ~arrival:(-1.) ~job_id:0 () |]))
+
+let pressure_scales () =
+  let jobs k = Array.init k (fun i -> unit_job ~job_id:i ()) in
+  let p1 = Sched.expected_pressure ~n_resources:1 (jobs 1) in
+  let p8 = Sched.expected_pressure ~n_resources:1 (jobs 8) in
+  Alcotest.(check bool) "pressure grows with the active set" true
+    (p8.(0) > p1.(0) *. 4.);
+  let ph = Sched.expected_pressure ~horizon:2. ~n_resources:1 (jobs 8) in
+  Helpers.check_float "explicit horizon divides" 4. ph.(0);
+  Alcotest.(check bool) "horizon <= 0 rejected" true
+    (match Sched.expected_pressure ~horizon:0. ~n_resources:1 (jobs 1) with
+    | (_ : float array) -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* the fuzzer: random query mixes x arrival streams x all policies     *)
+
+let random_graph rng =
+  let n = 2 + Parqo.Rng.int rng 3 in
+  let env = Helpers.random_env rng ~n in
+  let tree = Helpers.random_tree rng env in
+  let eval = Cm.evaluate env tree in
+  TG.of_optree env eval.Cm.optree
+
+let bits = Int64.bits_of_float
+let bits_list l = List.map (fun (id, t) -> (id, bits t)) l
+
+(* single-job co-scheduling must replay [Simulator.run] bit-for-bit
+   under every policy *)
+let degenerate_identity () =
+  let rng = Parqo.Rng.create 20260811 in
+  for case = 1 to 8 do
+    let g = random_graph rng in
+    let solo = Sim.run g in
+    List.iter
+      (fun policy ->
+        let ctx what =
+          Printf.sprintf "case %d %s: %s" case
+            (Sched.policy_to_string policy) what
+        in
+        let o = Sched.run ~policy [| Sched.job ~job_id:0 g |] in
+        Alcotest.(check int64) (ctx "makespan bits")
+          (bits solo.Sim.makespan) (bits o.Sched.makespan);
+        Alcotest.(check int64) (ctx "total work bits")
+          (bits solo.Sim.total_work) (bits o.Sched.total_work);
+        Alcotest.(check (array int64)) (ctx "busy bits")
+          (Array.map bits solo.Sim.busy)
+          (Array.map bits o.Sched.busy);
+        let j = o.Sched.jobs.(0) in
+        Alcotest.(check (list (pair int int64))) (ctx "stage starts")
+          (bits_list solo.Sim.stage_start)
+          (bits_list j.Sched.stage_start);
+        Alcotest.(check (list (pair int int64))) (ctx "stage finishes")
+          (bits_list solo.Sim.stage_finish)
+          (bits_list j.Sched.stage_finish);
+        Alcotest.(check int64) (ctx "response = solo makespan bits")
+          (bits solo.Sim.makespan) (bits j.Sched.response))
+      Sched.all_policies
+  done
+
+let check_workload ~ctx (jobs : Sched.job array) (o : Sched.outcome) =
+  let nr = Array.length o.Sched.busy in
+  Alcotest.(check int) (ctx "every job accounted for")
+    (Array.length jobs) (Array.length o.Sched.jobs);
+  Alcotest.(check bool) (ctx "utilization <= 1") true
+    (Sched.utilization o <= 1. +. 1e-9);
+  Array.iter
+    (fun (j : Sched.job_outcome) ->
+      Alcotest.(check bool) (ctx "responses finite nonnegative") true
+        (Float.is_finite j.Sched.response && j.Sched.response >= -1e-9);
+      Alcotest.(check bool) (ctx "finished after arrival") true
+        (j.Sched.finished >= j.Sched.arrival -. 1e-9))
+    o.Sched.jobs;
+  (* busy conservation: every demanded unit of work — and nothing else —
+     lands on its resource *)
+  let offered = Array.make nr 0. in
+  Array.iter
+    (fun (j : Sched.job) ->
+      Array.iter
+        (fun (s : TG.stage) ->
+          List.iter
+            (fun (task : TG.task) ->
+              Array.iteri
+                (fun r d -> offered.(r) <- offered.(r) +. d)
+                task.TG.demands)
+            s.TG.tasks)
+        j.Sched.graph.TG.stages)
+    jobs;
+  for r = 0 to nr - 1 do
+    let tol = 1e-6 *. Float.max 1. offered.(r) in
+    Alcotest.(check bool)
+      (ctx (Printf.sprintf "busy conservation on r%d" r))
+      true
+      (Float.abs (o.Sched.busy.(r) -. offered.(r)) <= tol)
+  done;
+  let latest =
+    Array.fold_left
+      (fun acc (j : Sched.job_outcome) -> Float.max acc j.Sched.finished)
+      0. o.Sched.jobs
+  in
+  Alcotest.(check bool) (ctx "makespan = last completion") true
+    (Float.abs (o.Sched.makespan -. latest) <= 1e-9 *. Float.max 1. latest)
+
+let fuzz () =
+  let rng = Parqo.Rng.create 20260812 in
+  let cases = ref 0 in
+  for case = 1 to 10 do
+    (* a mix of graphs from independent random queries *)
+    let nj = 2 + Parqo.Rng.int rng 3 in
+    let graphs = Array.init nj (fun _ -> random_graph rng) in
+    let mean_span =
+      Array.fold_left (fun acc g -> acc +. (Sim.run g).Sim.makespan) 0. graphs
+      /. float_of_int nj
+    in
+    (* arrival timescale matched to the graphs' own makespans, from
+       saturating (everything overlaps) to sparse *)
+    let rate = (0.3 +. Parqo.Rng.float rng 4.) /. Float.max 1e-6 mean_span in
+    let process =
+      match Parqo.Rng.int rng 3 with
+      | 0 -> Parqo.Workloads.Uniform rate
+      | 1 -> Parqo.Workloads.Poisson rate
+      | _ ->
+        Parqo.Workloads.Burst
+          { size = 1 + Parqo.Rng.int rng nj; period = 1. /. rate }
+    in
+    let arrivals = Parqo.Workloads.arrivals rng ~process ~n:nj in
+    let jobs =
+      Array.mapi
+        (fun i g ->
+          Sched.job ~arrival:arrivals.(i)
+            ~priority:(Parqo.Rng.int rng 3) ~job_id:i g)
+        graphs
+    in
+    List.iter
+      (fun policy ->
+        incr cases;
+        let ctx what =
+          Printf.sprintf "case %d %s: %s" case
+            (Sched.policy_to_string policy) what
+        in
+        match Sched.run ~policy jobs with
+        | o -> check_workload ~ctx jobs o
+        | exception e ->
+          Alcotest.failf "case %d %s: raised %s" case
+            (Sched.policy_to_string policy) (Printexc.to_string e))
+      Sched.all_policies
+  done;
+  Alcotest.(check bool) "at least 30 workloads" true (!cases >= 30)
+
+let suite =
+  ( "scheduler",
+    [
+      t "fair share splits the resource" fair_share_splits;
+      t "srw serializes ties by id" srw_serializes;
+      t "srw runs the short job first" srw_prefers_short;
+      t "strict priority preempts" priority_preempts;
+      t "idle gap between arrivals" idle_gap;
+      t "policy names round trip" policy_names;
+      t "invalid workloads rejected" rejects_invalid;
+      t "expected pressure scales with load" pressure_scales;
+      t "single job bit-identical to Simulator.run" degenerate_identity;
+      t "fuzz mixes x arrivals x policies" fuzz;
+    ] )

@@ -225,12 +225,124 @@ let config_validation () =
        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
        go 0)
 
+(* regression: a machine-topology change must bump the epoch — a
+   degraded-machine request never gets a pre-degrade cached plan
+   (epochs used to bump on catalog changes only) *)
+let machine_update_invalidates () =
+  let catalog, pool = small_pool () in
+  let reqs = trace pool in
+  let server = Server.create ~config:fast_config ~machine ~catalog () in
+  ignore (Server.run server reqs);
+  let epoch0 = Server.epoch server in
+  (* a structurally identical machine is not a topology change *)
+  Server.update_machine server (Parqo.Machine.shared_nothing ~nodes:4 ());
+  Alcotest.(check int) "no-op update leaves the epoch" epoch0
+    (Server.epoch server);
+  let degraded = Parqo.Machine.degrade machine ~down:[ 1; 5 ] in
+  Server.update_machine server degraded;
+  Alcotest.(check int) "degrade bumps the epoch" (epoch0 + 1)
+    (Server.epoch server);
+  let after = Server.run server reqs in
+  check_partition "post-degrade" after;
+  let fresh_server =
+    Server.create ~config:fast_config ~machine:degraded ~catalog ()
+  in
+  let fresh = Server.run fresh_server reqs in
+  Array.iteri
+    (fun i (c : Server.completion) ->
+      let f = fresh.Server.completions.(i) in
+      match (c.Server.plan, f.Server.plan) with
+      | Some a, Some b ->
+        Alcotest.(check string) "post-degrade tree = fresh degraded tree"
+          (Parqo.Join_tree.to_string b.Cm.tree)
+          (Parqo.Join_tree.to_string a.Cm.tree);
+        Alcotest.(check int64) "post-degrade rt bits"
+          (bits b.Cm.response_time) (bits a.Cm.response_time);
+        Alcotest.(check int64) "post-degrade work bits"
+          (bits b.Cm.work) (bits a.Cm.work)
+      | _ -> Alcotest.fail "missing plan")
+    after.Server.completions
+
+(* regression: one persistent pool serves every request — warm requests
+   spawn no domains (spawning happens at pool creation, once), and the
+   pooled plans are bit-identical to pool-less serving *)
+let shared_pool_no_respawn () =
+  let catalog, pool = small_pool () in
+  let reqs = trace ~n:12 pool in
+  let baseline =
+    let server = Server.create ~config:fast_config ~machine ~catalog () in
+    Server.run server reqs
+  in
+  Parqo.Domain_pool.with_pool ~oversubscribe:true ~domains:2 (fun dp ->
+      let spawned_at_create = (Parqo.Domain_pool.stats dp).Parqo.Domain_pool.spawned in
+      Alcotest.(check int) "pool spawns at create" 1 spawned_at_create;
+      let server = Server.create ~config:fast_config ~pool:dp ~machine ~catalog () in
+      let before = Parqo.Domain_pool.stats dp in
+      let r = Server.run server reqs in
+      let diff =
+        Parqo.Domain_pool.diff_stats before (Parqo.Domain_pool.stats dp)
+      in
+      (* the Search_stats.spawned of every warm request is this diff:
+         zero — requests reuse the pool's workers *)
+      Alcotest.(check int) "warm requests spawn nothing" 0
+        diff.Parqo.Domain_pool.spawned;
+      Alcotest.(check bool) "the pool actually ran regions" true
+        (diff.Parqo.Domain_pool.parallel_runs + diff.Parqo.Domain_pool.sequential_runs > 0);
+      check_partition "pooled" r;
+      Array.iteri
+        (fun i (c : Server.completion) ->
+          let b = baseline.Server.completions.(i) in
+          match (c.Server.plan, b.Server.plan) with
+          | Some p, Some q ->
+            Alcotest.(check string) "pooled tree = pool-less tree"
+              (Parqo.Join_tree.to_string q.Cm.tree)
+              (Parqo.Join_tree.to_string p.Cm.tree);
+            Alcotest.(check int64) "pooled rt bits"
+              (bits q.Cm.response_time) (bits p.Cm.response_time)
+          | _ -> Alcotest.fail "missing plan")
+        r.Server.completions)
+
+(* property (regression): burst streams emit tied arrivals; serving must
+   be reproducible however the caller ordered the trace — ties break by
+   request id *)
+let burst_tie_order_deterministic () =
+  let catalog, pool = small_pool () in
+  let rng = Parqo.Rng.create 23 in
+  let arrivals =
+    W.arrivals rng ~process:(W.Burst { size = 8; period = 0.5 }) ~n:24
+  in
+  let reqs = Server.requests rng ~pool ~arrivals ~deadline:10. () in
+  (* service times are real measured optimizer seconds, so latencies are
+     not replayable — the property is that the served order and every
+     order-dependent outcome (cache warm-up pattern, dispositions) are *)
+  let serve order =
+    let server = Server.create ~config:fast_config ~machine ~catalog () in
+    let r = Server.run server order in
+    Array.map
+      (fun (c : Server.completion) ->
+        ( ( c.Server.request.Server.id,
+            Server.disposition_label c.Server.disposition ),
+          (c.Server.cache_hit, c.Server.fingerprint) ))
+      r.Server.completions
+  in
+  let reference = serve reqs in
+  for shuffle = 1 to 4 do
+    let shuffled = Array.copy reqs in
+    Parqo.Rng.shuffle rng shuffled;
+    Alcotest.(check (array (pair (pair int string) (pair bool string))))
+      (Printf.sprintf "shuffle %d serves identically" shuffle)
+      reference (serve shuffled)
+  done
+
 let suite =
   ( "serve",
     [
       t "basics" basics;
       t "warm pass is all hits, bit-identical" warm_pass_identical;
       t "epoch bump = fresh optimization" epoch_bump_invalidates;
+      t "machine change bumps the epoch" machine_update_invalidates;
+      t "shared pool: warm requests spawn nothing" shared_pool_no_respawn;
+      t "burst ties serve deterministically" burst_tie_order_deterministic;
       t "hopeless deadline degrades" hopeless_deadline_degrades;
       t "poisoned requests retry" chaos_poison_retries;
       t "chaos epoch bumps" chaos_epoch_bumps;
