@@ -1,14 +1,18 @@
 (* E18 — incremental costing in the PODP hot path.
 
-   Runs the sequential (domains = 1) partial-order DP search with the
-   sub-plan cache on and off, on the same workloads E17 sweeps, and
-   verifies along the way that both runs return exactly the same best
-   plan, cover, level sizes and expansion counts (the bit-identity
-   contract of Costmodel.evaluate_cached).  Wall-clock is the minimum
-   over repeats; results go to BENCH_cost.json.
+   Runs the partial-order DP search with the sub-plan cache on and off
+   (sequential), plus a cached domains=4 run, on the same workloads E17
+   sweeps, and verifies along the way that all runs return exactly the
+   same best plan (down to the response time's bits), cover, level sizes
+   and expansion counts — the bit-identity contract of
+   Costmodel.evaluate_cached and of the domain-parallel memo merge.
+   Wall-clock is the minimum over repeats; results go to BENCH_cost.json
+   together with the coordinator's allocation per costed plan.
 
    PARQO_SMOKE=1 shrinks the sweep (one small workload, one repeat) so
-   CI gates stay fast. *)
+   CI gates stay fast, and asserts a generous container-safe ceiling on
+   the cached run's us_per_plan so allocation regressions in the costing
+   hot path fail loudly. *)
 
 module T = Parqo.Tableau
 module Cm = Parqo.Costmodel
@@ -16,48 +20,63 @@ module Stats = Parqo.Search_stats
 
 let smoke = Sys.getenv_opt "PARQO_SMOKE" <> None
 
+(* minimum cached sequential throughput the smallest container should
+   comfortably beat; the full run on a quiet machine is ~5x faster *)
+let smoke_us_per_plan_ceiling = 30.
+
 let plan_string (e : Cm.eval) = Parqo.Join_tree.to_string e.Cm.tree
 
 type run = {
   workload : string;
   n_relations : int;
   plan_cache : bool;
+  domains : int;
   wall_ms : float;
   speedup : float;  (** uncached wall / this wall *)
   plans_expanded : int;
   us_per_plan : float;
+  minor_words_per_plan : float;
+      (** coordinator-domain minor-heap words per costed plan *)
 }
 
 let json_of_run r =
   Printf.sprintf
     "  {\"workload\": %S, \"n_relations\": %d, \"plan_cache\": %b, \
-     \"wall_ms\": %.3f, \"speedup\": %.3f, \"plans_expanded\": %d, \
-     \"us_per_plan\": %.3f}"
-    r.workload r.n_relations r.plan_cache r.wall_ms r.speedup r.plans_expanded
-    r.us_per_plan
+     \"domains\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, \
+     \"plans_expanded\": %d, \"us_per_plan\": %.3f, \
+     \"minor_words_per_plan\": %.1f}"
+    r.workload r.n_relations r.plan_cache r.domains r.wall_ms r.speedup
+    r.plans_expanded r.us_per_plan r.minor_words_per_plan
 
 let write_json path runs =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n\"schema\": [\"workload\", \"n_relations\", \"plan_cache\", \
-     \"wall_ms\", \"speedup\", \"plans_expanded\", \"us_per_plan\"],\n\
+     \"domains\", \"wall_ms\", \"speedup\", \"plans_expanded\", \
+     \"us_per_plan\", \"minor_words_per_plan\"],\n\
      \"cores\": %d,\n\"smoke\": %b,\n\"runs\": [\n%s\n]}\n"
     (Domain.recommended_domain_count ())
     smoke
     (String.concat ",\n" (List.map json_of_run runs));
   close_out oc
 
-(* the E17 configuration: beam cap 8, parallel space, sequential loop *)
-let optimize ~plan_cache env =
+(* the E17 configuration: beam cap 8, parallel space *)
+let optimize ~plan_cache ~domains env =
   let config = Parqo.Space.parallel_config env.Parqo.Env.machine in
   let metric = Parqo.Optimizer.default_metric env in
-  Parqo.Podp.optimize ~config ~metric ~max_cover:8 ~domains:1 ~plan_cache env
+  Parqo.Podp.optimize ~config ~metric ~max_cover:8 ~domains ~plan_cache env
+
+let best_rt_bits (res : Parqo.Podp.result) =
+  match res.Parqo.Podp.best with
+  | Some e -> Int64.bits_of_float e.Cm.response_time
+  | None -> 0L
 
 let check_identical name (base : Parqo.Podp.result) (r : Parqo.Podp.result) =
   let plan_of (res : Parqo.Podp.result) =
     match res.Parqo.Podp.best with Some e -> plan_string e | None -> "<none>"
   in
   let same_best = String.equal (plan_of base) (plan_of r) in
+  let same_bits = Int64.equal (best_rt_bits base) (best_rt_bits r) in
   let same_cover =
     List.length base.Parqo.Podp.cover = List.length r.Parqo.Podp.cover
     && List.for_all2
@@ -70,19 +89,20 @@ let check_identical name (base : Parqo.Podp.result) (r : Parqo.Podp.result) =
     && base.Parqo.Podp.stats.Stats.considered
        = r.Parqo.Podp.stats.Stats.considered
   in
-  if not (same_best && same_cover && same_levels && same_counts) then
+  if not (same_best && same_bits && same_cover && same_levels && same_counts)
+  then
     failwith
       (Printf.sprintf
-         "E18: %s cached result diverged from uncached (best %b cover %b \
-          levels %b counts %b)"
-         name same_best same_cover same_levels same_counts)
+         "E18: %s result diverged from the uncached sequential baseline \
+          (best %b bits %b cover %b levels %b counts %b)"
+         name same_best same_bits same_cover same_levels same_counts)
 
-let time_run ~repeats ~plan_cache env =
+let time_run ~repeats ~plan_cache ~domains env =
   let best = ref infinity in
   let result = ref None in
   for _ = 1 to repeats do
     let t0 = Unix.gettimeofday () in
-    let r = optimize ~plan_cache env in
+    let r = optimize ~plan_cache ~domains env in
     let dt = (Unix.gettimeofday () -. t0) *. 1000. in
     if dt < !best then best := dt;
     result := Some r
@@ -94,15 +114,16 @@ let run () =
     [
       "Sequential PODP with Costmodel.evaluate_cached on vs off: every";
       "extension grafts the memoized outer sub-plan's expansion and pipes";
-      "its descriptor, so only the new root operators are costed.  Both";
-      "runs are checked bit-identical (plan, cover, levels, counts).";
+      "its descriptor, so only the new root operators are costed.  A";
+      "cached domains=4 run rides along.  All runs are checked";
+      "bit-identical (plan + response-time bits, cover, levels, counts).";
       (if smoke then "[smoke mode]" else "");
     ];
   let workloads =
     if smoke then [ (Parqo.Query_gen.Chain, 5) ]
     else [ (Parqo.Query_gen.Chain, 8); (Parqo.Query_gen.Star, 8) ]
   in
-  let repeats = 1 in
+  let repeats = if smoke then 1 else 2 in
   let tbl =
     T.create ~title:"P18. PODP wall time, cached vs uncached costing"
       ~columns:
@@ -110,10 +131,12 @@ let run () =
           ("workload", T.Left);
           ("n", T.Right);
           ("cache", T.Left);
+          ("domains", T.Right);
           ("wall ms", T.Right);
           ("speedup", T.Right);
           ("expanded", T.Right);
           ("us/plan", T.Right);
+          ("words/plan", T.Right);
         ]
   in
   let runs = ref [] in
@@ -121,21 +144,28 @@ let run () =
     (fun (shape, n) ->
       let name = Parqo.Query_gen.shape_to_string shape in
       let env = Common.shape_env ~nodes:4 shape n in
-      let off, off_ms = time_run ~repeats ~plan_cache:false env in
-      let on, on_ms = time_run ~repeats ~plan_cache:true env in
-      check_identical name off on;
+      let off, off_ms = time_run ~repeats ~plan_cache:false ~domains:1 env in
+      let on, on_ms = time_run ~repeats ~plan_cache:true ~domains:1 env in
+      let on4, on4_ms = time_run ~repeats ~plan_cache:true ~domains:4 env in
+      check_identical (name ^ "/cached") off on;
+      check_identical (name ^ "/domains=4") off on4;
       List.iter
-        (fun (plan_cache, r, wall_ms) ->
-          let expanded = (r : Parqo.Podp.result).Parqo.Podp.stats.Stats.generated in
+        (fun (plan_cache, domains, r, wall_ms) ->
+          let r : Parqo.Podp.result = r in
+          let expanded = r.Parqo.Podp.stats.Stats.generated in
           let row =
             {
               workload = name;
               n_relations = n;
               plan_cache;
+              domains;
               wall_ms;
               speedup = off_ms /. wall_ms;
               plans_expanded = expanded;
               us_per_plan = wall_ms *. 1000. /. float_of_int (max 1 expanded);
+              minor_words_per_plan =
+                r.Parqo.Podp.stats.Stats.minor_words
+                /. float_of_int (max 1 expanded);
             }
           in
           runs := row :: !runs;
@@ -144,13 +174,30 @@ let run () =
               name;
               Common.celli n;
               (if plan_cache then "on" else "off");
+              Common.celli domains;
               Common.cell ~decimals:1 wall_ms;
               Common.cell ~decimals:2 row.speedup;
               Common.celli expanded;
               Common.cell ~decimals:2 row.us_per_plan;
+              Common.cell ~decimals:1 row.minor_words_per_plan;
             ])
-        [ (false, off, off_ms); (true, on, on_ms) ])
+        [
+          (false, 1, off, off_ms);
+          (true, 1, on, on_ms);
+          (true, 4, on4, on4_ms);
+        ])
     workloads;
   T.print tbl;
   write_json "BENCH_cost.json" (List.rev !runs);
-  Printf.printf "wrote BENCH_cost.json (%d runs)\n\n" (List.length !runs)
+  Printf.printf "wrote BENCH_cost.json (%d runs)\n\n" (List.length !runs);
+  if smoke then
+    List.iter
+      (fun r ->
+        if r.plan_cache && r.domains = 1 && r.us_per_plan > smoke_us_per_plan_ceiling
+        then
+          failwith
+            (Printf.sprintf
+               "E18 smoke: cached us_per_plan %.2f exceeds the %.0f ceiling \
+                — costing hot path regressed"
+               r.us_per_plan smoke_us_per_plan_ceiling))
+      !runs

@@ -160,16 +160,41 @@ let check_fault_rate fault_rate k =
     `Error (false, "--fault-rate must be in [0, 1)")
   else k ()
 
+let report_search_stats (o : Parqo.Optimizer.outcome) =
+  let print_phase name (s : Parqo.Search_stats.t) =
+    Printf.printf "\n%s: %s\n" name (Format.asprintf "%a" Parqo.Search_stats.pp s);
+    List.iter
+      (fun l ->
+        Printf.printf "  %s\n" (Format.asprintf "%a" Parqo.Search_stats.pp_level l))
+      (Parqo.Search_stats.levels s)
+  in
+  print_phase "search" o.Parqo.Optimizer.stats;
+  match o.Parqo.Optimizer.work_stats with
+  | Some s -> print_phase "work phase" s
+  | None -> ()
+
+let show_stats =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print search statistics: plans considered/generated, cover \
+                 peaks, the coordinator's GC allocation during the search, \
+                 and one line per DP level (subsets, stored plans, per-level \
+                 cover peak, wall time, domains).")
+
 let optimize_cmd =
-  let run () shape n nodes sql budget bushy fault_rate domains no_cache =
+  let run () shape n nodes sql budget bushy fault_rate domains no_cache stats =
     check_fault_rate fault_rate @@ fun () ->
     let env, query, machine = setup shape n nodes sql in
-    report_outcome query
-      (optimize_env ~fault_rate ~domains ~plan_cache:(not no_cache) env machine
-         budget bushy)
+    let o =
+      optimize_env ~fault_rate ~domains ~plan_cache:(not no_cache) env machine
+        budget bushy
+    in
+    let r = report_outcome query o in
+    if stats then report_search_stats o;
+    r
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Minimize response time subject to a work bound.")
-    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ fault_rate $ search_domains $ no_plan_cache))
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql $ budget $ bushy $ fault_rate $ search_domains $ no_plan_cache $ show_stats))
 
 (* either the optimizer's choice or an explicitly supplied plan *)
 let chosen_plan ?fault_rate ?domains env query machine budget bushy plan_text =

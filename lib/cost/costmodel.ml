@@ -16,8 +16,15 @@ let rec reuse_find node = function
   | [] -> None
   | (k, d) :: rest -> if k == node then Some d else reuse_find node rest
 
-let of_optree ?(reuse = []) (env : Env.t) root =
+let of_optree ?(reuse = []) ?scratch (env : Env.t) root =
   let p = env.dparams in
+  let s =
+    (* the combinators run on a scratch either way; the cached hot path
+       passes its per-handle scratch, one-shot callers get a fresh one *)
+    match scratch with
+    | Some s -> s
+    | None -> Descriptor.scratch env.placement.Placement.dim
+  in
   let rec descr (node : Op.node) =
     (* [reuse] holds grafted sub-trees (matched physically) whose
        descriptors were computed by this same recursion earlier — the
@@ -25,17 +32,17 @@ let of_optree ?(reuse = []) (env : Env.t) root =
     match reuse_find node reuse with
     | Some d -> d
     | None -> (
-      let base = Opcost.base env.machine env.estimator node in
+      let base = Opcost.base env.placement env.estimator node in
       let combined =
         match node.Op.children with
         | [] -> base
-        | [ c ] -> Descriptor.pipe p (descr c) base
+        | [ c ] -> Descriptor.pipe_s s p (descr c) base
         | [ l; r ] ->
           if Opcost.nl_inner_is_free node then
             (* the inner index is probed, not scanned: only the outer feeds
                the pipeline, probing cost is in [base] *)
-            Descriptor.pipe p (descr l) base
-          else Descriptor.tree p (descr l) (descr r) base
+            Descriptor.pipe_s s p (descr l) base
+          else Descriptor.tree_s s p (descr l) (descr r) base
         | _ -> invalid_arg "Costmodel: operator with more than two children"
       in
       match node.Op.composition with
@@ -136,13 +143,31 @@ let evaluate ?(required_order = P.Ordering.none) (env : Env.t) tree =
    keeping the cache's footprint at the memo's size rather than one
    entry per candidate. *)
 
-type cache = { store : eval Plan_cache.t; remember_all : bool }
+type cache = {
+  store : eval Plan_cache.t;
+  remember_all : bool;
+  mutable scratch : Descriptor.scratch option;
+      (* descriptor scratch, lazily sized to the machine; owned by this
+         handle's domain like the store, never shared across shards *)
+}
 
 let create_cache ?(remember_all = false) () =
-  { store = Plan_cache.create (); remember_all }
+  { store = Plan_cache.create (); remember_all; scratch = None }
 
 let shard_cache cache =
-  { store = Plan_cache.shard cache.store; remember_all = cache.remember_all }
+  {
+    store = Plan_cache.shard cache.store;
+    remember_all = cache.remember_all;
+    scratch = None;
+  }
+
+let scratch_of cache (env : Env.t) =
+  match cache.scratch with
+  | Some s -> s
+  | None ->
+    let s = Descriptor.scratch env.placement.Placement.dim in
+    cache.scratch <- Some s;
+    s
 
 let absorb_cache cache shard = Plan_cache.absorb cache.store shard.store
 let publish_cache cache = Plan_cache.publish cache.store
@@ -177,7 +202,7 @@ let rec evaluate_sub cache (env : Env.t) (tree : P.Join_tree.t) =
         let descriptor =
           of_optree
             ~reuse:[ (oe.optree, oe.descriptor); (ie.optree, ie.descriptor) ]
-            env root
+            ~scratch:(scratch_of cache env) env root
         in
         let optree = Parqo_optree.Expand.renumber root in
         let ordering =

@@ -16,6 +16,7 @@ type eval = {
 
 val of_optree :
   ?reuse:(Parqo_optree.Op.node * Descriptor.t) list ->
+  ?scratch:Descriptor.scratch ->
   Env.t ->
   Parqo_optree.Op.node ->
   Descriptor.t
@@ -28,7 +29,10 @@ val of_optree :
     [reuse] short-circuits the recursion at sub-trees (matched by
     physical identity) whose descriptors are already known — the
     incremental path of {!evaluate_cached} passes the grafted children
-    here so only the new root operators are costed. *)
+    here so only the new root operators are costed.  [scratch] supplies
+    the descriptor combinators' buffers (results are identical either
+    way); the cached hot path passes its handle-owned scratch, omitting
+    it allocates a fresh one per call. *)
 
 val evaluate :
   ?required_order:Parqo_plan.Ordering.t -> Env.t -> Parqo_plan.Join_tree.t -> eval

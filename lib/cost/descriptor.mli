@@ -32,6 +32,10 @@ val atomic : Rvec.t -> t
 (** A pipelined atomic operator: nothing before the first tuple
     ([rf = 0]), the full usage by the last. *)
 
+val atomic_with : zero:Rvec.t -> Rvec.t -> t
+(** {!atomic} with a caller-supplied (shareable, immutable) zero vector,
+    avoiding a fresh allocation per operator in the costing hot path. *)
+
 val blocking : Rvec.t -> t
 (** An operator that cannot emit before finishing (sort, hash build):
     [rf = rl = usage]. *)
@@ -55,6 +59,32 @@ val dseq : t -> t -> t
 val tree : params -> t -> t -> t -> t
 (** [tree l r root]: fronts of [l] and [r] in (contended) parallel, then
     the two residuals pipelined, piped into [root]. *)
+
+(** {2 Scratch-buffer composition}
+
+    The DP hot path evaluates [pipe]/[tree] once per candidate operator;
+    the [_s] variants below run the same arithmetic in the same order on
+    a caller-owned scratch, allocating only the vectors that escape into
+    the result.  Results are bit-identical to {!pipe}/{!tree}.  A scratch
+    must not be shared across domains. *)
+
+type scratch
+
+val scratch : int -> scratch
+(** [scratch dim] allocates reusable buffers for [dim]-resource
+    machines. *)
+
+val scratch_dim : scratch -> int
+
+val scratch_zero : scratch -> Rvec.t
+(** A shared all-zero vector of the scratch's dimension (immutable;
+    safe to embed in descriptors via {!atomic_with}). *)
+
+val pipe_s : scratch -> params -> t -> t -> t
+(** Scratch-backed {!pipe}. *)
+
+val tree_s : scratch -> params -> t -> t -> t -> t
+(** Scratch-backed {!tree}. *)
 
 val response_time : t -> float
 (** [rl] time — the metric being minimized. *)

@@ -7,16 +7,22 @@ type t = {
   expand_config : Parqo_optree.Expand.config;
   dparams : Descriptor.params;
   adjacency : Bitset.t array;
+  placement : Placement.cache;
 }
 
 let create ?(expand_config = Parqo_optree.Expand.default_config) ~machine
     ~catalog ~query () =
+  let estimator = Parqo_plan.Estimator.create catalog query in
+  let tables =
+    Array.init (Q.n_relations query) (Parqo_plan.Estimator.table_of estimator)
+  in
   {
     machine;
-    estimator = Parqo_plan.Estimator.create catalog query;
+    estimator;
     expand_config;
     dparams = Descriptor.of_machine machine;
     adjacency = Array.init (Q.n_relations query) (Q.neighbors query);
+    placement = Placement.prepare machine ~tables;
   }
 
 let query t = Parqo_plan.Estimator.query t.estimator

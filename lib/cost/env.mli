@@ -10,6 +10,9 @@ type t = {
   adjacency : Parqo_util.Bitset.t array;
       (** per-relation join-graph adjacency, precomputed once so the
           search's connectivity probes never rescan the predicate list *)
+  placement : Placement.cache;
+      (** operator-to-resource placement, materialized once so
+          per-operator costing never walks a resource list *)
 }
 
 val create :

@@ -18,7 +18,7 @@ let rows (env : Env.t) root =
   let rec go depth (node : Op.node) =
     (* cumulative descriptor of the subtree: reuse the cost recursion *)
     let subtree = Costmodel.of_optree env node in
-    let base = Opcost.base env.Env.machine env.Env.estimator node in
+    let base = Opcost.base env.Env.placement env.Env.estimator node in
     acc :=
       {
         depth;

@@ -1,7 +1,7 @@
 module Op = Parqo_optree.Op
 
 let node_work (env : Env.t) node =
-  let d = Opcost.base env.Env.machine env.Env.estimator node in
+  let d = Opcost.base env.Env.placement env.Env.estimator node in
   Parqo_util.Vecf.sum (Descriptor.work_vector d)
 
 let segments (env : Env.t) root =

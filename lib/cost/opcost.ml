@@ -2,13 +2,6 @@ module M = Parqo_machine.Machine
 module Op = Parqo_optree.Op
 module Est = Parqo_plan.Estimator
 
-let spread ids w =
-  match ids with
-  | [] -> []
-  | _ ->
-    let share = w /. float_of_int (List.length ids) in
-    List.map (fun id -> (id, share)) ids
-
 let log2 x = log x /. log 2.
 
 let child n i =
@@ -18,125 +11,146 @@ let child n i =
     invalid_arg
       (Printf.sprintf "Opcost: %s lacks child %d" (Op.kind_name n.Op.kind) i)
 
+let prepare machine est =
+  let n = Parqo_query.Query.n_relations (Est.query est) in
+  Placement.prepare machine ~tables:(Array.init n (Est.table_of est))
+
 let nl_inner_is_free node =
   match node.Op.kind with
   | Op.Nl_join -> (
     match (child node 1).Op.kind with Op.Index_scan _ -> true | _ -> false)
   | _ -> false
 
-let base machine est node =
-  let p = machine.M.params in
-  let dim = M.n_resources machine in
-  let lanes = Placement.effective_clone machine node.Op.clone in
-  let cpus = Placement.cpus_for machine ~clone:node.Op.clone in
-  let pages card = card /. p.tuples_per_page in
-  let usage ?(lanes = lanes) demands =
-    Rvec.of_demands dim demands ~lanes ~overhead:p.clone_overhead
-  in
+(* Demand accumulation runs directly on a fresh per-resource work array
+   that [Rvec.of_accumulated] then adopts.  Every resource id receives at
+   most one demand per operator (the id groups — executing CPUs, data
+   disks, spill disks, network — are pairwise disjoint within each
+   branch), so the accumulated array is equal, bit for bit, to the one
+   [Rvec.of_demands] would have built from the equivalent demand list. *)
+
+(* the accumulation helpers are top-level (taking [work] explicitly)
+   rather than closures inside [base]: [base] runs once per operator of
+   every costed candidate, and half a dozen closure allocations per call
+   were visible in the optimizer's words-per-plan profile *)
+let spread work ids w =
+  let n = Array.length ids in
+  if n > 0 then begin
+    let share = w /. float_of_int n in
+    for i = 0 to n - 1 do
+      work.(ids.(i)) <- work.(ids.(i)) +. share
+    done
+  end
+
+let spread_n work ids n_used w =
+  if n_used > 0 then begin
+    let share = w /. float_of_int n_used in
+    for i = 0 to n_used - 1 do
+      work.(ids.(i)) <- work.(ids.(i)) +. share
+    done
+  end
+
+let on_index_disk (pc : Placement.cache) work (ix : Parqo_catalog.Index.t) w =
+  let nd = Array.length pc.disk_ids in
+  if nd > 0 then begin
+    let d = pc.disk_ids.(ix.Parqo_catalog.Index.disk mod nd) in
+    work.(d) <- work.(d) +. w
+  end
+
+let finish_atomic (pc : Placement.cache) overhead work lanes =
+  Descriptor.atomic_with ~zero:pc.zero_usage
+    (Rvec.of_accumulated work ~lanes ~overhead)
+
+let finish_blocking overhead work lanes =
+  Descriptor.blocking (Rvec.of_accumulated work ~lanes ~overhead)
+
+let base (pc : Placement.cache) est node =
+  let p = pc.machine.M.params in
+  let clone = node.Op.clone in
+  if clone < 1 then invalid_arg "Opcost.base: clone < 1";
+  let cpu_ids = pc.cpu_ids in
+  let n_cpus = Array.length cpu_ids in
+  let n_used = min clone n_cpus in
+  let lanes = if n_cpus = 0 then 1 else n_used in
+  let work = Array.make pc.dim 0. in
+  let tpp = p.tuples_per_page in
   match node.Op.kind with
   | Op.Seq_scan { rel } ->
     let raw = Est.raw_card est rel in
-    let disks = Placement.disks_for_table machine (Est.table_of est rel) in
-    let io = spread disks (pages raw *. p.io_page_cost) in
-    let cpu = spread cpus (raw *. p.cpu_tuple_cost) in
+    let disks = pc.disks_of_rel.(rel) in
+    spread work disks (raw /. tpp *. p.io_page_cost);
+    spread_n work cpu_ids n_used (raw *. p.cpu_tuple_cost);
     let lanes =
-      if cpus = [] then max 1 (min node.Op.clone (List.length disks)) else lanes
+      if n_cpus = 0 then max 1 (min clone (Array.length disks)) else lanes
     in
-    Descriptor.atomic (usage ~lanes (io @ cpu))
+    finish_atomic pc p.clone_overhead work lanes
   | Op.Index_scan { rel; index } ->
     let raw = Est.raw_card est rel in
     let penalty =
       if index.Parqo_catalog.Index.clustered then 1. else p.unclustered_penalty
     in
-    let io_work = pages raw *. p.index_page_factor *. penalty *. p.io_page_cost in
-    let io =
-      match Placement.disk_for_index machine index with
-      | Some d -> [ (d, io_work) ]
-      | None -> []
-    in
-    let cpu = spread cpus (raw *. p.cpu_tuple_cost) in
-    Descriptor.atomic (usage (io @ cpu))
+    on_index_disk pc work index
+      (raw /. tpp *. p.index_page_factor *. penalty *. p.io_page_cost);
+    spread_n work cpu_ids n_used (raw *. p.cpu_tuple_cost);
+    finish_atomic pc p.clone_overhead work lanes
   | Op.Sort _ ->
     let n = (child node 0).Op.out_card in
-    let per_lane = Float.max 1. (n /. float_of_int lanes) in
-    let cpu_work = n *. log2 (Float.max 2. per_lane) *. p.cpu_compare_cost in
-    let io =
-      if per_lane > p.sort_memory_tuples then
-        spread
-          (Placement.spill_disks machine ~cpus)
-          (2. *. pages n *. p.io_page_cost)
-      else []
-    in
-    Descriptor.blocking (usage (spread cpus cpu_work @ io))
+    let per_lane = Parqo_util.Vecf.fmax 1. (n /. float_of_int lanes) in
+    spread_n work cpu_ids n_used
+      (n *. log2 (Parqo_util.Vecf.fmax 2. per_lane) *. p.cpu_compare_cost);
+    if per_lane > p.sort_memory_tuples then
+      spread work pc.spill.(n_used) (2. *. (n /. tpp) *. p.io_page_cost);
+    finish_blocking p.clone_overhead work lanes
   | Op.Merge_join ->
     let outer = (child node 0).Op.out_card and inner = (child node 1).Op.out_card in
-    let cpu_work =
-      ((outer +. inner) *. p.cpu_compare_cost)
-      +. (node.Op.out_card *. p.cpu_tuple_cost)
-    in
-    Descriptor.atomic (usage (spread cpus cpu_work))
+    spread_n work cpu_ids n_used
+      (((outer +. inner) *. p.cpu_compare_cost)
+      +. (node.Op.out_card *. p.cpu_tuple_cost));
+    finish_atomic pc p.clone_overhead work lanes
   | Op.Hash_build ->
     let n = (child node 0).Op.out_card in
     let per_lane = n /. float_of_int lanes in
+    spread_n work cpu_ids n_used (n *. p.cpu_hash_cost);
     (* a build larger than per-clone memory Grace-partitions to disk:
        one write and one read pass over the build input *)
-    let io =
-      if per_lane > p.hash_memory_tuples then
-        spread (Placement.spill_disks machine ~cpus) (2. *. pages n *. p.io_page_cost)
-      else []
-    in
-    Descriptor.blocking (usage (spread cpus (n *. p.cpu_hash_cost) @ io))
+    if per_lane > p.hash_memory_tuples then
+      spread work pc.spill.(n_used) (2. *. (n /. tpp) *. p.io_page_cost);
+    finish_blocking p.clone_overhead work lanes
   | Op.Hash_probe ->
     let outer = (child node 0).Op.out_card in
     let build_per_lane = (child node 1).Op.out_card /. float_of_int lanes in
-    let cpu_work =
-      (outer *. p.cpu_hash_cost) +. (node.Op.out_card *. p.cpu_tuple_cost)
-    in
+    spread_n work cpu_ids n_used
+      ((outer *. p.cpu_hash_cost) +. (node.Op.out_card *. p.cpu_tuple_cost));
     (* when the build spilled, the probe input is partitioned too *)
-    let io =
-      if build_per_lane > p.hash_memory_tuples then
-        spread (Placement.spill_disks machine ~cpus)
-          (2. *. pages outer *. p.io_page_cost)
-      else []
-    in
-    Descriptor.atomic (usage (spread cpus cpu_work @ io))
+    if build_per_lane > p.hash_memory_tuples then
+      spread work pc.spill.(n_used) (2. *. (outer /. tpp) *. p.io_page_cost);
+    finish_atomic pc p.clone_overhead work lanes
   | Op.Nl_join ->
     let outer = (child node 0).Op.out_card in
     let inner = child node 1 in
     let result_cpu = node.Op.out_card *. p.cpu_tuple_cost in
-    let demands =
-      match inner.Op.kind with
-      | Op.Index_scan { index; _ } ->
-        (* index nested loops: probe the index once per outer tuple *)
-        let io_work = outer *. p.nl_index_probe_io *. p.io_page_cost in
-        let io =
-          match Placement.disk_for_index machine index with
-          | Some d -> [ (d, io_work) ]
-          | None -> []
-        in
-        io @ spread cpus ((outer *. p.cpu_hash_cost) +. result_cpu)
-      | Op.Create_index _ ->
-        (* probe the temporary index, in memory *)
-        spread cpus ((outer *. p.cpu_hash_cost) +. result_cpu)
-      | _ ->
-        (* pure nested loops over a once-computed, memory-resident inner *)
-        spread cpus
-          ((outer *. inner.Op.out_card *. p.cpu_compare_cost) +. result_cpu)
-    in
-    Descriptor.atomic (usage demands)
+    (match inner.Op.kind with
+    | Op.Index_scan { index; _ } ->
+      (* index nested loops: probe the index once per outer tuple *)
+      on_index_disk pc work index (outer *. p.nl_index_probe_io *. p.io_page_cost);
+      spread_n work cpu_ids n_used ((outer *. p.cpu_hash_cost) +. result_cpu)
+    | Op.Create_index _ ->
+      (* probe the temporary index, in memory *)
+      spread_n work cpu_ids n_used ((outer *. p.cpu_hash_cost) +. result_cpu)
+    | _ ->
+      (* pure nested loops over a once-computed, memory-resident inner *)
+      spread_n work cpu_ids n_used
+        ((outer *. inner.Op.out_card *. p.cpu_compare_cost) +. result_cpu));
+    finish_atomic pc p.clone_overhead work lanes
   | Op.Create_index _ ->
     let n = (child node 0).Op.out_card in
-    let cpu_work =
-      (n *. log2 (Float.max 2. n) *. p.cpu_compare_cost)
-      +. (n *. p.cpu_hash_cost)
-    in
-    Descriptor.blocking (usage (spread cpus cpu_work))
+    spread_n work cpu_ids n_used
+      ((n *. log2 (Parqo_util.Vecf.fmax 2. n) *. p.cpu_compare_cost)
+      +. (n *. p.cpu_hash_cost));
+    finish_blocking p.clone_overhead work lanes
   | Op.Exchange _ ->
     let n = node.Op.out_card in
-    let cpu = spread cpus (2. *. n *. p.cpu_tuple_cost) in
-    let net =
-      match Placement.network machine with
-      | Some r -> [ (r, n *. p.net_tuple_cost) ]
-      | None -> []
-    in
-    Descriptor.atomic (usage (cpu @ net))
+    spread_n work cpu_ids n_used (2. *. n *. p.cpu_tuple_cost);
+    (match pc.network_id with
+    | Some r -> work.(r) <- work.(r) +. (n *. p.net_tuple_cost)
+    | None -> ());
+    finish_atomic pc p.clone_overhead work lanes

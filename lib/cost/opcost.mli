@@ -6,15 +6,27 @@
     immediately) for streaming operators, [blocking] for sort, hash build
     and create-index.  These are the "descriptors of the leaves … derived
     in the traditional manner" of §5.1, where the standalone response
-    time is the total work of the operation (scaled by cloning). *)
+    time is the total work of the operation (scaled by cloning).
+
+    Costing runs once per candidate operator in the DP hot path, so
+    [base] works off a {!Placement.cache} (prepared once per
+    optimization, carried by {!Env.t}) and accumulates demands straight
+    into the descriptor's work array — no demand lists, no placement
+    list walks. *)
+
+val prepare :
+  Parqo_machine.Machine.t -> Parqo_plan.Estimator.t -> Placement.cache
+(** {!Placement.prepare} with the per-relation tables read off the
+    estimator — for callers without an {!Env.t} (tests, simulators);
+    [Env.create] builds the same cache once per optimization. *)
 
 val base :
-  Parqo_machine.Machine.t ->
+  Placement.cache ->
   Parqo_plan.Estimator.t ->
   Parqo_optree.Op.node ->
   Descriptor.t
 (** Raises [Invalid_argument] on an arity violation (e.g. a [Sort] without
-    a child). *)
+    a child) or a clone degree below 1. *)
 
 val nl_inner_is_free : Parqo_optree.Op.node -> bool
 (** True when the node is a nested-loops join whose inner child is a bare

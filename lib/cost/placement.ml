@@ -48,3 +48,43 @@ let spill_disks m ~cpus =
     |> List.sort_uniq compare
 
 let network m = Option.map (fun r -> r.R.id) (M.network m)
+
+(* ---------------------------------------------------------------- *)
+(* Precomputed placement cache.
+
+   [Opcost.base] runs once per candidate operator in the DP hot path;
+   the list-walking policy functions above, re-evaluated there, were a
+   measurable share of its allocation.  The cache materializes every
+   policy answer into int arrays once per optimization.  All derived
+   arrays are produced by the functions above, so the cached and
+   uncached answers are identical by construction. *)
+
+type cache = {
+  machine : M.t;
+  dim : int;  (* number of modeled resources *)
+  cpu_ids : int array;
+  disk_ids : int array;
+  network_id : int option;
+  spill : int array array;
+      (* [spill.(k)]: spill disks of the first [k] CPUs, [0 <= k <= n_cpus] *)
+  disks_of_rel : int array array;  (* indexed by relation id *)
+  zero_usage : Rvec.t;  (* shared all-zero usage vector *)
+}
+
+let prepare machine ~tables =
+  let cpu_id_list = M.cpu_ids machine in
+  let n_cpus = List.length cpu_id_list in
+  let dim = M.n_resources machine in
+  {
+    machine;
+    dim;
+    cpu_ids = Array.of_list cpu_id_list;
+    disk_ids = Array.of_list (M.disk_ids machine);
+    network_id = network machine;
+    spill =
+      Array.init (n_cpus + 1) (fun k ->
+          Array.of_list (spill_disks machine ~cpus:(take k cpu_id_list)));
+    disks_of_rel =
+      Array.map (fun t -> Array.of_list (disks_for_table machine t)) tables;
+    zero_usage = Rvec.zero dim;
+  }

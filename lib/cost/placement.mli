@@ -28,3 +28,31 @@ val spill_disks : Parqo_machine.Machine.t -> cpus:int list -> int list
 
 val network : Parqo_machine.Machine.t -> int option
 (** Resource id of the interconnect, if any. *)
+
+(** {2 Precomputed placement}
+
+    The policy answers above are pure functions of the machine and the
+    catalog; [prepare] materializes all of them into flat arrays once per
+    optimization so per-operator costing never walks a resource list.
+    Cached answers are identical to the policy functions' by
+    construction. *)
+
+type cache = {
+  machine : Parqo_machine.Machine.t;
+  dim : int;  (** number of modeled resources *)
+  cpu_ids : int array;  (** {!cpus_for} with unbounded clone *)
+  disk_ids : int array;
+  network_id : int option;
+  spill : int array array;
+      (** [spill.(k)] = {!spill_disks} of the first [k] CPUs,
+          for [0 <= k <= n_cpus] *)
+  disks_of_rel : int array array;
+      (** {!disks_for_table} per relation id *)
+  zero_usage : Rvec.t;
+      (** shared all-zero usage vector (immutable, safe to embed in any
+          descriptor) *)
+}
+
+val prepare :
+  Parqo_machine.Machine.t -> tables:Parqo_catalog.Table.t array -> cache
+(** [tables.(r)] must be the catalog table backing relation [r]. *)

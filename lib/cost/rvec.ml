@@ -9,6 +9,18 @@ let make ~time ~work =
     invalid_arg "Rvec.make: time below busiest resource";
   { time; work }
 
+(* [work] is adopted, not copied: the caller hands over a freshly
+   accumulated per-resource array (see {!of_demands} and
+   [Opcost]'s scratch accumulation) and must not write it again *)
+let of_accumulated work ~lanes ~overhead =
+  if lanes < 1 then invalid_arg "Rvec.of_accumulated: lanes < 1";
+  let work = Vecf.unsafe_adopt work in
+  let total = Vecf.sum work in
+  let cloned =
+    total /. float_of_int lanes *. (1. +. (overhead *. float_of_int (lanes - 1)))
+  in
+  { time = Vecf.fmax (Vecf.max_coord work) cloned; work }
+
 let of_demands dim demands ~lanes ~overhead =
   if lanes < 1 then invalid_arg "Rvec.of_demands: lanes < 1";
   let work = Array.make dim 0. in
@@ -18,24 +30,19 @@ let of_demands dim demands ~lanes ~overhead =
       if w < 0. then invalid_arg "Rvec.of_demands: negative work";
       work.(id) <- work.(id) +. w)
     demands;
-  let work = Vecf.of_array work in
-  let total = Vecf.sum work in
-  let cloned =
-    total /. float_of_int lanes *. (1. +. (overhead *. float_of_int (lanes - 1)))
-  in
-  { time = Float.max (Vecf.max_coord work) cloned; work }
+  of_accumulated work ~lanes ~overhead
 
 let seq a b = { time = a.time +. b.time; work = Vecf.add a.work b.work }
 
 let par a b =
   let work = Vecf.add a.work b.work in
-  { time = Float.max (Float.max a.time b.time) (Vecf.max_coord work); work }
+  { time = Vecf.fmax (Vecf.fmax a.time b.time) (Vecf.max_coord work); work }
 
 let residual whole front =
   let work = Vecf.clamp_non_negative (Vecf.sub whole.work front.work) in
   (* the remaining work still needs at least its busiest resource's time *)
   {
-    time = Float.max (Vecf.max_coord work) (Float.max 0. (whole.time -. front.time));
+    time = Vecf.fmax (Vecf.max_coord work) (Vecf.fmax 0. (whole.time -. front.time));
     work;
   }
 
@@ -50,7 +57,7 @@ let is_zero r = r.time = 0. && Vecf.sum r.work = 0.
 
 let add_work r id w =
   let work = Vecf.set r.work id (Vecf.get r.work id +. w) in
-  { time = Float.max r.time (Vecf.max_coord work); work }
+  { time = Vecf.fmax r.time (Vecf.max_coord work); work }
 
 let equal ?(eps = 1e-9) a b =
   Float.abs (a.time -. b.time) <= eps && Vecf.equal ~eps a.work b.work

@@ -16,6 +16,13 @@ val make : time:float -> work:Parqo_util.Vecf.t -> t
 (** Raises [Invalid_argument] if [time] is less than the largest work
     coordinate (a resource cannot do [w] work in less than [w] time). *)
 
+val of_accumulated : float array -> lanes:int -> overhead:float -> t
+(** Like {!of_demands} over an already-accumulated per-resource work
+    array.  The array is {e adopted} (no copy, no validation): the caller
+    must hand over a fresh buffer and never write it again — this is the
+    allocation-free fast path of [Opcost].  Raises [Invalid_argument] if
+    [lanes < 1]. *)
+
 val of_demands : int -> (int * float) list -> lanes:int -> overhead:float -> t
 (** [of_demands dim demands ~lanes ~overhead] builds the vector of an
     atomic operator: [demands] accumulates work per resource id; the

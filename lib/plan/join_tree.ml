@@ -40,13 +40,37 @@ let access ?(path = Access_path.Seq_scan) ?(clone = 1) rel =
   if clone < 1 then invalid_arg "Join_tree.access: clone < 1";
   Access { rel; path; clone; akey = access_key ~path ~clone rel }
 
+(* renders "ABBREV[/clone][!](outer, inner)" by direct concatenation:
+   the sprintf equivalent ran once per candidate in the DP's inner loop,
+   and format interpretation plus intermediate strings showed up in the
+   per-plan allocation profile *)
+let join_key ~method_ ~clone ~materialize ~okey ~ikey =
+  let abbrev = method_abbrev method_ in
+  let cl = if clone > 1 then "/" ^ string_of_int clone else "" in
+  let bang = if materialize then "!" else "" in
+  let la = String.length abbrev and lc = String.length cl in
+  let lb = String.length bang in
+  let lo = String.length okey and li = String.length ikey in
+  let b = Bytes.create (la + lc + lb + 1 + lo + 2 + li + 1) in
+  let pos = ref 0 in
+  let put s l =
+    Bytes.blit_string s 0 b !pos l;
+    pos := !pos + l
+  in
+  put abbrev la;
+  put cl lc;
+  put bang lb;
+  put "(" 1;
+  put okey lo;
+  put ", " 2;
+  put ikey li;
+  put ")" 1;
+  Bytes.unsafe_to_string b
+
 let join ?(clone = 1) ?(materialize = false) method_ ~outer ~inner =
   if clone < 1 then invalid_arg "Join_tree.join: clone < 1";
   let jkey =
-    Printf.sprintf "%s%s%s(%s, %s)" (method_abbrev method_)
-      (if clone > 1 then Printf.sprintf "/%d" clone else "")
-      (if materialize then "!" else "")
-      (key outer) (key inner)
+    join_key ~method_ ~clone ~materialize ~okey:(key outer) ~ikey:(key inner)
   in
   let jrels = Bitset.union (relations outer) (relations inner) in
   Join { method_; outer; inner; clone; materialize; jkey; jrels }

@@ -4,7 +4,9 @@ module Vecf = Parqo_util.Vecf
 
 type t = {
   name : string;
+  arity : int;
   dims : Cm.eval -> float array;
+  fill : (Cm.eval -> float array -> unit) option;
   refines : (Cm.eval -> Cm.eval -> bool) option;
 }
 
@@ -13,12 +15,32 @@ let dominates m a b =
   Vecf.dominates (Vecf.of_array da) (Vecf.of_array db)
   && match m.refines with None -> true | Some r -> r a b
 
-let n_dims m e = Array.length (m.dims e)
+let n_dims m _ = m.arity
 
-let work = { name = "work"; dims = (fun e -> [| e.Cm.work |]); refines = None }
+let fill_dims m e dst =
+  match m.fill with
+  | Some f -> f e dst
+  | None ->
+    let a = m.dims e in
+    Array.blit a 0 dst 0 (Array.length a)
+
+let work =
+  {
+    name = "work";
+    arity = 1;
+    dims = (fun e -> [| e.Cm.work |]);
+    fill = Some (fun e dst -> dst.(0) <- e.Cm.work);
+    refines = None;
+  }
 
 let response_time =
-  { name = "response-time"; dims = (fun e -> [| e.Cm.response_time |]); refines = None }
+  {
+    name = "response-time";
+    arity = 1;
+    dims = (fun e -> [| e.Cm.response_time |]);
+    fill = Some (fun e dst -> dst.(0) <- e.Cm.response_time);
+    refines = None;
+  }
 
 let aggregate_work machine agg (w : Vecf.t) =
   let groups, group_of = M.aggregate machine agg in
@@ -29,20 +51,37 @@ let aggregate_work machine agg (w : Vecf.t) =
   out
 
 let resource_vector machine agg =
+  let groups, group_of = M.aggregate machine agg in
   {
-    name = Printf.sprintf "resource-vector/%d" (fst (M.aggregate machine agg));
+    name = Printf.sprintf "resource-vector/%d" groups;
+    arity = 1 + groups;
     dims =
       (fun e ->
         let d = e.Cm.descriptor in
         Array.append
           [| Parqo_cost.Descriptor.response_time d |]
           (aggregate_work machine agg (Parqo_cost.Descriptor.work_vector d)));
+    fill =
+      Some
+        (fun e dst ->
+          let d = e.Cm.descriptor in
+          dst.(0) <- Parqo_cost.Descriptor.response_time d;
+          for g = 0 to groups - 1 do
+            dst.(1 + g) <- 0.
+          done;
+          let w = Parqo_cost.Descriptor.work_vector d in
+          for i = 0 to Vecf.dim w - 1 do
+            let g = 1 + group_of i in
+            dst.(g) <- dst.(g) +. Vecf.get w i
+          done);
     refines = None;
   }
 
 let descriptor machine agg =
+  let groups, group_of = M.aggregate machine agg in
   {
-    name = Printf.sprintf "descriptor/%d" (fst (M.aggregate machine agg));
+    name = Printf.sprintf "descriptor/%d" groups;
+    arity = 2 + (2 * groups);
     dims =
       (fun e ->
         let d = e.Cm.descriptor in
@@ -54,35 +93,74 @@ let descriptor machine agg =
             aggregate_work machine agg rf.Parqo_cost.Rvec.work;
             aggregate_work machine agg residual.Parqo_cost.Rvec.work;
           ]);
+    fill =
+      (* single pass over the resources: per-group first-tuple work,
+         per-group residual work (clamped subtraction, same float ops as
+         [Rvec.residual]) and the residual's busiest coordinate, staged
+         in [dst.(1)] — values identical to the [dims] thunk's *)
+      Some
+        (fun e dst ->
+          let d = e.Cm.descriptor in
+          let rf = d.Parqo_cost.Descriptor.rf
+          and rl = d.Parqo_cost.Descriptor.rl in
+          for g = 0 to groups - 1 do
+            dst.(2 + g) <- 0.;
+            dst.(2 + groups + g) <- 0.
+          done;
+          let wf = rf.Parqo_cost.Rvec.work and wl = rl.Parqo_cost.Rvec.work in
+          dst.(1) <- neg_infinity;
+          for i = 0 to Vecf.dim wf - 1 do
+            let f = Vecf.get wf i in
+            let res = Float.max 0. (Vecf.get wl i -. f) in
+            let g = group_of i in
+            dst.(2 + g) <- dst.(2 + g) +. f;
+            dst.(2 + groups + g) <- dst.(2 + groups + g) +. res;
+            dst.(1) <- Float.max dst.(1) res
+          done;
+          dst.(0) <- rf.Parqo_cost.Rvec.time;
+          dst.(1) <-
+            Float.max dst.(1)
+              (Float.max 0.
+                 (rl.Parqo_cost.Rvec.time -. rf.Parqo_cost.Rvec.time)));
     refines = None;
   }
 
 let expected_makespan (env : Parqo_cost.Env.t) ~fault_rate =
+  let dim e =
+    Parqo_cost.Faultcost.expected_response_time env ~fault_rate e
+  in
   {
     name = Printf.sprintf "expected-makespan/f=%.3f" fault_rate;
-    dims =
-      (fun e ->
-        [|
-          Parqo_cost.Faultcost.expected_response_time env ~fault_rate e;
-          e.Cm.work;
-        |]);
+    arity = 2;
+    dims = (fun e -> [| dim e; e.Cm.work |]);
+    fill =
+      Some
+        (fun e dst ->
+          dst.(0) <- dim e;
+          dst.(1) <- e.Cm.work);
     refines = None;
   }
 
 let contention_rank ~pressure (e : Cm.eval) =
   let w = Parqo_cost.Descriptor.work_vector e.Cm.descriptor in
   let n = min (Array.length pressure) (Vecf.dim w) in
-  let acc = ref e.Cm.response_time in
+  let acc = Array.make 1 e.Cm.response_time in
   for r = 0 to n - 1 do
-    acc := !acc +. (pressure.(r) *. Vecf.get w r)
+    acc.(0) <- acc.(0) +. (pressure.(r) *. Vecf.get w r)
   done;
-  !acc
+  acc.(0)
 
 let contended ~pressure =
   let peak = Array.fold_left Float.max 0. pressure in
   {
     name = Printf.sprintf "contended/%.2f" peak;
+    arity = 2;
     dims = (fun e -> [| contention_rank ~pressure e; e.Cm.work |]);
+    fill =
+      Some
+        (fun e dst ->
+          dst.(0) <- contention_rank ~pressure e;
+          dst.(1) <- e.Cm.work);
     refines = None;
   }
 

@@ -16,8 +16,13 @@
 
 type t = {
   name : string;
+  arity : int;  (** number of numeric coordinates, constant per metric *)
   dims : Parqo_cost.Costmodel.eval -> float array;
       (** numeric coordinates; smaller is better *)
+  fill : (Parqo_cost.Costmodel.eval -> float array -> unit) option;
+      (** allocation-free variant: write the same [arity] coordinates
+          into the buffer's prefix; the DP's flat covers use this to
+          avoid one array per candidate *)
   refines : (Parqo_cost.Costmodel.eval -> Parqo_cost.Costmodel.eval -> bool) option;
       (** extra dominance requirement, e.g. ordering subsumption *)
 }
@@ -27,6 +32,11 @@ val dominates : t -> Parqo_cost.Costmodel.eval -> Parqo_cost.Costmodel.eval -> b
 
 val n_dims : t -> Parqo_cost.Costmodel.eval -> int
 (** [l], the dimensionality on a given plan (constant per machine). *)
+
+val fill_dims : t -> Parqo_cost.Costmodel.eval -> float array -> unit
+(** Write the plan's coordinates into the buffer's prefix — [fill] when
+    the metric provides it, a [dims] call plus blit otherwise.  The
+    values are identical to [dims]'s either way. *)
 
 val work : t
 (** Scalar total work — the traditional metric; totally ordered. *)

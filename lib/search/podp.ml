@@ -13,28 +13,47 @@ type result = {
 
 (* Stable total key on plans: used to break exact rank ties so that beam
    pruning and final-plan selection are deterministic — independent of
-   cover-list order, and therefore identical between the sequential and
-   the domain-parallel search.  [Join_tree.key] is precomputed at plan
+   cover order, and therefore identical between the sequential and the
+   domain-parallel search.  [Join_tree.key] is precomputed at plan
    construction, so a tie comparison costs no string building. *)
 let plan_key (e : Cm.eval) = Parqo_plan.Join_tree.key e.Cm.tree
 let tie a b = String.compare (plan_key a) (plan_key b)
 
-(* A costed plan with its pruning-metric coordinates computed once.
-   Dominance tests are the inner loop of cover maintenance — every [add]
-   compares against the whole cover — so the metric's dims (which
-   allocate aggregation arrays) must not be recomputed per comparison. *)
-type entry = { e : Cm.eval; dims : Parqo_util.Vecf.t }
-
 (* Outcome of one subset's cover computation, produced by a worker domain
-   and merged by the coordinator.  Counters ride along instead of being
-   written to the shared stats record so the merge — not the scheduling —
-   decides accumulation order. *)
+   into its own arena and merged by the coordinator.  Counters ride along
+   instead of being written to the shared stats record so the merge — not
+   the scheduling — decides accumulation order. *)
 type subset_result = {
-  elements : entry list;  (** post-beam cover, insertion order *)
+  worker : int;  (** arena holding the post-beam cover *)
+  start : int;  (** slice start in that arena *)
+  len : int;  (** slice length *)
   considered : int;
   generated : int;
   cover_pre : int;  (** cover size before the beam cut *)
 }
+
+(* A growable append-only plan buffer.  Worker arenas collect each
+   subset's post-beam cover as a contiguous slice (newest first, the
+   cover's [elements] order); the coordinator's memo arena absorbs those
+   slices at the level barrier, in increasing subset-mask order, so the
+   memo layout — and everything downstream — is bit-identical to the
+   sequential run's. *)
+type arena = { mutable buf : Cm.eval array; mutable len : int }
+
+let arena_create () = { buf = [||]; len = 0 }
+
+let arena_room a n seed =
+  if a.len + n > Array.length a.buf then begin
+    let cap = max (a.len + n) (max 64 (2 * Array.length a.buf)) in
+    let buf = Array.make cap seed in
+    Array.blit a.buf 0 buf 0 a.len;
+    a.buf <- buf
+  end
+
+let arena_push a e =
+  arena_room a 1 e;
+  a.buf.(a.len) <- e;
+  a.len <- a.len + 1
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
@@ -47,6 +66,7 @@ let tick_grain = 1024
 
 let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
     ~pool_stats0 ~plan_cache ~metric (env : Env.t) =
+  let gc0 = Gc.quick_stat () in
   let width = Domain_pool.width pool in
   let tracker = Budget.start budget in
   let gave_up = ref false in
@@ -77,23 +97,39 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
   let publish () =
     if width > 1 then Option.iter Cm.publish_cache cache
   in
-  let rank_e ent = rank ent.e in
-  let tie_e a b = tie a.e b.e in
   let apply_beam cover =
     match max_cover with
     | None -> ()
-    | Some keep -> Cover.trim ~tie:tie_e cover ~keep ~rank:rank_e
+    | Some keep -> Cover.Flat.trim ~tie cover ~keep ~rank
   in
   let n = Env.n_relations env in
   let stats = Search_stats.create () in
-  let refines =
-    match metric.Metric.refines with None -> fun _ _ -> true | Some r -> r
+  (* One reusable flat cover per worker (index 0 doubles as the
+     coordinator's): entry coordinates are materialized once per
+     candidate into the cover's scratch row, dominance tests run on the
+     flat dims array.  Cleared per subset, capacity retained. *)
+  let covers =
+    Array.init width (fun _ ->
+        Cover.Flat.create ~n_dims:metric.Metric.arity
+          ?refines:metric.Metric.refines ())
   in
-  let dominates a b =
-    Parqo_util.Vecf.dominates a.dims b.dims && refines a.e b.e
+  let cover_add cover e =
+    Metric.fill_dims metric e (Cover.Flat.scratch cover);
+    ignore (Cover.Flat.add cover e)
   in
-  let entry e = { e; dims = Parqo_util.Vecf.of_array (metric.Metric.dims e) } in
-  let memo : entry list array = Array.make (1 lsl n) [] in
+  (* The memo: one contiguous slice of the coordinator's arena per
+     subset mask, in the cover's [elements] order (newest first).  Memo
+     entries are only read as plans (their pruning coordinates matter
+     only during their own subset's cover maintenance), so the arena
+     stores bare evaluations — no per-entry dims rows retained. *)
+  let memo = arena_create () in
+  let memo_off = Array.make (1 lsl n) 0 in
+  let memo_len = Array.make (1 lsl n) 0 in
+  let absorb_cover ~mask cover =
+    memo_off.(mask) <- memo.len;
+    memo_len.(mask) <- Cover.Flat.size cover;
+    Cover.Flat.iter_newest_first (arena_push memo) cover
+  in
   let level_sizes = Array.make (n + 1) 0 in
   (* per-relation access plans are annotation-independent of the level
      loop: generate them once instead of per (sub-plan, relation) pair *)
@@ -121,23 +157,24 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
   let l1_ticks = ref 0 in
   for rel = 0 to n - 1 do
     Search_stats.considered stats 1;
-    let cover = Cover.create ~dominates in
+    let cover = covers.(0) in
+    Cover.Flat.clear cover;
     List.iter
       (fun tree ->
         Search_stats.generated stats 1;
         incr l1_ticks;
         let e = evaluate tree in
-        if admissible e then ignore (Cover.add cover (entry e)))
+        if admissible e then cover_add cover e)
       access_plans.(rel);
     apply_beam cover;
-    Search_stats.observe_cover stats (Cover.size cover);
-    if Cover.size cover > !l1_cover_max then l1_cover_max := Cover.size cover;
-    memo.(Bitset.to_int (Bitset.singleton rel)) <- Cover.elements cover
+    Search_stats.observe_cover stats (Cover.Flat.size cover);
+    if Cover.Flat.size cover > !l1_cover_max then
+      l1_cover_max := Cover.Flat.size cover;
+    let mask = Bitset.to_int (Bitset.singleton rel) in
+    absorb_cover ~mask cover;
+    level_sizes.(1) <- level_sizes.(1) + memo_len.(mask)
   done;
   Budget.tick tracker !l1_ticks;
-  level_sizes.(1) <-
-    List.fold_left ( + ) 0
-      (List.init n (fun r -> List.length memo.(Bitset.to_int (Bitset.singleton r))));
   (* stored sizes are recorded in level order, level 1 first *)
   if n > 0 then begin
     Search_stats.observe_stored stats level_sizes.(1);
@@ -145,18 +182,21 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
     publish ()
   end;
   (* The level loop: within a level every subset's cover depends only on
-     the memo entries of strictly smaller subsets, so the subsets of one
-     size are embarrassingly parallel and level boundaries are barriers.
-     Workers fill a per-subset slot; the coordinator merges the slots into
-     [memo] in increasing mask order, making the result bit-identical to
-     the sequential (domains = 1) run. *)
+     the memo slices of strictly smaller subsets (written at earlier
+     barriers), so the subsets of one size are embarrassingly parallel
+     and level boundaries are barriers.  Workers append each subset's
+     post-beam cover to their own arena; the coordinator absorbs the
+     slices into the memo arena in increasing mask order, making the
+     result bit-identical to the sequential (domains = 1) run. *)
+  let arenas = Array.init width (fun _ -> arena_create ()) in
   for size = 2 to n do
     let subsets = Array.of_list (Bitset.subsets_of_size n ~size) in
     let n_subsets = Array.length subsets in
     let results : subset_result option array = Array.make n_subsets None in
-    let compute ~evaluate ~ticks s =
+    let compute ~worker ~evaluate ~ticks s =
       let considered = ref 0 and generated = ref 0 in
-      let best_plans = Cover.create ~dominates in
+      let best_plans = covers.(worker) in
+      Cover.Flat.clear best_plans;
       let extend ~require_connection =
         Bitset.iter
           (fun j ->
@@ -164,35 +204,42 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
             if
               (not require_connection)
               || Space.connects env s_j (Bitset.singleton j)
-            then
-              List.iter
-                (fun p ->
-                  incr considered;
-                  List.iter
-                    (fun inner ->
-                      List.iter
-                        (fun tree ->
-                          incr generated;
-                          incr ticks;
-                          if !ticks >= tick_grain then begin
-                            Budget.tick tracker !ticks;
-                            ticks := 0
-                          end;
-                          let e = evaluate tree in
-                          if admissible e then
-                            ignore (Cover.add best_plans (entry e)))
-                        (Space.combine_candidates env config
-                           ~outer:p.e.Cm.tree ~inner))
-                    access_plans.(j))
-                memo.(Bitset.to_int s_j))
+            then begin
+              let mask = Bitset.to_int s_j in
+              let off = memo_off.(mask) in
+              for k = off to off + memo_len.(mask) - 1 do
+                let p = memo.buf.(k) in
+                incr considered;
+                List.iter
+                  (fun inner ->
+                    List.iter
+                      (fun tree ->
+                        incr generated;
+                        incr ticks;
+                        if !ticks >= tick_grain then begin
+                          Budget.tick tracker !ticks;
+                          ticks := 0
+                        end;
+                        let e = evaluate tree in
+                        if admissible e then cover_add best_plans e)
+                      (Space.combine_candidates env config ~outer:p.Cm.tree
+                         ~inner))
+                  access_plans.(j)
+              done
+            end)
           s
       in
       extend ~require_connection:true;
-      if Cover.size best_plans = 0 then extend ~require_connection:false;
-      let cover_pre = Cover.size best_plans in
+      if Cover.Flat.size best_plans = 0 then extend ~require_connection:false;
+      let cover_pre = Cover.Flat.size best_plans in
       apply_beam best_plans;
+      let arena = arenas.(worker) in
+      let start = arena.len in
+      Cover.Flat.iter_newest_first (arena_push arena) best_plans;
       {
-        elements = Cover.elements best_plans;
+        worker;
+        start;
+        len = arena.len - start;
         considered = !considered;
         generated = !generated;
         cover_pre;
@@ -209,7 +256,7 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
             let evaluate = evaluate_with shards.(worker) in
             let ticks = ref 0 in
             for i = lo to hi - 1 do
-              results.(i) <- Some (compute ~evaluate ~ticks subsets.(i))
+              results.(i) <- Some (compute ~worker ~evaluate ~ticks subsets.(i))
             done;
             if !ticks > 0 then Budget.tick tracker !ticks
           end)
@@ -224,10 +271,22 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
           Search_stats.generated stats r.generated;
           Search_stats.observe_cover stats r.cover_pre;
           if r.cover_pre > !cover_max then cover_max := r.cover_pre;
-          level_sizes.(size) <- level_sizes.(size) + List.length r.elements;
-          List.iter (fun ent -> remember ent.e) r.elements;
-          memo.(Bitset.to_int subsets.(i)) <- r.elements)
+          level_sizes.(size) <- level_sizes.(size) + r.len;
+          let mask = Bitset.to_int subsets.(i) in
+          memo_off.(mask) <- memo.len;
+          memo_len.(mask) <- r.len;
+          let src = arenas.(r.worker) in
+          if r.len > 0 then begin
+            arena_room memo r.len src.buf.(r.start);
+            Array.blit src.buf r.start memo.buf memo.len r.len;
+            memo.len <- memo.len + r.len;
+            for k = memo.len - r.len to memo.len - 1 do
+              remember memo.buf.(k)
+            done
+          end)
       results;
+    (* worker arenas are consumed; recycle them for the next level *)
+    Array.iter (fun a -> a.len <- 0) arenas;
     Search_stats.observe_stored stats level_sizes.(size);
     finish_level ~level:size ~subsets:n_subsets ~cover_max:!cover_max
       ~used_domains;
@@ -244,7 +303,14 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
     (Domain_pool.diff_stats pool_stats0 (Domain_pool.stats pool));
   let cover =
     if n = 0 then []
-    else List.map (fun ent -> ent.e) memo.(Bitset.to_int (Bitset.full n))
+    else begin
+      let mask = Bitset.to_int (Bitset.full n) in
+      let acc = ref [] in
+      for k = memo_off.(mask) + memo_len.(mask) - 1 downto memo_off.(mask) do
+        acc := memo.buf.(k) :: !acc
+      done;
+      !acc
+    end
   in
   let best =
     List.filter final_filter cover
@@ -257,6 +323,7 @@ let search ~config ~rank ~work_cap ~final_filter ~max_cover ~budget ~pool
              if c < 0 || (c = 0 && tie e b < 0) then Some e else Some b)
          None
   in
+  Search_stats.observe_gc stats ~before:gc0 ~after:(Gc.quick_stat ());
   { best; cover; stats; level_sizes; gave_up = !gave_up }
 
 let optimize ?(config = Space.default_config)

@@ -14,6 +14,8 @@ type t = {
   mutable cover_max : int;
   mutable levels : level list;  (* reverse recording order *)
   mutable pool : Parqo_util.Domain_pool.stats;
+  mutable minor_words : float;
+  mutable major_words : float;
 }
 
 let create () =
@@ -24,6 +26,8 @@ let create () =
     cover_max = 0;
     levels = [];
     pool = Parqo_util.Domain_pool.no_stats;
+    minor_words = 0.;
+    major_words = 0.;
   }
 
 let considered t n = t.considered <- t.considered + n
@@ -34,11 +38,21 @@ let observe_level t l = t.levels <- l :: t.levels
 let levels t = List.rev t.levels
 let observe_pool t s = t.pool <- s
 
+(* delta between two [Gc.quick_stat] samples bracketing the search; the
+   coordinator's allocation only (worker domains keep their own GC
+   counters), which is what the allocation-per-plan benchmarks track *)
+let observe_gc t ~(before : Gc.stat) ~(after : Gc.stat) =
+  t.minor_words <- t.minor_words +. (after.Gc.minor_words -. before.Gc.minor_words);
+  t.major_words <-
+    t.major_words +. (after.Gc.major_words -. before.Gc.major_words)
+
 let pp ppf t =
   Format.fprintf ppf
     "considered=%d generated=%d stored-peak=%d cover-max=%d \
+     minor-words=%.0f major-words=%.0f \
      pool: spawned=%d parallel-runs=%d sequential-runs=%d parks=%d"
-    t.considered t.generated t.stored_peak t.cover_max
+    t.considered t.generated t.stored_peak t.cover_max t.minor_words
+    t.major_words
     t.pool.Parqo_util.Domain_pool.spawned
     t.pool.Parqo_util.Domain_pool.parallel_runs
     t.pool.Parqo_util.Domain_pool.sequential_runs

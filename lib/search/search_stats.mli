@@ -35,6 +35,13 @@ type t = {
           ran sequentially), parallel vs. fast-pathed regions, and worker
           parks — the honest counterpart of each level's [domains]
           field. *)
+  mutable minor_words : float;
+      (** words allocated on the coordinator's minor heap during the
+          search — the allocation-per-plan currency of the cost-path
+          benchmarks *)
+  mutable major_words : float;
+      (** words allocated directly on / promoted to the coordinator's
+          major heap during the search *)
 }
 
 val create : unit -> t
@@ -59,6 +66,10 @@ val levels : t -> level list
 val observe_pool : t -> Parqo_util.Domain_pool.stats -> unit
 (** Record the pool counters this search contributed (already
     differenced when the pool persists across searches). *)
+
+val observe_gc : t -> before:Gc.stat -> after:Gc.stat -> unit
+(** Accumulate the allocation delta between two [Gc.quick_stat] samples
+    bracketing (a phase of) the search, on the calling domain. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -34,7 +34,7 @@ let of_optree (env : Env.t) root =
     Hashtbl.replace stages stage (tasks, on :: deps)
   in
   let task_of (node : Op.node) =
-    let d = Parqo_cost.Opcost.base env.Env.machine env.Env.estimator node in
+    let d = Parqo_cost.Opcost.base env.Env.placement env.Env.estimator node in
     {
       task_id = node.Op.id;
       label = Op.kind_name node.Op.kind;

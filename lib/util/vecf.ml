@@ -1,5 +1,12 @@
 type t = float array
 
+(* All loops below are written as direct index loops over float arrays
+   (never [Array.init]/[Array.fold_left] with a float-returning closure):
+   OCaml's flat float-array representation makes the direct loops
+   allocation-free, while the polymorphic combinators box every
+   intermediate float — measurably dominant in the optimizer's costing
+   hot path, where these vectors are combined per candidate operator. *)
+
 let make dim x = Array.make dim x
 let zero dim = Array.make dim 0.
 let of_array a = Array.copy a
@@ -17,14 +24,64 @@ let check_dim a b = if Array.length a <> Array.length b then invalid_arg "Vecf: 
 
 let map2 f a b =
   check_dim a b;
-  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+  let n = Array.length a in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- f a.(i) b.(i)
+  done;
+  out
 
-let add a b = map2 ( +. ) a b
-let sub a b = map2 ( -. ) a b
-let scale k v = Array.map (fun x -> k *. x) v
+let add a b =
+  check_dim a b;
+  let n = Array.length a in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- a.(i) +. b.(i)
+  done;
+  out
+
+let sub a b =
+  check_dim a b;
+  let n = Array.length a in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- a.(i) -. b.(i)
+  done;
+  out
+
+let scale k v =
+  let n = Array.length v in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- k *. v.(i)
+  done;
+  out
+
 let pointwise_max a b = map2 Float.max a b
-let max_coord v = Array.fold_left Float.max neg_infinity v
-let sum v = Array.fold_left ( +. ) 0. v
+
+(* [Float.max]/[Float.min] are proper function calls without flambda —
+   each one boxes both arguments — and the costing loops call them per
+   coordinate.  On the costing domain neither NaN nor -0. ever occurs
+   (every value is built from non-negative parameters with +, *, /, max),
+   and on that domain the comparison branch returns the same bits, while
+   reliably compiling to an unboxed compare. *)
+let fmax (a : float) (b : float) = if a >= b then a else b
+let fmin (a : float) (b : float) = if a <= b then a else b
+
+let max_coord v =
+  let acc = Array.make 1 neg_infinity in
+  for i = 0 to Array.length v - 1 do
+    acc.(0) <- (if acc.(0) >= v.(i) then acc.(0) else v.(i))
+  done;
+  acc.(0)
+
+let sum v =
+  (* one-slot float array: unboxed accumulator without flambda *)
+  let acc = Array.make 1 0. in
+  for i = 0 to Array.length v - 1 do
+    acc.(0) <- acc.(0) +. v.(i)
+  done;
+  acc.(0)
 
 let dominates a b =
   check_dim a b;
@@ -40,7 +97,31 @@ let equal ?(eps = 0.) a b =
   loop 0
 
 let map = Array.map
-let clamp_non_negative v = Array.map (fun x -> Float.max 0. x) v
+
+let clamp_non_negative v =
+  let n = Array.length v in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- fmax 0. v.(i)
+  done;
+  out
+
+(* ---- scratch-buffer interface (allocation-free costing) ---- *)
+
+let unsafe_adopt a = a
+let unsafe_raw v = v
+
+let blit_into v dst = Array.blit v 0 dst 0 (Array.length v)
+
+let add_into a b dst =
+  for i = 0 to Array.length a - 1 do
+    dst.(i) <- a.(i) +. b.(i)
+  done
+
+let residual_into whole front dst =
+  for i = 0 to Array.length whole - 1 do
+    dst.(i) <- fmax 0. (whole.(i) -. front.(i))
+  done
 
 let pp ppf v =
   Format.fprintf ppf "[%s]"

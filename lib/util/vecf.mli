@@ -37,6 +37,16 @@ val scale : float -> t -> t
 
 val pointwise_max : t -> t -> t
 
+val fmax : float -> float -> float
+(** [if a >= b then a else b] — bit-identical to [Float.max] when
+    neither argument is NaN and [-0.] cannot reach the left slot of a
+    [(-0., +0.)] tie (the costing path only ever produces [+0.]), but
+    small enough to inline without flambda where [Float.max] stays an
+    allocating call. *)
+
+val fmin : float -> float -> float
+(** [if a <= b then a else b]; the [Float.min] counterpart of {!fmax}. *)
+
 val max_coord : t -> float
 (** Largest coordinate; [neg_infinity] for the 0-dimensional vector. *)
 
@@ -55,5 +65,33 @@ val map2 : (float -> float -> float) -> t -> t -> t
 val clamp_non_negative : t -> t
 (** Replaces negative coordinates by [0.]; used when subtracting a
     materialized front introduces small negative residuals. *)
+
+(** {2 Scratch-buffer interface}
+
+    The costing hot path combines vectors once per candidate operator;
+    these entry points let it run on caller-owned [float array] scratch
+    buffers with no allocation, then adopt the final buffer as a vector
+    without a copy.  Ownership rule: an adopted array must never be
+    written again, and a raw view must never outlive the vector's
+    immutability assumption — callers are the cost calculus internals
+    ({!Parqo_cost.Descriptor}, {!Parqo_cost.Opcost}), not general code. *)
+
+val unsafe_adopt : float array -> t
+(** Wraps the array as a vector {e without copying}.  The caller gives up
+    ownership: mutating the array afterwards breaks immutability. *)
+
+val unsafe_raw : t -> float array
+(** The vector's backing array {e without copying} — read-only view. *)
+
+val blit_into : t -> float array -> unit
+(** Copies the vector's coordinates into the buffer's prefix. *)
+
+val add_into : t -> t -> float array -> unit
+(** [add_into a b dst] writes the coordinate-wise sum into [dst]. *)
+
+val residual_into : t -> t -> float array -> unit
+(** [residual_into whole front dst]: [dst.(i) = max 0 (whole.(i) - front.(i))]
+    — the fused [clamp_non_negative (sub whole front)] of the [⊖]
+    operator, bit-identical to the two-step form. *)
 
 val pp : Format.formatter -> t -> unit

@@ -93,7 +93,7 @@ let work_additivity () =
         sum :=
           !sum
           +. D.work
-               (Parqo.Opcost.base env.Parqo.Env.machine env.Parqo.Env.estimator
+               (Parqo.Opcost.base env.Parqo.Env.placement env.Parqo.Env.estimator
                   node))
     e.Cm.optree;
   Helpers.check_float ~eps:1e-6 "work additivity" !sum e.Cm.work

@@ -159,6 +159,128 @@ let size_matches_length () =
     end
   done
 
+(* ------------------------------------------------------------------ *)
+(* Flat (struct-of-arrays) covers: the list implementation is the
+   oracle.  Elements are (id, dims) pairs; dims are drawn from a small
+   integer grid so exact dominance and exact rank ties actually occur. *)
+
+let random_point rng ~id ~l ~range =
+  (id, Array.init l (fun _ -> float_of_int (Parqo.Rng.int rng range)))
+
+let list_dominates refines (ai, av) (bi, bv) =
+  let rec go i = i >= Array.length av || (av.(i) <= bv.(i) && go (i + 1)) in
+  go 0
+  && match refines with None -> true | Some r -> r (ai, av) (bi, bv)
+
+(* property: over random insertion sequences (with duplicates and exact
+   ties), the flat cover accepts exactly the elements the list cover
+   accepts and keeps them in the same (newest-first) order — with and
+   without a [refines] dimension *)
+let flat_matches_list_oracle () =
+  let rng = Parqo.Rng.create 41 in
+  List.iter
+    (fun (l, range, refines) ->
+      for _ = 1 to 20 do
+        let list_cover =
+          C.create ~dominates:(list_dominates refines)
+        in
+        let flat = C.Flat.create ~n_dims:l ?refines () in
+        for id = 0 to 79 do
+          let ((_, dims) as p) = random_point rng ~id ~l ~range in
+          let expect = C.add list_cover p in
+          Array.blit dims 0 (C.Flat.scratch flat) 0 l;
+          Alcotest.(check bool)
+            (Printf.sprintf "l=%d add %d accepted" l id)
+            expect (C.Flat.add flat p);
+          Alcotest.(check bool)
+            (Printf.sprintf "l=%d covered query %d" l id)
+            (C.is_covered list_cover p)
+            (Array.blit dims 0 (C.Flat.scratch flat) 0 l;
+             C.Flat.is_covered flat p)
+        done;
+        Alcotest.(check int) "size" (C.size list_cover) (C.Flat.size flat);
+        Alcotest.(check (list int))
+          (Printf.sprintf "l=%d same elements, same order" l)
+          (List.map fst (C.elements list_cover))
+          (List.map fst (C.Flat.elements flat))
+      done)
+    [
+      (1, 6, None);
+      (2, 8, None);
+      (3, 4, None);
+      (* refinement: dominance additionally requires the same id parity
+         (a stand-in for ordering/partitioning compatibility) *)
+      (2, 6, Some (fun (ai, _) (bi, _) -> (ai : int) mod 2 = bi mod 2));
+    ]
+
+(* property: both trims — list and flat — implement exactly the
+   documented boundary semantics: stable sort of [elements] (newest
+   first) by (rank, tie), then the [keep]-prefix, reported in ascending
+   order.  Coarse integer ranks force plenty of boundary ties. *)
+let trim_matches_sort_oracle () =
+  let rng = Parqo.Rng.create 42 in
+  let l = 2 in
+  for round = 1 to 30 do
+    let incomparable _ _ = false in
+    let list_cover = C.create ~dominates:incomparable in
+    (* a refines guard that always refuses makes the flat cover
+       incomparable as well, so both sides keep every point and the
+       trim has a full population to select from *)
+    let flat = C.Flat.create ~n_dims:l ~refines:incomparable () in
+    let n = 5 + Parqo.Rng.int rng 20 in
+    for id = 0 to n - 1 do
+      let ((_, dims) as p) = random_point rng ~id ~l ~range:3 in
+      ignore (C.add list_cover p);
+      Array.blit dims 0 (C.Flat.scratch flat) 0 l;
+      ignore (C.Flat.add flat p)
+    done;
+    let rank (_, d) = d.(0) in
+    (* id-based tie on half the rounds; pure rank ties on the rest *)
+    let tie = if round mod 2 = 0 then Some (fun (a, _) (b, _) -> compare (a : int) b) else None in
+    let keep = 1 + Parqo.Rng.int rng n in
+    let oracle =
+      (* trim is a no-op when the cover already fits within [keep] *)
+      if keep >= n then C.elements list_cover
+      else
+        let cmp a b =
+          match Float.compare (rank a) (rank b) with
+          | 0 -> (match tie with None -> 0 | Some f -> f a b)
+          | c -> c
+        in
+        let sorted = List.stable_sort cmp (C.elements list_cover) in
+        List.filteri (fun i _ -> i < keep) sorted
+    in
+    C.trim ?tie list_cover ~keep ~rank;
+    C.Flat.trim ?tie flat ~keep ~rank;
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d: list trim = stable-sort prefix" round)
+      (List.map fst oracle)
+      (List.map fst (C.elements list_cover));
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d: flat trim = stable-sort prefix" round)
+      (List.map fst oracle)
+      (List.map fst (C.Flat.elements flat))
+  done
+
+(* clear reuses the handle: after clear, behavior is as from create *)
+let flat_clear_resets () =
+  let rng = Parqo.Rng.create 43 in
+  let flat = C.Flat.create ~n_dims:2 () in
+  for _ = 1 to 3 do
+    let list_cover = C.create ~dominates:(list_dominates None) in
+    C.Flat.clear flat;
+    for id = 0 to 49 do
+      let ((_, dims) as p) = random_point rng ~id ~l:2 ~range:6 in
+      ignore (C.add list_cover p);
+      Array.blit dims 0 (C.Flat.scratch flat) 0 2;
+      ignore (C.Flat.add flat p)
+    done;
+    Alcotest.(check (list int))
+      "same cover after clear"
+      (List.map fst (C.elements list_cover))
+      (List.map fst (C.Flat.elements flat))
+  done
+
 let suite =
   ( "cover",
     [
@@ -170,4 +292,7 @@ let suite =
       t "2-dim harmonic cross-check" two_dims_harmonic;
       t "trim tie-break deterministic" trim_tie_break_deterministic;
       t "total order keeps one" total_order_keeps_one;
+      t "flat cover matches list oracle" flat_matches_list_oracle;
+      t "trim matches stable-sort oracle" trim_matches_sort_oracle;
+      t "flat clear resets" flat_clear_resets;
     ] )

@@ -24,7 +24,7 @@ let find_kind root pred =
 let scan_costs () =
   let machine, est = setup () in
   let root = expand est (J.access 0) in
-  let d = OC.base machine est root in
+  let d = OC.base (OC.prepare machine est) est root in
   Alcotest.(check bool) "scan does positive work" true (D.work d > 0.);
   Helpers.check_float "scan streams from t=0" 0. (D.first_tuple_time d);
   (* the scan's I/O lands on the table's disk only *)
@@ -39,13 +39,13 @@ let blocking_ops_block () =
   let machine, est = setup () in
   let root = expand est (J.join M.Sort_merge ~outer:(J.access 0) ~inner:(J.access 1)) in
   let sort = find_kind root (fun n -> match n.Op.kind with Op.Sort _ -> true | _ -> false) in
-  let d = OC.base machine est sort in
+  let d = OC.base (OC.prepare machine est) est sort in
   Helpers.check_float "sort cannot stream" (D.response_time d) (D.first_tuple_time d);
   let build =
     expand est (J.join M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1))
     |> fun r -> find_kind r (fun n -> n.Op.kind = Op.Hash_build)
   in
-  let db = OC.base machine est build in
+  let db = OC.base (OC.prepare machine est) est build in
   Helpers.check_float "build cannot stream" (D.response_time db)
     (D.first_tuple_time db)
 
@@ -54,7 +54,7 @@ let cloning_reduces_time () =
   let time clone =
     let root = expand est (J.join ~clone M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
     let probe = find_kind root (fun n -> n.Op.kind = Op.Hash_probe) in
-    D.response_time (OC.base machine est probe)
+    D.response_time (OC.base (OC.prepare machine est) est probe)
   in
   Alcotest.(check bool) "clone 4 faster than 1" true (time 4 < time 1);
   Alcotest.(check bool) "clone 2 between" true (time 4 <= time 2 && time 2 <= time 1)
@@ -68,7 +68,7 @@ let clone_overhead_charged () =
   let probe_time machine =
     let root = expand est (J.join ~clone:4 M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1)) in
     let probe = find_kind root (fun n -> n.Op.kind = Op.Hash_probe) in
-    D.response_time (OC.base machine est probe)
+    D.response_time (OC.base (OC.prepare machine est) est probe)
   in
   Alcotest.(check bool) "overhead slows clones" true
     (probe_time m_costly > probe_time m_cheap)
@@ -80,7 +80,7 @@ let unclustered_index_penalty () =
   let clustered = List.find (fun (i : Parqo.Index.t) -> i.Parqo.Index.clustered) indexes in
   let time idx =
     let root = expand est (J.access ~path:(Parqo.Access_path.Index_scan idx) 0) in
-    D.work (OC.base machine est root)
+    D.work (OC.base (OC.prepare machine est) est root)
   in
   let unclustered = { clustered with Parqo.Index.clustered = false } in
   Alcotest.(check bool) "unclustered costs more" true
@@ -96,7 +96,7 @@ let nl_index_probe_io_on_index_disk () =
   in
   let root = expand est tree in
   Alcotest.(check bool) "inner is free" true (OC.nl_inner_is_free root);
-  let d = OC.base machine est root in
+  let d = OC.base (OC.prepare machine est) est root in
   (* probing I/O charged to the index's machine disk *)
   let w = D.work_vector d in
   let disk_work =
@@ -109,7 +109,7 @@ let pure_nl_quadratic () =
   let machine, est = setup () in
   let root = expand est (J.join M.Nested_loops ~outer:(J.access 0) ~inner:(J.access 1)) in
   Alcotest.(check bool) "pure NL inner is costed" false (OC.nl_inner_is_free root);
-  let d = OC.base machine est root in
+  let d = OC.base (OC.prepare machine est) est root in
   (* outer 1000 x inner 1500 comparisons at compare cost dominate *)
   Alcotest.(check bool) "quadratic work" true (D.work d > 1000.)
 
@@ -118,7 +118,7 @@ let exchange_uses_network () =
   let tree = J.join ~clone:4 M.Hash_join ~outer:(J.access 0) ~inner:(J.access 1) in
   let root = expand est tree in
   let xchg = find_kind root (fun n -> match n.Op.kind with Op.Exchange _ -> true | _ -> false) in
-  let d = OC.base machine est xchg in
+  let d = OC.base (OC.prepare machine est) est xchg in
   match Parqo.Machine.network machine with
   | Some net ->
     Alcotest.(check bool) "network work" true
@@ -130,7 +130,7 @@ let diskless_machine_drops_io () =
   let catalog, query, machine = Parqo.Scenarios.ctr_ci () in
   let est = Parqo.Estimator.create catalog query in
   let root = expand est (J.access 0) in
-  let d = OC.base machine est root in
+  let d = OC.base (OC.prepare machine est) est root in
   Alcotest.(check bool) "io work present on diskful machine" true (D.work d > 0.)
 
 let hash_spill_threshold () =

@@ -179,7 +179,16 @@ let check_identical msg (a : Podp.result) (b : Podp.result) =
   (match (a.Podp.best, b.Podp.best) with
   | Some x, Some y ->
     Alcotest.(check string) (msg ^ ": best plan") (plan_str x) (plan_str y);
-    Helpers.check_float (msg ^ ": best rt") x.Cm.response_time y.Cm.response_time
+    (* bit identity, not epsilon: the parallel merge must replay the
+       same float operations in the same order *)
+    Alcotest.(check int64)
+      (msg ^ ": best rt bits")
+      (Int64.bits_of_float x.Cm.response_time)
+      (Int64.bits_of_float y.Cm.response_time);
+    Alcotest.(check int64)
+      (msg ^ ": best work bits")
+      (Int64.bits_of_float x.Cm.work)
+      (Int64.bits_of_float y.Cm.work)
   | None, None -> ()
   | _ -> Alcotest.failf "%s: one run found a plan, the other did not" msg);
   Alcotest.(check (list string))
@@ -236,6 +245,30 @@ let parallel_matches_sequential_beamed () =
             let par = Podp.optimize ~config ~metric ~max_cover:4 ~pool env in
             check_identical (Printf.sprintf "beamed domains=%d" k) seq par))
       [ 3; 8 ]
+  done
+
+(* the sharded plan cache rides the same absorb barrier as the memo
+   arenas: with incremental costing on, worker-computed entries are
+   absorbed and republished per level, and the result must still be
+   bit-identical to the sequential cached run at every width *)
+let parallel_matches_sequential_cached () =
+  let rng = Parqo.Rng.create 29 in
+  for _ = 1 to 2 do
+    let env = Helpers.random_env rng ~n:5 in
+    let config = { S.default_config with S.clone_degrees = [ 1; 2 ] } in
+    let metric = metric_for env in
+    let seq =
+      Podp.optimize ~config ~metric ~max_cover:3 ~plan_cache:true env
+    in
+    List.iter
+      (fun k ->
+        with_forced_pool k (fun pool ->
+            let par =
+              Podp.optimize ~config ~metric ~max_cover:3 ~plan_cache:true
+                ~pool env
+            in
+            check_identical (Printf.sprintf "cached domains=%d" k) seq par))
+      [ 2; 3; 8 ]
   done
 
 (* one persistent pool across several searches: results identical to
@@ -335,6 +368,7 @@ let suite =
       t "finds plans" finds_plans;
       t "parallel matches sequential" parallel_matches_sequential;
       t "parallel matches sequential (beamed)" parallel_matches_sequential_beamed;
+      t "parallel matches sequential (cached)" parallel_matches_sequential_cached;
       t "persistent pool reuse" persistent_pool_reuse;
       t "gave-up consistent across domains" gave_up_consistent_across_domains;
       t "used_domains reports what ran" used_domains_honest;
