@@ -1,4 +1,4 @@
-.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke bench-serve bench-serve-smoke bench-sched bench-sched-smoke clean
+.PHONY: all smoke test ci bench bench-search bench-search-smoke bench-cost bench-cost-smoke bench-replan bench-replan-smoke bench-serve bench-serve-smoke bench-sched bench-sched-smoke bench-hetero bench-hetero-smoke clean
 
 all:
 	dune build @all
@@ -61,11 +61,22 @@ bench-sched:
 bench-sched-smoke:
 	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e22
 
+# heterogeneous degradation and elastic recovery: brownout severities and
+# scale-out onsets, static vs adaptive; asserts event-free bit-identity,
+# the all-nominal rescale no-op, the heterogeneous balance bound, that
+# adaptive beats static on at least one brownout, and that at least one
+# scale-out delivers work on the grown resource; writes BENCH_hetero.json
+bench-hetero:
+	dune exec bench/main.exe -- --only e23
+
+bench-hetero-smoke:
+	timeout 600 env PARQO_SMOKE=1 dune exec bench/main.exe -- --only e23
+
 # the CI gate: full test suite plus the smoke micro-benches (which assert
 # cached-vs-uncached and replan bit-identity end to end, and that the
 # parallel search machinery costs at most 1.3x the sequential path)
 ci:
-	dune build @all && dune runtest && $(MAKE) bench-search-smoke && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke && $(MAKE) bench-sched-smoke
+	dune build @all && dune runtest && $(MAKE) bench-search-smoke && $(MAKE) bench-cost-smoke && $(MAKE) bench-replan-smoke && $(MAKE) bench-serve-smoke && $(MAKE) bench-sched-smoke && $(MAKE) bench-hetero-smoke
 
 clean:
 	dune clean

@@ -30,6 +30,7 @@ let experiments =
     ("e19", Exp_replan.run);
     ("e20", Exp_serve.run);
     ("e22", Exp_sched.run);
+    ("e23", Exp_hetero.run);
   ]
 
 let tables () = List.iter (fun (_, run) -> run ()) experiments

@@ -690,11 +690,125 @@ let sched_cmd =
        ~doc:"Co-schedule a workload of optimized queries on one machine under fair-share, strict-priority or shortest-remaining-work.")
     Term.(ret (const run $ setup_logs $ tables $ pool $ n_queries $ arrival $ rate $ burst_size $ burst_period $ policy $ contention $ seed $ nodes))
 
+(* heterogeneous degradation and elastic recovery: brownout and
+   scale-out events against the static and adaptive policies *)
+let hetero_cmd =
+  let module M = Parqo.Machine in
+  let module F = Parqo.Fault in
+  let module Sim = Parqo.Simulator in
+  let factor =
+    Arg.(value & opt float 0.25
+         & info [ "factor" ] ~docv:"F"
+             ~doc:"Remaining capacity of the browned-out CPU, in (0, 1). 1 disables the slowdown scenario.")
+  in
+  let slow_at =
+    Arg.(value & opt float 0.1
+         & info [ "slow-at" ] ~docv:"FRAC"
+             ~doc:"Brownout onset as a fraction of the clean makespan.")
+  in
+  let slow_duration =
+    Arg.(value & opt float 2.0
+         & info [ "slow-duration" ] ~docv:"MULT"
+             ~doc:"Brownout duration as a multiple of the clean makespan.")
+  in
+  let grow_at =
+    Arg.(value & opt float 0.3
+         & info [ "grow-at" ] ~docv:"FRAC"
+             ~doc:"Scale-out onset as a fraction of the clean makespan. Negative disables the scale-out scenario.")
+  in
+  let grow_speed =
+    Arg.(value & opt float 2.0
+         & info [ "grow-speed" ] ~docv:"S"
+             ~doc:"Static relative speed of the CPU that joins at the scale-out onset.")
+  in
+  let run () shape n nodes sql factor slow_at slow_duration grow_at grow_speed =
+    if factor <= 0. || factor > 1. then
+      `Error (false, "--factor must be in (0, 1]")
+    else if grow_speed <= 0. then `Error (false, "--grow-speed must be > 0")
+    else begin
+      let env, _query, machine = setup shape n nodes sql in
+      let outcome = optimize_env env machine None false in
+      match outcome.Parqo.Optimizer.best with
+      | None -> `Error (false, "no plan found")
+      | Some best ->
+        let optree =
+          Parqo.Expand.expand ~config:env.Parqo.Env.expand_config
+            env.Parqo.Env.estimator best.Parqo.Costmodel.tree
+        in
+        let g = Parqo.Task_graph.of_optree env optree in
+        let clean = Sim.run g in
+        Printf.printf "clean makespan: %.2f\n" clean.Sim.makespan;
+        let contrast what faults =
+          let static_sim =
+            Sim.run ~faults ~recovery:Parqo.Recovery.Restart_from_sync g
+          in
+          let adaptive =
+            Parqo.Adaptive.simulate ~faults
+              ~recovery:(Parqo.Recovery.replan ()) env
+              best.Parqo.Costmodel.tree
+          in
+          let o = adaptive.Parqo.Adaptive.outcome in
+          Printf.printf
+            "%s: static %.2f | adaptive %.2f (static/adapt %.3f, %d replans)\n"
+            what static_sim.Sim.makespan o.Sim.makespan
+            (static_sim.Sim.makespan /. o.Sim.makespan)
+            o.Sim.n_replans;
+          o
+        in
+        if factor < 1. then begin
+          (* brown out the CPU the clean run leaned on hardest *)
+          let target =
+            List.fold_left
+              (fun acc id ->
+                match acc with
+                | Some a when clean.Sim.busy.(a) >= clean.Sim.busy.(id) -> acc
+                | _ -> Some id)
+              None (M.cpu_ids machine)
+            |> Option.get
+          in
+          let outage =
+            F.brownout ~resource:target ~at:(slow_at *. clean.Sim.makespan)
+              ~duration:(slow_duration *. clean.Sim.makespan) ~factor
+          in
+          ignore
+            (contrast
+               (Printf.sprintf "brownout (cpu %d at factor %.2f)" target factor)
+               { F.none with F.outages = [ outage ] })
+        end;
+        if grow_at >= 0. then begin
+          let grow =
+            {
+              F.g_at = grow_at *. clean.Sim.makespan;
+              g_kind = Parqo.Resource.Cpu;
+              g_node = 0;
+              g_speed = grow_speed;
+            }
+          in
+          let o =
+            contrast
+              (Printf.sprintf "scale-out (speed-%.1f cpu at %.2f of makespan)"
+                 grow_speed grow_at)
+              { F.none with F.grows = [ grow ] }
+          in
+          let grown_id = M.n_resources machine in
+          if Array.length o.Sim.busy > grown_id then
+            Printf.printf "grown resource %d delivered work: %.2f\n" grown_id
+              o.Sim.busy.(grown_id)
+        end;
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "hetero"
+       ~doc:"Measure static vs adaptive recovery when the machine slows down (brownout) or grows back (scale-out) mid-query.")
+    Term.(ret (const run $ setup_logs $ shape $ n_relations $ nodes $ sql
+               $ factor $ slow_at $ slow_duration $ grow_at $ grow_speed))
+
 let main =
   let doc = "parallel query optimizer (SIGMOD 1992 reproduction)" in
   Cmd.group (Cmd.info "parqo" ~doc)
     [ optimize_cmd; explain_cmd; simulate_cmd; sweep_cmd; gen_cmd; run_cmd;
-      serve_cmd; sched_cmd ]
+      serve_cmd; sched_cmd; hetero_cmd ]
 
 (* structured runtime errors print as one line, never as a backtrace *)
 let () =

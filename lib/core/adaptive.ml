@@ -3,9 +3,13 @@ module Cm = Parqo_cost.Costmodel
 module Sim = Parqo_sim.Simulator
 module TG = Parqo_sim.Task_graph
 module Recovery = Parqo_sim.Recovery
+module Fault = Parqo_sim.Fault
 module Residual = Parqo_cost.Residual
 module Optimizer = Parqo_search.Optimizer
 module Stats = Parqo_search.Search_stats
+module M = Parqo_machine.Machine
+module R = Parqo_machine.Resource
+module Parqo_error = Parqo_util.Parqo_error
 
 type replan_record = {
   at : float;
@@ -34,13 +38,67 @@ let simulate ?mode ?faults ?(recovery = Recovery.replan ()) ?(domains = 1)
        built against the previous round's environment *)
     let cur_env = ref env in
     let down = ref [] in
+    (* observed brownouts, resource id -> most pessimistic factor seen;
+       the re-planner treats a brownout as permanent (it cannot know the
+       remaining duration), so residual plans are costed — and lowered —
+       on the rescaled machine.  Work a residual plan still places on a
+       slowed resource is double-discounted while the window lasts; that
+       pessimism is exactly what steers placement away from it. *)
+    let slows = ref [] in
+    (* grown dimensions take ids [base_nr + i] in onset (stable) order,
+       matching the simulator's bookkeeping *)
+    let grow_schedule =
+      match faults with
+      | None -> [||]
+      | Some fc ->
+        Array.of_list
+          (List.stable_sort
+             (fun (a : Fault.grow) b -> Float.compare a.Fault.g_at b.Fault.g_at)
+             fc.Fault.grows)
+    in
+    let base_nr = M.n_resources env.Env.machine in
+    (* the machine as observed at time [at]: base topology, plus every
+       grow event online by then, minus lost resources, browned-out ones
+       rescaled.  None when the surviving census cannot host a plan. *)
+    let machine_at at =
+      match
+        let m = ref env.Env.machine in
+        Array.iteri
+          (fun i (gr : Fault.grow) ->
+            if gr.Fault.g_at <= at +. 1e-12 then
+              m :=
+                M.grow ~speed:gr.Fault.g_speed !m
+                  [
+                    ( gr.Fault.g_kind,
+                      Printf.sprintf "%s+%d"
+                        (R.kind_to_string gr.Fault.g_kind)
+                        (base_nr + i),
+                      gr.Fault.g_node );
+                  ])
+          grow_schedule;
+        (match !down with [] -> () | ids -> m := M.degrade !m ~down:ids);
+        (match !slows with
+        | [] -> ()
+        | speeds -> m := M.rescale !m ~speeds);
+        !m
+      with
+      | m -> Some m
+      | exception Parqo_error.Error _ -> None
+    in
     let round = ref 0 in
     let replanner (s : Sim.snapshot) =
       if !round >= max_replans then None
       else begin
         (match s.Sim.s_trigger with
         | Sim.Checkpoint_loss { resource } -> down := resource :: !down
-        | Sim.Work_inflation _ -> ());
+        | Sim.Slowdown { resource; factor } ->
+          let factor =
+            match List.assoc_opt resource !slows with
+            | None -> factor
+            | Some f -> Float.min f factor
+          in
+          slows := (resource, factor) :: List.remove_assoc resource !slows
+        | Sim.Work_inflation _ | Sim.Scale_out _ -> ());
         let survivors =
           List.filter_map
             (fun id -> s.Sim.s_graph.TG.stages.(id).TG.op_root)
@@ -51,7 +109,10 @@ let simulate ?mode ?faults ?(recovery = Recovery.replan ()) ?(domains = 1)
         if List.length survivors <> List.length s.Sim.s_survivors then None
         else
           match
-            Residual.construct !cur_env ~survivors ~down:!down ~round:!round
+            match machine_at s.Sim.s_at with
+            | None -> Error "machine census cannot host a plan"
+            | Some machine ->
+              Residual.construct !cur_env ~survivors ~machine ~round:!round
           with
           | Error _ -> None
           | Ok r -> (

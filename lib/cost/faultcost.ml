@@ -32,5 +32,32 @@ let expected_penalty env ~fault_rate root =
       (fun acc (n, w) -> acc +. (fault_rate *. float_of_int n *. w /. 2.))
       0. (segments env root)
 
-let expected_response_time env ~fault_rate (e : Costmodel.eval) =
-  e.Costmodel.response_time +. expected_penalty env ~fault_rate e.Costmodel.optree
+(* A brownout does not destroy work, it stretches it: a segment caught
+   by a factor-[f] window delivers at rate [f], so the affected work
+   costs [1/f - 1] extra time units per unit of work.  With [n]
+   operators per segment, each browning out at [rate] per attempt and
+   catching on average half the segment (the same half-segment argument
+   as [expected_penalty]), the charge is [rate * n * W * (1/f - 1) / 2].
+   Fail-stop ([f = 0]) is priced by [expected_penalty], not here — the
+   formulas meet at neither end on purpose: losing work and slowing work
+   are different regimes. *)
+let slowdown_penalty env ~rate ~factor root =
+  if rate <= 0. || factor >= 1. then 0.
+  else if factor <= 0. then
+    invalid_arg "Faultcost.slowdown_penalty: factor must be in (0, 1)"
+  else
+    let stretch = (1. /. factor) -. 1. in
+    List.fold_left
+      (fun acc (n, w) ->
+        acc +. (rate *. float_of_int n *. w *. stretch /. 2.))
+      0. (segments env root)
+
+let expected_response_time ?slowdown env ~fault_rate (e : Costmodel.eval) =
+  let base =
+    e.Costmodel.response_time
+    +. expected_penalty env ~fault_rate e.Costmodel.optree
+  in
+  match slowdown with
+  | None -> base
+  | Some (rate, factor) ->
+    base +. slowdown_penalty env ~rate ~factor e.Costmodel.optree

@@ -26,6 +26,25 @@ val segments : Env.t -> Parqo_optree.Op.node -> (int * float) list
 val expected_penalty : Env.t -> fault_rate:float -> Parqo_optree.Op.node -> float
 (** [sum over segments of fault_rate * n * W / 2]; [0.] at rate [0.]. *)
 
-val expected_response_time : Env.t -> fault_rate:float -> Costmodel.eval -> float
+val slowdown_penalty :
+  Env.t -> rate:float -> factor:float -> Parqo_optree.Op.node -> float
+(** Expected extra time from partial slowdowns (brownouts) rather than
+    fail-stop loss: each segment operator browns out at [rate] per
+    attempt to a remaining-capacity [factor], stretching the affected
+    (half-segment, on average) work by [1/factor - 1] — so the charge is
+    [sum over segments of rate * n * W * (1/factor - 1) / 2].  [0.] at
+    rate [0.] or factor ≥ 1; raises [Invalid_argument] at factor ≤ 0
+    (full loss is {!expected_penalty}'s regime). *)
+
+val expected_response_time :
+  ?slowdown:float * float ->
+  Env.t ->
+  fault_rate:float ->
+  Costmodel.eval ->
+  float
 (** The failure-aware objective: calculus response time plus the
-    expected re-execution penalty of the plan's operator tree. *)
+    expected re-execution penalty of the plan's operator tree, plus —
+    when [slowdown = Some (rate, factor)] is given — the
+    {!slowdown_penalty} of pricing brownouts at that rate.  Omitting
+    [slowdown] leaves the objective bit-identical to the fail-stop-only
+    form. *)

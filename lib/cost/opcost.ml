@@ -31,21 +31,27 @@ let nl_inner_is_free node =
 (* the accumulation helpers are top-level (taking [work] explicitly)
    rather than closures inside [base]: [base] runs once per operator of
    every costed candidate, and half a dozen closure allocations per call
-   were visible in the optimizer's words-per-plan profile *)
-let spread work ids w =
+   were visible in the optimizer's words-per-plan profile.
+
+   Each resource's share is divided by its speed — demand vectors are in
+   nominal-speed time units, so a half-speed disk takes twice as long
+   over the same pages.  Division by 1.0 is exact in IEEE arithmetic,
+   which is what keeps an all-nominal machine bit-identical to the
+   pre-speed model. *)
+let spread work speeds ids w =
   let n = Array.length ids in
   if n > 0 then begin
     let share = w /. float_of_int n in
     for i = 0 to n - 1 do
-      work.(ids.(i)) <- work.(ids.(i)) +. share
+      work.(ids.(i)) <- work.(ids.(i)) +. (share /. speeds.(ids.(i)))
     done
   end
 
-let spread_n work ids n_used w =
+let spread_n work speeds ids n_used w =
   if n_used > 0 then begin
     let share = w /. float_of_int n_used in
     for i = 0 to n_used - 1 do
-      work.(ids.(i)) <- work.(ids.(i)) +. share
+      work.(ids.(i)) <- work.(ids.(i)) +. (share /. speeds.(ids.(i)))
     done
   end
 
@@ -53,7 +59,7 @@ let on_index_disk (pc : Placement.cache) work (ix : Parqo_catalog.Index.t) w =
   let nd = Array.length pc.disk_ids in
   if nd > 0 then begin
     let d = pc.disk_ids.(ix.Parqo_catalog.Index.disk mod nd) in
-    work.(d) <- work.(d) +. w
+    work.(d) <- work.(d) +. (w /. pc.speeds.(d))
   end
 
 let finish_atomic (pc : Placement.cache) overhead work lanes =
@@ -77,8 +83,8 @@ let base (pc : Placement.cache) est node =
   | Op.Seq_scan { rel } ->
     let raw = Est.raw_card est rel in
     let disks = pc.disks_of_rel.(rel) in
-    spread work disks (raw /. tpp *. p.io_page_cost);
-    spread_n work cpu_ids n_used (raw *. p.cpu_tuple_cost);
+    spread work pc.speeds disks (raw /. tpp *. p.io_page_cost);
+    spread_n work pc.speeds cpu_ids n_used (raw *. p.cpu_tuple_cost);
     let lanes =
       if n_cpus = 0 then max 1 (min clone (Array.length disks)) else lanes
     in
@@ -90,39 +96,39 @@ let base (pc : Placement.cache) est node =
     in
     on_index_disk pc work index
       (raw /. tpp *. p.index_page_factor *. penalty *. p.io_page_cost);
-    spread_n work cpu_ids n_used (raw *. p.cpu_tuple_cost);
+    spread_n work pc.speeds cpu_ids n_used (raw *. p.cpu_tuple_cost);
     finish_atomic pc p.clone_overhead work lanes
   | Op.Sort _ ->
     let n = (child node 0).Op.out_card in
     let per_lane = Parqo_util.Vecf.fmax 1. (n /. float_of_int lanes) in
-    spread_n work cpu_ids n_used
+    spread_n work pc.speeds cpu_ids n_used
       (n *. log2 (Parqo_util.Vecf.fmax 2. per_lane) *. p.cpu_compare_cost);
     if per_lane > p.sort_memory_tuples then
-      spread work pc.spill.(n_used) (2. *. (n /. tpp) *. p.io_page_cost);
+      spread work pc.speeds pc.spill.(n_used) (2. *. (n /. tpp) *. p.io_page_cost);
     finish_blocking p.clone_overhead work lanes
   | Op.Merge_join ->
     let outer = (child node 0).Op.out_card and inner = (child node 1).Op.out_card in
-    spread_n work cpu_ids n_used
+    spread_n work pc.speeds cpu_ids n_used
       (((outer +. inner) *. p.cpu_compare_cost)
       +. (node.Op.out_card *. p.cpu_tuple_cost));
     finish_atomic pc p.clone_overhead work lanes
   | Op.Hash_build ->
     let n = (child node 0).Op.out_card in
     let per_lane = n /. float_of_int lanes in
-    spread_n work cpu_ids n_used (n *. p.cpu_hash_cost);
+    spread_n work pc.speeds cpu_ids n_used (n *. p.cpu_hash_cost);
     (* a build larger than per-clone memory Grace-partitions to disk:
        one write and one read pass over the build input *)
     if per_lane > p.hash_memory_tuples then
-      spread work pc.spill.(n_used) (2. *. (n /. tpp) *. p.io_page_cost);
+      spread work pc.speeds pc.spill.(n_used) (2. *. (n /. tpp) *. p.io_page_cost);
     finish_blocking p.clone_overhead work lanes
   | Op.Hash_probe ->
     let outer = (child node 0).Op.out_card in
     let build_per_lane = (child node 1).Op.out_card /. float_of_int lanes in
-    spread_n work cpu_ids n_used
+    spread_n work pc.speeds cpu_ids n_used
       ((outer *. p.cpu_hash_cost) +. (node.Op.out_card *. p.cpu_tuple_cost));
     (* when the build spilled, the probe input is partitioned too *)
     if build_per_lane > p.hash_memory_tuples then
-      spread work pc.spill.(n_used) (2. *. (outer /. tpp) *. p.io_page_cost);
+      spread work pc.speeds pc.spill.(n_used) (2. *. (outer /. tpp) *. p.io_page_cost);
     finish_atomic pc p.clone_overhead work lanes
   | Op.Nl_join ->
     let outer = (child node 0).Op.out_card in
@@ -132,25 +138,25 @@ let base (pc : Placement.cache) est node =
     | Op.Index_scan { index; _ } ->
       (* index nested loops: probe the index once per outer tuple *)
       on_index_disk pc work index (outer *. p.nl_index_probe_io *. p.io_page_cost);
-      spread_n work cpu_ids n_used ((outer *. p.cpu_hash_cost) +. result_cpu)
+      spread_n work pc.speeds cpu_ids n_used ((outer *. p.cpu_hash_cost) +. result_cpu)
     | Op.Create_index _ ->
       (* probe the temporary index, in memory *)
-      spread_n work cpu_ids n_used ((outer *. p.cpu_hash_cost) +. result_cpu)
+      spread_n work pc.speeds cpu_ids n_used ((outer *. p.cpu_hash_cost) +. result_cpu)
     | _ ->
       (* pure nested loops over a once-computed, memory-resident inner *)
-      spread_n work cpu_ids n_used
+      spread_n work pc.speeds cpu_ids n_used
         ((outer *. inner.Op.out_card *. p.cpu_compare_cost) +. result_cpu));
     finish_atomic pc p.clone_overhead work lanes
   | Op.Create_index _ ->
     let n = (child node 0).Op.out_card in
-    spread_n work cpu_ids n_used
+    spread_n work pc.speeds cpu_ids n_used
       ((n *. log2 (Parqo_util.Vecf.fmax 2. n) *. p.cpu_compare_cost)
       +. (n *. p.cpu_hash_cost));
     finish_blocking p.clone_overhead work lanes
   | Op.Exchange _ ->
     let n = node.Op.out_card in
-    spread_n work cpu_ids n_used (2. *. n *. p.cpu_tuple_cost);
+    spread_n work pc.speeds cpu_ids n_used (2. *. n *. p.cpu_tuple_cost);
     (match pc.network_id with
-    | Some r -> work.(r) <- work.(r) +. (n *. p.net_tuple_cost)
+    | Some r -> work.(r) <- work.(r) +. (n *. p.net_tuple_cost /. pc.speeds.(r))
     | None -> ());
     finish_atomic pc p.clone_overhead work lanes

@@ -9,9 +9,22 @@ let take n l =
   in
   go n l
 
+(* in-service CPUs fastest first, ids breaking ties: on a homogeneous
+   machine this is exactly ascending-id order, and a degree-k clone on a
+   heterogeneous machine runs on the k fastest CPUs — the slowest chosen
+   clone dominates the stage (Frisk et al.'s balance bound), so skipping
+   a faster CPU can never help *)
+let cpu_order m =
+  M.cpus m
+  |> List.sort (fun (a : R.t) (b : R.t) ->
+         match Float.compare b.R.speed a.R.speed with
+         | 0 -> compare a.R.id b.R.id
+         | c -> c)
+  |> List.map (fun r -> r.R.id)
+
 let cpus_for m ~clone =
   if clone < 1 then invalid_arg "Placement.cpus_for: clone < 1";
-  take clone (M.cpu_ids m)
+  take clone (cpu_order m)
 
 let effective_clone m clone =
   let n = List.length (M.cpu_ids m) in
@@ -68,11 +81,14 @@ type cache = {
   spill : int array array;
       (* [spill.(k)]: spill disks of the first [k] CPUs, [0 <= k <= n_cpus] *)
   disks_of_rel : int array array;  (* indexed by relation id *)
+  speeds : float array;
+      (* per resource id; only in-service ids (speed > 0) are ever read
+         by costing, since every id group above excludes the rest *)
   zero_usage : Rvec.t;  (* shared all-zero usage vector *)
 }
 
 let prepare machine ~tables =
-  let cpu_id_list = M.cpu_ids machine in
+  let cpu_id_list = cpu_order machine in
   let n_cpus = List.length cpu_id_list in
   let dim = M.n_resources machine in
   {
@@ -86,5 +102,6 @@ let prepare machine ~tables =
           Array.of_list (spill_disks machine ~cpus:(take k cpu_id_list)));
     disks_of_rel =
       Array.map (fun t -> Array.of_list (disks_for_table machine t)) tables;
+    speeds = Array.init dim (M.speed machine);
     zero_usage = Rvec.zero dim;
   }

@@ -2,14 +2,22 @@
 
     The paper's cloning annotation names an explicit resource set; the
     optimizer needs a policy to pick those sets.  This one is the simplest
-    judicious choice: the first [k] CPUs host a degree-[k] clone, sorts
+    judicious choice: the [k] fastest CPUs (ids breaking ties, so the
+    homogeneous order is the id order) host a degree-[k] clone, sorts
     spill to each CPU's site-local disk, and abstract catalog disk indexes
     map round-robin onto the machine's disks. *)
 
+val cpu_order : Parqo_machine.Machine.t -> int list
+(** In-service CPU ids, fastest first (descending speed, ascending id on
+    ties) — identical to {!Parqo_machine.Machine.cpu_ids} when all speeds
+    are equal. *)
+
 val cpus_for : Parqo_machine.Machine.t -> clone:int -> int list
 (** Resource ids of the CPUs executing a degree-[clone] operator: the
-    [min clone n_cpus] lowest-id CPUs; [[]] on a machine without CPUs
-    (CPU work is then not modeled, as in the paper's Example 3). *)
+    [min clone n_cpus] fastest CPUs; [[]] on a machine without CPUs
+    (CPU work is then not modeled, as in the paper's Example 3).  A
+    slowest-chosen-clone term dominates the stage time, so taking the
+    fastest [k] reproduces the heterogeneous-machines balance bound. *)
 
 val effective_clone : Parqo_machine.Machine.t -> int -> int
 (** Clone degree clamped to the number of CPUs (at least 1). *)
@@ -48,6 +56,10 @@ type cache = {
           for [0 <= k <= n_cpus] *)
   disks_of_rel : int array array;
       (** {!disks_for_table} per relation id *)
+  speeds : float array;
+      (** {!Parqo_machine.Machine.speed} per resource id — what costing
+          divides per-resource demand shares by.  Only in-service ids
+          are ever read. *)
   zero_usage : Rvec.t;
       (** shared all-zero usage vector (immutable, safe to embed in any
           descriptor) *)

@@ -35,10 +35,7 @@ let maximal survivors =
     [] keyed
   |> List.rev
 
-let construct (env : Env.t) ~survivors ~down ~round =
-  match M.degrade env.Env.machine ~down with
-  | exception Invalid_argument msg -> Error msg
-  | machine -> (
+let construct (env : Env.t) ~survivors ~machine ~round =
     let q = Env.query env in
     let est = env.Env.estimator in
     let n_disks = List.length (M.disk_ids machine) in
@@ -92,4 +89,3 @@ let construct (env : Env.t) ~survivors ~down ~round =
     | exception Invalid_argument msg -> Error ("residual query: " ^ msg)
     | env' ->
       Ok { env = env'; checkpoints; n_relations = Q.n_relations (Env.query env') }
-    )

@@ -8,16 +8,17 @@
     the subtree root's estimated [out_card], schema = the mangled union
     of the covered relations' columns, declustered over every in-service
     disk), the query is {!Parqo_query.Query.contract}ed over the covered
-    relation groups, and the machine is {!Parqo_machine.Machine.degrade}d
-    by the lost resources — so the optimizer re-plans exactly the work
-    that remains, on the machine that remains. *)
+    relation groups, and the environment is created on the machine the
+    caller observed — degraded, rescaled or grown — so the optimizer
+    re-plans exactly the work that remains, on the machine that
+    remains. *)
 
 type t = {
   env : Env.t;
-      (** environment for the residual query on the degraded machine;
+      (** environment for the residual query on the given machine;
           optimize this, then lower the winner with
-          {!Parqo_sim.Task_graph.of_optree} (dimensions are unchanged —
-          downed resources keep their ids) *)
+          {!Parqo_sim.Task_graph.of_optree} (downed resources keep their
+          ids; a grown machine appends dimensions) *)
   checkpoints : (string * Parqo_optree.Op.node) list;
       (** synthetic table name → the surviving subtree it stands for *)
   n_relations : int;  (** relation count of the residual query *)
@@ -26,12 +27,16 @@ type t = {
 val construct :
   Env.t ->
   survivors:Parqo_optree.Op.node list ->
-  down:int list ->
+  machine:Parqo_machine.Machine.t ->
   round:int ->
   (t, string) result
 (** [survivors] are the op roots of surviving materialized stages (in
     any order; non-maximal ones — nested inside another survivor — are
-    dropped).  [down] lists resource ids out of service; [round] numbers
-    the re-plan so synthetic names stay unique across repeated
-    re-planning.  Errors (rather than raises) when no usable residual
-    environment exists, e.g. degrading would leave no resources. *)
+    dropped; the empty list re-plans the whole query from scratch).
+    [machine] is the effective machine to re-plan on — typically the
+    original one with lost resources {!Parqo_machine.Machine.degrade}d,
+    browned-out ones {!Parqo_machine.Machine.rescale}d and scale-out
+    events {!Parqo_machine.Machine.grow}n on.  [round] numbers the
+    re-plan so synthetic names stay unique across repeated re-planning.
+    Errors (rather than raises) when no usable residual environment
+    exists. *)

@@ -1,3 +1,5 @@
+module Parqo_error = Parqo_util.Parqo_error
+
 type params = {
   io_page_cost : float;
   cpu_tuple_cost : float;
@@ -19,7 +21,7 @@ type t = {
   resources : Resource.t array;
   nodes : int;
   params : params;
-  down : int list;
+  nominal : float array;
 }
 
 let default_params =
@@ -42,11 +44,19 @@ let default_params =
 
 let n_resources m = Array.length m.resources
 let resource m id = m.resources.(id)
-let available m id = not (List.mem id m.down)
+let speed m id = m.resources.(id).Resource.speed
+
+let available m id =
+  id >= 0 && id < Array.length m.resources && speed m id > 0.
+
+let down_ids m =
+  Array.to_list m.resources
+  |> List.filter_map (fun r ->
+         if Resource.in_service r then None else Some r.Resource.id)
 
 let by_kind m kind =
   Array.to_list m.resources
-  |> List.filter (fun r -> r.Resource.kind = kind && available m r.Resource.id)
+  |> List.filter (fun r -> r.Resource.kind = kind && Resource.in_service r)
 
 let cpus m = by_kind m Resource.Cpu
 let disks m = by_kind m Resource.Disk
@@ -57,23 +67,116 @@ let network m =
 let cpu_ids m = List.map (fun r -> r.Resource.id) (cpus m)
 let disk_ids m = List.map (fun r -> r.Resource.id) (disks m)
 
+let effective_capacity m =
+  Array.fold_left (fun acc r -> acc +. r.Resource.speed) 0. m.resources
+
+(* in-service / total per kind, for kinds present in the topology *)
+let census m =
+  List.filter_map
+    (fun kind ->
+      let total =
+        Array.fold_left
+          (fun n r -> if r.Resource.kind = kind then n + 1 else n)
+          0 m.resources
+      in
+      if total = 0 then None
+      else
+        let up = List.length (by_kind m kind) in
+        Some (kind, up, total))
+    [ Resource.Cpu; Resource.Disk; Resource.Network ]
+
+let census_to_string c =
+  String.concat ", "
+    (List.map
+       (fun (k, up, total) ->
+         Printf.sprintf "%s %d/%d" (Resource.kind_to_string k) up total)
+       c)
+
+(* Every kind present in the topology must keep at least one resource in
+   service: a machine whose disks (or only interconnect) all vanished
+   cannot host any placement, and letting it through only defers the
+   failure to a confusing place deep in costing. *)
+let validate_census ~op m =
+  let c = census m in
+  match List.find_opt (fun (_, up, _) -> up = 0) c with
+  | None -> ()
+  | Some (kind, _, _) ->
+    Parqo_error.failf ~subsystem:"machine"
+      "Machine.%s: no %s left in service (census: %s)" op
+      (Resource.kind_to_string kind)
+      (census_to_string c)
+
+let rescale_unchecked m ~speeds =
+  let n = Array.length m.resources in
+  let resources = Array.copy m.resources in
+  List.iter
+    (fun (id, s) ->
+      if not (Float.is_finite s) || s < 0. then
+        Parqo_error.failf ~subsystem:"machine"
+          "Machine.rescale: speed %g for resource %d (want finite >= 0)" s id;
+      if id >= 0 && id < n then
+        resources.(id) <- { resources.(id) with Resource.speed = s })
+    speeds;
+  { m with resources }
+
+let rescale m ~speeds =
+  let m' = rescale_unchecked m ~speeds in
+  validate_census ~op:"rescale" m';
+  m'
+
+let degrade m ~down =
+  let m' = rescale_unchecked m ~speeds:(List.map (fun id -> (id, 0.)) down) in
+  validate_census ~op:"degrade" m';
+  m'
+
+let restore ?up m =
+  let n = Array.length m.resources in
+  let ids = match up with Some ids -> ids | None -> List.init n Fun.id in
+  rescale m ~speeds:(List.filter_map
+       (fun id ->
+         if id >= 0 && id < n then Some (id, m.nominal.(id)) else None)
+       ids)
+
 let build ?(params = default_params) ~nodes specs =
   let resources =
     List.mapi
-      (fun id (kind, name, node) -> { Resource.id; kind; name; node })
+      (fun id (kind, name, node) -> { Resource.id; kind; name; node; speed = 1. })
       specs
   in
-  { resources = Array.of_list resources; nodes; params; down = [] }
+  let resources = Array.of_list resources in
+  {
+    resources;
+    nodes;
+    params;
+    nominal = Array.make (Array.length resources) 1.;
+  }
 
-let degrade m ~down =
-  let n = Array.length m.resources in
-  let down =
-    List.filter (fun id -> id >= 0 && id < n) down
-    |> List.rev_append m.down
-    |> List.sort_uniq compare
-  in
-  if List.length down >= n then invalid_arg "Machine.degrade: no resource left";
-  { m with down }
+let grow ?(speed = 1.) m specs =
+  if not (Float.is_finite speed) || speed <= 0. then
+    Parqo_error.failf ~subsystem:"machine"
+      "Machine.grow: speed %g (want finite > 0)" speed;
+  if specs = [] then m
+  else begin
+    let n = Array.length m.resources in
+    let added =
+      List.mapi
+        (fun i (kind, name, node) ->
+          { Resource.id = n + i; kind; name; node; speed })
+        specs
+    in
+    let nodes =
+      List.fold_left
+        (fun acc (_, _, node) -> if node >= acc then node + 1 else acc)
+        m.nodes specs
+    in
+    {
+      m with
+      resources = Array.append m.resources (Array.of_list added);
+      nodes;
+      nominal =
+        Array.append m.nominal (Array.make (List.length specs) speed);
+    }
+  end
 
 let shared_nothing ?params ~nodes () =
   if nodes < 1 then invalid_arg "Machine.shared_nothing";
@@ -106,7 +209,7 @@ let node_resource m node kind =
     Array.to_list m.resources
     |> List.find_opt (fun r ->
            r.Resource.node = node && r.Resource.kind = kind
-           && available m r.Resource.id)
+           && Resource.in_service r)
   in
   match found with Some r -> r | None -> raise Not_found
 
@@ -146,7 +249,7 @@ let pp ppf m =
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        Resource.pp)
     (Array.to_list m.resources)
-    (match m.down with
+    (match down_ids m with
     | [] -> ""
     | ids ->
       Printf.sprintf "; down: %s"

@@ -4,7 +4,15 @@
     the cost model.  The paper's solution is architecture-independent
     ("differences across architectures appear as variations in the precise
     details of the cost model", §1); the constructors below provide the
-    standard configurations used in the experiments. *)
+    standard configurations used in the experiments.
+
+    Resources carry a relative {!Resource.t.speed}: 1.0 is the nominal
+    rate the cost constants are calibrated for, fractional speeds model
+    browned-out (throttled, slow) resources, and speed 0 is out of
+    service.  {!degrade} is the speed-0 special case of the general
+    {!rescale}/{!restore}/{!grow} lifecycle; all three preserve existing
+    resource ids, so resource-vector dimensions stay stable ({!grow} only
+    appends). *)
 
 type params = {
   io_page_cost : float;  (** time units to read or write one page *)
@@ -43,30 +51,59 @@ type t = {
   resources : Resource.t array;  (** indexed by [Resource.id] *)
   nodes : int;  (** number of sites *)
   params : params;
-  down : int list;
-      (** resource ids removed by {!degrade} — excluded from the
-          kind/node accessors (and hence from placement), but still
-          present in [resources] so ids and vector dimensions are
-          stable *)
+  nominal : float array;
+      (** per-resource speed at construction ({!build}: 1.0; {!grow}: the
+          grow speed) — what {!restore} returns a resource to *)
 }
 
 val default_params : params
 
 val n_resources : t -> int
-(** Includes downed resources: resource-vector dimensions never change
-    under {!degrade}. *)
+(** Includes out-of-service resources: resource-vector dimensions never
+    change under {!degrade}/{!rescale}. *)
 
 val resource : t -> int -> Resource.t
 
+val speed : t -> int -> float
+(** Current relative speed of a resource id; 0 when out of service. *)
+
 val available : t -> int -> bool
-(** False exactly for the ids in [down]. *)
+(** True when the id is in range and its speed is positive. *)
+
+val down_ids : t -> int list
+(** Ids with speed 0, ascending. *)
+
+val effective_capacity : t -> float
+(** Sum of all resource speeds — the machine's speed-weighted capacity
+    (a homogeneous machine contributes exactly [n_resources]). *)
+
+val rescale : t -> speeds:(int * float) list -> t
+(** A machine with the listed resource ids set to the given absolute
+    speeds (later entries win).  Ids keep their positions and dimensions;
+    speed-0 resources disappear from {!cpus}/{!disks}/{!network}/
+    {!node_cpu}/… so no new plan places work on them.  Out-of-range ids
+    are ignored.  Raises {!Parqo_error.Error} if a speed is negative or
+    not finite, or if any resource kind present in the topology would be
+    left with nothing in service (the error carries the surviving-resource
+    census). *)
 
 val degrade : t -> down:int list -> t
-(** A machine with the given resource ids (unioned with any already
-    down) removed from service: they keep their ids and dimensions but
-    disappear from {!cpus}/{!disks}/{!network}/{!node_cpu}/… so no new
-    plan places work on them.  Out-of-range ids are ignored; raises
-    [Invalid_argument] if nothing would remain in service. *)
+(** [rescale] to speed 0: the given ids (in addition to any already out
+    of service) are removed from service.  Same validation and
+    out-of-range behavior as {!rescale}. *)
+
+val restore : ?up:int list -> t -> t
+(** The listed ids (default: all) back at their {!t.nominal} speed — the
+    recovery dual of {!degrade}/{!rescale}.  Out-of-range ids are
+    ignored. *)
+
+val grow : ?speed:float -> t -> (Resource.kind * string * int) list -> t
+(** A machine with the given [(kind, name, node)] resources appended at
+    the given speed (default 1.0), continuing the dense id sequence —
+    existing ids and vector dimensions are untouched, which is what lets
+    a mid-run plan splice onto a grown machine.  [nodes] expands to cover
+    any new site index.  Raises {!Parqo_error.Error} on a non-positive or
+    non-finite speed. *)
 
 val cpus : t -> Resource.t list
 (** In-service CPUs only (see {!degrade}); likewise for the accessors

@@ -1,13 +1,17 @@
 type kind = Cpu | Disk | Network
 
-type t = { id : int; kind : kind; name : string; node : int }
+type t = { id : int; kind : kind; name : string; node : int; speed : float }
 
 let kind_to_string = function
   | Cpu -> "cpu"
   | Disk -> "disk"
   | Network -> "network"
 
+let in_service r = r.speed > 0.
+
 let pp ppf r =
-  Format.fprintf ppf "%s(id=%d,node=%d)" r.name r.id r.node
+  if r.speed = 1. then Format.fprintf ppf "%s(id=%d,node=%d)" r.name r.id r.node
+  else
+    Format.fprintf ppf "%s(id=%d,node=%d,speed=%.3g)" r.name r.id r.node r.speed
 
 let equal a b = a.id = b.id

@@ -12,9 +12,16 @@ type t = {
   kind : kind;
   name : string;  (** e.g. ["cpu0"], ["disk1"], ["net"] *)
   node : int;  (** site that hosts the resource; network links use [-1] *)
+  speed : float;
+      (** relative service rate: 1.0 is the nominal resource the cost
+          constants are calibrated for, 0.5 delivers work at half rate,
+          0 means out of service.  See {!Machine.rescale}. *)
 }
 
 val kind_to_string : kind -> string
+
+val in_service : t -> bool
+(** [speed > 0.] *)
 
 val pp : Format.formatter -> t -> unit
 

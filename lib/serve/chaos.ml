@@ -6,6 +6,7 @@ type config = {
   slow_seconds : float;
   poison_rate : float;
   epoch_bump_every : int;
+  machine_event_rate : float;
 }
 
 let none =
@@ -15,6 +16,7 @@ let none =
     slow_seconds = 0.;
     poison_rate = 0.;
     epoch_bump_every = 0;
+    machine_event_rate = 0.;
   }
 
 let default ?(seed = 0) () =
@@ -24,10 +26,12 @@ let default ?(seed = 0) () =
     slow_seconds = 0.02;
     poison_rate = 0.05;
     epoch_bump_every = 100;
+    machine_event_rate = 0.;
   }
 
 let is_active c =
   c.slow_rate > 0. || c.poison_rate > 0. || c.epoch_bump_every > 0
+  || c.machine_event_rate > 0.
 
 let validate c =
   if c.slow_rate < 0. || c.slow_rate > 1. then
@@ -36,6 +40,8 @@ let validate c =
   else if c.poison_rate < 0. || c.poison_rate >= 1. then
     Error "poison_rate must be in [0, 1)"
   else if c.epoch_bump_every < 0 then Error "epoch_bump_every must be >= 0"
+  else if c.machine_event_rate < 0. || c.machine_event_rate > 1. then
+    Error "machine_event_rate must be in [0, 1]"
   else Ok ()
 
 type draw = { poisoned : bool; slow : bool; bump_epoch : bool }
@@ -60,3 +66,36 @@ let draw c ~request ~attempt =
       c.epoch_bump_every > 0 && attempt = 1
       && request mod c.epoch_bump_every = c.epoch_bump_every - 1;
   }
+
+type machine_op =
+  | M_degrade of int
+  | M_rescale of int * float
+  | M_restore
+
+(* Machine events ride the same generator, consuming fresh uniforms
+   AFTER the poison and slow draws — same seed, same poison/slow trace
+   as before machine events existed.  First attempts only: a retry must
+   see a machine that stops moving under it.  The op mix leans towards
+   perturbation (degrade/brownout) with periodic full restores so a long
+   trace does not drift monotonically towards an empty machine — and the
+   server skips any op its machine's census rejects. *)
+let machine_draw c ~request ~attempt ~n_resources =
+  if c.machine_event_rate <= 0. || attempt <> 1 || n_resources <= 0 then None
+  else begin
+    let key =
+      ((c.seed * 0x2545F491) + (request * 0x9E3779B1)) + (attempt * 0x85EBCA77)
+    in
+    let rng = Rng.create key in
+    let _u_poison = Rng.float rng 1. in
+    let _u_slow = Rng.float rng 1. in
+    let u_fire = Rng.float rng 1. in
+    if u_fire >= c.machine_event_rate then None
+    else begin
+      let u_op = Rng.float rng 1. in
+      let resource = Rng.int rng n_resources in
+      let factor = 0.2 +. (0.7 *. Rng.float rng 1.) in
+      if u_op < 0.35 then Some (M_degrade resource)
+      else if u_op < 0.75 then Some (M_rescale (resource, factor))
+      else Some M_restore
+    end
+  end

@@ -23,6 +23,10 @@ type config = {
   epoch_bump_every : int;
       (** a catalog epoch bump lands mid-request every this many
           requests; [0] disables *)
+  machine_event_rate : float;
+      (** fraction of first attempts on which the machine itself moves —
+          a resource fail-stops, browns out, or the machine restores to
+          nominal (see {!machine_draw}); [0.] disables *)
 }
 
 val none : config
@@ -41,3 +45,21 @@ val draw : config -> request:int -> attempt:int -> draw
 (** The chaos outcome for one serving attempt ([attempt] is 1-based).
     [bump_epoch] only ever fires on attempt 1, so a retried request
     cannot be re-bumped forever. *)
+
+type machine_op =
+  | M_degrade of int  (** fail-stop the resource (speed 0) *)
+  | M_rescale of int * float  (** brown the resource out to the factor *)
+  | M_restore  (** every resource back to its nominal speed *)
+
+val machine_draw :
+  config -> request:int -> attempt:int -> n_resources:int ->
+  machine_op option
+(** The machine event, if any, landing before this attempt.  Pure in
+    [(seed, request, attempt)] like {!draw}, and drawn from uniforms
+    {e after} the poison/slow draws, so enabling machine events changes
+    neither the poison nor the slow trace of a seed.  [None] whenever
+    [machine_event_rate] is [0.], on retries ([attempt <> 1] — the
+    machine must not move under a retry), or on an empty machine.
+    Resource ids are drawn below [n_resources]; the server skips ops its
+    machine's per-kind census rejects (e.g. degrading the only
+    network). *)

@@ -79,6 +79,7 @@ type stats = {
   rejected : int;
   retries : int;
   epoch_bumps : int;
+  machine_events : int;
   cache_hits : int;
   cache_misses : int;
   max_in_flight : int;
@@ -189,6 +190,7 @@ let serve_one t (req : request) ~start =
     (Degraded reason, Some plan, false)
   in
   let used = ref 0 in
+  let mevents = ref 0 in
   let rec attempt n last_err =
     if n > t.config.max_attempts then
       degrade (Printf.sprintf "retries exhausted: %s" last_err)
@@ -197,6 +199,28 @@ let serve_one t (req : request) ~start =
       let d = Chaos.draw t.config.chaos ~request:req.id ~attempt:n in
       if d.Chaos.slow then
         service := !service +. t.config.chaos.Chaos.slow_seconds;
+      (* the machine may move under the request: apply the drawn event
+         through [update_machine] (epoch bump and all) BEFORE observing
+         the epoch, so a plan computed now — against the new machine —
+         is cacheable.  Census-invalid ops (degrading the only network)
+         are skipped: chaos perturbs the machine, it cannot empty it. *)
+      (match
+         Chaos.machine_draw t.config.chaos ~request:req.id ~attempt:n
+           ~n_resources:(Parqo_machine.Machine.n_resources t.machine)
+       with
+      | None -> ()
+      | Some op -> (
+        let module M = Parqo_machine.Machine in
+        match
+          match op with
+          | Chaos.M_degrade r -> M.degrade t.machine ~down:[ r ]
+          | Chaos.M_rescale (r, f) -> M.rescale t.machine ~speeds:[ (r, f) ]
+          | Chaos.M_restore -> M.restore t.machine
+        with
+        | machine ->
+          update_machine t machine;
+          incr mevents
+        | exception Parqo_error.Error _ -> ()));
       (* observe the epoch BEFORE any mid-request bump: a bump between
          observation and [remember_at] must drop the write *)
       let epoch0 = Plan_cache.epoch t.cache in
@@ -236,7 +260,7 @@ let serve_one t (req : request) ~start =
     end
   in
   let disposition, plan, cache_hit = attempt 1 "no attempt made" in
-  (disposition, plan, cache_hit, !service, !bumps, !used, fp)
+  (disposition, plan, cache_hit, !service, !bumps, !mevents, !used, fp)
 
 let run t (reqs : request array) =
   let n = Array.length reqs in
@@ -259,6 +283,7 @@ let run t (reqs : request array) =
   let max_in_flight = ref 0 in
   let retries = ref 0 in
   let bumps = ref 0 in
+  let mevents = ref 0 in
   let completions =
     Array.map
       (fun req ->
@@ -282,7 +307,14 @@ let run t (reqs : request array) =
           let w = ref 0 in
           Array.iteri (fun i f -> if f < free_at.(!w) then w := i) free_at;
           let start = Float.max req.arrival free_at.(!w) in
-          let disposition, plan, cache_hit, service, req_bumps, attempts, fp =
+          let ( disposition,
+                plan,
+                cache_hit,
+                service,
+                req_bumps,
+                req_mevents,
+                attempts,
+                fp ) =
             serve_one t req ~start
           in
           let finished = start +. service in
@@ -291,6 +323,7 @@ let run t (reqs : request array) =
           max_in_flight := max !max_in_flight (List.length !in_flight);
           retries := !retries + (attempts - 1);
           bumps := !bumps + req_bumps;
+          mevents := !mevents + req_mevents;
           {
             request = req;
             disposition;
@@ -333,6 +366,7 @@ let run t (reqs : request array) =
         rejected;
         retries = !retries;
         epoch_bumps = !bumps;
+        machine_events = !mevents;
         cache_hits = hits1 - hits0;
         cache_misses = misses1 - misses0;
         max_in_flight = !max_in_flight;

@@ -86,6 +86,9 @@ type stats = {
   rejected : int;  (** the three always sum to [n_requests] *)
   retries : int;  (** attempts beyond each request's first *)
   epoch_bumps : int;  (** chaos-injected mid-request catalog bumps *)
+  machine_events : int;
+      (** chaos machine events actually applied (census-rejected ops are
+          drawn but skipped, and not counted) *)
   cache_hits : int;
   cache_misses : int;
   max_in_flight : int;  (** never exceeds [queue_cap] *)

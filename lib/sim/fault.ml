@@ -1,13 +1,21 @@
 module Rng = Parqo_util.Rng
 
-type kind = Task_failure | Straggler | Resource_outage
+type kind = Task_failure | Straggler | Resource_outage | Scale_out
 
 let kind_name = function
   | Task_failure -> "task-failure"
   | Straggler -> "straggler"
   | Resource_outage -> "resource-outage"
+  | Scale_out -> "scale-out"
 
 type outage = { resource : int; at : float; duration : float; factor : float }
+
+type grow = {
+  g_at : float;
+  g_kind : Parqo_machine.Resource.kind;
+  g_node : int;
+  g_speed : float;
+}
 
 type config = {
   seed : int;
@@ -16,6 +24,7 @@ type config = {
   straggler_rate : float;
   straggler_factor : float;
   outages : outage list;
+  grows : grow list;
 }
 
 let none =
@@ -26,6 +35,7 @@ let none =
     straggler_rate = 0.;
     straggler_factor = 1.;
     outages = [];
+    grows = [];
   }
 
 let default ?(seed = 0) ?(straggler = false) ~fault_rate () =
@@ -36,10 +46,17 @@ let default ?(seed = 0) ?(straggler = false) ~fault_rate () =
     straggler_rate = (if straggler then fault_rate /. 2. else 0.);
     straggler_factor = 4.;
     outages = [];
+    grows = [];
   }
+
+let brownout ~resource ~at ~duration ~factor =
+  if not (factor > 0. && factor < 1.) then
+    invalid_arg "Fault.brownout: factor must be in (0, 1)";
+  { resource; at; duration; factor }
 
 let is_active c =
   c.task_fail_rate > 0. || c.straggler_rate > 0. || c.outages <> []
+  || c.grows <> []
 
 let validate c =
   let in_unit ~strict_hi x = x >= 0. && if strict_hi then x < 1. else x <= 1. in
@@ -56,6 +73,15 @@ let validate c =
         || o.resource < 0)
       c.outages
   then Error "outage fields out of range"
+  else if
+    List.exists
+      (fun g ->
+        (not (Float.is_finite g.g_at))
+        || g.g_at < 0.
+        || (not (Float.is_finite g.g_speed))
+        || g.g_speed <= 0. || g.g_node < -1)
+      c.grows
+  then Error "grow fields out of range"
   else Ok ()
 
 type draw = { fails : bool; fail_point : float; slowdown : float }
@@ -95,6 +121,23 @@ let random_outages rng ~n_resources ~horizon ~rate ~mean_duration =
     List.rev !out
   end
 
+let random_rescales rng ~n_resources ~horizon ~rate ~mean_duration ~factor =
+  if not (factor > 0. && factor < 1.) then
+    invalid_arg "Fault.random_rescales: factor must be in (0, 1)";
+  if rate <= 0. then []
+  else begin
+    let out = ref [] in
+    for r = 0 to n_resources - 1 do
+      let t = ref (Rng.exponential rng ~mean:(horizon /. rate)) in
+      while !t < horizon do
+        let duration = Rng.exponential rng ~mean:mean_duration in
+        out := { resource = r; at = !t; duration; factor } :: !out;
+        t := !t +. duration +. Rng.exponential rng ~mean:(horizon /. rate)
+      done
+    done;
+    List.rev !out
+  end
+
 let capacity c ~time ~resource =
   List.fold_left
     (fun cap o ->
@@ -107,21 +150,22 @@ let capacity c ~time ~resource =
   |> Float.max 0.
 
 let next_capacity_change c ~after =
-  List.fold_left
-    (fun acc o ->
-      let candidates = [ o.at; o.at +. o.duration ] in
-      List.fold_left
-        (fun acc t ->
-          if t > after +. 1e-12 then
-            match acc with
-            | None -> Some t
-            | Some best -> Some (Float.min best t)
-          else acc)
-        acc candidates)
-    None c.outages
+  let pick acc t =
+    if t > after +. 1e-12 then
+      match acc with
+      | None -> Some t
+      | Some best -> Some (Float.min best t)
+    else acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc o -> List.fold_left pick acc [ o.at; o.at +. o.duration ])
+      None c.outages
+  in
+  List.fold_left (fun acc g -> pick acc g.g_at) acc c.grows
 
 let pp ppf c =
   Format.fprintf ppf
-    "faults{seed=%d fail=%.3f(max %d) straggler=%.3f(x%.1f) outages=%d}"
+    "faults{seed=%d fail=%.3f(max %d) straggler=%.3f(x%.1f) outages=%d grows=%d}"
     c.seed c.task_fail_rate c.max_fail_attempts c.straggler_rate
-    c.straggler_factor (List.length c.outages)
+    c.straggler_factor (List.length c.outages) (List.length c.grows)

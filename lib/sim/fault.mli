@@ -10,15 +10,21 @@
     - {e stragglers}: an attempt runs with all demands inflated by a
       slowdown factor (a slow disk, a contended node);
     - {e resource outages}: a whole resource loses (factor [0.]) or
-      degrades (factor in [(0,1)]) its capacity over a time window — an
-      injection {e schedule}, fixed before the run.
+      degrades — {e browns out} — (factor in [(0,1)]) its capacity over a
+      time window — an injection {e schedule}, fixed before the run;
+    - {e scale-out}: a new resource joins the machine at a given time
+      ({!grow}) — the recovery dual of an outage.  Grown resources extend
+      the resource-vector dimension; they deliver nothing before their
+      onset and nominal capacity after it (their static speed is folded
+      into demand vectors when a replanned graph is lowered on the grown
+      machine).
 
     Every random decision is a pure function of [(seed, stage, task,
     attempt)] via {!Parqo_util.Rng}, so the injected fault sequence is
     independent of simulator event ordering: the same seed and config
     reproduce the same faults, retries and makespan bit-for-bit. *)
 
-type kind = Task_failure | Straggler | Resource_outage
+type kind = Task_failure | Straggler | Resource_outage | Scale_out
 
 val kind_name : kind -> string
 
@@ -27,6 +33,13 @@ type outage = {
   at : float;  (** onset time *)
   duration : float;
   factor : float;  (** remaining capacity in [0,1]; [0.] = full loss *)
+}
+
+type grow = {
+  g_at : float;  (** time the new resource comes online *)
+  g_kind : Parqo_machine.Resource.kind;
+  g_node : int;  (** hosting site; [-1] for an interconnect *)
+  g_speed : float;  (** static relative speed of the new resource, > 0 *)
 }
 
 type config = {
@@ -38,6 +51,7 @@ type config = {
   straggler_rate : float;  (** per-attempt straggler probability *)
   straggler_factor : float;  (** demand inflation for straggler attempts, >= 1 *)
   outages : outage list;  (** the resource-loss injection schedule *)
+  grows : grow list;  (** the scale-out schedule *)
 }
 
 val none : config
@@ -47,6 +61,11 @@ val default : ?seed:int -> ?straggler:bool -> fault_rate:float -> unit -> config
 (** Fail-stop rate [fault_rate] with up to 8 failing attempts per task;
     when [straggler] (default [false]), also stragglers at half that
     rate with a 4x slowdown.  [seed] defaults to 0. *)
+
+val brownout :
+  resource:int -> at:float -> duration:float -> factor:float -> outage
+(** An {!outage} that throttles rather than kills: raises
+    [Invalid_argument] unless [factor] is strictly inside [(0, 1)]. *)
 
 val is_active : config -> bool
 (** Whether the config can inject anything at all. *)
@@ -77,13 +96,25 @@ val random_outages :
     exponential inter-arrival times of mean [horizon /. rate] within
     [[0, horizon)], each lasting an exponential [mean_duration]. *)
 
+val random_rescales :
+  Parqo_util.Rng.t ->
+  n_resources:int ->
+  horizon:float ->
+  rate:float ->
+  mean_duration:float ->
+  factor:float ->
+  outage list
+(** Like {!random_outages} but the windows are brownouts at the given
+    remaining-capacity [factor] (strictly inside [(0, 1)]). *)
+
 val capacity : config -> time:float -> resource:int -> float
 (** Available capacity of [resource] at [time]: the product of the
     factors of all outages covering [time] (clamped to [0]). [1.] when
     no outage applies. *)
 
 val next_capacity_change : config -> after:float -> float option
-(** The earliest outage onset or expiry strictly later than [after] —
-    the simulator's piecewise-constant capacity boundaries. *)
+(** The earliest outage onset or expiry — or grow onset — strictly later
+    than [after]: the simulator's piecewise-constant capacity
+    boundaries. *)
 
 val pp : Format.formatter -> config -> unit

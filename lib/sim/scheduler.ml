@@ -25,13 +25,18 @@ type job = {
   label : string;
   arrival : float;
   priority : int;
+  deadline : float option;
   graph : Task_graph.t;
 }
 
-let job ?(label = "") ?(priority = 0) ?(arrival = 0.) ~job_id graph =
-  { job_id; label; arrival; priority; graph }
+let job ?(label = "") ?(priority = 0) ?(arrival = 0.) ?deadline ~job_id graph =
+  { job_id; label; arrival; priority; deadline; graph }
 
 type event = { at : float; what : string }
+
+type machine_event = { ev_at : float; ev_resource : int; ev_speed : float }
+
+type disposition = Completed | Rejected of string
 
 type job_outcome = {
   job_id : int;
@@ -41,6 +46,7 @@ type job_outcome = {
   finished : float;
   response : float;
   work : float;
+  disposition : disposition;
   stage_start : (int * float) list;
   stage_finish : (int * float) list;
 }
@@ -56,6 +62,7 @@ type outcome = {
 
 type summary = {
   n_jobs : int;
+  n_rejected : int;
   makespan : float;
   utilization : float;
   mean : float;
@@ -72,10 +79,25 @@ let utilization (o : outcome) =
   else o.total_work /. (o.makespan *. float_of_int (Array.length o.busy))
 
 let summarize (o : outcome) =
-  let rs = Array.to_list (Array.map (fun j -> j.response) o.jobs) in
+  (* response-time statistics cover completed jobs only: a shed job never
+     ran, so folding its zero response in would flatter the tail *)
+  let rs =
+    Array.to_list o.jobs
+    |> List.filter_map (fun j ->
+           match j.disposition with
+           | Completed -> Some j.response
+           | Rejected _ -> None)
+  in
+  let n_rejected =
+    Array.fold_left
+      (fun acc j ->
+        match j.disposition with Rejected _ -> acc + 1 | Completed -> acc)
+      0 o.jobs
+  in
   let quantile q = match rs with [] -> 0. | l -> Statsu.quantile q l in
   {
     n_jobs = Array.length o.jobs;
+    n_rejected;
     makespan = o.makespan;
     utilization = utilization o;
     mean =
@@ -88,7 +110,15 @@ let summarize (o : outcome) =
     max = List.fold_left Float.max 0. rs;
   }
 
-let expected_pressure ?horizon ~n_resources (jobs : job array) =
+let effective_speeds machine =
+  let module M = Parqo_machine.Machine in
+  Array.init (M.n_resources machine) (M.speed machine)
+
+let expected_pressure ?horizon ?speeds ~n_resources (jobs : job array) =
+  (match speeds with
+  | Some s when Array.length s <> n_resources ->
+    invalid_arg "Scheduler.expected_pressure: speeds length <> n_resources"
+  | _ -> ());
   let totals = Array.make n_resources 0. in
   Array.iter
     (fun j ->
@@ -124,7 +154,20 @@ let expected_pressure ?horizon ~n_resources (jobs : job array) =
         let mean_work = total /. float_of_int (Array.length jobs) in
         Float.max eps (!hi -. !lo +. mean_work)
     in
-    Array.map (fun w -> w /. h) totals
+    (* pressure is offered load against {e effective} capacity: a
+       half-speed resource saturates at half the work, so its pressure
+       doubles.  The [None] branch is the pre-speed expression verbatim
+       (all-nominal callers stay bit-identical); a zero-speed resource
+       with offered work reads as infinitely loaded. *)
+    match speeds with
+    | None -> Array.map (fun w -> w /. h) totals
+    | Some s ->
+      Array.mapi
+        (fun r w ->
+          if s.(r) > 0. then w /. (h *. s.(r))
+          else if w > eps then infinity
+          else 0.)
+        totals
   end
 
 type stage_status = Pending | Running | Done
@@ -147,6 +190,11 @@ let validate_jobs (jobs : job array) =
       if (not (Float.is_finite j.arrival)) || j.arrival < 0. then
         Parqo_error.failf ~subsystem:"scheduler"
           "job %d has invalid arrival" j.job_id;
+      (match j.deadline with
+      | Some d when (not (Float.is_finite d)) || d <= 0. ->
+        Parqo_error.failf ~subsystem:"scheduler"
+          "job %d has invalid deadline" j.job_id
+      | _ -> ());
       match Task_graph.validate j.graph with
       | Ok () -> ()
       | Error msg ->
@@ -154,6 +202,46 @@ let validate_jobs (jobs : job array) =
           j.job_id msg)
     jobs;
   nr
+
+let validate_events ~nr (events : machine_event list) =
+  let evs = Array.of_list events in
+  Array.iter
+    (fun e ->
+      if (not (Float.is_finite e.ev_at)) || e.ev_at < 0. then
+        Parqo_error.failf ~subsystem:"scheduler"
+          "machine event has invalid instant %g" e.ev_at;
+      if e.ev_resource < 0 || e.ev_resource >= nr then
+        Parqo_error.failf ~subsystem:"scheduler"
+          "machine event resource %d out of range (workload has %d)"
+          e.ev_resource nr;
+      if (not (Float.is_finite e.ev_speed)) || e.ev_speed < 0. then
+        Parqo_error.failf ~subsystem:"scheduler"
+          "machine event has invalid speed %g" e.ev_speed)
+    evs;
+  (* stable sort: same-instant events on one resource apply in list
+     order, so the last one given wins *)
+  let order = Array.init (Array.length evs) Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare evs.(a).ev_at evs.(b).ev_at with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let sorted = Array.map (fun i -> evs.(i)) order in
+  (* drop no-op events: an event that leaves the resource at its current
+     speed does not change the piecewise-constant capacity, and keeping
+     it would still split a drain segment at its instant — so an
+     all-nominal event list must reduce to no events for the bit-identity
+     contract to hold *)
+  let cur = Array.make nr 1. in
+  Array.to_list sorted
+  |> List.filter (fun e ->
+         if e.ev_speed = cur.(e.ev_resource) then false
+         else begin
+           cur.(e.ev_resource) <- e.ev_speed;
+           true
+         end)
+  |> Array.of_list
 
 (* The event loop is [Simulator.run_clean ~mode:Concurrent] lifted to a
    set of jobs.  Per resource and instant, the policy selects the
@@ -168,9 +256,29 @@ let validate_jobs (jobs : job array) =
    arithmetic is bit-for-bit the single-query simulator's — the
    degenerate case is Int64-identical by construction, and the total
    drain rate on a demanded resource is exactly 1, so per-resource busy
-   time equals delivered work (busy conservation). *)
-let run ?(policy = Fair_share) (jobs_in : job array) =
+   time equals delivered work (busy conservation).
+
+   [events] makes the machine itself time-varying: each event sets a
+   resource's absolute speed from its instant on (piecewise-constant
+   capacity).  A task draining resource [r] then drains at
+   [speed(r) / factor] and busy accrues [dt * speed(r)] — delivered
+   work, so busy conservation holds against {e effective} capacity.
+   With no events every speed is [1.0] and multiplication/division by
+   [1.0] is IEEE-exact, so the no-event run is bit-identical to the
+   pre-speed scheduler.  A speed-0 window simply parks the demand until
+   a later event restores capacity; demand parked on a dead resource
+   with no future event is starvation and raises rather than spinning.
+
+   [deadline] is admission control: at a job's arrival instant the
+   scheduler estimates its response as (backlog work + its own work)
+   divided by total effective speed — a processor-sharing bound that
+   ignores placement, so it is optimistic per-resource but monotone in
+   load — and sheds the job ([Rejected]) when the estimate exceeds its
+   deadline.  Shed jobs never run: no stage starts, no busy accrues. *)
+let run ?(policy = Fair_share) ?(events = []) (jobs_in : job array) =
   let nr = validate_jobs jobs_in in
+  let mevents = validate_events ~nr events in
+  let n_mev = Array.length mevents in
   let nj = Array.length jobs_in in
   let jobs = Array.copy jobs_in in
   (* deterministic processing order: (arrival, job_id) *)
@@ -244,7 +352,27 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
     if jobs.(p).label <> "" then jobs.(p).label
     else Printf.sprintf "q%d" jobs.(p).job_id
   in
+  (* piecewise-constant effective speed per resource; events already
+     sorted by instant, applied once their time comes *)
+  let speed_now = Array.make nr 1. in
+  let ev_idx = ref 0 in
+  let apply_due_events () =
+    while
+      !ev_idx < n_mev && mevents.(!ev_idx).ev_at <= !time +. 1e-12
+    do
+      let e = mevents.(!ev_idx) in
+      speed_now.(e.ev_resource) <- e.ev_speed;
+      emit
+        (Printf.sprintf "resource %d speed -> %.3g" e.ev_resource e.ev_speed);
+      incr ev_idx
+    done
+  in
+  (* next machine-event instant strictly in the future, if any *)
+  let next_event_instant () =
+    if !ev_idx < n_mev then mevents.(!ev_idx).ev_at else infinity
+  in
   let arrived = Array.make nj false in
+  let rejected = Array.make nj None in
   let finished_at = Array.make nj nan in
   let finished p = not (Float.is_nan finished_at.(p)) in
   let active p = arrived.(p) && not (finished p) in
@@ -283,11 +411,6 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
         end)
       order
   in
-  let activate p =
-    arrived.(p) <- true;
-    emit (jname p ^ " arrives");
-    start_ready p
-  in
   (* next arrival instant strictly in the future, if any *)
   let next_arrival () =
     Array.fold_left
@@ -305,6 +428,34 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
           remaining.(p).(id)
     done;
     !acc
+  in
+  (* admission estimate at arrival: (backlog + own work) over total
+     effective speed — the processor-sharing completion bound.  [infinity]
+     during a total blackout with work on offer. *)
+  let estimated_response () =
+    (* the candidate is already marked arrived, so the active sweep
+       counts its full (undrained) work alongside the backlog *)
+    let backlog = ref 0. in
+    Array.iter (fun q -> if active q then backlog := !backlog +. remaining_work q) order;
+    let cap = Array.fold_left ( +. ) 0. speed_now in
+    if cap > eps then !backlog /. cap
+    else if !backlog > eps then infinity
+    else 0.
+  in
+  let activate p =
+    arrived.(p) <- true;
+    match jobs.(p).deadline with
+    | Some dl when estimated_response () > dl +. 1e-12 ->
+      let reason =
+        Printf.sprintf "estimated response %.3g exceeds deadline %.3g"
+          (estimated_response ()) dl
+      in
+      rejected.(p) <- Some reason;
+      finished_at.(p) <- !time;
+      emit (Printf.sprintf "%s rejected (%s)" (jname p) reason)
+    | _ ->
+      emit (jname p ^ " arrives");
+      start_ready p
   in
   (* counts.(p).(r): running tasks of job p demanding r — the
      within-job sharing degree, exactly run_clean's [count] *)
@@ -390,9 +541,14 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
   in
   let total_stages = Array.fold_left ( + ) 0 n_stages in
   let guard = ref 0 in
-  let max_events = (1000 * (1 + total_stages) * (1 + nr)) + (10 * nj) in
+  let max_events =
+    (1000 * (1 + total_stages) * (1 + nr)) + (10 * nj) + (10 * n_mev)
+  in
   while (not (all_jobs_done ())) && !guard < max_events do
     incr guard;
+    (* machine events first: admission at this instant must see the
+       capacity the events just set *)
+    apply_due_events ();
     (* activate everything due at the current instant *)
     Array.iter
       (fun p ->
@@ -413,20 +569,23 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
                   (fun demands ->
                     Array.iteri
                       (fun r d ->
-                        if d > eps && factor.(p).(r) > 0. then
-                          dt := Float.min !dt (d *. factor.(p).(r)))
+                        if d > eps && factor.(p).(r) > 0. && speed_now.(r) > 0.
+                        then
+                          dt :=
+                            Float.min !dt (d *. factor.(p).(r) /. speed_now.(r)))
                       demands)
                   remaining.(p).(id)
             done)
         order;
       let na = next_arrival () in
-      if na -. !time < !dt then begin
-        (* the next event is an arrival: drain the gap, then land
-           exactly on the arrival instant *)
-        let dt = na -. !time in
+      let nb = Float.min na (next_event_instant ()) in
+      if nb -. !time < !dt then begin
+        (* the next event is an arrival or a machine event: drain the
+           gap, then land exactly on the boundary instant *)
+        let dt = nb -. !time in
         if dt > 0. then begin
           for r = 0 to nr - 1 do
-            if contended.(r) then busy.(r) <- busy.(r) +. dt
+            if contended.(r) then busy.(r) <- busy.(r) +. (dt *. speed_now.(r))
           done;
           Array.iter
             (fun p ->
@@ -438,7 +597,9 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
                         Array.iteri
                           (fun r d ->
                             if d > eps && factor.(p).(r) > 0. then begin
-                              let d' = d -. (dt /. factor.(p).(r)) in
+                              let d' =
+                                d -. (dt *. speed_now.(r) /. factor.(p).(r))
+                              in
                               demands.(r) <- (if d' <= eps then 0. else d');
                               if
                                 d' <= eps
@@ -453,7 +614,7 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
                 done)
             order
         end;
-        time := na;
+        time := nb;
         Array.iter
           (fun p ->
             if active p then
@@ -468,24 +629,34 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
       end
       else if !dt = infinity then begin
         (* running stages but no drainable demand: finish them (a stage
-           whose tasks all carry zero work, as in run_clean) *)
+           whose tasks all carry zero work, as in run_clean).  If nothing
+           completes here — demand parked on zero-speed resources with no
+           arrival and no machine event left to restore them — the
+           workload is starved: raise rather than spin to the guard. *)
+        let progressed = ref false in
         Array.iter
           (fun p ->
             if active p then
               Array.iteri
                 (fun id s ->
                   ignore s;
-                  if status.(p).(id) = Running && stage_done p id then
-                    complete p id)
+                  if status.(p).(id) = Running && stage_done p id then begin
+                    complete p id;
+                    progressed := true
+                  end)
                 jobs.(p).graph.Task_graph.stages)
           order;
-        finish_jobs ()
+        finish_jobs ();
+        if (not !progressed) && not (all_jobs_done ()) then
+          Parqo_error.fail ~subsystem:"scheduler"
+            "starved: remaining demand on zero-capacity resources with no \
+             future machine event"
       end
       else begin
         let dt = !dt in
         time := !time +. dt;
         for r = 0 to nr - 1 do
-          if contended.(r) then busy.(r) <- busy.(r) +. dt
+          if contended.(r) then busy.(r) <- busy.(r) +. (dt *. speed_now.(r))
         done;
         Array.iter
           (fun p ->
@@ -497,7 +668,9 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
                       Array.iteri
                         (fun r d ->
                           if d > eps && factor.(p).(r) > 0. then begin
-                            let d' = d -. (dt /. factor.(p).(r)) in
+                            let d' =
+                              d -. (dt *. speed_now.(r) /. factor.(p).(r))
+                            in
                             demands.(r) <- (if d' <= eps then 0. else d');
                             if
                               d' <= eps
@@ -540,6 +713,10 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
           finished = finished_at.(p);
           response = finished_at.(p) -. jobs.(p).arrival;
           work = Task_graph.total_work jobs.(p).graph;
+          disposition =
+            (match rejected.(p) with
+            | None -> Completed
+            | Some reason -> Rejected reason);
           stage_start = List.rev stage_start.(p);
           stage_finish = List.rev stage_finish.(p);
         })
@@ -551,7 +728,13 @@ let run ?(policy = Fair_share) (jobs_in : job array) =
     makespan = !time;
     busy;
     total_work =
-      Array.fold_left (fun acc (j : job) -> acc +. Task_graph.total_work j.graph)
-        0. jobs;
+      (* shed jobs never ran: their offered work is not part of the
+         delivered total, keeping busy conservation exact *)
+      Array.fold_left
+        (fun acc p ->
+          match rejected.(p) with
+          | Some _ -> acc
+          | None -> acc +. Task_graph.total_work jobs.(p).graph)
+        0. order;
     trace = List.rev !trace;
   }

@@ -48,15 +48,37 @@ type job = {
   label : string;  (** for traces; [""] shows as [q<id>] *)
   arrival : float;  (** time units from workload start; finite, >= 0 *)
   priority : int;  (** larger = more urgent; only [Strict_priority] reads it *)
+  deadline : float option;
+      (** response-time budget from arrival, finite and positive; [None]
+          admits unconditionally.  At the arrival instant the scheduler
+          estimates the job's response as (active backlog + its own
+          work) / total effective speed and sheds the job ([Rejected])
+          when the estimate exceeds the budget. *)
   graph : Task_graph.t;
 }
 
 val job :
-  ?label:string -> ?priority:int -> ?arrival:float -> job_id:int ->
-  Task_graph.t -> job
-(** [label] defaults to [""], [priority] to [0], [arrival] to [0.]. *)
+  ?label:string -> ?priority:int -> ?arrival:float -> ?deadline:float ->
+  job_id:int -> Task_graph.t -> job
+(** [label] defaults to [""], [priority] to [0], [arrival] to [0.],
+    [deadline] to [None]. *)
 
 type event = { at : float; what : string }
+
+type machine_event = { ev_at : float; ev_resource : int; ev_speed : float }
+(** The machine changing under the workload: from instant [ev_at] on,
+    resource [ev_resource] delivers capacity [ev_speed] (absolute, not a
+    delta; [1.] is nominal, [0.] an outage, values in between a
+    brownout, above [1.] a speed-up).  Same-instant events on one
+    resource apply in list order — the last one wins.  An event that
+    leaves a resource at its current speed is a no-op and is dropped, so
+    an all-nominal ([1.0]) event list is bit-identical to no events at
+    all. *)
+
+type disposition =
+  | Completed
+  | Rejected of string
+      (** shed at admission; the string says why (estimate vs deadline) *)
 
 type job_outcome = {
   job_id : int;
@@ -64,9 +86,10 @@ type job_outcome = {
   arrival : float;
   started : float;  (** instant the job was admitted (its arrival) *)
   finished : float;  (** instant its last stage completed *)
-  response : float;  (** [finished - arrival] *)
-  work : float;  (** total work of its task graph *)
-  stage_start : (int * float) list;
+  response : float;  (** [finished - arrival]; [0.] for a rejected job *)
+  work : float;  (** total work of its task graph (offered, even if shed) *)
+  disposition : disposition;
+  stage_start : (int * float) list;  (** empty for a rejected job *)
   stage_finish : (int * float) list;
 }
 
@@ -74,40 +97,66 @@ type outcome = {
   policy : policy;
   jobs : job_outcome array;  (** ascending [job_id] *)
   makespan : float;  (** workload start to last completion *)
-  busy : float array;  (** per-resource busy time *)
-  total_work : float;  (** sum over jobs *)
+  busy : float array;
+      (** per-resource busy time in delivered-work units: a contended
+          resource accrues [dt * speed], so busy conservation holds
+          against effective capacity *)
+  total_work : float;  (** sum over admitted (non-rejected) jobs *)
   trace : event list;
 }
 
 type summary = {
   n_jobs : int;
+  n_rejected : int;  (** jobs shed by admission control *)
   makespan : float;
   utilization : float;
   mean : float;
   p50 : float;
   p95 : float;
-  p99 : float;  (** response-time quantiles over all jobs *)
+  p99 : float;  (** response-time quantiles over completed jobs *)
   max : float;
 }
 
-val run : ?policy:policy -> job array -> outcome
-(** Co-schedule the jobs.  [policy] defaults to [Fair_share].  Raises
-    {!Parqo_util.Parqo_error.Error} (subsystem ["scheduler"]) on an
-    empty workload, duplicate job ids, resource-dimension mismatches,
-    invalid arrivals, or graphs rejected by {!Task_graph.validate};
-    never raises on a valid workload. *)
+val run : ?policy:policy -> ?events:machine_event list -> job array -> outcome
+(** Co-schedule the jobs.  [policy] defaults to [Fair_share]; [events]
+    (default none) is the timed machine-event list — per-resource speeds
+    are piecewise-constant, starting at [1.] and switching at each
+    event's instant.  Tasks drain a resource at [speed / factor] and a
+    speed-0 window parks demand until capacity returns.  With no events
+    and no deadlines the run is bit-identical (Int64-bit float equality)
+    to the fixed-capacity scheduler — all speeds are [1.0] and
+    multiplication/division by [1.0] is IEEE-exact.
+
+    Raises {!Parqo_util.Parqo_error.Error} (subsystem ["scheduler"]) on
+    an empty workload, duplicate job ids, resource-dimension mismatches,
+    invalid arrivals, deadlines, or machine events, graphs rejected by
+    {!Task_graph.validate}, or a starved workload (demand left on
+    zero-capacity resources with no future machine event); never raises
+    on a valid, non-starved workload. *)
 
 val summarize : outcome -> summary
 
 val utilization : outcome -> float
 (** [total_work / (makespan * n_resources)]; [1.] for an empty span. *)
 
-val expected_pressure : ?horizon:float -> n_resources:int -> job array -> float array
+val effective_speeds : Parqo_machine.Machine.t -> float array
+(** Per-resource speed of the machine, indexed by resource id — the
+    [?speeds] argument {!expected_pressure} wants for a degraded or
+    heterogeneous machine. *)
+
+val expected_pressure :
+  ?horizon:float -> ?speeds:float array -> n_resources:int ->
+  job array -> float array
 (** The contention signal: per-resource offered load of the active set —
     total demanded work on each resource divided by [horizon].  The
     default horizon is the arrival span plus the mean job's solo drain
     time (the window over which that work lands on the machine), so a
     burst of [k] unit jobs yields pressure ~[k ×] each job's per-resource
-    share.  Feed it to [Metric.contention_rank] /
-    [Optimizer.minimize_under_contention] to re-rank plans for a loaded
-    machine.  Raises [Invalid_argument] on a non-positive [horizon]. *)
+    share.  [speeds] (length [n_resources]) rescales each resource's
+    pressure by its effective capacity — a half-speed resource is twice
+    as loaded by the same work, and a zero-speed resource with offered
+    work reads [infinity]; omitted, capacity is nominal and the result
+    is bit-identical to the pre-speed signal.  Feed it to
+    [Metric.contention_rank] / [Optimizer.minimize_under_contention] to
+    re-rank plans for a loaded machine.  Raises [Invalid_argument] on a
+    non-positive [horizon] or a mis-sized [speeds]. *)

@@ -16,6 +16,8 @@ type fault_event = {
 type replan_trigger =
   | Checkpoint_loss of { resource : int }
   | Work_inflation of { ratio : float }
+  | Slowdown of { resource : int; factor : float }
+  | Scale_out of { n_new : int }
 
 type replan_event = {
   rp_at : float;
@@ -54,6 +56,11 @@ let trigger_to_string = function
   | Checkpoint_loss { resource } ->
     Printf.sprintf "checkpoint loss (resource %d)" resource
   | Work_inflation { ratio } -> Printf.sprintf "work inflation x%.2f" ratio
+  | Slowdown { resource; factor } ->
+    Printf.sprintf "slowdown (resource %d at x%.2f)" resource factor
+  | Scale_out { n_new } ->
+    Printf.sprintf "scale-out (%d new resource%s)" n_new
+      (if n_new = 1 then "" else "s")
 
 (* at most this many splices per run, even if the replanner keeps
    volunteering — a backstop against pathological callbacks *)
@@ -286,8 +293,25 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
     | Recovery.Replan { threshold; _ } -> (true, threshold)
     | _ -> (false, infinity)
   in
+  (* scale-out events, in onset order: each appends one resource-vector
+     dimension beyond the initial graph's [nr].  A grown dimension
+     delivers no capacity before its onset and nominal capacity after —
+     its static speed is already folded into the demands of any graph
+     lowered on the grown machine. *)
+  let grows =
+    Array.of_list
+      (List.stable_sort
+         (fun (a : Fault.grow) b -> Float.compare a.Fault.g_at b.Fault.g_at)
+         fc.Fault.grows)
+  in
+  let n_grows = Array.length grows in
+  let nr_total = nr + n_grows in
+  let grow_seen = Array.make n_grows false in
+  (* dimension of the current machine: [nr] plus processed grows — what
+     a spliced graph must be lowered against *)
+  let live_dims = ref nr in
   (* state shared across segments *)
-  let busy = Array.make nr 0. in
+  let busy = Array.make nr_total 0. in
   let time = ref 0. in
   let trace = ref [] in
   let faults_log = ref [] in
@@ -318,6 +342,7 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
   (* one segment; body shared verbatim with the pre-replan simulator *)
   let run_segment (g : Task_graph.t) =
   let n_stages = Array.length g.Task_graph.stages in
+  let nr_seg = g.Task_graph.n_resources in
   let base =
     Array.map
       (fun (s : Task_graph.stage) ->
@@ -546,6 +571,22 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
             done;
             start_ready ()
           end
+          else if
+            is_replan && o.Fault.factor > eps
+            && o.Fault.factor < 1. -. eps
+            && o.Fault.duration > eps
+          then begin
+            (* a brownout destroys nothing, but a re-planner may prefer
+               to steer the residual work away from the slowed resource *)
+            let survivors = ref [] in
+            for id = n_stages - 1 downto 0 do
+              if status.(id) = Done then survivors := id :: !survivors
+            done;
+            try_replan
+              (Slowdown
+                 { resource = o.Fault.resource; factor = o.Fault.factor })
+              ~survivors:!survivors
+          end
         end;
         if
           (not expiry_seen.(i))
@@ -555,6 +596,31 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
           emit (Printf.sprintf "resource %d restored" o.Fault.resource)
         end)
       outages
+  in
+  let process_grow_boundaries () =
+    let newly = ref 0 in
+    Array.iteri
+      (fun i (gr : Fault.grow) ->
+        if (not grow_seen.(i)) && gr.Fault.g_at <= !time +. 1e-12 then begin
+          grow_seen.(i) <- true;
+          incr newly;
+          live_dims := !live_dims + 1;
+          emit
+            (Printf.sprintf "resource %d joins (%s, speed %.2f)" (nr + i)
+               (Parqo_machine.Resource.kind_to_string gr.Fault.g_kind)
+               gr.Fault.g_speed);
+          log_fault Fault.Scale_out ~resource:(nr + i) 0
+        end)
+      grows;
+    (* new capacity is useless to the in-flight plan — only a re-planner
+       can route work onto it; batch same-instant grows into one offer *)
+    if !newly > 0 && is_replan then begin
+      let survivors = ref [] in
+      for id = n_stages - 1 downto 0 do
+        if status.(id) = Done then survivors := id :: !survivors
+      done;
+      try_replan (Scale_out { n_new = !newly }) ~survivors:!survivors
+    end
   in
   let maybe_inflation_replan () =
     if
@@ -576,16 +642,21 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
           ~survivors:!survivors
     end
   in
+  (* grows first: a replan triggered by a same-instant outage must
+     already see the grown machine dimension *)
+  process_grow_boundaries ();
   process_outage_boundaries ();
   start_ready ();
   let guard = ref 0 in
   let max_events =
     1000 * (1 + n_stages) * (1 + nr) * (2 + fc.Fault.max_fail_attempts)
     + (10 * Array.length outages)
+    + (10 * n_grows)
   in
   let starved = ref false in
   while (not (all_done ())) && (not !starved) && !guard < max_events do
     incr guard;
+    process_grow_boundaries ();
     process_outage_boundaries ();
     maybe_inflation_replan ();
     if inject_due_failures () then ()
@@ -600,7 +671,9 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
       done;
       if not !completed then begin
         let cap =
-          Array.init nr (fun r -> Fault.capacity fc ~time:!time ~resource:r)
+          Array.init nr_seg (fun r ->
+              if r >= nr && not grow_seen.(r - nr) then 0.
+              else Fault.capacity fc ~time:!time ~resource:r)
         in
         let active =
           Array.mapi
@@ -613,7 +686,7 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
                 tasks)
             remaining
         in
-        let count = Array.make nr 0 in
+        let count = Array.make nr_seg 0 in
         Array.iteri
           (fun id tasks ->
             Array.iteri
@@ -666,7 +739,7 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
         else begin
           let dt = !dt in
           time := !time +. dt;
-          for r = 0 to nr - 1 do
+          for r = 0 to nr_seg - 1 do
             if count.(r) > 0 && cap.(r) > eps then
               busy.(r) <- busy.(r) +. (cap.(r) *. dt)
           done;
@@ -707,7 +780,7 @@ let run_faulty_concurrent ?replanner (g0 : Task_graph.t) (fc : Fault.config)
     match run_segment g with
     | res -> res
     | exception Splice g' ->
-      if g'.Task_graph.n_resources <> nr then
+      if g'.Task_graph.n_resources <> !live_dims then
         Parqo_error.fail ~subsystem:"simulator"
           "replanned graph resource-dimension mismatch";
       (match Task_graph.validate g' with

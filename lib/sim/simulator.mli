@@ -52,6 +52,13 @@ type replan_trigger =
       (** a full-loss outage destroyed checkpoints on [resource] *)
   | Work_inflation of { ratio : float }
       (** cumulative rework reached [ratio] × the graph's base work *)
+  | Slowdown of { resource : int; factor : float }
+      (** a brownout began: [resource] runs at [factor] of its capacity —
+          nothing is destroyed, but the residual work may be worth
+          steering elsewhere *)
+  | Scale_out of { n_new : int }
+      (** [n_new] grown resources just came online; only a re-planned
+          graph (lowered on the grown machine) can place work on them *)
 
 val trigger_to_string : replan_trigger -> string
 (** e.g. ["checkpoint loss (resource 3)"], ["work inflation (0.62x)"] *)
@@ -74,7 +81,9 @@ type snapshot = {
 
 type replan = {
   new_graph : Task_graph.t;
-      (** residual graph; must have the same [n_resources] *)
+      (** residual graph; its [n_resources] must equal the machine's
+          {e current} dimension — the initial graph's plus every grow
+          event already online *)
   plan_key : string;
   info : string;
 }
@@ -90,7 +99,9 @@ type outcome = {
   busy : float array;
       (** per-resource busy time; equals per-resource demand totals in a
           failure-free run, and includes re-executed and inflated work
-          under faults *)
+          under faults.  With scale-out events the array covers the grown
+          dimensions too (initial [n_resources] + one per grow event, in
+          onset order). *)
   total_work : float;
       (** failure-free work of the graph; after a re-plan splice, the
           surviving checkpoints' work plus the residual graph's work *)

@@ -194,7 +194,7 @@ let checkpoint_loss_triggers_replan () =
     o.Sim.replans r.A.records;
   (match (List.hd r.A.records).A.trigger with
   | Sim.Checkpoint_loss _ -> ()
-  | Sim.Work_inflation _ -> Alcotest.fail "expected a checkpoint-loss trigger");
+  | _ -> Alcotest.fail "expected a checkpoint-loss trigger");
   Alcotest.(check bool) "adaptive strictly beats static" true
     (o.Sim.makespan < static_sim.Sim.makespan);
   Alcotest.(check bool) "utilization sound" true (Sim.utilization o <= 1. +. 1e-9);
@@ -228,6 +228,84 @@ let replan_cap_respected () =
     r.A.outcome.Sim.n_replans;
   let sync = A.simulate ~faults ~recovery:R.Restart_from_sync env tree in
   check_identical "declined replan = sync" sync.A.outcome r.A.outcome
+
+(* a long deep brownout on a busy resource fires the Slowdown trigger:
+   nothing is destroyed, but the replanner steers residual work away *)
+let brownout_triggers_slowdown_replan () =
+  let env = Helpers.chain_env ~n:4 () in
+  let tree = sorted_tree 4 in
+  let g = lower env tree in
+  let clean = Sim.run g in
+  (* the busiest resource, browned out for most of the run *)
+  let busiest = ref 0 in
+  Array.iteri
+    (fun r b -> if b > clean.Sim.busy.(!busiest) then busiest := r)
+    clean.Sim.busy;
+  let faults =
+    {
+      F.none with
+      F.outages =
+        [
+          F.brownout ~resource:!busiest
+            ~at:(0.1 *. clean.Sim.makespan)
+            ~duration:(5. *. clean.Sim.makespan)
+            ~factor:0.1;
+        ];
+    }
+  in
+  let r = A.simulate ~faults ~recovery:(R.replan ()) env tree in
+  Alcotest.(check bool) "replanned on the slowdown" true
+    (r.A.outcome.Sim.n_replans >= 1);
+  (match (List.hd r.A.records).A.trigger with
+  | Sim.Slowdown { resource; factor } ->
+    Alcotest.(check int) "trigger names the resource" !busiest resource;
+    Helpers.check_float "trigger carries the factor" 0.1 factor
+  | tr -> Alcotest.failf "expected a slowdown trigger, got %s"
+            (Sim.trigger_to_string tr));
+  Alcotest.(check bool) "utilization sound" true
+    (Sim.utilization r.A.outcome <= 1. +. 1e-9)
+
+(* a fast CPU joining mid-run fires Scale_out; the spliced plan is
+   lowered on the grown machine and delivers work on the new resource *)
+let scale_out_splices_onto_grown_resource () =
+  let env = Helpers.chain_env ~n:4 () in
+  let tree = sorted_tree 4 in
+  let g = lower env tree in
+  let clean = Sim.run g in
+  let nr = Parqo.Machine.n_resources env.Parqo.Env.machine in
+  let faults =
+    {
+      F.none with
+      F.grows =
+        [
+          {
+            F.g_at = 0.3 *. clean.Sim.makespan;
+            g_kind = Parqo.Resource.Cpu;
+            g_node = 0;
+            g_speed = 2.0;
+          };
+        ];
+    }
+  in
+  (* static recovery sees the grown capacity but can never place work on
+     it: the old graph has no demand in the new dimension *)
+  let static_sim = Sim.run ~faults ~recovery:R.Restart_from_sync g in
+  Alcotest.(check int) "static busy tracks the grown dimension" (nr + 1)
+    (Array.length static_sim.Sim.busy);
+  Helpers.check_float "static delivers nothing on the grown resource" 0.
+    static_sim.Sim.busy.(nr);
+  let r = A.simulate ~faults ~recovery:(R.replan ()) env tree in
+  let o = r.A.outcome in
+  Alcotest.(check bool) "replanned on growth" true (o.Sim.n_replans >= 1);
+  (match (List.hd r.A.records).A.trigger with
+  | Sim.Scale_out { n_new } -> Alcotest.(check int) "one new resource" 1 n_new
+  | tr ->
+    Alcotest.failf "expected a scale-out trigger, got %s"
+      (Sim.trigger_to_string tr));
+  Alcotest.(check int) "busy grew a dimension" (nr + 1)
+    (Array.length o.Sim.busy);
+  Alcotest.(check bool) "grown resource delivered work" true
+    (o.Sim.busy.(nr) > 0.)
 
 (* of_string: aliases accepted, errors list every valid name *)
 let recovery_of_string () =
@@ -266,6 +344,9 @@ let suite =
       t "sync = stage on degraded outages" sync_equals_stage_on_degraded_outages;
       t "checkpoint loss triggers replan" checkpoint_loss_triggers_replan;
       t "domains do not change the splice" domains_do_not_change_the_splice;
+      t "brownout triggers slowdown replan" brownout_triggers_slowdown_replan;
+      t "scale-out splices onto the grown resource"
+        scale_out_splices_onto_grown_resource;
       t "replan cap respected" replan_cap_respected;
       t "recovery of_string" recovery_of_string;
     ] )

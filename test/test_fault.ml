@@ -253,6 +253,73 @@ let plan_level_faults () =
   in
   Alcotest.(check bool) "timeline annotates faults" true (contains text "fault")
 
+(* brownouts, scale-out schedules and the piecewise-capacity boundaries *)
+let hetero_fault_config () =
+  (* brownout requires a factor strictly inside (0, 1) *)
+  let b = F.brownout ~resource:0 ~at:1. ~duration:2. ~factor:0.5 in
+  Helpers.check_float "brownout factor kept" 0.5 b.F.factor;
+  List.iter
+    (fun factor ->
+      match F.brownout ~resource:0 ~at:1. ~duration:2. ~factor with
+      | (_ : F.outage) -> Alcotest.failf "factor %f accepted" factor
+      | exception Invalid_argument _ -> ())
+    [ 0.; 1.; -0.5; 1.5 ];
+  (* grow validation: onset and speed sanity *)
+  let grow g_at g_speed =
+    { F.g_at; g_kind = Parqo.Resource.Cpu; g_node = 0; g_speed }
+  in
+  Alcotest.(check bool) "valid grow accepted" true
+    (Result.is_ok (F.validate { F.none with F.grows = [ grow 3. 2. ] }));
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "invalid grow rejected" true
+        (Result.is_error (F.validate { F.none with F.grows = [ g ] })))
+    [ grow (-1.) 1.; grow 3. 0.; grow 3. Float.nan; grow Float.nan 1. ];
+  (* random_rescales: deterministic per seed, windows inside the horizon,
+     factors at the requested level *)
+  let schedule seed =
+    F.random_rescales (Parqo.Rng.create seed) ~n_resources:3 ~horizon:100.
+      ~rate:2. ~mean_duration:10. ~factor:0.3
+  in
+  let a = schedule 42 and b = schedule 42 in
+  Alcotest.(check int) "same seed, same schedule" (List.length a)
+    (List.length b);
+  List.iter2
+    (fun (x : F.outage) (y : F.outage) ->
+      Alcotest.(check int) "resource" x.F.resource y.F.resource;
+      Helpers.check_float "onset" x.F.at y.F.at;
+      Helpers.check_float "duration" x.F.duration y.F.duration)
+    a b;
+  List.iter
+    (fun (o : F.outage) ->
+      Alcotest.(check bool) "onset in horizon" true
+        (o.F.at >= 0. && o.F.at < 100.);
+      Alcotest.(check bool) "resource in range" true
+        (o.F.resource >= 0 && o.F.resource < 3);
+      Helpers.check_float "brownout factor" 0.3 o.F.factor)
+    a;
+  (* next_capacity_change walks outage onsets, expiries and grow onsets *)
+  let fc =
+    {
+      F.none with
+      F.outages = [ { F.resource = 0; at = 2.; duration = 3.; factor = 0.5 } ];
+      grows = [ grow 7. 2. ];
+    }
+  in
+  let next after =
+    match F.next_capacity_change fc ~after with
+    | Some t -> t
+    | None -> Alcotest.fail "expected a boundary"
+  in
+  Helpers.check_float "onset" 2. (next 0.);
+  Helpers.check_float "expiry" 5. (next 2.);
+  Helpers.check_float "grow onset" 7. (next 5.);
+  Alcotest.(check bool) "nothing after the last boundary" true
+    (F.next_capacity_change fc ~after:7. = None);
+  (* capacity reads the brownout window *)
+  Helpers.check_float "inside the window" 0.5 (F.capacity fc ~time:3. ~resource:0);
+  Helpers.check_float "outside the window" 1. (F.capacity fc ~time:6. ~resource:0)
+
 let suite =
   ( "fault injection",
     [
@@ -266,4 +333,5 @@ let suite =
       t "serialized faults" serialized_faults;
       t "invalid config rejected" invalid_config_rejected;
       t "plan-level faults" plan_level_faults;
+      t "heterogeneous fault config" hetero_fault_config;
     ] )

@@ -148,6 +148,10 @@ let server_fuzz () =
           slow_seconds = Parqo.Rng.float rng 0.05;
           poison_rate = Parqo.Rng.float rng 0.8;
           epoch_bump_every = Parqo.Rng.int rng 20;
+          (* the machine moves under roughly a third of the cases:
+             degrade/brownout/restore through the update_machine epoch
+             path, census-invalid ops skipped server-side *)
+          machine_event_rate = Parqo.Rng.float rng 0.6;
         }
       else Chaos.none
     in
@@ -187,6 +191,207 @@ let server_fuzz () =
       Alcotest.failf "server case %d raised %s" case (Printexc.to_string e)
   done
 
+(* The heterogeneous-machine fuzzer: random degrade/rescale/grow/restore
+   lifecycles applied to the machine before planning, then random fault
+   schedules x every recovery policy.  The stack must never raise, keep
+   utilization at or below 1, and an all-nominal (speeds = 1.0) rescale
+   must stay Int64-bit-identical to the untouched machine at 1 and 4
+   search domains. *)
+let hetero_machine_fuzz () =
+  let module M = Parqo.Machine in
+  let rng = Parqo.Rng.create 20260814 in
+  for case = 1 to 8 do
+    let n = 3 + Parqo.Rng.int rng 2 in
+    let catalog, query = Parqo.Query_gen.random rng ~n () in
+    let base = M.shared_nothing ~nodes:4 () in
+    (* a random machine lifecycle; census-invalid steps are skipped the
+       same way the serving layer skips them *)
+    let machine = ref base in
+    for _step = 1 to 1 + Parqo.Rng.int rng 4 do
+      let nr = M.n_resources !machine in
+      let apply () =
+        match Parqo.Rng.int rng 4 with
+        | 0 -> M.degrade !machine ~down:[ Parqo.Rng.int rng nr ]
+        | 1 ->
+          M.rescale !machine
+            ~speeds:[ (Parqo.Rng.int rng nr, 0.2 +. Parqo.Rng.float rng 1.3) ]
+        | 2 ->
+          let kind =
+            if Parqo.Rng.bool rng then Parqo.Resource.Cpu
+            else Parqo.Resource.Disk
+          in
+          M.grow
+            ~speed:(0.5 +. Parqo.Rng.float rng 2.)
+            !machine
+            [ (kind, Printf.sprintf "grown-%d" nr, Parqo.Rng.int rng 4) ]
+        | _ -> M.restore !machine
+      in
+      match apply () with
+      | m -> machine := m
+      | exception Parqo.Parqo_error.Error _ -> ()
+    done;
+    let env = Parqo.Env.create ~machine:!machine ~catalog ~query () in
+    let tree = Helpers.random_tree rng env in
+    let clean = (A.simulate env tree).A.outcome in
+    let faults =
+      random_schedule rng
+        ~n_resources:(M.n_resources !machine)
+        ~horizon:clean.Sim.makespan
+    in
+    List.iter
+      (fun (name, recovery) ->
+        match A.simulate ~faults ~recovery env tree with
+        | r ->
+          check_run ~case
+            ~name:("hetero " ^ name)
+            ~clean:clean.Sim.makespan
+            ~spliced:(r.A.outcome.Sim.n_replans > 0)
+            r.A.outcome
+        | exception e ->
+          Alcotest.failf "hetero case %d %s: raised %s" case name
+            (Printexc.to_string e))
+      policies;
+    (* speeds = 1.0 everywhere is the homogeneous baseline, bit-for-bit *)
+    let all_nominal =
+      M.rescale base
+        ~speeds:(List.init (M.n_resources base) (fun id -> (id, 1.0)))
+    in
+    let env0 = Parqo.Env.create ~machine:base ~catalog ~query () in
+    let env1 = Parqo.Env.create ~machine:all_nominal ~catalog ~query () in
+    let want = (A.simulate env0 tree).A.outcome in
+    List.iter
+      (fun domains ->
+        let got = (A.simulate ~domains env1 tree).A.outcome in
+        Alcotest.(check int64)
+          (Printf.sprintf
+             "case %d: nominal rescale makespan bits (domains %d)" case
+             domains)
+          (Int64.bits_of_float want.Sim.makespan)
+          (Int64.bits_of_float got.Sim.makespan);
+        Alcotest.(check (array int64))
+          (Printf.sprintf "case %d: nominal rescale busy bits (domains %d)"
+             case domains)
+          (Array.map Int64.bits_of_float want.Sim.busy)
+          (Array.map Int64.bits_of_float got.Sim.busy))
+      [ 1; 4 ]
+  done
+
+(* the same property pushed through the workload layer: random machine-
+   event sequences (brownouts, dead windows with later restores,
+   speed-ups) x every scheduling policy — never raises, busy conservation
+   holds, and per-resource delivered work fits inside the effective-
+   capacity envelope *)
+let hetero_scheduler_fuzz () =
+  let module Sched = Parqo.Scheduler in
+  let module TG = Parqo.Task_graph in
+  let module Cm = Parqo.Costmodel in
+  (* piecewise-constant capacity integral of one resource over
+     [0, until), from the event list *)
+  let capacity_integral events r until =
+    let evs =
+      List.filter (fun e -> e.Sched.ev_resource = r) events
+      |> List.stable_sort (fun a b -> Float.compare a.Sched.ev_at b.Sched.ev_at)
+    in
+    let rec go t speed acc = function
+      | [] -> acc +. (Float.max 0. (until -. t) *. speed)
+      | (e : Sched.machine_event) :: rest ->
+        let te = Float.min until (Float.max t e.Sched.ev_at) in
+        go te e.Sched.ev_speed (acc +. ((te -. t) *. speed)) rest
+    in
+    go 0. 1. 0. evs
+  in
+  let rng = Parqo.Rng.create 20260815 in
+  for case = 1 to 8 do
+    let nj = 2 + Parqo.Rng.int rng 2 in
+    let graphs =
+      Array.init nj (fun _ ->
+          let n = 2 + Parqo.Rng.int rng 2 in
+          let env = Helpers.random_env rng ~n in
+          let tree = Helpers.random_tree rng env in
+          TG.of_optree env (Cm.evaluate env tree).Cm.optree)
+    in
+    let nr = graphs.(0).TG.n_resources in
+    let horizon =
+      Array.fold_left (fun acc g -> acc +. (Sim.run g).Sim.makespan) 0. graphs
+    in
+    let jobs =
+      Array.mapi
+        (fun i g ->
+          Sched.job
+            ~arrival:(Parqo.Rng.float rng (0.5 *. horizon))
+            ~priority:(Parqo.Rng.int rng 3) ~job_id:i g)
+        graphs
+    in
+    (* random speed steps — including dead windows — with every touched
+       resource restored to nominal at the end, so no workload starves *)
+    let touched = Array.make nr false in
+    let steps =
+      List.init
+        (1 + Parqo.Rng.int rng 6)
+        (fun _ ->
+          let r = Parqo.Rng.int rng nr in
+          touched.(r) <- true;
+          {
+            Sched.ev_at = Parqo.Rng.float rng horizon;
+            ev_resource = r;
+            ev_speed =
+              (if Parqo.Rng.int rng 5 = 0 then 0.
+               else 0.25 +. Parqo.Rng.float rng 1.75);
+          })
+    in
+    let restores =
+      List.init nr Fun.id
+      |> List.filter (fun r -> touched.(r))
+      |> List.map (fun r ->
+             { Sched.ev_at = 2. *. horizon; ev_resource = r; ev_speed = 1. })
+    in
+    let events = steps @ restores in
+    let offered = Array.make nr 0. in
+    Array.iter
+      (fun (j : Sched.job) ->
+        Array.iter
+          (fun (s : TG.stage) ->
+            List.iter
+              (fun (tk : TG.task) ->
+                Array.iteri
+                  (fun r d -> offered.(r) <- offered.(r) +. d)
+                  tk.TG.demands)
+              s.TG.tasks)
+          j.Sched.graph.TG.stages)
+      jobs;
+    List.iter
+      (fun policy ->
+        let ctx what =
+          Printf.sprintf "sched case %d %s: %s" case
+            (Sched.policy_to_string policy) what
+        in
+        match Sched.run ~policy ~events jobs with
+        | o ->
+          Alcotest.(check bool) (ctx "makespan finite positive") true
+            (Float.is_finite o.Sched.makespan && o.Sched.makespan > 0.);
+          for r = 0 to nr - 1 do
+            let tol = 1e-6 *. Float.max 1. offered.(r) in
+            Alcotest.(check bool)
+              (ctx (Printf.sprintf "busy conservation on r%d" r))
+              true
+              (Float.abs (o.Sched.busy.(r) -. offered.(r)) <= tol);
+            Alcotest.(check bool)
+              (ctx (Printf.sprintf "capacity envelope on r%d" r))
+              true
+              (o.Sched.busy.(r)
+              <= capacity_integral events r o.Sched.makespan +. tol)
+          done
+        | exception e ->
+          Alcotest.failf "sched case %d %s: raised %s" case
+            (Sched.policy_to_string policy) (Printexc.to_string e))
+      Sched.all_policies
+  done
+
 let suite =
   ( "recovery fuzz",
-    [ t "fuzz all policies" fuzz; t "fuzz server mode" server_fuzz ] )
+    [
+      t "fuzz all policies" fuzz;
+      t "fuzz server mode" server_fuzz;
+      t "fuzz heterogeneous machines" hetero_machine_fuzz;
+      t "fuzz scheduler machine events" hetero_scheduler_fuzz;
+    ] )

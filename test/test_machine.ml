@@ -63,6 +63,88 @@ let params_sanity () =
     && p.M.tuples_per_page > 0.);
   Alcotest.(check bool) "delta k sane" true (p.M.pipeline_delta_k >= 0.)
 
+(* rescale / restore: per-resource speeds move, ids and dimensions stay *)
+let speed_lifecycle () =
+  let m = M.shared_nothing ~nodes:4 () in
+  let cpu0 = List.hd (M.cpu_ids m) in
+  Helpers.check_float "nominal speed" 1. (M.speed m cpu0);
+  Helpers.check_float "nominal capacity" (float_of_int (M.n_resources m))
+    (M.effective_capacity m);
+  let slow = M.rescale m ~speeds:[ (cpu0, 0.25) ] in
+  Helpers.check_float "rescaled speed" 0.25 (M.speed slow cpu0);
+  Alcotest.(check bool) "still available" true (M.available slow cpu0);
+  Alcotest.(check int) "dimensions stable" (M.n_resources m)
+    (M.n_resources slow);
+  Helpers.check_float "capacity drops by the delta"
+    (M.effective_capacity m -. 0.75)
+    (M.effective_capacity slow);
+  (* later entries win *)
+  let twice = M.rescale m ~speeds:[ (cpu0, 0.25); (cpu0, 0.5) ] in
+  Helpers.check_float "last entry wins" 0.5 (M.speed twice cpu0);
+  (* restore returns to nominal *)
+  let back = M.restore slow in
+  Helpers.check_float "restored to nominal" 1. (M.speed back cpu0);
+  let partial = M.restore ~up:[ cpu0 + 999 ] slow in
+  Helpers.check_float "out-of-range restore ignored" 0.25
+    (M.speed partial cpu0);
+  (* degrade is rescale-to-zero: excluded from service, dims stable *)
+  let down = M.degrade m ~down:[ cpu0 ] in
+  Helpers.check_float "degraded speed" 0. (M.speed down cpu0);
+  Alcotest.(check bool) "not available" false (M.available down cpu0);
+  Alcotest.(check bool) "dropped from cpu_ids" false
+    (List.mem cpu0 (M.cpu_ids down));
+  Alcotest.(check (list int)) "listed in down_ids" [ cpu0 ] (M.down_ids down);
+  Alcotest.(check int) "dims survive degrade" (M.n_resources m)
+    (M.n_resources down)
+
+let grow_appends () =
+  let m = M.shared_nothing ~nodes:4 () in
+  let nr = M.n_resources m in
+  let g = M.grow ~speed:2. m [ (R.Cpu, "cpu-x", 0) ] in
+  Alcotest.(check int) "one appended id" (nr + 1) (M.n_resources g);
+  Alcotest.(check bool) "existing ids untouched" true
+    (List.for_all (fun id -> M.speed g id = M.speed m id)
+       (M.cpu_ids m @ M.disk_ids m));
+  Alcotest.(check bool) "grown id is a cpu" true (List.mem nr (M.cpu_ids g));
+  Helpers.check_float "grown speed" 2. (M.speed g nr);
+  (* the grow speed is the grown resource's nominal: restore keeps it *)
+  let cycled = M.restore (M.rescale g ~speeds:[ (nr, 0.5) ]) in
+  Helpers.check_float "restore returns grown id to its own nominal" 2.
+    (M.speed cycled nr);
+  (* growing onto a new site expands the node count *)
+  let far = M.grow m [ (R.Disk, "disk-y", 7) ] in
+  Alcotest.(check bool) "nodes expand to cover the site" true (far.M.nodes >= 8)
+
+(* the census validation: no resource kind present in the topology may be
+   left with nothing in service *)
+let census_errors () =
+  let m = M.shared_nothing ~nodes:2 () in
+  let all_disks = M.disk_ids m in
+  (match M.degrade m ~down:all_disks with
+  | (_ : M.t) -> Alcotest.fail "degrading every disk must raise"
+  | exception Parqo.Parqo_error.Error e ->
+    Alcotest.(check string) "structured subsystem" "machine"
+      e.Parqo.Parqo_error.subsystem);
+  (match M.network m with
+  | None -> ()
+  | Some net -> (
+    match M.rescale m ~speeds:[ (net.R.id, 0.) ] with
+    | (_ : M.t) -> Alcotest.fail "killing the only network must raise"
+    | exception Parqo.Parqo_error.Error _ -> ()));
+  (* invalid speeds are rejected up front *)
+  List.iter
+    (fun s ->
+      match M.rescale m ~speeds:[ (0, s) ] with
+      | (_ : M.t) -> Alcotest.failf "speed %f accepted" s
+      | exception Parqo.Parqo_error.Error _ -> ())
+    [ -1.; Float.nan; Float.infinity ];
+  (match M.grow ~speed:0. m [ (R.Cpu, "c", 0) ] with
+  | (_ : M.t) -> Alcotest.fail "grow at speed 0 must raise"
+  | exception Parqo.Parqo_error.Error _ -> ());
+  (* degrading one of two disks is fine: the census survives *)
+  let ok = M.degrade m ~down:[ List.hd all_disks ] in
+  Alcotest.(check int) "one disk left" 1 (List.length (M.disk_ids ok))
+
 let errors () =
   Alcotest.check_raises "0 nodes" (Invalid_argument "Machine.shared_nothing")
     (fun () -> ignore (M.shared_nothing ~nodes:0 ()));
@@ -80,5 +162,8 @@ let suite =
       t "special machines" special_machines;
       t "aggregation modes" aggregation_modes;
       t "params sanity" params_sanity;
+      t "speed lifecycle" speed_lifecycle;
+      t "grow appends" grow_appends;
+      t "census errors" census_errors;
       t "errors" errors;
     ] )

@@ -187,6 +187,43 @@ let hash_spill_threshold () =
   Alcotest.(check bool) "cloning avoids the spill" true
     (cloned < hj_work at_edge)
 
+(* speed-aware costing: demand = share / speed, in nominal-speed time
+   units.  All speeds 1.0 is bit-identical to not rescaling at all, and
+   halving one resource's speed exactly doubles its coordinate. *)
+let speed_scales_demands () =
+  let machine, est = setup () in
+  let root = expand est (J.access 0) in
+  let vec m = D.work_vector (OC.base (OC.prepare m est) est root) in
+  let bits = Int64.bits_of_float in
+  let all_ids = List.init (Parqo.Machine.n_resources machine) Fun.id in
+  let nominal =
+    Parqo.Machine.rescale machine
+      ~speeds:(List.map (fun id -> (id, 1.0)) all_ids)
+  in
+  Alcotest.(check (array int64)) "all-1.0 rescale is bit-identical"
+    (Array.map bits (Parqo.Vecf.to_array (vec machine)))
+    (Array.map bits (Parqo.Vecf.to_array (vec nominal)));
+  (* the scan's disk at half speed: its coordinate doubles, bit-exactly *)
+  let base = vec machine in
+  let disk =
+    List.find
+      (fun id -> Parqo.Vecf.get base id > 0.)
+      (Parqo.Machine.disk_ids machine)
+  in
+  let slow = vec (Parqo.Machine.rescale machine ~speeds:[ (disk, 0.5) ]) in
+  Alcotest.(check int64) "half speed doubles the coordinate"
+    (bits (2. *. Parqo.Vecf.get base disk))
+    (bits (Parqo.Vecf.get slow disk));
+  (* untouched coordinates are untouched *)
+  List.iter
+    (fun id ->
+      if id <> disk then
+        Alcotest.(check int64)
+          (Printf.sprintf "resource %d unchanged" id)
+          (bits (Parqo.Vecf.get base id))
+          (bits (Parqo.Vecf.get slow id)))
+    all_ids
+
 let suite =
   ( "opcost",
     [
@@ -200,4 +237,5 @@ let suite =
       t "pure NL quadratic" pure_nl_quadratic;
       t "exchange network" exchange_uses_network;
       t "two-disk machine" diskless_machine_drops_io;
+      t "speed scales demands" speed_scales_demands;
     ] )

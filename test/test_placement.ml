@@ -46,10 +46,39 @@ let table_and_index_disks () =
   Alcotest.(check int) "one spill disk per cpu" 2
     (List.length (Pl.spill_disks m ~cpus))
 
+(* heterogeneous speeds: fastest CPUs first, ids break ties *)
+let hetero_cpu_order () =
+  let m = M.shared_nothing ~nodes:4 () in
+  let cpus = M.cpu_ids m in
+  Alcotest.(check (list int)) "homogeneous order = id order" cpus
+    (Pl.cpu_order m);
+  let c = Array.of_list cpus in
+  let hm =
+    M.rescale m
+      ~speeds:[ (c.(0), 1.0); (c.(1), 2.0); (c.(2), 0.5); (c.(3), 1.0) ]
+  in
+  Alcotest.(check (list int)) "descending speed, ascending id on ties"
+    [ c.(1); c.(0); c.(3); c.(2) ]
+    (Pl.cpu_order hm);
+  (* a clone lands on the fastest k *)
+  Alcotest.(check (list int)) "clone 2 takes the two fastest"
+    [ c.(1); c.(0) ]
+    (Pl.cpus_for hm ~clone:2);
+  (* a degraded cpu disappears entirely *)
+  let down = M.degrade hm ~down:[ c.(1) ] in
+  Alcotest.(check bool) "down cpu never placed" false
+    (List.mem c.(1) (Pl.cpus_for down ~clone:4));
+  (* a fast grown cpu jumps the queue *)
+  let grown = M.grow ~speed:3. m [ (Parqo.Resource.Cpu, "cpu-x", 0) ] in
+  Alcotest.(check int) "grown cpu leads the order"
+    (M.n_resources m)
+    (List.hd (Pl.cpu_order grown))
+
 let suite =
   ( "placement",
     [
       t "cpus_for" cpus_for;
       t "effective clone" effective_clone;
       t "table and index disks" table_and_index_disks;
+      t "heterogeneous cpu order" hetero_cpu_order;
     ] )

@@ -139,9 +139,6 @@ let pressure_scales () =
     | (_ : float array) -> false
     | exception Invalid_argument _ -> true)
 
-(* ------------------------------------------------------------------ *)
-(* the fuzzer: random query mixes x arrival streams x all policies     *)
-
 let random_graph rng =
   let n = 2 + Parqo.Rng.int rng 3 in
   let env = Helpers.random_env rng ~n in
@@ -151,6 +148,194 @@ let random_graph rng =
 
 let bits = Int64.bits_of_float
 let bits_list l = List.map (fun (id, t) -> (id, bits t)) l
+
+(* ------------------------------------------------------------------ *)
+(* machine events: the machine changing under the workload             *)
+
+let ev at r s = { Sched.ev_at = at; ev_resource = r; ev_speed = s }
+
+let events_reshape_drain () =
+  (* half speed from the start doubles the drain; busy records delivered
+     work, so it still conserves the offered demand *)
+  let o = Sched.run ~events:[ ev 0. 0 0.5 ] [| unit_job ~job_id:0 () |] in
+  Helpers.check_float "half speed doubles the makespan" 2. o.Sched.makespan;
+  Helpers.check_float "busy = delivered work" 1. o.Sched.busy.(0);
+  (* a mid-run brownout: one unit at full speed, one at half *)
+  let two = Sched.job ~job_id:0 (graph ~n_resources:1 [ ([ [| 2. |] ], []) ]) in
+  let o = Sched.run ~events:[ ev 1. 0 0.5 ] [| two |] in
+  Helpers.check_float "brownout splits the drain" 3. o.Sched.makespan;
+  Helpers.check_float "busy conserves across the boundary" 2. o.Sched.busy.(0);
+  (* a speed-up above nominal halves the drain *)
+  let o = Sched.run ~events:[ ev 0. 0 2. ] [| unit_job ~job_id:0 () |] in
+  Helpers.check_float "speed-up halves the makespan" 0.5 o.Sched.makespan;
+  Helpers.check_float "busy still conserves" 1. o.Sched.busy.(0)
+
+let outage_window_parks_demand () =
+  (* speed 0 until t = 2, then restored: the unit job finishes at 3 *)
+  let o =
+    Sched.run
+      ~events:[ ev 0. 0 0.; ev 2. 0 1. ]
+      [| unit_job ~job_id:0 () |]
+  in
+  Helpers.check_float "parked until capacity returns" 3. o.Sched.makespan;
+  Helpers.check_float "busy excludes the dead window" 1. o.Sched.busy.(0)
+
+let starved_workload_raises () =
+  match Sched.run ~events:[ ev 0. 0 0. ] [| unit_job ~job_id:0 () |] with
+  | (_ : Sched.outcome) -> Alcotest.fail "expected a starvation error"
+  | exception Parqo.Parqo_error.Error e ->
+    Alcotest.(check string) "scheduler subsystem" "scheduler"
+      e.Parqo.Parqo_error.subsystem
+
+let invalid_events_rejected () =
+  let bad e =
+    match Sched.run ~events:[ e ] [| unit_job ~job_id:0 () |] with
+    | (_ : Sched.outcome) -> false
+    | exception Parqo.Parqo_error.Error _ -> true
+  in
+  Alcotest.(check bool) "negative instant" true (bad (ev (-1.) 0 1.));
+  Alcotest.(check bool) "resource out of range" true (bad (ev 0. 5 1.));
+  Alcotest.(check bool) "negative speed" true (bad (ev 0. 0 (-0.5)));
+  Alcotest.(check bool) "non-finite speed" true (bad (ev 0. 0 Float.nan))
+
+(* no-op (speed-preserving) events reduce to no events at all: the run
+   is Int64-bit-identical even though the instants would otherwise split
+   drain segments *)
+let nominal_events_bit_identity () =
+  let rng = Parqo.Rng.create 20260813 in
+  for case = 1 to 5 do
+    let g = random_graph rng in
+    let nr = g.TG.n_resources in
+    let events =
+      List.init 6 (fun i -> ev (0.37 *. float_of_int i) (i mod nr) 1.0)
+    in
+    List.iter
+      (fun policy ->
+        let ctx what =
+          Printf.sprintf "case %d %s: %s" case
+            (Sched.policy_to_string policy) what
+        in
+        let base = Sched.run ~policy [| Sched.job ~job_id:0 g |] in
+        let o = Sched.run ~policy ~events [| Sched.job ~job_id:0 g |] in
+        Alcotest.(check int64) (ctx "makespan bits")
+          (bits base.Sched.makespan) (bits o.Sched.makespan);
+        Alcotest.(check int64) (ctx "total work bits")
+          (bits base.Sched.total_work) (bits o.Sched.total_work);
+        Alcotest.(check (array int64)) (ctx "busy bits")
+          (Array.map bits base.Sched.busy)
+          (Array.map bits o.Sched.busy))
+      Sched.all_policies
+  done
+
+(* ------------------------------------------------------------------ *)
+(* admission control: deadlines shed jobs the machine cannot serve     *)
+
+let deadline_sheds () =
+  let o =
+    Sched.run
+      [|
+        unit_job ~job_id:0 ();
+        Sched.job ~job_id:1 ~deadline:0.5
+          (graph ~n_resources:1 [ ([ [| 1. |] ], []) ]);
+      |]
+  in
+  let j1 = o.Sched.jobs.(1) in
+  (match j1.Sched.disposition with
+  | Sched.Rejected reason ->
+    Alcotest.(check bool) "reason mentions the deadline" true
+      (String.length reason > 0)
+  | Sched.Completed -> Alcotest.fail "expected the tight job to be shed");
+  Helpers.check_float "rejected response is zero" 0. j1.Sched.response;
+  Helpers.check_float "shed job leaves the machine alone" 1. (response o 0);
+  Helpers.check_float "makespan from the surviving job" 1. o.Sched.makespan;
+  Helpers.check_float "total work excludes shed jobs" 1. o.Sched.total_work;
+  Helpers.check_float "busy conservation excludes shed jobs" 1.
+    o.Sched.busy.(0);
+  let s = Sched.summarize o in
+  Alcotest.(check int) "summary counts the shed job" 1 s.Sched.n_rejected;
+  Helpers.check_float "quantiles over completed jobs only" 1. s.Sched.p95;
+  (* a generous budget admits the same workload *)
+  let o2 =
+    Sched.run
+      [|
+        unit_job ~job_id:0 ();
+        Sched.job ~job_id:1 ~deadline:10.
+          (graph ~n_resources:1 [ ([ [| 1. |] ], []) ]);
+      |]
+  in
+  Alcotest.(check int) "generous budget admits" 0
+    (Sched.summarize o2).Sched.n_rejected;
+  (* degraded capacity tightens admission: at half speed the same
+     deadline that admitted solo now sheds *)
+  let solo d events =
+    (Sched.run ~events
+       [| Sched.job ~job_id:0 ~deadline:d
+            (graph ~n_resources:1 [ ([ [| 1. |] ], []) ]) |])
+      .Sched.jobs.(0)
+      .Sched.disposition
+  in
+  Alcotest.(check bool) "nominal speed admits" true
+    (solo 1.5 [] = Sched.Completed);
+  Alcotest.(check bool) "half speed sheds the same budget" true
+    (match solo 1.5 [ ev 0. 0 0.5 ] with
+    | Sched.Rejected _ -> true
+    | Sched.Completed -> false);
+  (* invalid deadlines are rejected up front *)
+  match
+    Sched.run
+      [| Sched.job ~job_id:0 ~deadline:0.
+           (graph ~n_resources:1 [ ([ [| 1. |] ], []) ]) |]
+  with
+  | (_ : Sched.outcome) -> Alcotest.fail "deadline 0 accepted"
+  | exception Parqo.Parqo_error.Error _ -> ()
+
+let pressure_with_speeds () =
+  let jobs = [| unit_job ~job_id:0 () |] in
+  let base = Sched.expected_pressure ~horizon:1. ~n_resources:1 jobs in
+  let nominal =
+    Sched.expected_pressure ~horizon:1. ~speeds:[| 1. |] ~n_resources:1 jobs
+  in
+  Alcotest.(check int64) "nominal speeds bit-identical" (bits base.(0))
+    (bits nominal.(0));
+  let half =
+    Sched.expected_pressure ~horizon:1. ~speeds:[| 0.5 |] ~n_resources:1 jobs
+  in
+  Helpers.check_float "half speed doubles the pressure" (2. *. base.(0))
+    half.(0);
+  let dead =
+    Sched.expected_pressure ~horizon:1. ~speeds:[| 0. |] ~n_resources:1 jobs
+  in
+  Alcotest.(check bool) "offered work on a dead resource reads infinite"
+    true
+    (dead.(0) = Float.infinity);
+  (* a dead resource with nothing offered reads zero, not infinity *)
+  let wide =
+    [| Sched.job ~job_id:0 (graph ~n_resources:2 [ ([ [| 1.; 0. |] ], []) ]) |]
+  in
+  let p =
+    Sched.expected_pressure ~horizon:1. ~speeds:[| 1.; 0. |] ~n_resources:2
+      wide
+  in
+  Helpers.check_float "idle dead resource reads zero" 0. p.(1);
+  (* mis-sized speeds rejected *)
+  Alcotest.(check bool) "mis-sized speeds rejected" true
+    (match
+       Sched.expected_pressure ~speeds:[| 1.; 1. |] ~n_resources:1 jobs
+     with
+    | (_ : float array) -> false
+    | exception Invalid_argument _ -> true);
+  (* effective_speeds mirrors the machine's current speeds *)
+  let m = Parqo.Machine.shared_nothing ~nodes:2 () in
+  let hm = Parqo.Machine.rescale m ~speeds:[ (0, 0.5) ] in
+  let sp = Sched.effective_speeds hm in
+  Alcotest.(check int) "one entry per resource"
+    (Parqo.Machine.n_resources hm)
+    (Array.length sp);
+  Helpers.check_float "rescaled entry" 0.5 sp.(0);
+  Helpers.check_float "nominal entry" 1. sp.(1)
+
+(* ------------------------------------------------------------------ *)
+(* the fuzzer: random query mixes x arrival streams x all policies     *)
 
 (* single-job co-scheduling must replay [Simulator.run] bit-for-bit
    under every policy *)
@@ -285,6 +470,13 @@ let suite =
       t "policy names round trip" policy_names;
       t "invalid workloads rejected" rejects_invalid;
       t "expected pressure scales with load" pressure_scales;
+      t "machine events reshape the drain" events_reshape_drain;
+      t "outage window parks demand" outage_window_parks_demand;
+      t "starved workload raises" starved_workload_raises;
+      t "invalid events rejected" invalid_events_rejected;
+      t "nominal events bit-identical" nominal_events_bit_identity;
+      t "deadline admission sheds" deadline_sheds;
+      t "pressure under speeds" pressure_with_speeds;
       t "single job bit-identical to Simulator.run" degenerate_identity;
       t "fuzz mixes x arrivals x policies" fuzz;
     ] )

@@ -263,6 +263,91 @@ let machine_update_invalidates () =
       | _ -> Alcotest.fail "missing plan")
     after.Server.completions
 
+(* speed changes are topology changes too: a rescale or a grow must bump
+   the epoch, and post-change plans are bit-identical to a fresh server
+   built on the changed machine *)
+let machine_speed_update_invalidates () =
+  let catalog, pool = small_pool () in
+  let reqs = trace ~n:16 pool in
+  let check_against_fresh msg changed (after : Server.run_result) =
+    let fresh_server =
+      Server.create ~config:fast_config ~machine:changed ~catalog ()
+    in
+    let fresh = Server.run fresh_server reqs in
+    Array.iteri
+      (fun i (c : Server.completion) ->
+        let f = fresh.Server.completions.(i) in
+        match (c.Server.plan, f.Server.plan) with
+        | Some a, Some b ->
+          Alcotest.(check string) (msg ^ ": tree = fresh tree")
+            (Parqo.Join_tree.to_string b.Cm.tree)
+            (Parqo.Join_tree.to_string a.Cm.tree);
+          Alcotest.(check int64) (msg ^ ": rt bits")
+            (bits b.Cm.response_time) (bits a.Cm.response_time)
+        | _ -> Alcotest.fail "missing plan")
+      after.Server.completions
+  in
+  let server = Server.create ~config:fast_config ~machine ~catalog () in
+  ignore (Server.run server reqs);
+  let epoch0 = Server.epoch server in
+  (* an all-nominal rescale leaves every speed in place: no bump *)
+  let nominal =
+    Parqo.Machine.rescale machine
+      ~speeds:
+        (List.init (Parqo.Machine.n_resources machine) (fun id -> (id, 1.0)))
+  in
+  Server.update_machine server nominal;
+  Alcotest.(check int) "all-nominal rescale is a no-op" epoch0
+    (Server.epoch server);
+  (* a brownout rescale is a machine change *)
+  let slow = Parqo.Machine.rescale machine ~speeds:[ (0, 0.25) ] in
+  Server.update_machine server slow;
+  Alcotest.(check int) "rescale bumps the epoch" (epoch0 + 1)
+    (Server.epoch server);
+  check_against_fresh "post-rescale" slow (Server.run server reqs);
+  (* growth is a machine change too *)
+  let grown =
+    Parqo.Machine.grow ~speed:2. slow [ (Parqo.Resource.Cpu, "cpu-x", 0) ]
+  in
+  Server.update_machine server grown;
+  Alcotest.(check int) "grow bumps the epoch" (epoch0 + 2)
+    (Server.epoch server);
+  check_against_fresh "post-grow" grown (Server.run server reqs)
+
+(* chaos machine events drive the update_machine path mid-stream; the
+   draws are pure, fire only on first attempts, and leave the poison/slow
+   stream of the same seed untouched *)
+let chaos_machine_events () =
+  let catalog, pool = small_pool () in
+  let c = { Chaos.none with Chaos.seed = 4; machine_event_rate = 0.9 } in
+  for request = 0 to 30 do
+    let a = Chaos.machine_draw c ~request ~attempt:1 ~n_resources:9 in
+    let b = Chaos.machine_draw c ~request ~attempt:1 ~n_resources:9 in
+    Alcotest.(check bool) "machine draw pure" true (a = b);
+    Alcotest.(check bool) "only on the first attempt" true
+      (Chaos.machine_draw c ~request ~attempt:2 ~n_resources:9 = None)
+  done;
+  (* enabling machine events must not disturb the poison/slow stream *)
+  let loud =
+    { (Chaos.default ~seed:4 ()) with Chaos.machine_event_rate = 0.9 }
+  in
+  let quiet = { loud with Chaos.machine_event_rate = 0. } in
+  for request = 0 to 30 do
+    Alcotest.(check bool) "poison/slow trace preserved" true
+      (Chaos.draw loud ~request ~attempt:1 = Chaos.draw quiet ~request ~attempt:1)
+  done;
+  (match Chaos.validate { c with Chaos.machine_event_rate = 1.5 } with
+  | Ok () -> Alcotest.fail "invalid machine_event_rate accepted"
+  | Error _ -> ());
+  let config = { fast_config with Server.chaos = c } in
+  let server = Server.create ~config ~machine ~catalog () in
+  let r = Server.run server (trace ~n:40 pool) in
+  check_partition "machine chaos" r;
+  Alcotest.(check bool) "machine events applied" true
+    (r.Server.stats.Server.machine_events > 0);
+  Alcotest.(check bool) "epoch advanced with the machine" true
+    (Server.epoch server > 0)
+
 (* regression: one persistent pool serves every request — warm requests
    spawn no domains (spawning happens at pool creation, once), and the
    pooled plans are bit-identical to pool-less serving *)
@@ -341,6 +426,8 @@ let suite =
       t "warm pass is all hits, bit-identical" warm_pass_identical;
       t "epoch bump = fresh optimization" epoch_bump_invalidates;
       t "machine change bumps the epoch" machine_update_invalidates;
+      t "speed change bumps the epoch" machine_speed_update_invalidates;
+      t "chaos machine events" chaos_machine_events;
       t "shared pool: warm requests spawn nothing" shared_pool_no_respawn;
       t "burst ties serve deterministically" burst_tie_order_deterministic;
       t "hopeless deadline degrades" hopeless_deadline_degrades;
